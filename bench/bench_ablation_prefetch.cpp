@@ -1,0 +1,82 @@
+// Ablation: middleware prefetching ON vs OFF — the paper's second example
+// of an optimization that moves extra data ("Data prefetching may also
+// prefetch data more than required", Section I).
+//
+// Sequential IOzone read through the PFS with the middleware prefetcher.
+// Expected: prefetching hides backend latency (execution time falls) while
+// moved bytes stay >= the application bytes; at the margin the last window
+// is wasted. Bandwidth credits the waste; BPS tracks the application win.
+#include "figure_bench.hpp"
+#include "core/presets.hpp"
+#include "workload/iozone.hpp"
+
+using namespace bpsio;
+
+namespace {
+
+metrics::MetricSample run_iozone(bool prefetch, Bytes record, double scale,
+                                 std::uint64_t seed, double fraction = 1.0) {
+  core::RunSpec spec;
+  spec.label = prefetch ? "prefetch" : "plain";
+  spec.testbed = [](std::uint64_t s) {
+    return core::pvfs_testbed(4, pfs::DeviceKind::hdd, 1, s);
+  };
+  const auto file = static_cast<Bytes>(128.0 * scale * (1 << 20));
+  spec.workload = [prefetch, record, file, fraction]() {
+    workload::IozoneConfig cfg;
+    cfg.mode = workload::IozoneConfig::Mode::read;
+    cfg.file_size = file;
+    cfg.record_size = record;
+    cfg.processes = 1;
+    cfg.access_fraction = fraction;
+    if (prefetch) {
+      mio::PrefetchConfig pf;
+      pf.window = 4 * kMiB;
+      pf.trigger_streak = 2;
+      cfg.prefetch = pf;
+    }
+    return std::make_unique<workload::IozoneWorkload>(cfg);
+  };
+  return core::run_once(spec, seed);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto d = bench::defaults_from_args(argc, argv);
+  std::printf("=== Ablation: middleware prefetching on/off (PVFS-4, 1 proc) ===\n\n");
+
+  TextTable t({"record", "prefetch", "exec(s)", "BW(MB/s)", "BPS",
+               "moved(MiB)", "app(MiB)"});
+  for (const Bytes record : {64 * kKiB, 256 * kKiB, 1 * kMiB}) {
+    for (const bool pf : {false, true}) {
+      const auto s = run_iozone(pf, record, d.scale, d.base_seed);
+      t.add_row({human_bytes(record), pf ? "on" : "off",
+                 fmt_double(s.exec_time_s, 3),
+                 fmt_double(s.bandwidth_bps / 1e6, 1), fmt_double(s.bps, 0),
+                 fmt_double(static_cast<double>(s.moved_bytes) / (1 << 20), 1),
+                 fmt_double(static_cast<double>(s.app_bytes) / (1 << 20), 1)});
+    }
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("prefetching overlaps transfers with consumption: execution "
+              "time and BPS improve together.\n\n");
+
+  // Partial scan: the application stops at 50%% of the file; in-flight
+  // prefetch windows past the stop point are pure waste, which bandwidth
+  // happily counts while BPS (application blocks only) does not.
+  TextTable t2({"record", "prefetch", "exec(s)", "BW(MB/s)", "BPS",
+                "moved(MiB)", "app(MiB)"});
+  for (const bool pf : {false, true}) {
+    const auto s = run_iozone(pf, 64 * kKiB, d.scale, d.base_seed, 0.5);
+    t2.add_row({"64KiB", pf ? "on" : "off", fmt_double(s.exec_time_s, 3),
+                fmt_double(s.bandwidth_bps / 1e6, 1), fmt_double(s.bps, 0),
+                fmt_double(static_cast<double>(s.moved_bytes) / (1 << 20), 1),
+                fmt_double(static_cast<double>(s.app_bytes) / (1 << 20), 1)});
+  }
+  std::printf("=== Partial scan (first 50%% of the file) ===\n%s\n",
+              t2.to_string().c_str());
+  std::printf("moved > app under prefetching: bandwidth counts the wasted "
+              "windows, BPS does not.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Ablation: HDD request scheduling (FIFO vs elevator/SCAN) under random
+// concurrent load — a storage-layer optimization whose benefit shows up in
+// execution time and BPS, invisible to per-component metrics taken alone.
+#include "figure_bench.hpp"
+#include "core/presets.hpp"
+#include "workload/iozone.hpp"
+
+using namespace bpsio;
+
+namespace {
+
+metrics::MetricSample run_random_readers(device::HddScheduler scheduler,
+                                         std::uint32_t procs, double scale,
+                                         std::uint64_t seed) {
+  core::RunSpec spec;
+  spec.label = scheduler == device::HddScheduler::fifo ? "fifo" : "elevator";
+  spec.testbed = [scheduler](std::uint64_t s) {
+    core::TestbedConfig cfg = core::local_hdd_testbed(s);
+    cfg.hdd.capacity = 8 * kGiB;
+    cfg.hdd.scheduler = scheduler;
+    cfg.local_fs.cache_enabled = false;  // every access reaches the disk
+    return cfg;
+  };
+  const auto file = static_cast<Bytes>(64.0 * scale * (1 << 20));
+  spec.workload = [procs, file]() {
+    workload::IozoneConfig wl;
+    wl.mode = workload::IozoneConfig::Mode::random_read;
+    wl.file_size = file;
+    wl.record_size = 16 * kKiB;
+    wl.processes = procs;
+    wl.size_is_total = false;
+    wl.separate_files = false;  // everyone hammers one shared full-range file
+    wl.random_count = 256;
+    return std::make_unique<workload::IozoneWorkload>(wl);
+  };
+  return core::run_once(spec, seed);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto d = bench::defaults_from_args(argc, argv);
+  std::printf("=== Ablation: HDD dispatch, FIFO vs elevator (random 16 KiB "
+              "reads) ===\n\n");
+
+  TextTable t({"procs", "scheduler", "exec(s)", "ARPT(ms)", "BPS", "speedup"});
+  for (const std::uint32_t procs : {1u, 8u, 16u}) {
+    const auto fifo =
+        run_random_readers(device::HddScheduler::fifo, procs, d.scale,
+                           d.base_seed);
+    const auto elev =
+        run_random_readers(device::HddScheduler::elevator, procs, d.scale,
+                           d.base_seed);
+    auto row = [&](const char* name, const metrics::MetricSample& s,
+                   double speedup) {
+      t.add_row({std::to_string(procs), name, fmt_double(s.exec_time_s, 3),
+                 fmt_double(s.arpt_s * 1e3, 2), fmt_double(s.bps, 0),
+                 speedup > 0 ? fmt_double(speedup, 2) + "x" : std::string("-")});
+    };
+    row("fifo", fifo, 0);
+    row("elevator", elev, fifo.exec_time_s / elev.exec_time_s);
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("with one process there is nothing to reorder; with queue "
+              "depth, SCAN cuts seek time and BPS tracks the win.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Extension experiment: the Set-1 methodology on device types the paper
+// never had — RAID arrays and a block-layer scheduler. The point is
+// external validity: BPS keeps the correct correlation direction on storage
+// organizations outside the original evaluation.
+#include "figure_bench.hpp"
+#include "core/presets.hpp"
+#include "device/hdd_model.hpp"
+#include "device/io_scheduler.hpp"
+#include "device/raid.hpp"
+#include "workload/iozone.hpp"
+
+using namespace bpsio;
+
+namespace {
+
+core::DeviceFactory raid0_hdds(std::size_t n) {
+  return [n](sim::Simulator& sim, std::uint64_t seed) {
+    std::vector<std::unique_ptr<device::BlockDevice>> children;
+    for (std::size_t i = 0; i < n; ++i) {
+      children.push_back(std::make_unique<device::HddModel>(
+          sim, core::paper_hdd(), seed + i));
+    }
+    return std::make_unique<device::Raid0Device>(sim, std::move(children),
+                                                 64 * kKiB);
+  };
+}
+
+core::DeviceFactory raid1_hdds(std::size_t n) {
+  return [n](sim::Simulator& sim, std::uint64_t seed) {
+    std::vector<std::unique_ptr<device::BlockDevice>> children;
+    for (std::size_t i = 0; i < n; ++i) {
+      children.push_back(std::make_unique<device::HddModel>(
+          sim, core::paper_hdd(), seed + i));
+    }
+    return std::make_unique<device::Raid1Device>(sim, std::move(children));
+  };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bpsio::bench::run_figure_main(
+      "Extension: CC values across novel storage organizations",
+      "BPS stays direction-correct beyond the paper's device set",
+      [](const core::figures::FigureDefaults& d) {
+        const auto file = static_cast<Bytes>(256.0 * d.scale * (1 << 20));
+        auto iozone = [file]() -> std::unique_ptr<workload::Workload> {
+          workload::IozoneConfig cfg;
+          cfg.file_size = file;
+          cfg.record_size = 1 * kMiB;
+          cfg.processes = 1;
+          return std::make_unique<workload::IozoneWorkload>(cfg);
+        };
+        auto local_with = [](core::DeviceFactory factory,
+                             const char* label) {
+          return [factory, label](std::uint64_t seed) {
+            core::TestbedConfig cfg = core::local_hdd_testbed(seed);
+            cfg.device_factory = factory;
+            cfg.label = label;
+            // Let big requests span RAID members.
+            cfg.local_fs.max_device_io = 256 * kKiB;
+            return cfg;
+          };
+        };
+        std::vector<core::RunSpec> specs;
+        specs.push_back({"hdd",
+                         [](std::uint64_t s) { return core::local_hdd_testbed(s); },
+                         iozone});
+        specs.push_back({"raid1x2", local_with(raid1_hdds(2), "raid1x2"), iozone});
+        specs.push_back({"raid0x2", local_with(raid0_hdds(2), "raid0x2"), iozone});
+        specs.push_back({"raid0x4", local_with(raid0_hdds(4), "raid0x4"), iozone});
+        specs.push_back({"ssd",
+                         [](std::uint64_t s) { return core::local_ssd_testbed(s); },
+                         iozone});
+        return specs;
+      },
+      argc, argv);
+}

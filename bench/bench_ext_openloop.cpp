@@ -1,0 +1,51 @@
+// Extension experiment: open-loop arrival-rate sweep.
+//
+// An open system offers load at a rate; the I/O system either keeps up
+// (idle between requests) or saturates (queues grow). Wall-clock metrics
+// track the OFFERED load below saturation — they measure the application,
+// not the system. BPS holds near the system's delivery capability across
+// the whole sub-saturation region and only moves when queueing sets in.
+#include "figure_bench.hpp"
+#include "core/presets.hpp"
+#include "workload/openloop.hpp"
+
+using namespace bpsio;
+
+int main(int argc, char** argv) {
+  const auto d = bench::defaults_from_args(argc, argv);
+  std::printf("=== Extension: open-loop arrival-rate sweep (local HDD, "
+              "64 KiB sequential requests) ===\n\n");
+
+  TextTable t({"offered req/s", "achieved IOPS", "duty", "ARPT(ms)", "BPS"});
+  for (const double rate : {25.0, 50.0, 100.0, 200.0, 400.0, 800.0, 1600.0}) {
+    core::RunSpec spec;
+    spec.label = "openloop";
+    spec.testbed = [](std::uint64_t seed) {
+      core::TestbedConfig cfg = core::local_hdd_testbed(seed);
+      cfg.hdd.capacity = 8 * kGiB;
+      return cfg;
+    };
+    const auto requests =
+        static_cast<std::uint64_t>(512.0 * d.scale);
+    spec.workload = [rate, requests]() {
+      workload::OpenLoopConfig cfg;
+      cfg.arrival_rate_hz = rate;
+      cfg.request_size = 64 * kKiB;
+      cfg.request_count = requests;
+      cfg.file_size = 64 * kMiB;
+      return std::make_unique<workload::OpenLoopWorkload>(cfg);
+    };
+    const auto s = core::run_once(spec, d.base_seed);
+    t.add_row({fmt_double(rate, 0), fmt_double(s.iops, 1),
+               fmt_double(s.io_time_s / s.exec_time_s * 100.0, 1) + "%",
+               fmt_double(s.arpt_s * 1e3, 2), fmt_double(s.bps, 0)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf(
+      "Below saturation, achieved IOPS equals the offered rate (it measures\n"
+      "the workload) while BPS sits at the device's delivery capability.\n"
+      "Past saturation the duty cycle hits 100%%, queueing inflates ARPT,\n"
+      "and BPS converges to the same steady-state rate IOPS finally shows —\n"
+      "the two only agree when the system is the bottleneck.\n");
+  return 0;
+}

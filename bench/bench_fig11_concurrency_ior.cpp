@@ -1,0 +1,10 @@
+// Figure 11 — Set 3b: IOR over a shared 8-server PVFS file, 64 KB
+// transfers, 1..32 MPI processes.
+#include "figure_bench.hpp"
+
+int main(int argc, char** argv) {
+  return bpsio::bench::run_figure_main(
+      "Figure 11: CC values, various I/O concurrency (IOR, shared file)",
+      "IOPS, BW, BPS correct (~0.91); ARPT flips, weak (~0.39)",
+      bpsio::core::figures::fig11_concurrency_ior, argc, argv);
+}

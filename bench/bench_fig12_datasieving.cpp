@@ -1,0 +1,10 @@
+// Figure 12 — Set 4: Hpio noncontiguous reads with data sieving on a
+// 4-server PVFS; region spacing swept 8..4096 bytes.
+#include "figure_bench.hpp"
+
+int main(int argc, char** argv) {
+  return bpsio::bench::run_figure_main(
+      "Figure 12: CC values, various additional data movement (data sieving)",
+      "IOPS, ARPT, BPS correct and strong (~0.92); BW flips direction",
+      bpsio::core::figures::fig12_datasieving, argc, argv);
+}

@@ -1,0 +1,10 @@
+// Figure 4 — Set 1: IOzone sequential read on various storage device
+// configurations (local HDD, local SSD, PVFS2-like with 1..8 servers).
+#include "figure_bench.hpp"
+
+int main(int argc, char** argv) {
+  return bpsio::bench::run_figure_main(
+      "Figure 4: CC values, various storage devices",
+      "all four metrics correct, strong (|CC| ~0.93)",
+      bpsio::core::figures::fig4_devices, argc, argv);
+}

@@ -1,0 +1,10 @@
+// Figure 5 — Set 2 on HDD: IOzone sequential read of one file with record
+// size swept 4 KB..8 MB; normalized CC of each metric vs execution time.
+#include "figure_bench.hpp"
+
+int main(int argc, char** argv) {
+  return bpsio::bench::run_figure_main(
+      "Figure 5: CC values, various I/O sizes, HDD",
+      "BW and BPS correct and strong (~0.90); IOPS and ARPT flip direction",
+      bpsio::core::figures::fig5_iosize_hdd, argc, argv);
+}

@@ -1,0 +1,9 @@
+// Figure 6 — Set 2 on SSD: record size swept 4 KB..8 MB.
+#include "figure_bench.hpp"
+
+int main(int argc, char** argv) {
+  return bpsio::bench::run_figure_main(
+      "Figure 6: CC values, various I/O sizes, SSD",
+      "BW and BPS correct and strong (~0.90); IOPS and ARPT flip direction",
+      bpsio::core::figures::fig6_iosize_ssd, argc, argv);
+}

@@ -1,0 +1,10 @@
+// Figure 9 — Set 3a: "pure" I/O concurrency. IOzone throughput mode, 1..8
+// processes, each reading its own single-server PVFS file through POSIX.
+#include "figure_bench.hpp"
+
+int main(int argc, char** argv) {
+  return bpsio::bench::run_figure_main(
+      "Figure 9: CC values, various I/O concurrency (own file per server)",
+      "IOPS, BW, BPS correct and strong (~0.96); ARPT flips, weak (~0.58)",
+      bpsio::core::figures::fig9_concurrency_pure, argc, argv);
+}

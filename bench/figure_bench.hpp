@@ -1,0 +1,108 @@
+// Shared main() for the per-figure reproduction harnesses.
+//
+// Usage of every bench_figN binary:
+//   bench_figN [--scale=1.0] [--repeats=3] [--seed=42] [--csv]
+//
+// Each prints the sweep's per-point metric values (the data behind the
+// paper's detail figures) and the normalized correlation-coefficient table
+// (the content of the paper's bar charts), then asserts nothing — the
+// integration tests do the asserting; benches are for eyeballs and logs.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/format.hpp"
+#include "core/experiment.hpp"
+#include "core/figures.hpp"
+#include "core/report.hpp"
+
+namespace bpsio::bench {
+
+struct FigureBenchResult {
+  core::SweepResult sweep;
+};
+
+inline core::figures::FigureDefaults defaults_from_args(int argc,
+                                                        char** argv) {
+  const Config cfg = Config::from_args(argc - 1, argv + 1);
+  core::figures::FigureDefaults d;
+  d.scale = cfg.get_double("scale", 1.0);
+  d.repeats = static_cast<std::uint32_t>(cfg.get_int("repeats", 3));
+  d.base_seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
+  return d;
+}
+
+inline bool markdown_requested(int argc, char** argv) {
+  return Config::from_args(argc - 1, argv + 1).get_bool("markdown", false);
+}
+
+inline bool csv_requested(int argc, char** argv) {
+  return Config::from_args(argc - 1, argv + 1).get_bool("csv", false);
+}
+
+/// The sweep's per-point samples as CSV (for plotting scripts).
+inline std::string samples_csv(const core::SweepResult& sweep) {
+  TextTable t({"point", "exec_s", "iops", "bw_MBps", "arpt_ms", "bps",
+               "b_blocks", "t_union_s", "moved_MiB"});
+  for (std::size_t i = 0; i < sweep.samples.size(); ++i) {
+    const auto& s = sweep.samples[i];
+    t.add_row({i < sweep.labels.size() ? sweep.labels[i] : std::to_string(i),
+               fmt_double(s.exec_time_s, 6), fmt_double(s.iops, 3),
+               fmt_double(s.bandwidth_bps / 1e6, 3),
+               fmt_double(s.arpt_s * 1e3, 6), fmt_double(s.bps, 3),
+               std::to_string(s.app_blocks), fmt_double(s.io_time_s, 6),
+               fmt_double(static_cast<double>(s.moved_bytes) / (1 << 20), 3)});
+  }
+  return t.to_csv();
+}
+
+inline void print_expected_directions() {
+  TextTable t({"metric", "expected CC direction (Table 1)"});
+  t.add_row({"IOPS", "negative"});
+  t.add_row({"BW", "negative"});
+  t.add_row({"ARPT", "positive"});
+  t.add_row({"BPS", "negative"});
+  std::printf("%s\n", t.to_string().c_str());
+}
+
+/// Run one figure sweep and print the standard report.
+inline int run_figure_main(
+    const std::string& title, const std::string& paper_expectation,
+    const std::function<std::vector<core::RunSpec>(
+        const core::figures::FigureDefaults&)>& build,
+    int argc, char** argv) {
+  const auto d = defaults_from_args(argc, argv);
+  if (csv_requested(argc, argv)) {
+    const auto sweep = core::figures::run_figure(build(d), d);
+    std::printf("%s", samples_csv(sweep).c_str());
+    return 0;
+  }
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("paper expectation: %s\n", paper_expectation.c_str());
+  std::printf("scale=%.3g repeats=%u seed=%llu\n\n", d.scale, d.repeats,
+              static_cast<unsigned long long>(d.base_seed));
+
+  const auto specs = build(d);
+  const auto sweep = core::figures::run_figure(specs, d);
+
+  if (markdown_requested(argc, argv)) {
+    core::ReportOptions opts;
+    opts.title = title;
+    opts.paper_expectation = paper_expectation;
+    std::printf("%s\n", core::to_markdown(sweep, opts).c_str());
+    return 0;
+  }
+  std::printf("%s\n", sweep.samples_table().c_str());
+  std::printf("%s\n", sweep.report.to_string().c_str());
+  const auto stability = sweep.stability_table();
+  if (!stability.empty()) {
+    std::printf("normalized-CC range across seeds:\n%s\n", stability.c_str());
+  }
+  return 0;
+}
+
+}  // namespace bpsio::bench

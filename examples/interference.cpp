@@ -1,0 +1,122 @@
+// Multi-application interference: the paper's Step-2 gathering explicitly
+// covers "if the I/O system services more than one application
+// concurrently, we record the I/O access information of all the
+// applications". This example runs a streaming application alone, then
+// together with a random-I/O antagonist on the same PVFS cluster, and uses
+// per-pid filters and windowed BPS to attribute the slowdown.
+//
+//   build/examples/interference [--servers=4] [--file=64M]
+#include <cstdio>
+
+#include "common/config.hpp"
+#include "common/format.hpp"
+#include "core/bps_meter.hpp"
+#include "core/presets.hpp"
+#include "core/testbed.hpp"
+#include "metrics/timeline.hpp"
+#include "workload/iozone.hpp"
+#include "workload/process.hpp"
+
+using namespace bpsio;
+
+namespace {
+
+struct RunStats {
+  double exec_s;
+  double bps_all;
+  double bps_streamer;
+  double streamer_arpt_ms;
+};
+
+RunStats run_case(bool with_antagonist, std::uint32_t servers, Bytes file,
+                  std::uint64_t seed) {
+  core::Testbed testbed(
+      core::pvfs_testbed(servers, pfs::DeviceKind::hdd, 2, seed));
+  auto& env = testbed.env();
+  const SimTime t0 = env.sim->now();
+
+  std::vector<std::unique_ptr<workload::Process>> processes;
+
+  // Application 1 ("streamer", pid 1): sequential reader.
+  {
+    auto proc = std::make_unique<workload::Process>(
+        *env.nodes[0], *env.backends[0], 1, env.block_size);
+    auto h = proc->io().create("/stream.dat", file);
+    proc->set_file(*h);
+    proc->set_ops(workload::sequential_ops(workload::AppOp::Kind::read, file,
+                                           64 * kKiB));
+    processes.push_back(std::move(proc));
+  }
+
+  // Application 2 ("antagonist", pid 2): random 8 KiB reads from another
+  // node, hammering the same servers.
+  if (with_antagonist) {
+    auto proc = std::make_unique<workload::Process>(
+        *env.nodes[1 % env.node_count()], *env.backends[1 % env.node_count()],
+        2, env.block_size);
+    auto h = proc->io().create("/antagonist.dat", file);
+    proc->set_file(*h);
+    Rng rng(seed ^ 0x0ddba11);
+    proc->set_ops(workload::random_ops(workload::AppOp::Kind::read, file,
+                                       8 * kKiB, 4096, rng));
+    processes.push_back(std::move(proc));
+  }
+
+  const auto run = workload::run_processes(env, processes, t0);
+
+  core::BpsMeter meter;
+  meter.gather(run.collector.records());
+  trace::RecordFilter streamer;
+  streamer.pid = 1;
+
+  RunStats stats{};
+  // The streamer's own completion time, not the antagonist's.
+  stats.exec_s = run.finish_times.front().seconds() - t0.seconds();
+  stats.bps_all = meter.measure().bps;
+  stats.bps_streamer = meter.measure(streamer).bps;
+  double arpt = 0;
+  std::size_t n = 0;
+  for (const auto& r : run.collector.records()) {
+    if (r.pid == 1) {
+      arpt += r.response_time().seconds() * 1e3;
+      ++n;
+    }
+  }
+  stats.streamer_arpt_ms = n ? arpt / static_cast<double>(n) : 0;
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Config cfg = Config::from_args(argc - 1, argv + 1);
+  const auto servers = static_cast<std::uint32_t>(cfg.get_int("servers", 4));
+  const Bytes file = cfg.get_bytes("file", 64 * kMiB);
+
+  const auto alone = run_case(false, servers, file, 42);
+  const auto contended = run_case(true, servers, file, 42);
+
+  TextTable t({"scenario", "streamer exec(s)", "streamer BPS",
+               "streamer ARPT(ms)", "system BPS"});
+  t.add_row({"streamer alone", fmt_double(alone.exec_s, 3),
+             fmt_double(alone.bps_streamer, 0),
+             fmt_double(alone.streamer_arpt_ms, 2),
+             fmt_double(alone.bps_all, 0)});
+  t.add_row({"with antagonist", fmt_double(contended.exec_s, 3),
+             fmt_double(contended.bps_streamer, 0),
+             fmt_double(contended.streamer_arpt_ms, 2),
+             fmt_double(contended.bps_all, 0)});
+  std::printf("%s\n", t.to_string().c_str());
+
+  std::printf(
+      "The antagonist's random reads seek the shared disks away from the\n"
+      "stream: the streamer slows %.1fx (per-pid BPS %.0f -> %.0f) even\n"
+      "though nothing about it changed. The system-wide BPS falls further\n"
+      "still — mixing a seek-bound workload in makes the I/O system\n"
+      "genuinely less efficient per delivered block, and BPS quantifies\n"
+      "exactly that. Per-pid filters on one global trace then separate the\n"
+      "victim from the cause.\n",
+      contended.exec_s / alone.exec_s, alone.bps_streamer,
+      contended.bps_streamer);
+  return 0;
+}

@@ -1,0 +1,196 @@
+// Offline trace analysis — the "easy-to-use toolkit" the paper promises in
+// its conclusion. Records a simulated run to a .bpstrace file, then analyzes
+// any trace file: validation, B/T/BPS, per-process breakdown, busy/idle
+// periods, and CSV export. Works on traces from any source that writes the
+// 32-byte record format, not just the simulator.
+//
+//   build/examples/trace_tools record <out.bpstrace> [--procs=4]
+//   build/examples/trace_tools analyze <in.bpstrace>
+//   build/examples/trace_tools csv <in.bpstrace> <out.csv>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <set>
+
+#include "common/config.hpp"
+#include "common/format.hpp"
+#include "core/bps_meter.hpp"
+#include "core/presets.hpp"
+#include "core/testbed.hpp"
+#include "metrics/overlap.hpp"
+#include "metrics/timeline.hpp"
+#include "trace/merge.hpp"
+#include "trace/serialize.hpp"
+#include "trace/validate.hpp"
+#include "workload/iozone.hpp"
+
+using namespace bpsio;
+
+namespace {
+
+int record_trace(const std::string& path, const Config& cfg) {
+  const auto procs = static_cast<std::uint32_t>(cfg.get_int("procs", 4));
+  core::Testbed testbed(
+      core::pvfs_testbed(4, pfs::DeviceKind::hdd, procs, 42));
+  workload::IozoneConfig wl;
+  wl.file_size = cfg.get_bytes("file", 64 * kMiB);
+  wl.record_size = cfg.get_bytes("record", 64 * kKiB);
+  wl.processes = procs;
+  workload::IozoneWorkload workload(wl);
+  const auto run = workload.run(testbed.env());
+
+  const auto written = trace::save_binary(path, run.collector.records());
+  if (!written.ok()) {
+    std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(),
+                 written.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("recorded %zu accesses from %u processes to %s (%zu bytes)\n",
+              run.collector.record_count(), procs, path.c_str(), *written);
+  return 0;
+}
+
+int analyze_trace(const std::string& path) {
+  auto records = trace::load_binary(path);
+  if (!records.ok()) {
+    std::fprintf(stderr, "cannot read %s: %s\n", path.c_str(),
+                 records.error().to_string().c_str());
+    return 1;
+  }
+  const auto report = trace::validate(*records);
+  std::printf("%s\n", report.to_string().c_str());
+
+  core::BpsMeter meter;
+  meter.gather(*records);
+  const auto reading = meter.measure();
+  std::printf("%s\n\n", reading.to_string().c_str());
+
+  // Per-process breakdown.
+  TextTable table({"pid", "accesses", "blocks", "io time (s)", "BPS", "ARPT (ms)"});
+  std::set<std::uint32_t> pids;
+  for (const auto& r : *records) pids.insert(r.pid);
+  for (const std::uint32_t pid : pids) {
+    trace::RecordFilter f;
+    f.pid = pid;
+    const auto r = meter.measure(f);
+    double arpt_ms = 0;
+    std::size_t n = 0;
+    for (const auto& rec : *records) {
+      if (rec.pid == pid) {
+        arpt_ms += rec.response_time().seconds() * 1e3;
+        ++n;
+      }
+    }
+    table.add_row({std::to_string(pid), std::to_string(r.accesses),
+                   std::to_string(r.blocks), fmt_double(r.io_time_s, 3),
+                   fmt_double(r.bps, 0),
+                   fmt_double(n ? arpt_ms / static_cast<double>(n) : 0, 3)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  // Busy periods.
+  trace::TraceCollector collector;
+  collector.gather(*records);
+  const auto merged = metrics::merge_intervals(collector.col_time());
+  std::printf("busy periods: %zu, total busy %.4fs, idle inside span %.4fs, "
+              "peak concurrency %zu\n",
+              merged.size(),
+              metrics::overlap_time_merged(collector.col_time()).seconds(),
+              metrics::idle_time(collector.col_time()).seconds(),
+              metrics::peak_concurrency(collector.col_time()));
+  return 0;
+}
+
+int show_timeline(const std::string& path, const Config& cfg) {
+  auto records = trace::load_binary(path);
+  if (!records.ok()) {
+    std::fprintf(stderr, "cannot read %s: %s\n", path.c_str(),
+                 records.error().to_string().c_str());
+    return 1;
+  }
+  trace::TraceCollector collector;
+  collector.gather(*records);
+  const double window_s = cfg.get_double("window", 0.25);
+  const auto tl = metrics::build_timeline(
+      collector, SimDuration::from_seconds(window_s));
+  std::printf("%zu windows of %.0f ms:\n%s", tl.windows.size(), window_s * 1e3,
+              tl.to_string().c_str());
+  std::printf("peak windowed BPS %.0f, idle windows %.0f%%\n", tl.peak_bps(),
+              tl.idle_window_fraction() * 100.0);
+  return 0;
+}
+
+int merge_traces_cmd(int count, char** paths, const std::string& out,
+                     const Config& cfg) {
+  std::vector<std::vector<trace::IoRecord>> traces;
+  for (int i = 0; i < count; ++i) {
+    auto records = trace::load_binary(paths[i]);
+    if (!records.ok()) {
+      std::fprintf(stderr, "cannot read %s: %s\n", paths[i],
+                   records.error().to_string().c_str());
+      return 1;
+    }
+    traces.push_back(std::move(*records));
+  }
+  trace::MergeOptions opts;
+  if (cfg.get_bool("align", false)) {
+    opts.alignment = trace::TimeAlignment::align_starts;
+  }
+  const auto merged = trace::merge_traces(traces, opts);
+  const auto written = trace::save_binary(out, merged);
+  if (!written.ok()) {
+    std::fprintf(stderr, "cannot write %s: %s\n", out.c_str(),
+                 written.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("merged %d traces (%zu records) into %s\n", count, merged.size(),
+              out.c_str());
+  return 0;
+}
+
+int export_csv(const std::string& in, const std::string& out) {
+  auto records = trace::load_binary(in);
+  if (!records.ok()) {
+    std::fprintf(stderr, "cannot read %s: %s\n", in.c_str(),
+                 records.error().to_string().c_str());
+    return 1;
+  }
+  std::ofstream f(out);
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", out.c_str());
+    return 1;
+  }
+  trace::write_csv(f, *records);
+  std::printf("wrote %zu records to %s\n", records->size(), out.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage:\n"
+                 "  %s record <out.bpstrace> [--procs=N] [--file=SZ]\n"
+                 "  %s analyze <in.bpstrace>\n"
+                 "  %s timeline <in.bpstrace> [--window=seconds]\n"
+                 "  %s csv <in.bpstrace> <out.csv>\n"
+                 "  %s merge <in1> <in2> [...] <out> [--align]\n",
+                 argv[0], argv[0], argv[0], argv[0], argv[0]);
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const Config cfg = Config::from_args(argc - 2, argv + 2);
+  if (cmd == "record") return record_trace(argv[2], cfg);
+  if (cmd == "analyze") return analyze_trace(argv[2]);
+  if (cmd == "timeline") return show_timeline(argv[2], cfg);
+  if (cmd == "csv" && argc >= 4) return export_csv(argv[2], argv[3]);
+  if (cmd == "merge" && argc >= 5) {
+    // trace_tools merge <in1> <in2> [...] <out> [--align]
+    int last = argc - 1;
+    while (last > 2 && argv[last][0] == '-') --last;
+    return merge_traces_cmd(last - 2, argv + 2, argv[last], cfg);
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  return 2;
+}

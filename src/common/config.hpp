@@ -1,0 +1,50 @@
+// Flat key=value configuration store.
+//
+// Bench harnesses and examples take "--key=value" arguments (e.g.
+// --scale=0.1 --seed=7). Config parses argv-style inputs, supports typed
+// lookups with defaults, and understands byte suffixes (4k, 64K, 8M, 2G)
+// so record sizes can be written the way the paper writes them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace bpsio {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse ["--k=v", "--flag", "positional"] style arguments. "--flag" is
+  /// stored as flag=true. Positional arguments are collected separately.
+  static Config from_args(int argc, const char* const* argv);
+  /// Parse newline- or whitespace-separated "k=v" pairs.
+  static Config from_string(const std::string& text);
+
+  void set(const std::string& key, const std::string& value);
+  bool has(const std::string& key) const;
+
+  std::string get_string(const std::string& key, const std::string& dflt) const;
+  std::int64_t get_int(const std::string& key, std::int64_t dflt) const;
+  double get_double(const std::string& key, double dflt) const;
+  bool get_bool(const std::string& key, bool dflt) const;
+  /// Accepts 512, 4k, 4K, 4KiB, 8M, 2G, 1T (case-insensitive, power of two).
+  Bytes get_bytes(const std::string& key, Bytes dflt) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::map<std::string, std::string>& entries() const { return entries_; }
+
+  /// Parse a standalone size literal; nullopt if malformed.
+  static std::optional<Bytes> parse_bytes(const std::string& text);
+
+ private:
+  std::map<std::string, std::string> entries_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace bpsio

@@ -1,0 +1,75 @@
+#include "common/log.hpp"
+
+#include <cstdarg>
+#include <cstdlib>
+#include <vector>
+
+namespace bpsio::log {
+
+namespace {
+
+Level g_level = [] {
+  if (const char* env = std::getenv("BPSIO_LOG")) {
+    return parse_level(env);
+  }
+  return Level::warn;
+}();
+
+const char* level_tag(Level lvl) {
+  switch (lvl) {
+    case Level::trace: return "TRACE";
+    case Level::debug: return "DEBUG";
+    case Level::info: return "INFO ";
+    case Level::warn: return "WARN ";
+    case Level::error: return "ERROR";
+    case Level::off: return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+Level level() { return g_level; }
+void set_level(Level lvl) { g_level = lvl; }
+
+Level parse_level(const std::string& name) {
+  if (name == "trace") return Level::trace;
+  if (name == "debug") return Level::debug;
+  if (name == "info") return Level::info;
+  if (name == "warn") return Level::warn;
+  if (name == "error") return Level::error;
+  if (name == "off") return Level::off;
+  return Level::warn;
+}
+
+namespace detail {
+
+void emit(Level lvl, const char* file, int line, const std::string& msg) {
+  // Trim path to basename for readability.
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  std::fprintf(stderr, "[bpsio %s %s:%d] %s\n", level_tag(lvl), base, line,
+               msg.c_str());
+}
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  }
+  va_end(args);
+  return out;
+}
+
+}  // namespace detail
+
+}  // namespace bpsio::log

@@ -1,0 +1,41 @@
+// Minimal leveled logger.
+//
+// The simulator is a library; by default it is silent (level = warn). Bench
+// harnesses and examples raise the level via BPSIO_LOG or set_level().
+// Logging is intentionally not thread-safe beyond per-call atomicity: the
+// discrete-event core is single-threaded by design.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace bpsio::log {
+
+enum class Level : int { trace = 0, debug = 1, info = 2, warn = 3, error = 4, off = 5 };
+
+Level level();
+void set_level(Level lvl);
+/// Parse "trace"/"debug"/"info"/"warn"/"error"/"off"; unknown -> warn.
+Level parse_level(const std::string& name);
+
+namespace detail {
+void emit(Level lvl, const char* file, int line, const std::string& msg);
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+}  // namespace detail
+
+}  // namespace bpsio::log
+
+#define BPSIO_LOG(lvl, ...)                                                  \
+  do {                                                                       \
+    if (static_cast<int>(lvl) >= static_cast<int>(::bpsio::log::level())) {  \
+      ::bpsio::log::detail::emit(lvl, __FILE__, __LINE__,                    \
+                                 ::bpsio::log::detail::format(__VA_ARGS__)); \
+    }                                                                        \
+  } while (0)
+
+#define BPSIO_TRACE(...) BPSIO_LOG(::bpsio::log::Level::trace, __VA_ARGS__)
+#define BPSIO_DEBUG(...) BPSIO_LOG(::bpsio::log::Level::debug, __VA_ARGS__)
+#define BPSIO_INFO(...) BPSIO_LOG(::bpsio::log::Level::info, __VA_ARGS__)
+#define BPSIO_WARN(...) BPSIO_LOG(::bpsio::log::Level::warn, __VA_ARGS__)
+#define BPSIO_ERROR(...) BPSIO_LOG(::bpsio::log::Level::error, __VA_ARGS__)

@@ -1,0 +1,29 @@
+#include "common/result.hpp"
+
+namespace bpsio {
+
+std::string_view errc_name(Errc e) {
+  switch (e) {
+    case Errc::ok: return "ok";
+    case Errc::not_found: return "not_found";
+    case Errc::already_exists: return "already_exists";
+    case Errc::out_of_space: return "out_of_space";
+    case Errc::invalid_argument: return "invalid_argument";
+    case Errc::out_of_range: return "out_of_range";
+    case Errc::io_error: return "io_error";
+    case Errc::busy: return "busy";
+    case Errc::unsupported: return "unsupported";
+  }
+  return "unknown";
+}
+
+std::string Error::to_string() const {
+  std::string s{errc_name(code)};
+  if (!message.empty()) {
+    s += ": ";
+    s += message;
+  }
+  return s;
+}
+
+}  // namespace bpsio

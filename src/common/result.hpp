@@ -1,0 +1,110 @@
+// Lightweight expected-style error handling used throughout bpsio.
+//
+// The simulator layers (fs, pfs, mio) return Result<T> from fallible
+// operations instead of throwing: I/O failures are ordinary, modeled events
+// (the paper even counts non-successful accesses in B), and exceptions would
+// make failure-injection tests awkward.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace bpsio {
+
+enum class Errc {
+  ok = 0,
+  not_found,        // file / object / path does not exist
+  already_exists,   // create over existing object
+  out_of_space,     // allocation failed on a device or server
+  invalid_argument, // bad offset/size/layout parameters
+  out_of_range,     // access beyond end-of-file in strict mode
+  io_error,         // injected or modeled device fault
+  busy,             // resource unavailable (e.g. exclusive open)
+  unsupported,      // operation not implemented by this layer
+};
+
+/// Human-readable name of an error code ("not_found", ...).
+std::string_view errc_name(Errc e);
+
+/// An error code plus optional context message.
+struct Error {
+  Errc code = Errc::io_error;
+  std::string message;
+
+  std::string to_string() const;
+};
+
+/// Either a value or an Error. A deliberately small subset of
+/// std::expected (which is C++23) with the same access conventions.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+  Result(Errc code, std::string message = {})
+      : data_(Error{code, std::move(message)}) {}
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(data_);
+  }
+  Errc code() const { return ok() ? Errc::ok : error().code; }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Result specialization for operations with no payload.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)), failed_(true) {}  // NOLINT
+  Status(Errc code, std::string message = {})
+      : error_{code, std::move(message)}, failed_(code != Errc::ok) {}
+
+  static Status ok_status() { return {}; }
+
+  bool ok() const { return !failed_; }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const {
+    assert(failed_);
+    return error_;
+  }
+  Errc code() const { return failed_ ? error_.code : Errc::ok; }
+  std::string to_string() const {
+    return failed_ ? error_.to_string() : "ok";
+  }
+
+ private:
+  Error error_{};
+  bool failed_ = false;
+};
+
+}  // namespace bpsio

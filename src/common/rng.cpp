@@ -1,0 +1,29 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace bpsio {
+
+double Rng::exponential(double mean) {
+  // Avoid log(0): uniform() is in [0,1), so 1-u is in (0,1].
+  return -mean * std::log(1.0 - uniform());
+}
+
+double Rng::normal(double mean, double stddev) {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * factor;
+  has_cached_normal_ = true;
+  return mean + stddev * u * factor;
+}
+
+}  // namespace bpsio

@@ -1,0 +1,31 @@
+#include "common/sim_time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace bpsio {
+
+namespace {
+
+std::string render_seconds(double s) {
+  char buf[64];
+  double mag = std::fabs(s);
+  if (mag >= 1.0 || mag == 0.0) {
+    std::snprintf(buf, sizeof buf, "%.6gs", s);
+  } else if (mag >= 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.6gms", s * 1e3);
+  } else if (mag >= 1e-6) {
+    std::snprintf(buf, sizeof buf, "%.6gus", s * 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.6gns", s * 1e9);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string SimTime::to_string() const { return render_seconds(seconds()); }
+
+std::string SimDuration::to_string() const { return render_seconds(seconds()); }
+
+}  // namespace bpsio

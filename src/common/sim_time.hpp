@@ -1,0 +1,125 @@
+// Simulated-time representation for the discrete-event engine and traces.
+//
+// Time is an integer count of nanoseconds since simulation start. Integer
+// ticks keep the simulator deterministic (no floating-point drift in event
+// ordering) while one nanosecond is fine enough to resolve every latency the
+// device models produce (the fastest modeled operation is ~1 microsecond).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace bpsio {
+
+class SimDuration;
+
+/// A point on the simulation timeline, in nanoseconds since t=0.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t ns) : ns_(ns) {}
+
+  static constexpr SimTime zero() { return SimTime(0); }
+  static constexpr SimTime max() {
+    return SimTime(std::numeric_limits<std::int64_t>::max());
+  }
+
+  static constexpr SimTime from_seconds(double s) {
+    return SimTime(static_cast<std::int64_t>(s * 1e9));
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double seconds() const { return static_cast<double>(ns_) * 1e-9; }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+  constexpr SimTime& operator+=(SimDuration d);
+  constexpr SimTime& operator-=(SimDuration d);
+
+  /// "12.345678s"-style rendering for logs and reports.
+  std::string to_string() const;
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// A length of simulated time, in nanoseconds.
+class SimDuration {
+ public:
+  constexpr SimDuration() = default;
+  constexpr explicit SimDuration(std::int64_t ns) : ns_(ns) {}
+
+  static constexpr SimDuration zero() { return SimDuration(0); }
+  static constexpr SimDuration from_ns(double ns) {
+    return SimDuration(static_cast<std::int64_t>(ns));
+  }
+  static constexpr SimDuration from_us(double us) {
+    return SimDuration(static_cast<std::int64_t>(us * 1e3));
+  }
+  static constexpr SimDuration from_ms(double ms) {
+    return SimDuration(static_cast<std::int64_t>(ms * 1e6));
+  }
+  static constexpr SimDuration from_seconds(double s) {
+    return SimDuration(static_cast<std::int64_t>(s * 1e9));
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double us() const { return static_cast<double>(ns_) * 1e-3; }
+  constexpr double ms() const { return static_cast<double>(ns_) * 1e-6; }
+  constexpr double seconds() const { return static_cast<double>(ns_) * 1e-9; }
+
+  friend constexpr auto operator<=>(SimDuration, SimDuration) = default;
+
+  constexpr SimDuration& operator+=(SimDuration o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  constexpr SimDuration& operator-=(SimDuration o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+
+  std::string to_string() const;
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+constexpr SimDuration operator+(SimDuration a, SimDuration b) {
+  return SimDuration(a.ns() + b.ns());
+}
+constexpr SimDuration operator-(SimDuration a, SimDuration b) {
+  return SimDuration(a.ns() - b.ns());
+}
+constexpr SimDuration operator*(SimDuration a, std::int64_t k) {
+  return SimDuration(a.ns() * k);
+}
+constexpr SimDuration operator*(std::int64_t k, SimDuration a) { return a * k; }
+
+constexpr SimTime operator+(SimTime t, SimDuration d) {
+  return SimTime(t.ns() + d.ns());
+}
+constexpr SimTime operator+(SimDuration d, SimTime t) { return t + d; }
+constexpr SimTime operator-(SimTime t, SimDuration d) {
+  return SimTime(t.ns() - d.ns());
+}
+constexpr SimDuration operator-(SimTime a, SimTime b) {
+  return SimDuration(a.ns() - b.ns());
+}
+
+constexpr SimTime& SimTime::operator+=(SimDuration d) {
+  ns_ += d.ns();
+  return *this;
+}
+constexpr SimTime& SimTime::operator-=(SimDuration d) {
+  ns_ -= d.ns();
+  return *this;
+}
+
+constexpr SimTime max(SimTime a, SimTime b) { return a < b ? b : a; }
+constexpr SimTime min(SimTime a, SimTime b) { return a < b ? a : b; }
+constexpr SimDuration max(SimDuration a, SimDuration b) { return a < b ? b : a; }
+
+}  // namespace bpsio

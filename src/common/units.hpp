@@ -1,0 +1,44 @@
+// Byte and block unit helpers shared across all bpsio modules.
+//
+// The paper defines BPS in terms of 512-byte I/O blocks ("we use the term
+// 'block' because I/O systems usually read/write data from/to a block
+// device"). All byte quantities in bpsio are plain std::uint64_t byte counts;
+// this header supplies the literals and the byte<->block conversions.
+#pragma once
+
+#include <cstdint>
+
+namespace bpsio {
+
+using Bytes = std::uint64_t;
+
+inline constexpr Bytes kKiB = 1024ULL;
+inline constexpr Bytes kMiB = 1024ULL * kKiB;
+inline constexpr Bytes kGiB = 1024ULL * kMiB;
+inline constexpr Bytes kTiB = 1024ULL * kGiB;
+
+/// Default BPS block unit (512 bytes), per Section III.A of the paper.
+inline constexpr Bytes kDefaultBlockSize = 512ULL;
+
+/// Number of block units covering `bytes` (rounds up: a 1-byte access still
+/// occupies one block on a block device).
+constexpr std::uint64_t bytes_to_blocks(Bytes bytes,
+                                        Bytes block_size = kDefaultBlockSize) {
+  return block_size == 0 ? 0 : (bytes + block_size - 1) / block_size;
+}
+
+constexpr Bytes blocks_to_bytes(std::uint64_t blocks,
+                                Bytes block_size = kDefaultBlockSize) {
+  return blocks * block_size;
+}
+
+namespace literals {
+
+constexpr Bytes operator""_B(unsigned long long v) { return v; }
+constexpr Bytes operator""_KiB(unsigned long long v) { return v * kKiB; }
+constexpr Bytes operator""_MiB(unsigned long long v) { return v * kMiB; }
+constexpr Bytes operator""_GiB(unsigned long long v) { return v * kGiB; }
+
+}  // namespace literals
+
+}  // namespace bpsio

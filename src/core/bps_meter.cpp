@@ -1,0 +1,44 @@
+#include "core/bps_meter.hpp"
+
+#include <cstdio>
+
+#include "metrics/overlap.hpp"
+
+namespace bpsio::core {
+
+std::string BpsReading::to_string() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "BPS=%.6g (B=%llu blocks over T=%.6gs; %llu accesses, "
+                "%zu processes, idle=%.6gs, avg concurrency=%.2f)",
+                bps, static_cast<unsigned long long>(blocks), io_time_s,
+                static_cast<unsigned long long>(accesses), processes,
+                idle_time_s, avg_concurrency);
+  return buf;
+}
+
+BpsReading BpsMeter::measure(const trace::RecordFilter& filter) const {
+  BpsReading r;
+  r.blocks = block_size_ == kDefaultBlockSize
+                 ? collector_.total_blocks(filter)
+                 : bytes_to_blocks(
+                       collector_.total_bytes(kDefaultBlockSize, filter),
+                       block_size_);
+  const auto col_time = collector_.col_time(filter);
+  const SimDuration t = algo_ == metrics::OverlapAlgorithm::paper
+                            ? metrics::overlap_time_paper(col_time)
+                            : metrics::overlap_time_merged(col_time);
+  r.io_time_s = t.seconds();
+  r.bps = t.ns() > 0 ? static_cast<double>(r.blocks) / t.seconds() : 0.0;
+  std::size_t n = 0;
+  for (const auto& rec : collector_.records()) {
+    if (filter.matches(rec)) ++n;
+  }
+  r.accesses = n;
+  r.processes = collector_.process_count();
+  r.idle_time_s = metrics::idle_time(col_time).seconds();
+  r.avg_concurrency = metrics::average_concurrency(col_time);
+  return r;
+}
+
+}  // namespace bpsio::core

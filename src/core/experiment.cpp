@@ -1,0 +1,105 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+
+#include "common/format.hpp"
+#include "common/log.hpp"
+
+namespace bpsio::core {
+
+metrics::MetricSample run_once(const RunSpec& spec, std::uint64_t seed,
+                               metrics::OverlapAlgorithm algo) {
+  Testbed testbed(spec.testbed(seed));
+  // Paper discipline: cold caches at the start of every run.
+  testbed.drop_caches();
+  testbed.reset_counters();
+
+  auto workload = spec.workload();
+  workload::RunResult run = workload->run(testbed.env());
+
+  const auto sample = metrics::measure_run(
+      run.collector, testbed.bytes_moved(), run.exec_time,
+      testbed.config().block_size, algo);
+  BPSIO_DEBUG("run '%s' seed=%llu: %s", spec.label.c_str(),
+              static_cast<unsigned long long>(seed),
+              sample.to_string().c_str());
+  return sample;
+}
+
+SweepResult run_sweep(const std::vector<RunSpec>& specs, std::uint32_t repeats,
+                      std::uint64_t base_seed,
+                      metrics::OverlapAlgorithm algo) {
+  SweepResult result;
+  std::vector<std::vector<metrics::MetricSample>> per_seed;
+  for (std::uint32_t r = 0; r < repeats; ++r) {
+    std::vector<metrics::MetricSample> row;
+    row.reserve(specs.size());
+    for (const auto& spec : specs) {
+      row.push_back(run_once(spec, base_seed + r, algo));
+    }
+    per_seed.push_back(std::move(row));
+  }
+  result.samples = metrics::average_samples(per_seed);
+  for (const auto& spec : specs) result.labels.push_back(spec.label);
+  result.report = metrics::correlate(result.samples);
+
+  if (per_seed.size() >= 2) {
+    for (metrics::MetricKind kind : metrics::kAllMetrics) {
+      CcStability st;
+      st.kind = kind;
+      bool first = true;
+      bool any_correct = false, any_wrong = false;
+      for (const auto& row : per_seed) {
+        const auto row_report = metrics::correlate(row);
+        const auto& mc = row_report.of(kind);
+        if (first) {
+          st.min_normalized_cc = st.max_normalized_cc = mc.normalized_cc;
+          first = false;
+        } else {
+          st.min_normalized_cc = std::min(st.min_normalized_cc, mc.normalized_cc);
+          st.max_normalized_cc = std::max(st.max_normalized_cc, mc.normalized_cc);
+        }
+        (mc.direction_correct ? any_correct : any_wrong) = true;
+      }
+      st.direction_stable = !(any_correct && any_wrong);
+      result.stability.push_back(st);
+    }
+  }
+  return result;
+}
+
+const CcStability* SweepResult::stability_of(metrics::MetricKind kind) const {
+  for (const auto& st : stability) {
+    if (st.kind == kind) return &st;
+  }
+  return nullptr;
+}
+
+std::string SweepResult::stability_table() const {
+  if (stability.empty()) return {};
+  TextTable table({"metric", "min nCC", "max nCC", "direction stable"});
+  for (const auto& st : stability) {
+    table.add_row({metrics::metric_name(st.kind),
+                   fmt_double(st.min_normalized_cc, 3),
+                   fmt_double(st.max_normalized_cc, 3),
+                   st.direction_stable ? "yes" : "NO"});
+  }
+  return table.to_string();
+}
+
+std::string SweepResult::samples_table() const {
+  TextTable table({"point", "exec(s)", "IOPS", "BW(MB/s)", "ARPT(ms)", "BPS",
+                   "B(blocks)", "T(s)", "moved(MiB)"});
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const auto& s = samples[i];
+    table.add_row({i < labels.size() ? labels[i] : std::to_string(i),
+                   fmt_double(s.exec_time_s, 3), fmt_double(s.iops, 1),
+                   fmt_double(s.bandwidth_bps / 1e6, 2),
+                   fmt_double(s.arpt_s * 1e3, 3), fmt_double(s.bps, 1),
+                   std::to_string(s.app_blocks), fmt_double(s.io_time_s, 3),
+                   fmt_double(static_cast<double>(s.moved_bytes) / (1024.0 * 1024.0), 1)});
+  }
+  return table.to_string();
+}
+
+}  // namespace bpsio::core

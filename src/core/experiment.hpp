@@ -1,0 +1,65 @@
+// Experiment machinery: run a workload on a testbed, boil it down to one
+// MetricSample, sweep a parameter across points, repeat with seeds and
+// average (the paper: "We ran each set of experiments 5 times, and the
+// average was used as the results"), and correlate each metric with
+// execution time.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/testbed.hpp"
+#include "metrics/calculators.hpp"
+#include "metrics/cc_study.hpp"
+#include "workload/workload.hpp"
+
+namespace bpsio::core {
+
+/// One sweep point: how to build the machine and the application.
+struct RunSpec {
+  std::string label;
+  /// Built fresh per repetition; receives the repetition seed.
+  std::function<TestbedConfig(std::uint64_t seed)> testbed;
+  std::function<std::unique_ptr<workload::Workload>()> workload;
+};
+
+/// Execute one run on a fresh testbed; returns the full metric sample.
+metrics::MetricSample run_once(
+    const RunSpec& spec, std::uint64_t seed,
+    metrics::OverlapAlgorithm algo = metrics::OverlapAlgorithm::merged);
+
+/// How stable a metric's normalized CC is across repetition seeds —
+/// evidence that the sweep's verdict is not a lucky draw.
+struct CcStability {
+  metrics::MetricKind kind{};
+  double min_normalized_cc = 0;
+  double max_normalized_cc = 0;
+  /// True when the correlation direction agrees across every seed.
+  bool direction_stable = true;
+};
+
+struct SweepResult {
+  std::vector<std::string> labels;
+  std::vector<metrics::MetricSample> samples;  ///< averaged over repetitions
+  metrics::CorrelationReport report;
+  /// One entry per metric (IOPS, BW, ARPT, BPS); empty for repeats < 2.
+  std::vector<CcStability> stability;
+
+  const CcStability* stability_of(metrics::MetricKind kind) const;
+
+  /// Per-point table (label, exec time, all four metrics).
+  std::string samples_table() const;
+  /// Seed-stability table (empty string when unavailable).
+  std::string stability_table() const;
+};
+
+/// Run every spec `repeats` times (seeds base_seed..base_seed+repeats-1),
+/// average pointwise, and correlate metric values against execution time.
+SweepResult run_sweep(
+    const std::vector<RunSpec>& specs, std::uint32_t repeats = 5,
+    std::uint64_t base_seed = 42,
+    metrics::OverlapAlgorithm algo = metrics::OverlapAlgorithm::merged);
+
+}  // namespace bpsio::core

@@ -1,0 +1,204 @@
+#include "core/figures.hpp"
+
+#include <memory>
+
+#include "common/format.hpp"
+#include "core/presets.hpp"
+#include "workload/hpio.hpp"
+#include "workload/ior.hpp"
+#include "workload/iozone.hpp"
+
+namespace bpsio::core::figures {
+
+namespace {
+
+Bytes scaled(double scale, Bytes base) {
+  const double v = scale * static_cast<double>(base);
+  // Keep at least one page worth of data.
+  return v < 4096.0 ? 4096 : static_cast<Bytes>(v);
+}
+
+}  // namespace
+
+std::vector<Bytes> set2_record_sizes() {
+  std::vector<Bytes> sizes;
+  for (Bytes r = 4 * kKiB; r <= 8 * kMiB; r *= 2) sizes.push_back(r);
+  return sizes;
+}
+
+std::vector<Bytes> set4_spacings() {
+  std::vector<Bytes> spacings;
+  for (Bytes s = 8; s <= 4096; s *= 2) spacings.push_back(s);
+  return spacings;
+}
+
+// ---------------------------------------------------------------------------
+// Fig 4 — Set 1: various storage devices, IOzone sequential read, 1 process.
+// Paper: 64 GB file; scaled default 256 MiB, 4 MiB records (striping-friendly).
+// ---------------------------------------------------------------------------
+std::vector<RunSpec> fig4_devices(const FigureDefaults& d) {
+  const Bytes file = scaled(d.scale, 256 * kMiB);
+  const Bytes record = 4 * kMiB;
+
+  auto iozone = [file, record]() -> std::unique_ptr<workload::Workload> {
+    workload::IozoneConfig cfg;
+    cfg.mode = workload::IozoneConfig::Mode::read;
+    cfg.file_size = file;
+    cfg.record_size = record;
+    cfg.processes = 1;
+    return std::make_unique<workload::IozoneWorkload>(cfg);
+  };
+
+  std::vector<RunSpec> specs;
+  specs.push_back(RunSpec{
+      "hdd", [](std::uint64_t seed) { return local_hdd_testbed(seed); },
+      iozone});
+  specs.push_back(RunSpec{
+      "ssd", [](std::uint64_t seed) { return local_ssd_testbed(seed); },
+      iozone});
+  for (std::uint32_t servers : {1u, 2u, 4u, 8u}) {
+    specs.push_back(RunSpec{
+        "pvfs" + std::to_string(servers),
+        [servers](std::uint64_t seed) {
+          return pvfs_testbed(servers, pfs::DeviceKind::hdd, 1, seed);
+        },
+        iozone});
+  }
+  return specs;
+}
+
+// ---------------------------------------------------------------------------
+// Fig 5 / Fig 6 — Set 2: record-size sweep on a local device.
+// Paper: 16 GB file; scaled default 256 MiB.
+// ---------------------------------------------------------------------------
+namespace {
+
+std::vector<RunSpec> iosize_sweep(const FigureDefaults& d, bool ssd) {
+  const Bytes file = scaled(d.scale, 256 * kMiB);
+  std::vector<RunSpec> specs;
+  for (const Bytes record : set2_record_sizes()) {
+    specs.push_back(RunSpec{
+        human_bytes(record),
+        [ssd](std::uint64_t seed) {
+          return ssd ? local_ssd_testbed(seed) : local_hdd_testbed(seed);
+        },
+        [file, record]() -> std::unique_ptr<workload::Workload> {
+          workload::IozoneConfig cfg;
+          cfg.mode = workload::IozoneConfig::Mode::read;
+          cfg.file_size = file;
+          cfg.record_size = record;
+          cfg.processes = 1;
+          return std::make_unique<workload::IozoneWorkload>(cfg);
+        }});
+  }
+  return specs;
+}
+
+}  // namespace
+
+std::vector<RunSpec> fig5_iosize_hdd(const FigureDefaults& d) {
+  return iosize_sweep(d, /*ssd=*/false);
+}
+
+std::vector<RunSpec> fig6_iosize_ssd(const FigureDefaults& d) {
+  return iosize_sweep(d, /*ssd=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Fig 9 — Set 3a: "pure" concurrency. IOzone throughput mode, each process
+// its own file pinned to its own server; POSIX through PVFS; one shared
+// client node. Paper: 8 servers, 32 GB total; scaled default 256 MiB total.
+// ---------------------------------------------------------------------------
+std::vector<RunSpec> fig9_concurrency_pure(const FigureDefaults& d) {
+  const Bytes total = scaled(d.scale, 256 * kMiB);
+  // 16 KiB records keep per-stream demand below the client NIC line rate
+  // until ~8 streams, so the execution-time curve keeps falling across the
+  // sweep the way Figure 10 shows.
+  const Bytes record = 16 * kKiB;
+
+  std::vector<RunSpec> specs;
+  for (std::uint32_t procs = 1; procs <= 8; ++procs) {
+    specs.push_back(RunSpec{
+        std::to_string(procs),
+        [](std::uint64_t seed) {
+          TestbedConfig cfg = pvfs_testbed(8, pfs::DeviceKind::hdd,
+                                           /*clients=*/1, seed);
+          cfg.layout_policy = one_server_per_file_policy(8);
+          return cfg;
+        },
+        [total, record, procs]() -> std::unique_ptr<workload::Workload> {
+          workload::IozoneConfig cfg;
+          cfg.mode = workload::IozoneConfig::Mode::read;
+          cfg.file_size = total;     // divided across processes
+          cfg.size_is_total = true;
+          cfg.record_size = record;
+          cfg.processes = procs;
+          cfg.separate_files = true;
+          return std::make_unique<workload::IozoneWorkload>(cfg);
+        }});
+  }
+  return specs;
+}
+
+// ---------------------------------------------------------------------------
+// Fig 11 — Set 3b: IOR, shared PVFS file striped on 8 servers (default
+// layout), 64 KB transfers, sequential offsets, each of n processes reads
+// its 1/n. Paper: 32 GB, 1..32 processes; scaled default 256 MiB.
+// ---------------------------------------------------------------------------
+std::vector<RunSpec> fig11_concurrency_ior(const FigureDefaults& d) {
+  const Bytes total = scaled(d.scale, 256 * kMiB);
+  std::vector<RunSpec> specs;
+  for (std::uint32_t procs : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    specs.push_back(RunSpec{
+        std::to_string(procs),
+        [procs](std::uint64_t seed) {
+          // IOR processes run one per compute node.
+          return pvfs_testbed(8, pfs::DeviceKind::hdd, procs, seed);
+        },
+        [total, procs]() -> std::unique_ptr<workload::Workload> {
+          workload::IorConfig cfg;
+          cfg.file_size = total;
+          cfg.transfer_size = 64 * kKiB;
+          cfg.processes = procs;
+          cfg.write = false;
+          return std::make_unique<workload::IorWorkload>(cfg);
+        }});
+  }
+  return specs;
+}
+
+// ---------------------------------------------------------------------------
+// Fig 12 — Set 4: Hpio with data sieving on 4 servers. Paper: region count
+// 4 096 000, region size 256 B, spacing 8..4096 B; scaled default 65536
+// regions. 4 processes on 4 nodes.
+// ---------------------------------------------------------------------------
+std::vector<RunSpec> fig12_datasieving(const FigureDefaults& d) {
+  const auto regions =
+      static_cast<std::uint64_t>(scaled(d.scale, 65536));
+  std::vector<RunSpec> specs;
+  for (const Bytes spacing : set4_spacings()) {
+    specs.push_back(RunSpec{
+        std::to_string(spacing) + "B",
+        [](std::uint64_t seed) {
+          return pvfs_testbed(4, pfs::DeviceKind::hdd, /*clients=*/4, seed);
+        },
+        [regions, spacing]() -> std::unique_ptr<workload::Workload> {
+          workload::HpioConfig cfg;
+          cfg.region_count = regions;
+          cfg.region_size = 256;
+          cfg.region_spacing = spacing;
+          cfg.processes = 4;
+          cfg.sieving.enabled = true;
+          cfg.regions_per_call = 8192;
+          return std::make_unique<workload::HpioWorkload>(cfg);
+        }});
+  }
+  return specs;
+}
+
+SweepResult run_figure(const std::vector<RunSpec>& specs,
+                       const FigureDefaults& d) {
+  return run_sweep(specs, d.repeats, d.base_seed);
+}
+
+}  // namespace bpsio::core::figures

@@ -1,0 +1,48 @@
+// One sweep builder per figure of the paper's evaluation (Section IV).
+// Benches print them; integration tests assert their shapes. All data
+// volumes are the paper's setups scaled by `scale` (1.0 = defaults sized to
+// run in seconds; raise toward paper volumes with bench --scale).
+//
+//   Fig 4  — Set 1: storage devices {local HDD, local SSD, PVFS 1..8}
+//   Fig 5  — Set 2: record size 4 KB..8 MB on HDD
+//   Fig 6  — Set 2: record size 4 KB..8 MB on SSD
+//   Fig 7  — detail series of Fig 5 (IOPS vs exec time)
+//   Fig 8  — detail series of Fig 6 (ARPT vs exec time)
+//   Fig 9  — Set 3a: 1..8 processes, own file on own server (IOzone
+//            throughput mode), shared client node
+//   Fig 10 — detail series of Fig 9 (ARPT vs exec time)
+//   Fig 11 — Set 3b: IOR, shared 8-server file, 1..32 processes
+//   Fig 12 — Set 4: Hpio data sieving, region spacing 8..4096 B
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace bpsio::core::figures {
+
+struct FigureDefaults {
+  double scale = 1.0;       ///< multiplies data volumes
+  std::uint32_t repeats = 3;
+  std::uint64_t base_seed = 42;
+};
+
+std::vector<RunSpec> fig4_devices(const FigureDefaults& d = {});
+std::vector<RunSpec> fig5_iosize_hdd(const FigureDefaults& d = {});
+std::vector<RunSpec> fig6_iosize_ssd(const FigureDefaults& d = {});
+std::vector<RunSpec> fig9_concurrency_pure(const FigureDefaults& d = {});
+std::vector<RunSpec> fig11_concurrency_ior(const FigureDefaults& d = {});
+std::vector<RunSpec> fig12_datasieving(const FigureDefaults& d = {});
+
+/// Record sizes swept in Set 2 (4 KB .. 8 MB, doubling).
+std::vector<Bytes> set2_record_sizes();
+/// Region spacings swept in Set 4 (8 B .. 4096 B, doubling).
+std::vector<Bytes> set4_spacings();
+
+/// Run a figure's sweep and return samples + the normalized-CC report.
+SweepResult run_figure(const std::vector<RunSpec>& specs,
+                       const FigureDefaults& d = {});
+
+}  // namespace bpsio::core::figures

@@ -1,0 +1,95 @@
+#include "core/presets.hpp"
+
+namespace bpsio::core {
+
+device::HddParams paper_hdd() {
+  device::HddParams p;
+  p.capacity = 250 * kGiB;
+  p.rpm = 7200.0;
+  p.settle_time = SimDuration::from_ms(0.5);
+  p.max_seek = SimDuration::from_ms(16.0);
+  p.outer_rate_mbps = 110.0;
+  p.inner_rate_mbps = 55.0;
+  p.command_overhead = SimDuration::from_us(150.0);
+  return p;
+}
+
+device::SsdParams paper_ssd() {
+  device::SsdParams p;
+  p.capacity = 100 * kGiB;
+  p.channels = 2;
+  p.read_latency = SimDuration::from_us(60.0);
+  p.write_latency = SimDuration::from_us(250.0);
+  p.channel_rate_mbps = 140.0;
+  p.jitter = 0.05;
+  return p;
+}
+
+pfs::NetworkParams paper_gige() {
+  pfs::NetworkParams p;
+  p.line_rate_mbps = 117.0;
+  p.latency = SimDuration::from_us(60.0);
+  p.chunk_size = 256 * kKiB;
+  return p;
+}
+
+mio::ClientNodeParams paper_client_node() {
+  mio::ClientNodeParams p;
+  p.cores = 8;
+  p.per_op_overhead = SimDuration::from_us(50.0);
+  p.copy_rate_mbps = 2500.0;
+  return p;
+}
+
+TestbedConfig local_hdd_testbed(std::uint64_t seed) {
+  TestbedConfig cfg;
+  cfg.backend = BackendKind::local;
+  cfg.device = pfs::DeviceKind::hdd;
+  cfg.hdd = paper_hdd();
+  cfg.client = paper_client_node();
+  cfg.seed = seed;
+  cfg.label = "local-hdd";
+  return cfg;
+}
+
+TestbedConfig local_ssd_testbed(std::uint64_t seed) {
+  TestbedConfig cfg;
+  cfg.backend = BackendKind::local;
+  cfg.device = pfs::DeviceKind::ssd;
+  cfg.ssd = paper_ssd();
+  cfg.client = paper_client_node();
+  cfg.seed = seed;
+  cfg.label = "local-ssd";
+  return cfg;
+}
+
+TestbedConfig pvfs_testbed(std::uint32_t servers, pfs::DeviceKind dev,
+                           std::uint32_t clients, std::uint64_t seed) {
+  TestbedConfig cfg;
+  cfg.backend = BackendKind::pfs;
+  cfg.pfs.server_count = servers;
+  cfg.pfs.device = dev;
+  cfg.pfs.hdd = paper_hdd();
+  cfg.pfs.ssd = paper_ssd();
+  cfg.pfs.network = paper_gige();
+  // Server-side ext3 with a modest cache; cold at run start (the paper
+  // flushes all caches before each run).
+  cfg.pfs.server_fs.cache_capacity = 64 * kMiB;
+  cfg.client_nodes = clients;
+  cfg.client = paper_client_node();
+  cfg.seed = seed;
+  cfg.label = "pvfs-" + std::to_string(servers) + "srv";
+  return cfg;
+}
+
+LayoutPolicy one_server_per_file_policy(std::uint32_t server_count,
+                                        Bytes stripe_size) {
+  return [server_count, stripe_size](const std::string&, std::uint64_t index) {
+    pfs::StripeLayout layout;
+    layout.stripe_size = stripe_size;
+    layout.servers = {static_cast<std::uint32_t>(index % server_count)};
+    return layout;
+  };
+}
+
+}  // namespace bpsio::core

@@ -1,0 +1,40 @@
+// Testbed presets mirroring the paper's cluster (Section IV.B):
+// "a 65-node SUN Fire Linux cluster ... Each computing node has two
+//  Quad-Core AMD Opteron processors, 8GB memory and a 250GB 7200RPM
+//  SATA-II disk (HDD). All nodes are equipped with Gigabit Ethernet ...
+//  17 nodes are equipped with an additional PCI-E X4 100GB SSD ...
+//  The parallel file system is PVFS2 version 2.8.1."
+#pragma once
+
+#include <cstdint>
+
+#include "core/testbed.hpp"
+
+namespace bpsio::core {
+
+/// 250 GB 7200 RPM SATA-II disk.
+device::HddParams paper_hdd();
+/// PCI-E X4 100 GB SSD (2009-era flash).
+device::SsdParams paper_ssd();
+/// Gigabit Ethernet interconnect.
+pfs::NetworkParams paper_gige();
+/// Two quad-core Opterons per node.
+mio::ClientNodeParams paper_client_node();
+
+/// Local file system on the node's HDD (Set 1/2 "hdd" cases).
+TestbedConfig local_hdd_testbed(std::uint64_t seed = 42);
+/// Local file system on the node's SSD (Set 1/2 "ssd" cases).
+TestbedConfig local_ssd_testbed(std::uint64_t seed = 42);
+/// PVFS2-like cluster: `servers` I/O servers of `dev` devices, `clients`
+/// compute nodes (Sets 1/3/4).
+TestbedConfig pvfs_testbed(std::uint32_t servers,
+                           pfs::DeviceKind dev = pfs::DeviceKind::hdd,
+                           std::uint32_t clients = 1,
+                           std::uint64_t seed = 42);
+
+/// Layout policy pinning the k-th created file to server k % server_count
+/// with the given stripe size — the paper's Set-3a per-file placement.
+LayoutPolicy one_server_per_file_policy(std::uint32_t server_count,
+                                        Bytes stripe_size = 64 * kKiB);
+
+}  // namespace bpsio::core

@@ -1,0 +1,71 @@
+#include "core/report.hpp"
+
+#include "common/format.hpp"
+
+namespace bpsio::core {
+
+namespace {
+
+std::string md_row(std::initializer_list<std::string> cells) {
+  std::string out = "|";
+  for (const auto& c : cells) {
+    out += " " + c + " |";
+  }
+  return out + "\n";
+}
+
+}  // namespace
+
+std::string to_markdown(const SweepResult& sweep,
+                        const ReportOptions& options) {
+  std::string out;
+  if (!options.title.empty()) {
+    out += "### " + options.title + "\n\n";
+  }
+  if (!options.paper_expectation.empty()) {
+    out += "*Paper expectation:* " + options.paper_expectation + "\n\n";
+  }
+
+  if (options.include_samples) {
+    out += md_row({"point", "exec (s)", "IOPS", "BW (MB/s)", "ARPT (ms)",
+                   "BPS"});
+    out += md_row({"---", "---", "---", "---", "---", "---"});
+    for (std::size_t i = 0; i < sweep.samples.size(); ++i) {
+      const auto& s = sweep.samples[i];
+      out += md_row({i < sweep.labels.size() ? sweep.labels[i]
+                                             : std::to_string(i),
+                     fmt_double(s.exec_time_s, 3), fmt_double(s.iops, 1),
+                     fmt_double(s.bandwidth_bps / 1e6, 2),
+                     fmt_double(s.arpt_s * 1e3, 3), fmt_double(s.bps, 1)});
+    }
+    out += "\n";
+  }
+
+  out += md_row(options.include_confidence
+                    ? std::initializer_list<std::string>{
+                          "metric", "CC", "normalized", "95% CI", "direction"}
+                    : std::initializer_list<std::string>{
+                          "metric", "CC", "normalized", "direction"});
+  out += md_row(options.include_confidence
+                    ? std::initializer_list<std::string>{"---", "---", "---",
+                                                         "---", "---"}
+                    : std::initializer_list<std::string>{"---", "---", "---",
+                                                         "---"});
+  for (const auto& m : sweep.report.metrics) {
+    const std::string verdict =
+        m.direction_correct ? "correct" : "**WRONG**";
+    if (options.include_confidence) {
+      out += md_row({metrics::metric_name(m.kind), fmt_double(m.cc, 3),
+                     fmt_double(m.normalized_cc, 3),
+                     "[" + fmt_double(m.ci95.lo, 2) + ", " +
+                         fmt_double(m.ci95.hi, 2) + "]",
+                     verdict});
+    } else {
+      out += md_row({metrics::metric_name(m.kind), fmt_double(m.cc, 3),
+                     fmt_double(m.normalized_cc, 3), verdict});
+    }
+  }
+  return out;
+}
+
+}  // namespace bpsio::core

@@ -1,0 +1,23 @@
+// Markdown report generation for experiment sweeps — render a SweepResult
+// the way EXPERIMENTS.md presents the paper's figures.
+#pragma once
+
+#include <string>
+
+#include "core/experiment.hpp"
+
+namespace bpsio::core {
+
+struct ReportOptions {
+  std::string title;
+  /// One-line statement of what the paper expects for this sweep.
+  std::string paper_expectation;
+  bool include_samples = true;
+  bool include_confidence = true;
+};
+
+/// Render the sweep as a self-contained markdown section: heading, the
+/// per-point sample table, and the normalized-CC table with verdicts.
+std::string to_markdown(const SweepResult& sweep, const ReportOptions& options);
+
+}  // namespace bpsio::core

@@ -1,0 +1,91 @@
+#include "core/resources.hpp"
+
+#include <algorithm>
+
+#include "common/format.hpp"
+
+namespace bpsio::core {
+
+namespace {
+
+ResourceUsage from_center(std::string name, const sim::ServiceCenter& center,
+                          SimDuration exec) {
+  ResourceUsage u;
+  u.name = std::move(name);
+  u.busy_s = center.busy_time().seconds();
+  u.slots = center.slots();
+  const double denom = exec.seconds() * u.slots;
+  u.utilization = denom > 0 ? u.busy_s / denom : 0.0;
+  return u;
+}
+
+ResourceUsage from_device(std::string name, const device::BlockDevice& dev,
+                          SimDuration exec) {
+  ResourceUsage u;
+  u.name = std::move(name);
+  u.busy_s = dev.stats().busy_time.seconds();
+  u.slots = 1;
+  u.utilization = exec.seconds() > 0 ? u.busy_s / exec.seconds() : 0.0;
+  return u;
+}
+
+}  // namespace
+
+std::vector<ResourceUsage> resource_usage(Testbed& testbed, SimDuration exec) {
+  std::vector<ResourceUsage> out;
+
+  for (std::size_t i = 0; i < testbed.env().node_count(); ++i) {
+    out.push_back(from_center("client" + std::to_string(i) + ".cpu",
+                              testbed.env().nodes[i]->cpu(), exec));
+  }
+
+  if (auto* local = testbed.local_fs()) {
+    out.push_back(from_device("disk", local->device(), exec));
+    return out;
+  }
+
+  if (auto* cluster = testbed.cluster()) {
+    for (std::uint32_t s = 0; s < cluster->server_count(); ++s) {
+      auto& server = cluster->server(s);
+      const std::string prefix = "server" + std::to_string(s);
+      out.push_back(from_device(prefix + ".disk", server.device(), exec));
+      out.push_back(from_center(prefix + ".cpu", server.cpu(), exec));
+      out.push_back(from_center(prefix + ".nic.tx", server.nic().tx(), exec));
+      out.push_back(from_center(prefix + ".nic.rx", server.nic().rx(), exec));
+    }
+    for (std::size_t c = 0; c < cluster->clients().size(); ++c) {
+      auto& client = *cluster->clients()[c];
+      const std::string prefix = "client" + std::to_string(c);
+      out.push_back(from_center(prefix + ".nic.rx", client.nic().rx(), exec));
+      out.push_back(from_center(prefix + ".nic.tx", client.nic().tx(), exec));
+    }
+    if (const auto* fabric = cluster->network().fabric()) {
+      out.push_back(from_center("fabric", *fabric, exec));
+    }
+  }
+  return out;
+}
+
+ResourceUsage bottleneck(const std::vector<ResourceUsage>& usage) {
+  ResourceUsage best;
+  for (const auto& u : usage) {
+    if (u.utilization > best.utilization) best = u;
+  }
+  return best;
+}
+
+std::string usage_table(std::vector<ResourceUsage> usage, std::size_t top_n) {
+  std::sort(usage.begin(), usage.end(),
+            [](const ResourceUsage& a, const ResourceUsage& b) {
+              return a.utilization > b.utilization;
+            });
+  if (usage.size() > top_n) usage.resize(top_n);
+  TextTable t({"resource", "busy (s)", "slots", "utilization"});
+  for (const auto& u : usage) {
+    t.add_row({u.name, fmt_double(u.busy_s, 3), std::to_string(u.slots),
+               fmt_double(u.utilization * 100.0, 1) + "%"});
+  }
+  return t.to_string();
+}
+
+}  // namespace bpsio::core

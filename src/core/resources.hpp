@@ -1,0 +1,37 @@
+// Resource-utilization snapshot and bottleneck attribution.
+//
+// Every queued station in the simulated stack (devices, NIC directions,
+// server CPUs, client CPUs) accounts its busy time; dividing by the run's
+// execution time gives per-resource utilization. The most-utilized resource
+// is the bottleneck — the answer to "why did execution time stop improving"
+// that a single metric, even BPS, does not give by itself.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "core/testbed.hpp"
+
+namespace bpsio::core {
+
+struct ResourceUsage {
+  std::string name;       ///< e.g. "server3.disk", "client0.nic.rx"
+  double busy_s = 0;      ///< accumulated busy time (slot-seconds)
+  std::uint32_t slots = 1;
+  /// busy / (slots * exec): 1.0 = saturated for the whole run.
+  double utilization = 0;
+};
+
+/// Walk every accounted resource of the testbed. `exec` is the run's
+/// execution time (utilization denominator).
+std::vector<ResourceUsage> resource_usage(Testbed& testbed, SimDuration exec);
+
+/// The highest-utilization resource (empty name when the list is empty).
+ResourceUsage bottleneck(const std::vector<ResourceUsage>& usage);
+
+/// Fixed-width table sorted by utilization, highest first.
+std::string usage_table(std::vector<ResourceUsage> usage,
+                        std::size_t top_n = 10);
+
+}  // namespace bpsio::core

@@ -1,0 +1,102 @@
+#include "core/testbed.hpp"
+
+#include "device/hdd_model.hpp"
+#include "device/ram_device.hpp"
+#include "device/ssd_model.hpp"
+
+namespace bpsio::core {
+
+namespace {
+
+std::unique_ptr<device::BlockDevice> make_device(sim::Simulator& sim,
+                                                 const TestbedConfig& cfg) {
+  switch (cfg.device) {
+    case pfs::DeviceKind::hdd:
+      return std::make_unique<device::HddModel>(sim, cfg.hdd, cfg.seed);
+    case pfs::DeviceKind::ssd:
+      return std::make_unique<device::SsdModel>(sim, cfg.ssd, cfg.seed);
+    case pfs::DeviceKind::ram:
+      return std::make_unique<device::RamDevice>(sim, cfg.ram);
+  }
+  return std::make_unique<device::RamDevice>(sim, cfg.ram);
+}
+
+}  // namespace
+
+Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
+  env_.sim = &sim_;
+  env_.block_size = config_.block_size;
+
+  for (std::uint32_t i = 0; i < std::max(1u, config_.client_nodes); ++i) {
+    client_nodes_.push_back(
+        std::make_unique<mio::ClientNode>(sim_, config_.client));
+  }
+
+  if (config_.backend == BackendKind::local) {
+    local_device_ = config_.device_factory
+                        ? config_.device_factory(sim_, config_.seed)
+                        : make_device(sim_, config_);
+    local_fs_ = std::make_unique<fs::LocalFileSystem>(sim_, *local_device_,
+                                                      config_.local_fs);
+    for (auto& node : client_nodes_) {
+      env_.nodes.push_back(node.get());
+      env_.backends.push_back(local_fs_.get());
+    }
+    return;
+  }
+
+  // PFS backend: one client per node, shared cluster.
+  auto pfs_params = config_.pfs;
+  pfs_params.seed = config_.seed;
+  cluster_ = std::make_unique<pfs::PfsCluster>(sim_, pfs_params);
+  for (std::uint32_t i = 0; i < client_nodes_.size(); ++i) {
+    pfs::PfsClient& client =
+        cluster_->make_client("client" + std::to_string(i));
+    if (config_.layout_policy) {
+      client.set_layout_policy([this](const std::string& path) {
+        return (*config_.layout_policy)(path, files_created_++);
+      });
+    }
+    pfs_clients_.push_back(&client);
+    env_.nodes.push_back(client_nodes_[i].get());
+    env_.backends.push_back(&client);
+  }
+}
+
+Testbed::~Testbed() = default;
+
+void Testbed::drop_caches() {
+  if (local_fs_) local_fs_->drop_caches();
+  if (cluster_) cluster_->drop_all_caches();
+}
+
+void Testbed::reset_counters() {
+  if (local_fs_) {
+    local_fs_->reset_counters();
+    local_device_->clear_stats();
+  }
+  if (cluster_) cluster_->reset_counters();
+}
+
+Bytes Testbed::bytes_moved() const {
+  if (local_fs_) return local_fs_->bytes_moved();
+  if (cluster_) return cluster_->client_bytes_moved();
+  return 0;
+}
+
+Bytes Testbed::device_bytes_moved() const {
+  if (local_device_) return local_device_->stats().total_bytes();
+  if (cluster_) return cluster_->device_bytes_moved();
+  return 0;
+}
+
+std::string Testbed::describe() const {
+  if (!config_.label.empty()) return config_.label;
+  if (local_fs_) return local_fs_->describe();
+  if (cluster_) {
+    return "pfs(" + std::to_string(cluster_->server_count()) + " servers)";
+  }
+  return "testbed";
+}
+
+}  // namespace bpsio::core

@@ -1,0 +1,102 @@
+// Testbed: assembles one simulated machine/cluster configuration and exposes
+// the workload-facing environment. A Testbed corresponds to one row of the
+// paper's experiment settings: "local file system on HDD", "local on SSD",
+// "PVFS2 on N I/O servers", etc.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "device/block_device.hpp"
+#include "fs/local_fs.hpp"
+#include "mio/client_node.hpp"
+#include "pfs/cluster.hpp"
+#include "pfs/pfs_client.hpp"
+#include "sim/simulator.hpp"
+#include "workload/workload.hpp"
+
+namespace bpsio::core {
+
+enum class BackendKind { local, pfs };
+
+/// Chooses each new PFS file's stripe layout. Receives the path and the
+/// index of the file among those created so far on this testbed.
+using LayoutPolicy =
+    std::function<pfs::StripeLayout(const std::string& path, std::uint64_t index)>;
+
+/// Builds a custom local-backend device (RAID arrays, scheduler-wrapped
+/// disks, ...). Takes the simulator and the run seed.
+using DeviceFactory = std::function<std::unique_ptr<device::BlockDevice>(
+    sim::Simulator&, std::uint64_t seed)>;
+
+struct TestbedConfig {
+  BackendKind backend = BackendKind::local;
+  pfs::DeviceKind device = pfs::DeviceKind::hdd;  ///< local backend's device
+  device::HddParams hdd{};
+  device::SsdParams ssd{};
+  device::RamParams ram{};
+  /// When set, overrides `device` for the local backend.
+  DeviceFactory device_factory;
+  fs::LocalFsParams local_fs{};
+
+  pfs::PfsClusterParams pfs{};  ///< used when backend == pfs
+  std::optional<LayoutPolicy> layout_policy;
+
+  std::uint32_t client_nodes = 1;
+  mio::ClientNodeParams client{};
+  Bytes block_size = kDefaultBlockSize;
+  std::uint64_t seed = 42;
+  std::string label;  ///< free-form description for reports
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig config);
+  ~Testbed();
+
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  sim::Simulator& simulator() { return sim_; }
+  workload::Env& env() { return env_; }
+  const TestbedConfig& config() const { return config_; }
+
+  /// The paper's measurement discipline: "the system caches of all computing
+  /// nodes and I/O servers were flushed prior to each run".
+  void drop_caches();
+  /// Clear FS-level moved-bytes counters (between repetitions).
+  void reset_counters();
+
+  /// FS-level bytes moved — feeds the bandwidth metric.
+  Bytes bytes_moved() const;
+  /// Device-level bytes moved (diagnostic; differs from bytes_moved() when
+  /// server-side caching absorbs traffic).
+  Bytes device_bytes_moved() const;
+
+  pfs::PfsCluster* cluster() { return cluster_.get(); }
+  fs::LocalFileSystem* local_fs() { return local_fs_.get(); }
+
+  std::string describe() const;
+
+ private:
+  TestbedConfig config_;
+  sim::Simulator sim_;
+
+  // Local backend.
+  std::unique_ptr<device::BlockDevice> local_device_;
+  std::unique_ptr<fs::LocalFileSystem> local_fs_;
+
+  // PFS backend.
+  std::unique_ptr<pfs::PfsCluster> cluster_;
+  std::vector<pfs::PfsClient*> pfs_clients_;  ///< owned by cluster_
+  std::uint64_t files_created_ = 0;
+
+  std::vector<std::unique_ptr<mio::ClientNode>> client_nodes_;
+  workload::Env env_;
+};
+
+}  // namespace bpsio::core

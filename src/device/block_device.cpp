@@ -1,0 +1,17 @@
+#include "device/block_device.hpp"
+
+namespace bpsio::device {
+
+void BlockDevice::account(DevOp op, Bytes size, bool ok, SimDuration busy) {
+  if (op == DevOp::read) {
+    ++stats_.read_ops;
+    if (ok) stats_.bytes_read += size;
+  } else {
+    ++stats_.write_ops;
+    if (ok) stats_.bytes_written += size;
+  }
+  if (!ok) ++stats_.failed_ops;
+  stats_.busy_time += busy;
+}
+
+}  // namespace bpsio::device

@@ -1,0 +1,135 @@
+#include "device/hdd_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace bpsio::device {
+
+HddModel::HddModel(sim::Simulator& sim, HddParams params, std::uint64_t seed)
+    : sim_(sim), params_(params), rng_(seed) {}
+
+std::string HddModel::describe() const {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "hdd(%.0fGB %.0frpm %.0f-%.0fMB/s %s)",
+                static_cast<double>(params_.capacity) / 1e9, params_.rpm,
+                params_.outer_rate_mbps, params_.inner_rate_mbps,
+                params_.scheduler == HddScheduler::fifo ? "fifo" : "elevator");
+  return buf;
+}
+
+void HddModel::reset_state() {
+  head_pos_.reset();
+  sweep_up_ = true;
+}
+
+SimDuration HddModel::seek_time(Bytes from, Bytes to) const {
+  const Bytes dist = from > to ? from - to : to - from;
+  if (dist == 0) return SimDuration::zero();
+  if (dist <= params_.sequential_window) return params_.settle_time;
+  const double frac =
+      static_cast<double>(dist) / static_cast<double>(params_.capacity);
+  const double extra_ns =
+      static_cast<double>((params_.max_seek - params_.settle_time).ns()) *
+      std::sqrt(std::min(frac, 1.0));
+  return params_.settle_time + SimDuration::from_ns(extra_ns);
+}
+
+double HddModel::transfer_rate_bps(Bytes offset) const {
+  const double frac = static_cast<double>(std::min(offset, params_.capacity)) /
+                      static_cast<double>(params_.capacity);
+  const double mbps = params_.outer_rate_mbps +
+                      (params_.inner_rate_mbps - params_.outer_rate_mbps) * frac;
+  return mbps * 1e6;
+}
+
+SimDuration HddModel::service_time(DevOp op, Bytes offset, Bytes size) {
+  (void)op;  // reads and writes share the mechanical model
+  SimDuration t = params_.command_overhead;
+  const bool sequential = head_pos_.has_value() && *head_pos_ == offset;
+  if (!sequential) {
+    const Bytes from = head_pos_.value_or(0);
+    t += seek_time(from, offset);
+    const Bytes dist = from > offset ? from - offset : offset - from;
+    if (dist > params_.sequential_window) {
+      // Full repositioning also waits for the target sector to rotate under
+      // the head.
+      const auto period = params_.rotation_period();
+      t += params_.deterministic_rotation
+               ? SimDuration(period.ns() / 2)
+               : SimDuration(static_cast<std::int64_t>(
+                     rng_.uniform() * static_cast<double>(period.ns())));
+    }
+  }
+  const double rate = transfer_rate_bps(offset);
+  t += SimDuration::from_seconds(static_cast<double>(size) / rate);
+  head_pos_ = offset + size;
+  return t;
+}
+
+std::size_t HddModel::pick_next() const {
+  assert(!queue_.empty());
+  if (params_.scheduler == HddScheduler::fifo || queue_.size() == 1) return 0;
+
+  // Elevator / SCAN: serve the nearest request at-or-beyond the head in the
+  // sweep direction; when the sweep is exhausted, reverse.
+  const Bytes head = head_pos_.value_or(0);
+  auto nearest = [&](bool up) -> std::optional<std::size_t> {
+    std::optional<std::size_t> best;
+    Bytes best_dist = ~Bytes{0};
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      const Bytes off = queue_[i].offset;
+      const bool eligible = up ? off >= head : off <= head;
+      if (!eligible) continue;
+      const Bytes dist = up ? off - head : head - off;
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = i;
+      }
+    }
+    return best;
+  };
+  if (auto idx = nearest(sweep_up_)) return *idx;
+  if (auto idx = nearest(!sweep_up_)) return *idx;
+  return 0;
+}
+
+void HddModel::try_dispatch() {
+  if (busy_ || queue_.empty()) return;
+  const std::size_t idx = pick_next();
+  Pending req = std::move(queue_[idx]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
+
+  // Track sweep direction for the elevator.
+  const Bytes head = head_pos_.value_or(0);
+  if (req.offset != head) sweep_up_ = req.offset > head;
+
+  const bool fail = params_.faults.failure_rate > 0.0 &&
+                    rng_.uniform() < params_.faults.failure_rate;
+  SimDuration t = service_time(req.op, req.offset, req.size);
+  if (fail) {
+    t = SimDuration(static_cast<std::int64_t>(
+        static_cast<double>(t.ns()) * params_.faults.failed_fraction));
+  }
+  busy_ = true;
+  const SimTime start = sim_.now();
+  sim_.schedule_after(t, [this, start, fail, op = req.op, size = req.size,
+                          done = std::move(req.done)]() mutable {
+    busy_ = false;
+    const SimTime end = sim_.now();
+    account(op, size, !fail, end - start);
+    // Dispatch the next request before the completion callback so handlers
+    // that resubmit observe a draining queue.
+    try_dispatch();
+    done(DevResult{!fail, start, end});
+  });
+}
+
+void HddModel::submit(DevOp op, Bytes offset, Bytes size, DevDoneFn done) {
+  queue_.push_back(Pending{op, offset, size, std::move(done), sim_.now()});
+  max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
+  try_dispatch();
+}
+
+}  // namespace bpsio::device

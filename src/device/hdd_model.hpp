@@ -1,0 +1,99 @@
+// Rotating-disk service-time model.
+//
+// Calibrated to the paper's testbed drive (250 GB 7200 RPM SATA-II):
+// service = command overhead + seek(distance) + rotational latency +
+// size / zone transfer rate. Sequential continuation (request starts where
+// the previous one ended) skips seek and rotation, which is what makes
+// record-size sweeps behave like Figure 7: small records pay the per-command
+// overhead once per record, large records amortize it.
+//
+// Seek model: t(d) = settle + (max_seek - settle) * sqrt(d / capacity),
+// the usual square-root approximation of arm acceleration/coast. Rotational
+// latency is uniform in [0, period) by default ("the average latency is half
+// of the rotational period" emerges from the average); a deterministic mode
+// uses exactly period/2. Zoned transfer: outer tracks (low offsets) are
+// faster than inner tracks, linearly interpolated.
+//
+// Queueing: one request in service at a time. The dispatcher is either FIFO
+// (arrival order, like a queue-depth-1 SATA drive) or elevator/SCAN
+// (nearest request in the current sweep direction — NCQ-style reordering).
+// The scheduler choice is an ablation knob: it matters only when multiple
+// requests are outstanding and offsets are scattered.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "device/block_device.hpp"
+#include "sim/simulator.hpp"
+
+namespace bpsio::device {
+
+enum class HddScheduler { fifo, elevator };
+
+struct HddParams {
+  Bytes capacity = 250 * kGiB;
+  double rpm = 7200.0;
+  SimDuration settle_time = SimDuration::from_ms(0.5);   ///< track-to-track
+  SimDuration max_seek = SimDuration::from_ms(16.0);     ///< full stroke
+  double outer_rate_mbps = 110.0;  ///< MB/s at offset 0
+  double inner_rate_mbps = 55.0;   ///< MB/s at the last byte
+  SimDuration command_overhead = SimDuration::from_us(150.0);
+  /// Requests within this distance of the previous end are "near-sequential":
+  /// they pay settle time but no full seek and no rotational latency.
+  Bytes sequential_window = 64 * kKiB;
+  bool deterministic_rotation = false;
+  HddScheduler scheduler = HddScheduler::fifo;
+  FaultProfile faults{};
+
+  SimDuration rotation_period() const {
+    return SimDuration::from_seconds(60.0 / rpm);
+  }
+};
+
+class HddModel final : public BlockDevice {
+ public:
+  HddModel(sim::Simulator& sim, HddParams params, std::uint64_t seed = 1);
+
+  void submit(DevOp op, Bytes offset, Bytes size, DevDoneFn done) override;
+  Bytes capacity() const override { return params_.capacity; }
+  std::string describe() const override;
+  void reset_state() override;
+
+  const HddParams& params() const { return params_; }
+
+  /// Service-time pieces for one request given the current head position —
+  /// exposed for unit tests of the mechanical model.
+  SimDuration seek_time(Bytes from, Bytes to) const;
+  double transfer_rate_bps(Bytes offset) const;
+
+  std::size_t queue_depth() const { return queue_.size(); }
+  std::size_t max_queue_depth() const { return max_queue_depth_; }
+
+ private:
+  struct Pending {
+    DevOp op;
+    Bytes offset;
+    Bytes size;
+    DevDoneFn done;
+    SimTime submitted;
+  };
+
+  SimDuration service_time(DevOp op, Bytes offset, Bytes size);
+  /// Index of the next request per the configured scheduler.
+  std::size_t pick_next() const;
+  void try_dispatch();
+
+  sim::Simulator& sim_;
+  HddParams params_;
+  Rng rng_;
+  std::optional<Bytes> head_pos_;  ///< byte position after the last transfer
+  std::deque<Pending> queue_;
+  bool busy_ = false;
+  bool sweep_up_ = true;  ///< elevator direction
+  std::size_t max_queue_depth_ = 0;
+};
+
+}  // namespace bpsio::device

@@ -1,0 +1,84 @@
+#include "device/io_scheduler.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace bpsio::device {
+
+IoScheduler::IoScheduler(sim::Simulator& sim, BlockDevice& lower,
+                         IoSchedulerParams params)
+    : sim_(sim), lower_(lower), params_(params) {}
+
+std::string IoScheduler::describe() const {
+  return "iosched(" + lower_.describe() + ")";
+}
+
+void IoScheduler::reset_state() { lower_.reset_state(); }
+
+void IoScheduler::submit(DevOp op, Bytes offset, Bytes size, DevDoneFn done) {
+  ++sched_stats_.requests_in;
+  if (!params_.enabled) {
+    ++sched_stats_.commands_out;
+    lower_.submit(op, offset, size,
+                  [this, op, size, done = std::move(done)](DevResult r) {
+                    account(op, size, r.ok, r.end - r.start);
+                    done(r);
+                  });
+    return;
+  }
+
+  staged_.push_back(Staged{op, offset, size, std::move(done)});
+  if (!flush_scheduled_) {
+    flush_scheduled_ = true;
+    sim_.schedule_after(params_.plug_delay, [this]() {
+      flush_scheduled_ = false;
+      flush_staged();
+    });
+  }
+}
+
+void IoScheduler::flush_staged() {
+  if (staged_.empty()) return;
+  std::vector<Staged> batch(std::make_move_iterator(staged_.begin()),
+                            std::make_move_iterator(staged_.end()));
+  staged_.clear();
+
+  // Sort by (op, offset) to find contiguous runs; stable so equal offsets
+  // keep arrival order.
+  std::stable_sort(batch.begin(), batch.end(),
+                   [](const Staged& a, const Staged& b) {
+                     if (a.op != b.op) return a.op < b.op;
+                     return a.offset < b.offset;
+                   });
+
+  std::size_t i = 0;
+  while (i < batch.size()) {
+    // Grow a merged command from batch[i].
+    std::size_t j = i + 1;
+    Bytes end = batch[i].offset + batch[i].size;
+    while (j < batch.size() && batch[j].op == batch[i].op &&
+           batch[j].offset == end &&
+           end - batch[i].offset + batch[j].size <= params_.max_merged) {
+      end += batch[j].size;
+      ++j;
+    }
+    sched_stats_.merges += (j - i) - 1;
+    ++sched_stats_.commands_out;
+
+    // Members share the merged command's completion.
+    auto members = std::make_shared<std::vector<Staged>>(
+        std::make_move_iterator(batch.begin() + static_cast<std::ptrdiff_t>(i)),
+        std::make_move_iterator(batch.begin() + static_cast<std::ptrdiff_t>(j)));
+    const DevOp op = (*members)[0].op;
+    const Bytes offset = (*members)[0].offset;
+    const Bytes size = end - offset;
+    lower_.submit(op, offset, size,
+                  [this, op, size, members](DevResult r) {
+                    account(op, size, r.ok, r.end - r.start);
+                    for (auto& m : *members) m.done(r);
+                  });
+    i = j;
+  }
+}
+
+}  // namespace bpsio::device

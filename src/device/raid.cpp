@@ -1,0 +1,150 @@
+#include "device/raid.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/sync.hpp"
+
+namespace bpsio::device {
+
+namespace {
+
+Bytes min_child_capacity(
+    const std::vector<std::unique_ptr<BlockDevice>>& children) {
+  assert(!children.empty());
+  Bytes cap = children.front()->capacity();
+  for (const auto& c : children) cap = std::min(cap, c->capacity());
+  return cap;
+}
+
+}  // namespace
+
+Raid0Device::Raid0Device(sim::Simulator& sim,
+                         std::vector<std::unique_ptr<BlockDevice>> children,
+                         Bytes stripe)
+    : sim_(sim), children_(std::move(children)), stripe_(stripe) {
+  assert(!children_.empty() && stripe_ > 0);
+  capacity_ = min_child_capacity(children_) * children_.size();
+}
+
+std::string Raid0Device::describe() const {
+  return "raid0(" + std::to_string(children_.size()) + "x " +
+         children_.front()->describe() + ")";
+}
+
+void Raid0Device::reset_state() {
+  for (auto& c : children_) c->reset_state();
+}
+
+void Raid0Device::submit(DevOp op, Bytes offset, Bytes size, DevDoneFn done) {
+  // Split [offset, offset+size) into per-child pieces (round-robin stripes,
+  // merged per child like the PFS layout math).
+  struct Piece {
+    std::size_t child;
+    Bytes child_offset;
+    Bytes length;
+  };
+  std::vector<Piece> pieces;
+  const std::size_t n = children_.size();
+  Bytes cur = offset;
+  Bytes remaining = size;
+  while (remaining > 0) {
+    const Bytes unit = cur / stripe_;
+    const Bytes within = cur % stripe_;
+    const std::size_t child = static_cast<std::size_t>(unit % n);
+    const Bytes child_off = (unit / n) * stripe_ + within;
+    const Bytes take = std::min(remaining, stripe_ - within);
+    if (!pieces.empty() && pieces.back().child == child &&
+        pieces.back().child_offset + pieces.back().length == child_off) {
+      pieces.back().length += take;
+    } else {
+      pieces.push_back(Piece{child, child_off, take});
+    }
+    cur += take;
+    remaining -= take;
+  }
+
+  struct State {
+    bool ok = true;
+    SimTime first_start = SimTime::max();
+    SimTime last_end{};
+  };
+  auto state = std::make_shared<State>();
+  const std::uint64_t count = pieces.size();
+  sim::fan_out(
+      sim_, count,
+      [this, op, pieces = std::move(pieces), state](std::uint64_t i,
+                                                    sim::EventFn one_done) {
+        const Piece piece = pieces[i];
+        children_[piece.child]->submit(
+            op, piece.child_offset, piece.length,
+            [state, one_done = std::move(one_done)](DevResult r) {
+              state->ok = state->ok && r.ok;
+              state->first_start = min(state->first_start, r.start);
+              state->last_end = max(state->last_end, r.end);
+              one_done();
+            });
+      },
+      [this, op, size, state, done = std::move(done)]() {
+        account(op, size, state->ok, state->last_end - state->first_start);
+        done(DevResult{state->ok, state->first_start, state->last_end});
+      });
+}
+
+Raid1Device::Raid1Device(sim::Simulator& sim,
+                         std::vector<std::unique_ptr<BlockDevice>> children)
+    : sim_(sim), children_(std::move(children)) {
+  assert(!children_.empty());
+  capacity_ = min_child_capacity(children_);
+}
+
+std::string Raid1Device::describe() const {
+  return "raid1(" + std::to_string(children_.size()) + "x " +
+         children_.front()->describe() + ")";
+}
+
+void Raid1Device::reset_state() {
+  for (auto& c : children_) c->reset_state();
+}
+
+void Raid1Device::submit(DevOp op, Bytes offset, Bytes size, DevDoneFn done) {
+  if (op == DevOp::read) {
+    // Round-robin read distribution across replicas.
+    const std::size_t child = next_read_;
+    next_read_ = (next_read_ + 1) % children_.size();
+    children_[child]->submit(
+        op, offset, size,
+        [this, op, size, done = std::move(done)](DevResult r) {
+          account(op, size, r.ok, r.end - r.start);
+          done(r);
+        });
+    return;
+  }
+
+  // Writes go to every replica; completion when the slowest lands.
+  struct State {
+    bool ok = true;
+    SimTime first_start = SimTime::max();
+    SimTime last_end{};
+  };
+  auto state = std::make_shared<State>();
+  sim::fan_out(
+      sim_, children_.size(),
+      [this, op, offset, size, state](std::uint64_t i, sim::EventFn one_done) {
+        children_[i]->submit(op, offset, size,
+                             [state, one_done = std::move(one_done)](
+                                 DevResult r) {
+                               state->ok = state->ok && r.ok;
+                               state->first_start =
+                                   min(state->first_start, r.start);
+                               state->last_end = max(state->last_end, r.end);
+                               one_done();
+                             });
+      },
+      [this, op, size, state, done = std::move(done)]() {
+        account(op, size, state->ok, state->last_end - state->first_start);
+        done(DevResult{state->ok, state->first_start, state->last_end});
+      });
+}
+
+}  // namespace bpsio::device

@@ -1,0 +1,66 @@
+// RAID compositions of block devices.
+//
+// RAID-0 (striping) and RAID-1 (mirroring) as BlockDevice combinators: a
+// way to study device-level parallelism without a parallel file system
+// (software RAID under a local FS was a common alternative to PVFS in the
+// paper's era, and makes another Set-1-style "storage device variety"
+// point). Children are owned by the array.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "device/block_device.hpp"
+#include "sim/simulator.hpp"
+
+namespace bpsio::device {
+
+/// RAID-0: stripes the address space across children in `stripe` units.
+/// Capacity = children * min(child capacity). A request spanning stripe
+/// boundaries fans out and completes when its last piece does.
+class Raid0Device final : public BlockDevice {
+ public:
+  Raid0Device(sim::Simulator& sim,
+              std::vector<std::unique_ptr<BlockDevice>> children,
+              Bytes stripe = 64 * kKiB);
+
+  void submit(DevOp op, Bytes offset, Bytes size, DevDoneFn done) override;
+  Bytes capacity() const override { return capacity_; }
+  std::string describe() const override;
+  void reset_state() override;
+
+  std::size_t child_count() const { return children_.size(); }
+  BlockDevice& child(std::size_t i) { return *children_.at(i); }
+
+ private:
+  sim::Simulator& sim_;
+  std::vector<std::unique_ptr<BlockDevice>> children_;
+  Bytes stripe_;
+  Bytes capacity_;
+};
+
+/// RAID-1: mirrors writes to every child; reads round-robin across children.
+/// Capacity = min(child capacity). A read fails only if its chosen child
+/// fails; a write fails if ANY replica write fails.
+class Raid1Device final : public BlockDevice {
+ public:
+  Raid1Device(sim::Simulator& sim,
+              std::vector<std::unique_ptr<BlockDevice>> children);
+
+  void submit(DevOp op, Bytes offset, Bytes size, DevDoneFn done) override;
+  Bytes capacity() const override { return capacity_; }
+  std::string describe() const override;
+  void reset_state() override;
+
+  std::size_t child_count() const { return children_.size(); }
+  BlockDevice& child(std::size_t i) { return *children_.at(i); }
+
+ private:
+  sim::Simulator& sim_;
+  std::vector<std::unique_ptr<BlockDevice>> children_;
+  Bytes capacity_;
+  std::size_t next_read_ = 0;
+};
+
+}  // namespace bpsio::device

@@ -1,0 +1,20 @@
+#include "device/ram_device.hpp"
+
+namespace bpsio::device {
+
+RamDevice::RamDevice(sim::Simulator& sim, RamParams params)
+    : params_(params), center_(sim, params.ports, "ram") {}
+
+void RamDevice::submit(DevOp op, Bytes offset, Bytes size, DevDoneFn done) {
+  (void)offset;
+  const SimDuration t =
+      params_.latency + SimDuration::from_seconds(static_cast<double>(size) /
+                                                  (params_.rate_mbps * 1e6));
+  center_.submit(t, [this, op, size, done = std::move(done)](SimTime start,
+                                                             SimTime end) {
+    account(op, size, true, end - start);
+    done(DevResult{true, start, end});
+  });
+}
+
+}  // namespace bpsio::device

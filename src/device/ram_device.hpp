@@ -1,0 +1,30 @@
+// Memory-backed device: near-zero latency, very high bandwidth. Used for
+// unit tests and as the metadata-server backing store.
+#pragma once
+
+#include "device/block_device.hpp"
+#include "sim/service_center.hpp"
+
+namespace bpsio::device {
+
+struct RamParams {
+  Bytes capacity = 8 * kGiB;
+  SimDuration latency = SimDuration::from_us(1.0);
+  double rate_mbps = 8000.0;
+  std::uint32_t ports = 4;
+};
+
+class RamDevice final : public BlockDevice {
+ public:
+  RamDevice(sim::Simulator& sim, RamParams params = {});
+
+  void submit(DevOp op, Bytes offset, Bytes size, DevDoneFn done) override;
+  Bytes capacity() const override { return params_.capacity; }
+  std::string describe() const override { return "ram"; }
+
+ private:
+  RamParams params_;
+  sim::ServiceCenter center_;
+};
+
+}  // namespace bpsio::device

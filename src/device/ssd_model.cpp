@@ -1,0 +1,45 @@
+#include "device/ssd_model.hpp"
+
+#include <cstdio>
+
+namespace bpsio::device {
+
+SsdModel::SsdModel(sim::Simulator& sim, SsdParams params, std::uint64_t seed)
+    : params_(params), center_(sim, params.channels, "ssd"), rng_(seed) {}
+
+std::string SsdModel::describe() const {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "ssd(%.0fGB %uch %.0fMB/s/ch)",
+                static_cast<double>(params_.capacity) / 1e9, params_.channels,
+                params_.channel_rate_mbps);
+  return buf;
+}
+
+SimDuration SsdModel::nominal_service_time(DevOp op, Bytes size) const {
+  const SimDuration latency =
+      op == DevOp::read ? params_.read_latency : params_.write_latency;
+  const double xfer_s =
+      static_cast<double>(size) / (params_.channel_rate_mbps * 1e6);
+  return latency + SimDuration::from_seconds(xfer_s);
+}
+
+void SsdModel::submit(DevOp op, Bytes offset, Bytes size, DevDoneFn done) {
+  (void)offset;  // no mechanical state
+  const bool fail = params_.faults.failure_rate > 0.0 &&
+                    rng_.uniform() < params_.faults.failure_rate;
+  const SimDuration nominal = nominal_service_time(op, size);
+  double scale = 1.0;
+  if (params_.jitter > 0.0) {
+    scale += params_.jitter * (2.0 * rng_.uniform() - 1.0);
+  }
+  if (fail) scale *= params_.faults.failed_fraction;
+  const SimDuration t =
+      SimDuration(static_cast<std::int64_t>(static_cast<double>(nominal.ns()) * scale));
+  center_.submit(t, [this, op, size, fail, done = std::move(done)](
+                        SimTime start, SimTime end) {
+    account(op, size, !fail, end - start);
+    done(DevResult{!fail, start, end});
+  });
+}
+
+}  // namespace bpsio::device

@@ -1,0 +1,48 @@
+// Flash device service-time model.
+//
+// Calibrated to the paper's PCI-E X4 100 GB SSD (2009-era Fusion-io class):
+// `channels` requests are serviced in parallel; each pays a per-command
+// latency (reads cheaper than writes) plus size over the per-channel
+// transfer rate. No mechanical state — offsets do not matter, which is
+// exactly why record-size sweeps on SSD (Figure 6/8) still show ARPT rising
+// with request size while execution time falls.
+#pragma once
+
+#include "common/rng.hpp"
+#include "device/block_device.hpp"
+#include "sim/service_center.hpp"
+
+namespace bpsio::device {
+
+struct SsdParams {
+  Bytes capacity = 100 * kGiB;
+  std::uint32_t channels = 4;
+  SimDuration read_latency = SimDuration::from_us(60.0);
+  SimDuration write_latency = SimDuration::from_us(250.0);
+  double channel_rate_mbps = 180.0;  ///< per-channel streaming rate
+  /// Latency jitter fraction (uniform +/-): models FTL variability.
+  double jitter = 0.1;
+  FaultProfile faults{};
+};
+
+class SsdModel final : public BlockDevice {
+ public:
+  SsdModel(sim::Simulator& sim, SsdParams params, std::uint64_t seed = 1);
+
+  void submit(DevOp op, Bytes offset, Bytes size, DevDoneFn done) override;
+  Bytes capacity() const override { return params_.capacity; }
+  std::string describe() const override;
+
+  const SsdParams& params() const { return params_; }
+  const sim::ServiceCenter& service() const { return center_; }
+
+  /// Nominal (jitter-free) service time, for unit tests.
+  SimDuration nominal_service_time(DevOp op, Bytes size) const;
+
+ private:
+  SsdParams params_;
+  sim::ServiceCenter center_;
+  Rng rng_;
+};
+
+}  // namespace bpsio::device

@@ -1,0 +1,73 @@
+#include "fs/extent_allocator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bpsio::fs {
+
+ExtentAllocator::ExtentAllocator(Bytes base, Bytes capacity, Bytes max_extent)
+    : capacity_(capacity), max_extent_(max_extent), free_bytes_(capacity) {
+  free_list_.push_back(Extent{base, capacity});
+}
+
+Result<std::vector<Extent>> ExtentAllocator::allocate(Bytes size) {
+  if (size == 0) return Error{Errc::invalid_argument, "zero-size allocation"};
+  if (size > free_bytes_) return Error{Errc::out_of_space, "allocator full"};
+
+  std::vector<Extent> out;
+  Bytes remaining = size;
+  // First-fit: walk the free list, carving from the front of each fragment.
+  for (auto it = free_list_.begin(); it != free_list_.end() && remaining > 0;) {
+    Bytes take = std::min(it->length, remaining);
+    if (max_extent_ > 0) take = std::min(take, max_extent_);
+    out.push_back(Extent{it->device_offset, take});
+    remaining -= take;
+    if (take == it->length) {
+      it = free_list_.erase(it);
+    } else {
+      it->device_offset += take;
+      it->length -= take;
+      if (max_extent_ == 0 || remaining == 0) {
+        ++it;
+      }
+      // With max_extent set, keep carving this fragment on the next pass.
+    }
+  }
+  assert(remaining == 0 && "free_bytes_ said there was room");
+  free_bytes_ -= size;
+  return out;
+}
+
+void ExtentAllocator::insert_free(Extent e) {
+  auto it = std::lower_bound(
+      free_list_.begin(), free_list_.end(), e,
+      [](const Extent& a, const Extent& b) {
+        return a.device_offset < b.device_offset;
+      });
+  it = free_list_.insert(it, e);
+  // Coalesce with successor.
+  if (auto next = std::next(it); next != free_list_.end() &&
+                                 it->device_offset + it->length ==
+                                     next->device_offset) {
+    it->length += next->length;
+    free_list_.erase(next);
+  }
+  // Coalesce with predecessor.
+  if (it != free_list_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->device_offset + prev->length == it->device_offset) {
+      prev->length += it->length;
+      free_list_.erase(it);
+    }
+  }
+}
+
+void ExtentAllocator::release(const std::vector<Extent>& extents) {
+  for (const auto& e : extents) {
+    if (e.length == 0) continue;
+    insert_free(e);
+    free_bytes_ += e.length;
+  }
+}
+
+}  // namespace bpsio::fs

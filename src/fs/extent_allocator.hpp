@@ -1,0 +1,46 @@
+// Extent-based space allocation for the simulated local file system.
+//
+// First-fit over a sorted free list. Contiguous allocation is preferred
+// (sequential files behave sequentially on the disk model); an optional
+// max_extent knob fragments allocations to study seek-bound behaviour.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/units.hpp"
+
+namespace bpsio::fs {
+
+struct Extent {
+  Bytes device_offset = 0;
+  Bytes length = 0;
+  friend bool operator==(const Extent&, const Extent&) = default;
+};
+
+class ExtentAllocator {
+ public:
+  /// Manages [base, base+capacity) of a device.
+  ExtentAllocator(Bytes base, Bytes capacity, Bytes max_extent = 0);
+
+  /// Allocate `size` bytes as one or more extents (fewest possible).
+  Result<std::vector<Extent>> allocate(Bytes size);
+  /// Return extents to the free pool (coalesces neighbours).
+  void release(const std::vector<Extent>& extents);
+
+  Bytes free_bytes() const { return free_bytes_; }
+  Bytes capacity() const { return capacity_; }
+  /// Number of free-list fragments (diagnostic).
+  std::size_t fragment_count() const { return free_list_.size(); }
+
+ private:
+  void insert_free(Extent e);
+
+  Bytes capacity_;
+  Bytes max_extent_;  ///< 0 = unlimited (fully contiguous when possible)
+  Bytes free_bytes_;
+  std::vector<Extent> free_list_;  ///< sorted by device_offset, coalesced
+};
+
+}  // namespace bpsio::fs

@@ -1,0 +1,123 @@
+#include "fs/page_cache.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bpsio::fs {
+
+PageCache::PageCache(Bytes capacity, Bytes page_size) : page_size_(page_size) {
+  assert(page_size_ > 0);
+  capacity_pages_ = static_cast<std::size_t>(capacity / page_size_);
+  if (capacity_pages_ == 0) capacity_pages_ = 1;
+}
+
+std::vector<PageRun> PageCache::probe(std::uint32_t file_id,
+                                      std::uint64_t first_page,
+                                      std::uint64_t count) {
+  std::vector<PageRun> misses;
+  std::uint64_t run_start = 0;
+  bool in_run = false;
+  for (std::uint64_t p = first_page; p < first_page + count; ++p) {
+    const auto it = map_.find(make_key(file_id, p));
+    if (it != map_.end()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      if (in_run) {
+        misses.push_back(PageRun{file_id, run_start, p - run_start});
+        in_run = false;
+      }
+    } else {
+      ++stats_.misses;
+      if (!in_run) {
+        run_start = p;
+        in_run = true;
+      }
+    }
+  }
+  if (in_run) {
+    misses.push_back(PageRun{file_id, run_start, first_page + count - run_start});
+  }
+  return misses;
+}
+
+bool PageCache::contains(std::uint32_t file_id, std::uint64_t first_page,
+                         std::uint64_t count) {
+  return probe(file_id, first_page, count).empty();
+}
+
+void PageCache::evict_one(std::vector<Key>& dirty_out) {
+  assert(!lru_.empty());
+  const Key victim = lru_.back();
+  lru_.pop_back();
+  const auto it = map_.find(victim);
+  assert(it != map_.end());
+  ++stats_.evictions;
+  if (it->second.dirty) {
+    ++stats_.dirty_evictions;
+    dirty_out.push_back(victim);
+  }
+  map_.erase(it);
+}
+
+std::vector<PageRun> PageCache::keys_to_runs(std::vector<Key> keys) {
+  std::sort(keys.begin(), keys.end());
+  std::vector<PageRun> runs;
+  for (const Key k : keys) {
+    if (!runs.empty() && runs.back().file_id == key_file(k) &&
+        runs.back().first_page + runs.back().page_count == key_page(k)) {
+      ++runs.back().page_count;
+    } else {
+      runs.push_back(PageRun{key_file(k), key_page(k), 1});
+    }
+  }
+  return runs;
+}
+
+std::vector<PageRun> PageCache::insert(std::uint32_t file_id,
+                                       std::uint64_t first_page,
+                                       std::uint64_t count, bool dirty) {
+  std::vector<Key> evicted_dirty;
+  for (std::uint64_t p = first_page; p < first_page + count; ++p) {
+    const Key key = make_key(file_id, p);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      it->second.dirty = it->second.dirty || dirty;
+      continue;
+    }
+    while (map_.size() >= capacity_pages_) evict_one(evicted_dirty);
+    lru_.push_front(key);
+    map_.emplace(key, Entry{lru_.begin(), dirty});
+    ++stats_.insertions;
+  }
+  return keys_to_runs(std::move(evicted_dirty));
+}
+
+std::vector<PageRun> PageCache::collect_dirty() {
+  std::vector<Key> dirty;
+  for (auto& [key, entry] : map_) {
+    if (entry.dirty) {
+      entry.dirty = false;
+      dirty.push_back(key);
+    }
+  }
+  return keys_to_runs(std::move(dirty));
+}
+
+void PageCache::invalidate_all() {
+  lru_.clear();
+  map_.clear();
+}
+
+void PageCache::invalidate_file(std::uint32_t file_id) {
+  for (auto it = map_.begin(); it != map_.end();) {
+    if (key_file(it->first) == file_id) {
+      lru_.erase(it->second.lru_pos);
+      it = map_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace bpsio::fs

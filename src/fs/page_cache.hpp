@@ -1,0 +1,100 @@
+// LRU page cache for the simulated local file system.
+//
+// Tracks which (file, page) pairs are resident — there is no data, only
+// residency and dirtiness. The read path asks for the miss runs of a page
+// range; the write path inserts dirty pages (write-back) or clean pages
+// (write-through). Evictions of dirty pages surface to the caller so the
+// file system can schedule the write-back I/O.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace bpsio::fs {
+
+/// A run of consecutive pages of one file.
+struct PageRun {
+  std::uint32_t file_id = 0;
+  std::uint64_t first_page = 0;
+  std::uint64_t page_count = 0;
+  friend bool operator==(const PageRun&, const PageRun&) = default;
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t dirty_evictions = 0;
+
+  double hit_rate() const {
+    const auto total = hits + misses;
+    return total ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+  }
+};
+
+class PageCache {
+ public:
+  /// `capacity` in bytes, `page_size` the caching granularity.
+  PageCache(Bytes capacity, Bytes page_size);
+
+  Bytes page_size() const { return page_size_; }
+  std::size_t capacity_pages() const { return capacity_pages_; }
+  std::size_t resident_pages() const { return map_.size(); }
+
+  /// Probe pages [first, first+count) of `file_id`. Hits are touched
+  /// (moved to MRU); the gaps are returned as maximal miss runs.
+  std::vector<PageRun> probe(std::uint32_t file_id, std::uint64_t first_page,
+                             std::uint64_t count);
+
+  /// True when every page of the range is resident (touches on hit).
+  bool contains(std::uint32_t file_id, std::uint64_t first_page,
+                std::uint64_t count);
+
+  /// Insert pages (MRU). Already-resident pages are refreshed; a clean
+  /// insert over a dirty page keeps it dirty. Returns the *dirty* page runs
+  /// evicted to make room — the caller owns writing them back.
+  std::vector<PageRun> insert(std::uint32_t file_id, std::uint64_t first_page,
+                              std::uint64_t count, bool dirty);
+
+  /// Remove and return all dirty runs (they become clean-resident).
+  std::vector<PageRun> collect_dirty();
+  /// Drop every page, dirty or not (simulates `echo 3 > drop_caches`).
+  void invalidate_all();
+  /// Drop all pages belonging to one file (on remove()).
+  void invalidate_file(std::uint32_t file_id);
+
+  const CacheStats& stats() const { return stats_; }
+  void clear_stats() { stats_ = CacheStats{}; }
+
+ private:
+  using Key = std::uint64_t;  // file_id << 40 | page_index
+  static Key make_key(std::uint32_t file_id, std::uint64_t page) {
+    return (static_cast<Key>(file_id) << 40) | page;
+  }
+  static std::uint32_t key_file(Key k) {
+    return static_cast<std::uint32_t>(k >> 40);
+  }
+  static std::uint64_t key_page(Key k) { return k & ((1ULL << 40) - 1); }
+
+  struct Entry {
+    std::list<Key>::iterator lru_pos;
+    bool dirty = false;
+  };
+
+  /// Evict the LRU page; append to `dirty_out` if it was dirty.
+  void evict_one(std::vector<Key>& dirty_out);
+  static std::vector<PageRun> keys_to_runs(std::vector<Key> keys);
+
+  Bytes page_size_;
+  std::size_t capacity_pages_;
+  std::list<Key> lru_;  ///< front = MRU, back = LRU
+  std::unordered_map<Key, Entry> map_;
+  CacheStats stats_;
+};
+
+}  // namespace bpsio::fs

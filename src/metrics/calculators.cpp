@@ -1,0 +1,126 @@
+#include "metrics/calculators.hpp"
+
+#include <cstdio>
+
+#include "metrics/overlap.hpp"
+
+namespace bpsio::metrics {
+
+SimDuration overlapped_io_time(const trace::TraceCollector& collector,
+                               OverlapAlgorithm algo,
+                               const trace::RecordFilter& filter) {
+  auto col_time = collector.col_time(filter);
+  return algo == OverlapAlgorithm::paper
+             ? overlap_time_paper(std::move(col_time))
+             : overlap_time_merged(std::move(col_time));
+}
+
+double bps(const trace::TraceCollector& collector, Bytes block_size,
+           OverlapAlgorithm algo, const trace::RecordFilter& filter) {
+  const auto t = overlapped_io_time(collector, algo, filter);
+  if (t.ns() <= 0) return 0.0;
+  // Records store blocks in the collector's native block unit (512 B). If a
+  // different block size is requested, rescale via bytes.
+  const std::uint64_t blocks =
+      block_size == kDefaultBlockSize
+          ? collector.total_blocks(filter)
+          : bytes_to_blocks(collector.total_bytes(kDefaultBlockSize, filter),
+                            block_size);
+  return static_cast<double>(blocks) / t.seconds();
+}
+
+double iops(std::size_t access_count, SimDuration period) {
+  if (period.ns() <= 0) return 0.0;
+  return static_cast<double>(access_count) / period.seconds();
+}
+
+double iops(const trace::TraceCollector& collector, SimDuration period,
+            const trace::RecordFilter& filter) {
+  std::size_t n = 0;
+  for (const auto& r : collector.records()) {
+    if (filter.matches(r)) ++n;
+  }
+  return iops(n, period);
+}
+
+double bandwidth(Bytes moved_bytes, SimDuration period) {
+  if (period.ns() <= 0) return 0.0;
+  return static_cast<double>(moved_bytes) / period.seconds();
+}
+
+double arpt(const trace::TraceCollector& collector,
+            const trace::RecordFilter& filter) {
+  double total = 0.0;
+  std::size_t n = 0;
+  for (const auto& r : collector.records()) {
+    if (!filter.matches(r)) continue;
+    total += r.response_time().seconds();
+    ++n;
+  }
+  return n ? total / static_cast<double>(n) : 0.0;
+}
+
+MetricSample measure_run(const trace::TraceCollector& collector,
+                         Bytes moved_bytes, SimDuration exec_time,
+                         Bytes block_size, OverlapAlgorithm algo) {
+  MetricSample s;
+  s.exec_time_s = exec_time.seconds();
+  s.access_count = collector.record_count();
+  s.app_blocks = collector.total_blocks();
+  s.app_bytes = collector.total_bytes();
+  s.moved_bytes = moved_bytes;
+  const auto t_union = overlapped_io_time(collector, algo);
+  s.io_time_s = t_union.seconds();
+  s.iops = iops(s.access_count, exec_time);
+  s.bandwidth_bps = bandwidth(moved_bytes, exec_time);
+  s.arpt_s = arpt(collector);
+  s.bps = bps(collector, block_size, algo);
+  s.peak_concurrency =
+      static_cast<double>(peak_concurrency(collector.col_time()));
+  return s;
+}
+
+std::string MetricSample::to_string() const {
+  char buf[320];
+  std::snprintf(buf, sizeof buf,
+                "exec=%.4gs iops=%.4g bw=%.4gMB/s arpt=%.4gms bps=%.4g "
+                "(B=%llu blocks, T=%.4gs, moved=%.4gMiB, ops=%llu)",
+                exec_time_s, iops, bandwidth_bps / 1e6, arpt_s * 1e3, bps,
+                static_cast<unsigned long long>(app_blocks), io_time_s,
+                static_cast<double>(moved_bytes) / (1024.0 * 1024.0),
+                static_cast<unsigned long long>(access_count));
+  return buf;
+}
+
+std::string metric_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::iops: return "IOPS";
+    case MetricKind::bandwidth: return "BW";
+    case MetricKind::arpt: return "ARPT";
+    case MetricKind::bps: return "BPS";
+  }
+  return "?";
+}
+
+stats::Direction expected_direction(MetricKind kind) {
+  // Table 1: IOPS negative, Bandwidth negative, ARPT positive, BPS negative.
+  switch (kind) {
+    case MetricKind::iops: return stats::Direction::negative;
+    case MetricKind::bandwidth: return stats::Direction::negative;
+    case MetricKind::arpt: return stats::Direction::positive;
+    case MetricKind::bps: return stats::Direction::negative;
+  }
+  return stats::Direction::negative;
+}
+
+double metric_value(const MetricSample& sample, MetricKind kind) {
+  switch (kind) {
+    case MetricKind::iops: return sample.iops;
+    case MetricKind::bandwidth: return sample.bandwidth_bps;
+    case MetricKind::arpt: return sample.arpt_s;
+    case MetricKind::bps: return sample.bps;
+  }
+  return 0.0;
+}
+
+}  // namespace bpsio::metrics

@@ -1,0 +1,53 @@
+#include "metrics/latency.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+
+namespace bpsio::metrics {
+
+LatencySummary latency_summary(const trace::TraceCollector& collector,
+                               const trace::RecordFilter& filter) {
+  std::vector<double> rts;
+  rts.reserve(collector.record_count());
+  double sum = 0;
+  for (const auto& r : collector.records()) {
+    if (!filter.matches(r)) continue;
+    const double rt = r.response_time().seconds();
+    rts.push_back(rt);
+    sum += rt;
+  }
+  LatencySummary s;
+  s.count = rts.size();
+  if (rts.empty()) return s;
+  s.mean_s = sum / static_cast<double>(rts.size());
+  s.max_s = *std::max_element(rts.begin(), rts.end());
+  s.p50_s = stats::percentile(rts, 50);
+  s.p95_s = stats::percentile(rts, 95);
+  s.p99_s = stats::percentile(rts, 99);
+  return s;
+}
+
+std::string LatencySummary::to_string() const {
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "n=%zu mean=%.3fms p50=%.3fms p95=%.3fms p99=%.3fms "
+                "max=%.3fms",
+                count, mean_s * 1e3, p50_s * 1e3, p95_s * 1e3, p99_s * 1e3,
+                max_s * 1e3);
+  return buf;
+}
+
+stats::LogHistogram latency_histogram(const trace::TraceCollector& collector,
+                                      const trace::RecordFilter& filter) {
+  stats::LogHistogram hist(1e-6, 100.0, 2.0);
+  for (const auto& r : collector.records()) {
+    if (!filter.matches(r)) continue;
+    hist.add(r.response_time().seconds());
+  }
+  return hist;
+}
+
+}  // namespace bpsio::metrics

@@ -1,0 +1,34 @@
+// Response-time distribution summaries.
+//
+// ARPT (the arithmetic mean) is what the paper compares against; real
+// analyses also need the tail. LatencySummary reports percentiles and a
+// log-scaled histogram of per-access response times, with the same filter
+// support as every other trace consumer.
+#pragma once
+
+#include <string>
+
+#include "stats/histogram.hpp"
+#include "trace/trace_collector.hpp"
+
+namespace bpsio::metrics {
+
+struct LatencySummary {
+  std::size_t count = 0;
+  double mean_s = 0;   ///< == ARPT
+  double p50_s = 0;
+  double p95_s = 0;
+  double p99_s = 0;
+  double max_s = 0;
+
+  std::string to_string() const;
+};
+
+LatencySummary latency_summary(const trace::TraceCollector& collector,
+                               const trace::RecordFilter& filter = {});
+
+/// Log-scaled response-time histogram (seconds), 1 µs .. 100 s buckets.
+stats::LogHistogram latency_histogram(const trace::TraceCollector& collector,
+                                      const trace::RecordFilter& filter = {});
+
+}  // namespace bpsio::metrics

@@ -1,0 +1,44 @@
+#include "metrics/online.hpp"
+
+#include <cstdio>
+
+namespace bpsio::metrics {
+
+void OnlineBpsCounter::access_started(SimTime t) {
+  if (active_ == 0) open_since_ = t;
+  ++active_;
+  ++started_;
+}
+
+void OnlineBpsCounter::access_finished(SimTime t, std::uint64_t blocks) {
+  assert(active_ > 0 && "finish without matching start");
+  blocks_ += blocks;
+  ++finished_;
+  --active_;
+  if (active_ == 0) busy_ns_ += (t - open_since_).ns();
+}
+
+SimDuration OnlineBpsCounter::busy_time(SimTime now) const {
+  std::int64_t total = busy_ns_;
+  if (active_ > 0) total += (now - open_since_).ns();
+  return SimDuration(total);
+}
+
+double OnlineBpsCounter::bps(SimTime now) const {
+  const auto t = busy_time(now);
+  if (t.ns() <= 0) return 0.0;
+  return static_cast<double>(blocks_) / t.seconds();
+}
+
+void OnlineBpsCounter::reset() { *this = OnlineBpsCounter{}; }
+
+std::string OnlineBpsCounter::to_string(SimTime now) const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "online BPS=%.6g (B=%llu, T=%.6gs, in-flight=%u)", bps(now),
+                static_cast<unsigned long long>(blocks_),
+                busy_time(now).seconds(), active_);
+  return buf;
+}
+
+}  // namespace bpsio::metrics

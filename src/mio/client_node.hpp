@@ -1,0 +1,50 @@
+// A compute node's client-side CPU resource, shared by every simulated
+// process on that node. Per-operation middleware costs (syscall entry, VFS
+// dispatch, PVFS client processing, user/kernel copies, data-sieving
+// extraction) are charged here, so running many I/O streams on one node
+// contends for the node's cores — the paper's IOzone-throughput-mode setup.
+#pragma once
+
+#include <cstdint>
+
+#include "common/sim_time.hpp"
+#include "common/units.hpp"
+#include "sim/service_center.hpp"
+#include "sim/simulator.hpp"
+
+namespace bpsio::mio {
+
+struct ClientNodeParams {
+  std::uint32_t cores = 8;  ///< two quad-core Opterons, per the paper
+  /// Fixed per-operation middleware cost (syscall + VFS + client dispatch).
+  SimDuration per_op_overhead = SimDuration::from_us(50.0);
+  /// User<->kernel (or extraction) copy rate.
+  double copy_rate_mbps = 2500.0;
+};
+
+class ClientNode {
+ public:
+  ClientNode(sim::Simulator& sim, ClientNodeParams params = {})
+      : sim_(sim), params_(params), cpu_(sim, params.cores, "client.cpu") {}
+
+  sim::Simulator& simulator() { return sim_; }
+  const ClientNodeParams& params() const { return params_; }
+  sim::ServiceCenter& cpu() { return cpu_; }
+
+  SimDuration copy_time(Bytes n) const {
+    return SimDuration::from_seconds(static_cast<double>(n) /
+                                     (params_.copy_rate_mbps * 1e6));
+  }
+
+  /// Charge `t` of CPU, then run `next`.
+  void compute(SimDuration t, sim::EventFn next) {
+    cpu_.submit(t, [next = std::move(next)](SimTime, SimTime) { next(); });
+  }
+
+ private:
+  sim::Simulator& sim_;
+  ClientNodeParams params_;
+  sim::ServiceCenter cpu_;
+};
+
+}  // namespace bpsio::mio

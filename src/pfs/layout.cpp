@@ -1,0 +1,67 @@
+#include "pfs/layout.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bpsio::pfs {
+
+std::string StripeLayout::to_string() const {
+  std::string s = "stripe(" + std::to_string(stripe_size) + "B x [";
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    if (i) s += ',';
+    s += std::to_string(servers[i]);
+  }
+  return s + "])";
+}
+
+std::vector<ServerRun> split_range(const StripeLayout& layout, Bytes offset,
+                                   Bytes size) {
+  assert(!layout.servers.empty());
+  assert(layout.stripe_size > 0);
+  const std::uint32_t n = layout.server_count();
+
+  // Collect per-server merged runs.
+  std::vector<std::vector<ServerRun>> per_server(n);
+  Bytes cur = offset;
+  Bytes remaining = size;
+  while (remaining > 0) {
+    const Bytes unit = cur / layout.stripe_size;       // global stripe unit
+    const Bytes within = cur % layout.stripe_size;
+    const std::uint32_t srv = static_cast<std::uint32_t>(unit % n);
+    const Bytes local_unit = unit / n;                 // unit index on server
+    const Bytes local_off = local_unit * layout.stripe_size + within;
+    const Bytes take = std::min(remaining, layout.stripe_size - within);
+
+    auto& runs = per_server[srv];
+    if (!runs.empty() &&
+        runs.back().local_offset + runs.back().length == local_off) {
+      runs.back().length += take;
+    } else {
+      runs.push_back(ServerRun{srv, local_off, take});
+    }
+    cur += take;
+    remaining -= take;
+  }
+
+  std::vector<ServerRun> out;
+  for (std::uint32_t s = 0; s < n; ++s) {
+    out.insert(out.end(), per_server[s].begin(), per_server[s].end());
+  }
+  return out;
+}
+
+Bytes server_object_size(const StripeLayout& layout, Bytes logical_size,
+                         std::uint32_t which) {
+  assert(which < layout.server_count());
+  if (logical_size == 0) return 0;
+  const std::uint32_t n = layout.server_count();
+  const Bytes full_units = logical_size / layout.stripe_size;
+  const Bytes tail = logical_size % layout.stripe_size;
+  // Units are dealt round-robin: server k gets units k, k+n, k+2n, ...
+  const Bytes own_full = full_units / n + ((full_units % n) > which ? 1 : 0);
+  Bytes bytes = own_full * layout.stripe_size;
+  if (tail > 0 && (full_units % n) == which) bytes += tail;
+  return bytes;
+}
+
+}  // namespace bpsio::pfs

@@ -1,0 +1,51 @@
+// File striping layout — PVFS2-style round-robin distribution.
+//
+// A file is divided into stripe units of `stripe_size` bytes, dealt
+// round-robin across an explicit, ordered list of I/O servers (PVFS2's
+// "simple stripe" distribution). The paper's Set-3a experiment pins each
+// file to a single server by "setting the file stripe layout attributes
+// when it was created" — expressed here as a one-element server list.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace bpsio::pfs {
+
+struct StripeLayout {
+  Bytes stripe_size = 64 * kKiB;  ///< PVFS2 default strip size
+  std::vector<std::uint32_t> servers;  ///< ordered server ids (>=1 entry)
+
+  std::uint32_t server_count() const {
+    return static_cast<std::uint32_t>(servers.size());
+  }
+
+  std::string to_string() const;
+};
+
+/// One contiguous piece of a striped request on a single server.
+struct ServerRun {
+  std::uint32_t server = 0;   ///< index into layout.servers
+  Bytes local_offset = 0;     ///< offset within the server-local object
+  Bytes length = 0;
+
+  friend bool operator==(const ServerRun&, const ServerRun&) = default;
+};
+
+/// Split logical range [offset, offset+size) across the layout's servers and
+/// merge per-server contiguous pieces. Runs are returned grouped by server
+/// in layout order; within a server, runs are sorted by local offset and
+/// maximally merged (a full-stripe sequential read yields exactly one run
+/// per server).
+std::vector<ServerRun> split_range(const StripeLayout& layout, Bytes offset,
+                                   Bytes size);
+
+/// Size of the server-local object backing `logical_size` bytes on the
+/// `which`-th server of the layout (used when creating per-server objects).
+Bytes server_object_size(const StripeLayout& layout, Bytes logical_size,
+                         std::uint32_t which);
+
+}  // namespace bpsio::pfs

@@ -1,0 +1,50 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace bpsio::sim {
+
+void Simulator::schedule_at(SimTime t, EventFn fn) {
+  assert(t >= now_ && "cannot schedule into the past");
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Simulator::schedule_after(SimDuration d, EventFn fn) {
+  assert(d.ns() >= 0 && "negative delay");
+  schedule_at(now_ + d, std::move(fn));
+}
+
+void Simulator::step() {
+  // priority_queue::top() is const; move the callback out via const_cast.
+  // Safe: the element is popped immediately and never reused.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.time;
+  ++events_processed_;
+  ev.fn();
+}
+
+SimTime Simulator::run() {
+  while (!queue_.empty()) step();
+  return now_;
+}
+
+SimTime Simulator::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().time <= deadline) step();
+  if (now_ < deadline && queue_.empty()) {
+    // Queue drained before the deadline; clock stays at the last event.
+    return now_;
+  }
+  now_ = max(now_, min(deadline, now_));
+  return now_;
+}
+
+void Simulator::reset() {
+  queue_ = {};
+  now_ = SimTime::zero();
+  next_seq_ = 0;
+  events_processed_ = 0;
+}
+
+}  // namespace bpsio::sim

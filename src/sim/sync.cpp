@@ -1,0 +1,34 @@
+#include "sim/sync.hpp"
+
+#include <memory>
+
+namespace bpsio::sim {
+
+void Barrier::arrive(EventFn resume) {
+  waiters_.push_back(std::move(resume));
+  if (waiters_.size() == parties_) {
+    ++rounds_;
+    std::vector<EventFn> to_fire;
+    to_fire.swap(waiters_);
+    for (auto& fn : to_fire) {
+      sim_.schedule_now(std::move(fn));
+    }
+  }
+}
+
+void fan_out(Simulator& sim, std::uint64_t count,
+             const std::function<void(std::uint64_t, EventFn)>& spawn,
+             EventFn all_done) {
+  auto join = std::make_shared<std::unique_ptr<JoinCounter>>();
+  *join = std::make_unique<JoinCounter>(sim, count,
+                                        [join, done = std::move(all_done)]() {
+                                          done();
+                                          // release after firing
+                                          join->reset();
+                                        });
+  for (std::uint64_t i = 0; i < count; ++i) {
+    spawn(i, [join]() { (*join)->complete_one(); });
+  }
+}
+
+}  // namespace bpsio::sim

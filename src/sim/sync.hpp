@@ -1,0 +1,76 @@
+// Synchronization helpers for simulated parallel programs.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace bpsio::sim {
+
+/// MPI_Barrier-style rendezvous: the continuation of every arriving party
+/// fires once the last of `parties` has arrived. Reusable round after round.
+class Barrier {
+ public:
+  Barrier(Simulator& sim, std::uint32_t parties)
+      : sim_(sim), parties_(parties) {
+    assert(parties_ >= 1);
+  }
+
+  /// Register this party's arrival; `resume` runs when the round completes.
+  void arrive(EventFn resume);
+
+  std::uint32_t parties() const { return parties_; }
+  std::uint32_t waiting() const
+  { return static_cast<std::uint32_t>(waiters_.size()); }
+  std::uint64_t rounds_completed() const { return rounds_; }
+
+ private:
+  Simulator& sim_;
+  std::uint32_t parties_;
+  std::vector<EventFn> waiters_;
+  std::uint64_t rounds_ = 0;
+};
+
+/// Fan-in join: fires `done` after `expected` completions have been counted.
+/// Used to join striped sub-requests and collective phases. An expected
+/// count of zero fires immediately on construction-time arm().
+class JoinCounter {
+ public:
+  JoinCounter(Simulator& sim, std::uint64_t expected, EventFn done)
+      : sim_(sim), remaining_(expected), done_(std::move(done)) {
+    if (remaining_ == 0) sim_.schedule_now([this]() { fire(); });
+  }
+
+  void complete_one() {
+    assert(remaining_ > 0);
+    if (--remaining_ == 0) fire();
+  }
+
+  std::uint64_t remaining() const { return remaining_; }
+
+ private:
+  void fire() {
+    if (done_) {
+      EventFn f = std::move(done_);
+      done_ = nullptr;
+      f();
+    }
+  }
+
+  Simulator& sim_;
+  std::uint64_t remaining_;
+  EventFn done_;
+};
+
+/// Run `count` async operations (spawned by `spawn(i, done_one)`) and invoke
+/// `all_done` once every per-operation continuation has been called.
+/// The JoinCounter lives until the last completion.
+void fan_out(Simulator& sim, std::uint64_t count,
+             const std::function<void(std::uint64_t, EventFn)>& spawn,
+             EventFn all_done);
+
+}  // namespace bpsio::sim

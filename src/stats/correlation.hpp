@@ -1,0 +1,55 @@
+// Correlation measures used to evaluate I/O metrics against execution time.
+//
+// The paper's entire evaluation (Figures 4-12) is built on the Pearson
+// correlation coefficient, equation (2):
+//
+//        sum((x - x̄)(y - ȳ))
+//  CC = ------------------------------
+//        sqrt(sum((x-x̄)²)) · sqrt(sum((y-ȳ)²))
+//
+// plus a normalization convention (Section IV.B): a CC whose sign matches
+// the metric's *expected* direction (Table 1) is reported as positive,
+// otherwise negative.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace bpsio::stats {
+
+/// Pearson correlation coefficient of two equal-length samples.
+/// Returns 0 when either sample is constant or shorter than 2.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Spearman rank correlation (Pearson over fractional ranks, ties averaged).
+/// Robust to the monotone-but-nonlinear metric/time relationships the
+/// device models produce; reported alongside Pearson in benches.
+double spearman(std::span<const double> x, std::span<const double> y);
+
+/// Slope of the least-squares line y = a + b·x. Returns 0 for degenerate x.
+double least_squares_slope(std::span<const double> x, std::span<const double> y);
+
+/// Expected correlation direction between a metric and execution time.
+enum class Direction { negative, positive };
+
+/// Paper Section IV.B: "If the value for each I/O metric showed a consistent
+/// correlation direction with the expected one listed in Table 1, we recorded
+/// it with a positive value; otherwise, we recorded it with a negative value."
+/// I.e. normalized = |cc| when sign(cc) matches `expected`, else -|cc|.
+double normalize_cc(double cc, Direction expected);
+
+/// Fractional ranks (1-based, ties get the average rank).
+std::vector<double> ranks(std::span<const double> values);
+
+/// Confidence interval for a Pearson CC via the Fisher z-transform.
+/// `confidence` in (0,1), e.g. 0.95. Undefined (returns [cc,cc]) for n < 4
+/// or |cc| == 1.
+struct CcInterval {
+  double lo = 0;
+  double hi = 0;
+};
+CcInterval cc_confidence_interval(double cc, std::size_t n,
+                                  double confidence = 0.95);
+
+}  // namespace bpsio::stats

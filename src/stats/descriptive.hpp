@@ -1,0 +1,48 @@
+// Streaming descriptive statistics (Welford) and fixed-sample summaries.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace bpsio::stats {
+
+/// Single-pass running mean/variance/min/max accumulator (Welford's method,
+/// numerically stable for long streams of latencies).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  std::string to_string() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Percentile of a sample (linear interpolation between order statistics).
+/// `p` in [0, 100]. Returns 0 for an empty sample.
+double percentile(std::vector<double> values, double p);
+
+/// Arithmetic / geometric / harmonic means of a sample.
+double arithmetic_mean(const std::vector<double>& values);
+double geometric_mean(const std::vector<double>& values);
+double harmonic_mean(const std::vector<double>& values);
+
+}  // namespace bpsio::stats

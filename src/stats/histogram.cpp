@@ -1,0 +1,64 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace bpsio::stats {
+
+LogHistogram::LogHistogram(double lo, double hi, double growth)
+    : lo_(lo), growth_(growth) {
+  assert(lo > 0.0 && hi > lo && growth > 1.0);
+  double bound = lo;
+  bounds_.push_back(bound);
+  while (bound < hi) {
+    bound *= growth;
+    bounds_.push_back(bound);
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void LogHistogram::add(double value) {
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), value);
+  counts_[static_cast<std::size_t>(it - bounds_.begin())]++;
+  ++total_;
+}
+
+double LogHistogram::bucket_lower(std::size_t i) const {
+  return i == 0 ? 0.0 : bounds_.at(i - 1);
+}
+
+double LogHistogram::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += static_cast<double>(counts_[i]);
+    if (cum >= target) {
+      const double lower = bucket_lower(i);
+      const double upper = i < bounds_.size() ? bounds_[i] : lower * growth_;
+      return (lower + upper) / 2.0;
+    }
+  }
+  return bounds_.back();
+}
+
+std::string LogHistogram::to_string() const {
+  std::string out;
+  char buf[128];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    if (i < bounds_.size()) {
+      std::snprintf(buf, sizeof buf, "[%.3g, %.3g): %zu\n", bucket_lower(i),
+                    bounds_[i], counts_[i]);
+    } else {
+      std::snprintf(buf, sizeof buf, "[%.3g, inf): %zu\n", bucket_lower(i),
+                    counts_[i]);
+    }
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace bpsio::stats

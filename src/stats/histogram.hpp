@@ -1,0 +1,39 @@
+// Log-scaled latency histogram for device / middleware diagnostics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bpsio::stats {
+
+/// Histogram with geometrically-spaced bucket boundaries, suitable for
+/// latency distributions spanning microseconds to seconds.
+class LogHistogram {
+ public:
+  /// Buckets: [0, lo), [lo, lo*g), [lo*g, lo*g²), ..., [hi, inf).
+  LogHistogram(double lo, double hi, double growth = 2.0);
+
+  void add(double value);
+  std::size_t count() const { return total_; }
+
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::size_t bucket_value(std::size_t i) const { return counts_.at(i); }
+  /// Lower bound of bucket i (0 for the underflow bucket).
+  double bucket_lower(std::size_t i) const;
+
+  /// Approximate quantile from bucket midpoints. q in [0,1].
+  double quantile(double q) const;
+
+  std::string to_string() const;
+
+ private:
+  double lo_;
+  double growth_;
+  std::vector<double> bounds_;  // upper bounds of all but the last bucket
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace bpsio::stats

@@ -1,0 +1,31 @@
+#include "trace/io_record.hpp"
+
+#include <cstdio>
+
+namespace bpsio::trace {
+
+std::string IoRecord::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "pid=%u op=%s blocks=%llu start=%.9fs end=%.9fs%s", pid,
+                op == IoOpKind::read ? "read" : "write",
+                static_cast<unsigned long long>(blocks),
+                static_cast<double>(start_ns) * 1e-9,
+                static_cast<double>(end_ns) * 1e-9,
+                failed() ? " FAILED" : "");
+  return buf;
+}
+
+IoRecord make_record(std::uint32_t pid, std::uint64_t blocks, SimTime start,
+                     SimTime end, IoOpKind op, std::uint8_t flags) {
+  IoRecord r;
+  r.pid = pid;
+  r.op = op;
+  r.flags = flags;
+  r.blocks = blocks;
+  r.start_ns = start.ns();
+  r.end_ns = end.ns();
+  return r;
+}
+
+}  // namespace bpsio::trace

@@ -1,0 +1,49 @@
+#include "trace/merge.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace bpsio::trace {
+
+std::vector<IoRecord> merge_traces(
+    const std::vector<std::vector<IoRecord>>& traces,
+    const MergeOptions& options) {
+  std::vector<IoRecord> out;
+  std::size_t total = 0;
+  for (const auto& t : traces) total += t.size();
+  out.reserve(total);
+
+  for (std::size_t src = 0; src < traces.size(); ++src) {
+    std::int64_t shift = 0;
+    if (options.alignment == TimeAlignment::align_starts &&
+        !traces[src].empty()) {
+      std::int64_t earliest = std::numeric_limits<std::int64_t>::max();
+      for (const auto& r : traces[src]) earliest = std::min(earliest, r.start_ns);
+      shift = -earliest;
+    }
+    for (IoRecord r : traces[src]) {
+      if (options.pid_stride > 0) {
+        r.pid = static_cast<std::uint32_t>(src + 1) * options.pid_stride + r.pid;
+      }
+      r.start_ns += shift;
+      r.end_ns += shift;
+      out.push_back(r);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const IoRecord& a, const IoRecord& b) {
+    if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+    return a.end_ns < b.end_ns;
+  });
+  return out;
+}
+
+std::vector<IoRecord> shift_trace(std::vector<IoRecord> records,
+                                  std::int64_t delta_ns) {
+  for (auto& r : records) {
+    r.start_ns += delta_ns;
+    r.end_ns += delta_ns;
+  }
+  return records;
+}
+
+}  // namespace bpsio::trace

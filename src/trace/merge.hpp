@@ -1,0 +1,39 @@
+// Combining traces from multiple applications.
+//
+// "If the I/O system services more than one application concurrently, we
+//  record the I/O access information of all the applications." (Sec. III.B)
+// When the applications were traced separately, their records must be
+// merged into one collection before computing BPS: pids are remapped to
+// avoid collisions, and time bases can be aligned when the traces were
+// captured against different clocks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/io_record.hpp"
+
+namespace bpsio::trace {
+
+enum class TimeAlignment {
+  keep,         ///< trust the recorded timestamps (shared clock)
+  align_starts, ///< shift each trace so its earliest start is t=0
+};
+
+struct MergeOptions {
+  TimeAlignment alignment = TimeAlignment::keep;
+  /// Remap pids to (source_index+1) * pid_stride + original_pid so records
+  /// from different applications never collide. 0 = keep original pids.
+  std::uint32_t pid_stride = 1000;
+};
+
+/// Merge several applications' record sets into one, sorted by start time.
+std::vector<IoRecord> merge_traces(
+    const std::vector<std::vector<IoRecord>>& traces,
+    const MergeOptions& options = {});
+
+/// Shift every record by `delta_ns` (e.g. to concatenate phases).
+std::vector<IoRecord> shift_trace(std::vector<IoRecord> records,
+                                  std::int64_t delta_ns);
+
+}  // namespace bpsio::trace

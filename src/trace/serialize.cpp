@@ -1,0 +1,108 @@
+#include "trace/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace bpsio::trace {
+
+namespace {
+
+struct TraceHeader {
+  std::uint32_t magic = kTraceMagic;
+  std::uint32_t version = kTraceVersion;
+  std::uint64_t record_count = 0;
+};
+static_assert(sizeof(TraceHeader) == 16);
+
+}  // namespace
+
+Result<std::size_t> write_binary(std::ostream& out,
+                                 const std::vector<IoRecord>& records) {
+  TraceHeader header;
+  header.record_count = records.size();
+  out.write(reinterpret_cast<const char*>(&header), sizeof header);
+  if (!records.empty()) {
+    out.write(reinterpret_cast<const char*>(records.data()),
+              static_cast<std::streamsize>(records.size() * sizeof(IoRecord)));
+  }
+  if (!out) return Error{Errc::io_error, "trace write failed"};
+  return sizeof header + records.size() * sizeof(IoRecord);
+}
+
+Result<std::size_t> save_binary(const std::string& path,
+                                const std::vector<IoRecord>& records) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Error{Errc::io_error, "cannot open " + path};
+  return write_binary(out, records);
+}
+
+Result<std::vector<IoRecord>> read_binary(std::istream& in) {
+  TraceHeader header;
+  in.read(reinterpret_cast<char*>(&header), sizeof header);
+  if (!in || header.magic != kTraceMagic) {
+    return Error{Errc::invalid_argument, "bad trace magic"};
+  }
+  if (header.version != kTraceVersion) {
+    return Error{Errc::unsupported, "unsupported trace version"};
+  }
+  std::vector<IoRecord> records(header.record_count);
+  if (header.record_count > 0) {
+    in.read(reinterpret_cast<char*>(records.data()),
+            static_cast<std::streamsize>(records.size() * sizeof(IoRecord)));
+    if (!in) return Error{Errc::io_error, "truncated trace"};
+  }
+  return records;
+}
+
+Result<std::vector<IoRecord>> load_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Error{Errc::not_found, "cannot open " + path};
+  return read_binary(in);
+}
+
+void write_csv(std::ostream& out, const std::vector<IoRecord>& records) {
+  out << "pid,op,flags,blocks,start_ns,end_ns\n";
+  for (const auto& r : records) {
+    out << r.pid << ',' << (r.op == IoOpKind::read ? "read" : "write") << ','
+        << static_cast<unsigned>(r.flags) << ',' << r.blocks << ','
+        << r.start_ns << ',' << r.end_ns << '\n';
+  }
+}
+
+Result<std::vector<IoRecord>> read_csv(std::istream& in) {
+  std::vector<IoRecord> records;
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Error{Errc::invalid_argument, "empty csv"};
+  }
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string pid_s, op_s, flags_s, blocks_s, start_s, end_s;
+    if (!std::getline(ls, pid_s, ',') || !std::getline(ls, op_s, ',') ||
+        !std::getline(ls, flags_s, ',') || !std::getline(ls, blocks_s, ',') ||
+        !std::getline(ls, start_s, ',') || !std::getline(ls, end_s)) {
+      return Error{Errc::invalid_argument,
+                   "malformed csv at line " + std::to_string(line_no)};
+    }
+    IoRecord r;
+    try {
+      r.pid = static_cast<std::uint32_t>(std::stoul(pid_s));
+      r.op = op_s == "write" ? IoOpKind::write : IoOpKind::read;
+      r.flags = static_cast<std::uint8_t>(std::stoul(flags_s));
+      r.blocks = std::stoull(blocks_s);
+      r.start_ns = std::stoll(start_s);
+      r.end_ns = std::stoll(end_s);
+    } catch (const std::exception&) {
+      return Error{Errc::invalid_argument,
+                   "unparsable csv at line " + std::to_string(line_no)};
+    }
+    records.push_back(r);
+  }
+  return records;
+}
+
+}  // namespace bpsio::trace

@@ -1,0 +1,35 @@
+// Trace persistence: binary (".bpstrace") and CSV formats.
+//
+// The paper's methodology stores records "on available media, such as memory
+// or disk space, according to a configuration file defined by users". The
+// binary format is a fixed header plus raw 32-byte records, so a 65535-op
+// trace is ~2 MiB on disk, matching the paper's space-overhead analysis.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "trace/io_record.hpp"
+
+namespace bpsio::trace {
+
+inline constexpr std::uint32_t kTraceMagic = 0x42505354;  // "BPST"
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+/// Write records in binary format. Returns bytes written.
+Result<std::size_t> write_binary(std::ostream& out,
+                                 const std::vector<IoRecord>& records);
+Result<std::size_t> save_binary(const std::string& path,
+                                const std::vector<IoRecord>& records);
+
+/// Read a binary trace. Fails on bad magic/version or truncation.
+Result<std::vector<IoRecord>> read_binary(std::istream& in);
+Result<std::vector<IoRecord>> load_binary(const std::string& path);
+
+/// CSV with header "pid,op,flags,blocks,start_ns,end_ns".
+void write_csv(std::ostream& out, const std::vector<IoRecord>& records);
+Result<std::vector<IoRecord>> read_csv(std::istream& in);
+
+}  // namespace bpsio::trace

@@ -1,0 +1,66 @@
+#include "trace/spill_writer.hpp"
+
+#include "trace/serialize.hpp"
+
+namespace bpsio::trace {
+
+namespace {
+
+struct Header {
+  std::uint32_t magic = kTraceMagic;
+  std::uint32_t version = kTraceVersion;
+  std::uint64_t record_count = 0;
+};
+
+}  // namespace
+
+SpillWriter::SpillWriter(std::string path, std::size_t batch_records)
+    : path_(std::move(path)), batch_limit_(batch_records ? batch_records : 1) {
+  out_.open(path_, std::ios::binary | std::ios::trunc);
+  ok_ = static_cast<bool>(out_);
+  if (ok_) {
+    // Placeholder header; the final count lands in close().
+    Header header;
+    out_.write(reinterpret_cast<const char*>(&header), sizeof header);
+    ok_ = static_cast<bool>(out_);
+  }
+  batch_.reserve(batch_limit_);
+}
+
+SpillWriter::~SpillWriter() { (void)close(); }
+
+void SpillWriter::append(const IoRecord& record) {
+  batch_.push_back(record);
+  if (batch_.size() >= batch_limit_) (void)flush();
+}
+
+Status SpillWriter::flush() {
+  if (!ok_) return Status{Errc::io_error, "writer not open"};
+  if (batch_.empty()) return {};
+  out_.write(reinterpret_cast<const char*>(batch_.data()),
+             static_cast<std::streamsize>(batch_.size() * sizeof(IoRecord)));
+  if (!out_) {
+    ok_ = false;
+    return Status{Errc::io_error, "spill write failed"};
+  }
+  written_ += batch_.size();
+  batch_.clear();
+  return {};
+}
+
+Status SpillWriter::close() {
+  if (closed_) return {};
+  closed_ = true;
+  if (!ok_) return Status{Errc::io_error, "writer not open"};
+  if (const Status flushed = flush(); !flushed.ok()) return flushed;
+  // Rewrite the header with the final record count.
+  Header header;
+  header.record_count = written_;
+  out_.seekp(0);
+  out_.write(reinterpret_cast<const char*>(&header), sizeof header);
+  out_.close();
+  if (!out_) return Status{Errc::io_error, "header rewrite failed"};
+  return {};
+}
+
+}  // namespace bpsio::trace

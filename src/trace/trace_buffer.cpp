@@ -1,0 +1,21 @@
+#include "trace/trace_buffer.hpp"
+
+namespace bpsio::trace {
+
+void TraceBuffer::record(std::uint64_t blocks, SimTime start, SimTime end,
+                         IoOpKind op, std::uint8_t flags) {
+  push(make_record(pid_, blocks, start, end, op, flags));
+}
+
+void TraceBuffer::push(IoRecord r) {
+  r.pid = pid_;
+  records_.push_back(r);
+}
+
+std::uint64_t TraceBuffer::total_blocks() const {
+  std::uint64_t sum = 0;
+  for (const auto& r : records_) sum += r.blocks;
+  return sum;
+}
+
+}  // namespace bpsio::trace

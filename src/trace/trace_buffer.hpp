@@ -1,0 +1,51 @@
+// Per-process trace buffer (Step 1 of the BPS measurement methodology).
+//
+// "Multiple I/O accesses of a process lead to multiple records. We get this
+//  information in the I/O middleware layer for MPI-IO applications, or I/O
+//  function libraries for ordinary POSIX interface applications, to avoid
+//  the modification of applications." (Section III.B)
+//
+// The middleware layer (bpsio::mio) owns one TraceBuffer per simulated
+// process and appends to it on every application-visible access.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "trace/io_record.hpp"
+
+namespace bpsio::trace {
+
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::uint32_t pid) : pid_(pid) {}
+
+  std::uint32_t pid() const { return pid_; }
+
+  /// Append a completed access. `blocks` is the application-required size.
+  void record(std::uint64_t blocks, SimTime start, SimTime end,
+              IoOpKind op = IoOpKind::read, std::uint8_t flags = kIoOk);
+
+  /// Append a pre-built record. The pid is overwritten with this buffer's.
+  void push(IoRecord r);
+
+  const std::vector<IoRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+  void clear() { records_.clear(); }
+  void reserve(std::size_t n) { records_.reserve(n); }
+
+  /// Total blocks over all records (this buffer's contribution to B).
+  std::uint64_t total_blocks() const;
+
+  /// Memory footprint of the stored records, in bytes (the paper's space-
+  /// overhead analysis: 32 bytes per record).
+  std::size_t footprint_bytes() const { return records_.size() * sizeof(IoRecord); }
+
+ private:
+  std::uint32_t pid_;
+  std::vector<IoRecord> records_;
+};
+
+}  // namespace bpsio::trace

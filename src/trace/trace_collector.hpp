@@ -1,0 +1,79 @@
+// Global trace collection (Step 2 of the BPS measurement methodology).
+//
+// "We collect the I/O access information of all processes to have a
+//  comprehensive knowledge of the performance of the overall I/O system.
+//  First, we accumulate the number of I/O blocks of each process into B ...
+//  Second, we gather the I/O time information of all processes into one time
+//  collection (col_time) ..." (Section III.B)
+//
+// If the I/O system services more than one application concurrently, the
+// collector accepts buffers from all of them: B and col_time are global.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "trace/io_record.hpp"
+#include "trace/trace_buffer.hpp"
+
+namespace bpsio::trace {
+
+/// A [start, end) time pair — one element of the paper's col_time.
+struct TimeInterval {
+  std::int64_t start_ns = 0;
+  std::int64_t end_ns = 0;
+
+  SimDuration length() const { return SimDuration(end_ns - start_ns); }
+  friend bool operator==(const TimeInterval&, const TimeInterval&) = default;
+};
+
+/// Predicate filter for selective analysis (per-pid, per-op, time-window).
+struct RecordFilter {
+  std::optional<std::uint32_t> pid;
+  std::optional<IoOpKind> op;
+  std::optional<std::int64_t> window_start_ns;
+  std::optional<std::int64_t> window_end_ns;
+  bool include_failed = true;
+
+  bool matches(const IoRecord& r) const;
+};
+
+class TraceCollector {
+ public:
+  TraceCollector() = default;
+
+  /// Gather one process's buffer into the global collection.
+  void gather(const TraceBuffer& buffer);
+  /// Gather raw records (e.g. loaded from a trace file).
+  void gather(const std::vector<IoRecord>& records);
+  void add(const IoRecord& record);
+
+  std::size_t record_count() const { return records_.size(); }
+  const std::vector<IoRecord>& records() const { return records_; }
+  void clear();
+
+  /// B — total number of I/O blocks required by the applications
+  /// (all processes, successful or not, concurrent or not).
+  std::uint64_t total_blocks(const RecordFilter& filter = {}) const;
+
+  /// Total bytes implied by B under the given block size.
+  Bytes total_bytes(Bytes block_size = kDefaultBlockSize,
+                    const RecordFilter& filter = {}) const;
+
+  /// col_time — the (start, end) pairs of all matching accesses, in
+  /// gathered order (the overlap algorithms sort as needed).
+  std::vector<TimeInterval> col_time(const RecordFilter& filter = {}) const;
+
+  /// Number of distinct pids seen.
+  std::size_t process_count() const;
+
+  /// Earliest start / latest end over all records (nullopt when empty).
+  std::optional<TimeInterval> span() const;
+
+ private:
+  std::vector<IoRecord> records_;
+};
+
+}  // namespace bpsio::trace

@@ -1,0 +1,46 @@
+#include "trace/validate.hpp"
+
+#include <cstdio>
+#include <unordered_map>
+
+namespace bpsio::trace {
+
+std::string ValidationReport::to_string() const {
+  if (ok()) return "trace ok (" + std::to_string(checked) + " records)";
+  std::string out = "trace has " + std::to_string(issues.size()) + " issue(s):\n";
+  for (const auto& issue : issues) {
+    out += "  record " + std::to_string(issue.index) + ": " + issue.what + "\n";
+  }
+  return out;
+}
+
+ValidationReport validate(const std::vector<IoRecord>& records,
+                          bool expect_per_pid_monotone) {
+  ValidationReport report;
+  report.checked = records.size();
+  std::unordered_map<std::uint32_t, std::int64_t> last_start;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    if (r.end_ns < r.start_ns) {
+      report.issues.push_back({i, "end before start"});
+    }
+    if (r.start_ns < 0) {
+      report.issues.push_back({i, "negative start time"});
+    }
+    if (r.blocks == 0 && !r.failed()) {
+      report.issues.push_back({i, "successful access with zero blocks"});
+    }
+    if (expect_per_pid_monotone) {
+      auto [it, inserted] = last_start.try_emplace(r.pid, r.start_ns);
+      if (!inserted) {
+        if (r.start_ns < it->second) {
+          report.issues.push_back({i, "per-pid start order violated"});
+        }
+        it->second = r.start_ns;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace bpsio::trace

@@ -1,0 +1,32 @@
+// Trace sanity checking before analysis.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/io_record.hpp"
+
+namespace bpsio::trace {
+
+struct ValidationIssue {
+  std::size_t index;
+  std::string what;
+};
+
+struct ValidationReport {
+  std::vector<ValidationIssue> issues;
+  std::size_t checked = 0;
+
+  bool ok() const { return issues.empty(); }
+  std::string to_string() const;
+};
+
+/// Check structural invariants of a record set:
+///  - end >= start on every record,
+///  - no negative start times,
+///  - nonzero blocks on successful records,
+///  - per-pid monotone start order for synchronous processes (optional).
+ValidationReport validate(const std::vector<IoRecord>& records,
+                          bool expect_per_pid_monotone = false);
+
+}  // namespace bpsio::trace

@@ -1,0 +1,95 @@
+#include "workload/access_pattern.hpp"
+
+#include <algorithm>
+
+namespace bpsio::workload {
+
+std::vector<AppOp> sequential_ops(AppOp::Kind kind, Bytes file_size,
+                                  Bytes record) {
+  std::vector<AppOp> ops;
+  if (record == 0 || file_size == 0) return ops;
+  ops.reserve(static_cast<std::size_t>((file_size + record - 1) / record));
+  for (Bytes off = 0; off < file_size; off += record) {
+    AppOp op;
+    op.kind = kind;
+    op.offset = off;
+    op.size = std::min(record, file_size - off);
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+std::vector<AppOp> random_ops(AppOp::Kind kind, Bytes file_size, Bytes record,
+                              std::uint64_t count, Rng& rng) {
+  std::vector<AppOp> ops;
+  if (record == 0 || file_size < record) return ops;
+  const std::uint64_t slots = file_size / record;
+  ops.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    AppOp op;
+    op.kind = kind;
+    op.offset = rng.uniform_u64(slots) * record;
+    op.size = record;
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+std::vector<AppOp> strided_ops(AppOp::Kind kind, Bytes start, Bytes stride,
+                               Bytes record, std::uint64_t count) {
+  std::vector<AppOp> ops;
+  ops.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    AppOp op;
+    op.kind = kind;
+    op.offset = start + i * stride;
+    op.size = record;
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+std::vector<AppOp> hpio_ops(AppOp::Kind kind, std::uint32_t rank,
+                            std::uint32_t nprocs, std::uint64_t region_count,
+                            Bytes region_size, Bytes region_spacing,
+                            std::uint64_t regions_per_call, bool interleaved) {
+  std::vector<AppOp> ops;
+  if (region_count == 0 || nprocs == 0) return ops;
+  const Bytes pitch = region_size + region_spacing;
+  std::vector<mio::Region> mine;
+  if (interleaved) {
+    for (std::uint64_t j = rank; j < region_count; j += nprocs) {
+      mine.push_back(mio::Region{j * pitch, region_size});
+    }
+  } else {
+    const std::uint64_t per = region_count / nprocs;
+    const std::uint64_t first = rank * per;
+    const std::uint64_t last =
+        rank + 1 == nprocs ? region_count : first + per;
+    for (std::uint64_t j = first; j < last; ++j) {
+      mine.push_back(mio::Region{j * pitch, region_size});
+    }
+  }
+  if (regions_per_call == 0) regions_per_call = mine.size();
+  for (std::size_t base = 0; base < mine.size(); base += regions_per_call) {
+    AppOp op;
+    op.kind = kind;
+    const std::size_t n = std::min<std::size_t>(regions_per_call,
+                                                mine.size() - base);
+    op.regions.assign(mine.begin() + static_cast<std::ptrdiff_t>(base),
+                      mine.begin() + static_cast<std::ptrdiff_t>(base + n));
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+Bytes ops_bytes(const std::vector<AppOp>& ops) {
+  Bytes total = 0;
+  for (const auto& op : ops) {
+    total += op.size;
+    total += mio::regions_bytes(op.regions);
+  }
+  return total;
+}
+
+}  // namespace bpsio::workload

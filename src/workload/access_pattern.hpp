@@ -1,0 +1,61 @@
+// Application operation sequences and the generators that build them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+#include "common/units.hpp"
+#include "mio/mpi_io.hpp"
+
+namespace bpsio::workload {
+
+/// One application-level operation of a synchronous process.
+struct AppOp {
+  enum class Kind {
+    read,             ///< contiguous read(offset, size)
+    write,            ///< contiguous write(offset, size)
+    list_read,        ///< noncontiguous read (regions) — MPI-IO
+    list_write,       ///< noncontiguous write (regions)
+    collective_read,  ///< two-phase collective read (regions)
+    collective_write, ///< two-phase collective write (regions)
+    compute,          ///< pure CPU time, no I/O
+  };
+  Kind kind = Kind::read;
+  Bytes offset = 0;
+  Bytes size = 0;
+  std::vector<mio::Region> regions;  ///< for list/collective ops
+  SimDuration compute = SimDuration::zero();
+};
+
+/// Sequential whole-file pass: ceil(file_size/record) ops of `record` bytes
+/// (last op clipped).
+std::vector<AppOp> sequential_ops(AppOp::Kind kind, Bytes file_size,
+                                  Bytes record);
+
+/// `count` random record-aligned accesses within [0, file_size).
+std::vector<AppOp> random_ops(AppOp::Kind kind, Bytes file_size, Bytes record,
+                              std::uint64_t count, Rng& rng);
+
+/// Strided pass: ops at offset = start + i*stride, i in [0, count).
+std::vector<AppOp> strided_ops(AppOp::Kind kind, Bytes start, Bytes stride,
+                               Bytes record, std::uint64_t count);
+
+/// Hpio-style noncontiguous pattern for process `rank` of `nprocs`: the
+/// file holds `region_count` regions at pitch (size+spacing). By default
+/// each process owns a contiguous block of region_count/nprocs regions;
+/// with `interleaved` regions are dealt round-robin (every process's sieve
+/// extent then spans the whole file — heavier data amplification). The
+/// per-process region list is chunked into list calls of at most
+/// `regions_per_call` regions (0 = single call).
+std::vector<AppOp> hpio_ops(AppOp::Kind kind, std::uint32_t rank,
+                            std::uint32_t nprocs, std::uint64_t region_count,
+                            Bytes region_size, Bytes region_spacing,
+                            std::uint64_t regions_per_call,
+                            bool interleaved = false);
+
+/// Total bytes the op sequence requires.
+Bytes ops_bytes(const std::vector<AppOp>& ops);
+
+}  // namespace bpsio::workload

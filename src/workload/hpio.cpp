@@ -1,0 +1,42 @@
+#include "workload/hpio.hpp"
+
+#include <cassert>
+#include <memory>
+
+#include "common/log.hpp"
+
+namespace bpsio::workload {
+
+RunResult HpioWorkload::run(Env& env) {
+  assert(env.sim && !env.nodes.empty());
+  const SimTime t0 = env.sim->now();
+  const std::uint32_t nprocs = config_.processes;
+
+  std::vector<std::unique_ptr<Process>> processes;
+  processes.reserve(nprocs);
+  for (std::uint32_t p = 0; p < nprocs; ++p) {
+    const std::size_t node = p % env.node_count();
+    auto proc = std::make_unique<Process>(*env.nodes[node],
+                                          *env.backends[node], p + 1,
+                                          env.block_size, config_.sieving);
+    Result<fs::FileHandle> handle =
+        p == 0 ? proc->io().create(config_.path,
+                                   config_.write ? 0 : file_span())
+               : proc->io().open(config_.path);
+    if (!handle) {
+      BPSIO_ERROR("hpio: cannot set up %s: %s", config_.path.c_str(),
+                  handle.error().to_string().c_str());
+      continue;
+    }
+    proc->set_file(*handle);
+    proc->set_ops(hpio_ops(
+        config_.write ? AppOp::Kind::list_write : AppOp::Kind::list_read, p,
+        nprocs, config_.region_count, config_.region_size,
+        config_.region_spacing, config_.regions_per_call,
+        config_.interleaved));
+    processes.push_back(std::move(proc));
+  }
+  return run_processes(env, processes, t0);
+}
+
+}  // namespace bpsio::workload

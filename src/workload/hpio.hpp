@@ -1,0 +1,50 @@
+// Hpio-like noncontiguous I/O benchmark (paper ref [24]).
+//
+// Generates the paper's Set-4 access cases: `region_count` regions of
+// `region_size` bytes separated by `region_spacing`-byte holes, dealt
+// round-robin across processes, read through MPI-IO list calls with data
+// sieving on or off. Varying the spacing varies the additional data
+// movement — the knob that makes bandwidth point the wrong way (Figure 12).
+#pragma once
+
+#include <string>
+
+#include "workload/process.hpp"
+#include "workload/workload.hpp"
+
+namespace bpsio::workload {
+
+struct HpioConfig {
+  std::uint64_t region_count = 40960;  ///< total regions (all processes)
+  Bytes region_size = 256;             ///< paper: 256 bytes
+  Bytes region_spacing = 8;            ///< paper sweeps 8..4096 bytes
+  std::uint32_t processes = 4;
+  bool write = false;
+  mio::DataSievingConfig sieving{};    ///< .enabled toggles the optimization
+  /// Regions per MPI list call (0 = one call per process).
+  std::uint64_t regions_per_call = 8192;
+  /// Deal regions round-robin across processes instead of in contiguous
+  /// blocks (see hpio_ops).
+  bool interleaved = false;
+  std::string path = "/hpio.data";
+};
+
+class HpioWorkload final : public Workload {
+ public:
+  explicit HpioWorkload(HpioConfig config) : config_(config) {}
+
+  std::string name() const override { return "hpio"; }
+  RunResult run(Env& env) override;
+
+  const HpioConfig& config() const { return config_; }
+
+  /// The file span implied by the pattern.
+  Bytes file_span() const {
+    return config_.region_count * (config_.region_size + config_.region_spacing);
+  }
+
+ private:
+  HpioConfig config_;
+};
+
+}  // namespace bpsio::workload

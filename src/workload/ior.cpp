@@ -1,0 +1,76 @@
+#include "workload/ior.hpp"
+
+#include <cassert>
+#include <memory>
+
+#include "common/log.hpp"
+
+namespace bpsio::workload {
+
+RunResult IorWorkload::run(Env& env) {
+  assert(env.sim && !env.nodes.empty());
+  const SimTime t0 = env.sim->now();
+  const std::uint32_t nprocs = config_.processes;
+  const Bytes segment = nprocs ? config_.file_size / nprocs : 0;
+
+  std::vector<std::unique_ptr<Process>> processes;
+  processes.reserve(nprocs);
+  std::unique_ptr<mio::CollectiveGroup> group;
+  if (config_.collective) {
+    mio::CollectiveConfig cc;
+    cc.aggregators = config_.aggregators;
+    group = std::make_unique<mio::CollectiveGroup>(*env.sim, nprocs, cc);
+  }
+
+  for (std::uint32_t p = 0; p < nprocs; ++p) {
+    const std::size_t node = p % env.node_count();
+    auto proc = std::make_unique<Process>(*env.nodes[node],
+                                          *env.backends[node], p + 1,
+                                          env.block_size);
+    Result<fs::FileHandle> handle =
+        p == 0 ? proc->io().create(config_.path,
+                                   config_.write ? 0 : config_.file_size)
+               : proc->io().open(config_.path);
+    if (!handle && p != 0) {
+      // Shared namespace may be a single FileApi instance (local FS): the
+      // path already exists, so open; with per-node PFS clients, lookup
+      // happens through the shared metadata server either way.
+      handle = proc->io().open(config_.path);
+    }
+    if (!handle) {
+      BPSIO_ERROR("ior: cannot set up %s: %s", config_.path.c_str(),
+                  handle.error().to_string().c_str());
+      continue;
+    }
+    proc->set_file(*handle);
+
+    const Bytes start = p * segment;
+    std::vector<AppOp> ops;
+    if (config_.collective) {
+      // Each collective call covers one transfer-sized piece of the
+      // process's segment.
+      const std::uint64_t calls = segment / config_.transfer_size;
+      for (std::uint64_t i = 0; i < calls; ++i) {
+        AppOp op;
+        op.kind = config_.write ? AppOp::Kind::collective_write
+                                : AppOp::Kind::collective_read;
+        op.regions = {mio::Region{start + i * config_.transfer_size,
+                                  config_.transfer_size}};
+        ops.push_back(std::move(op));
+      }
+      proc->set_collective_group(group.get());
+    } else {
+      ops = strided_ops(config_.write ? AppOp::Kind::write : AppOp::Kind::read,
+                        start, config_.transfer_size, config_.transfer_size,
+                        segment / config_.transfer_size);
+    }
+    proc->set_ops(std::move(ops));
+    proc->set_think_time(config_.think);
+    processes.push_back(std::move(proc));
+  }
+
+  RunResult result = run_processes(env, processes, t0);
+  return result;
+}
+
+}  // namespace bpsio::workload

@@ -1,0 +1,41 @@
+// IOR-like parallel I/O benchmark (paper ref [25]).
+//
+// n MPI processes share one file; process p is responsible for reading (or
+// writing) its own 1/n of the file, issuing fixed-size transfers at
+// sequential offsets — the paper's Set-3b configuration (shared PVFS2 file
+// on 8 servers, 64 KB transfers, 1-32 processes). Optionally uses two-phase
+// collective I/O instead of independent transfers.
+#pragma once
+
+#include <string>
+
+#include "workload/process.hpp"
+#include "workload/workload.hpp"
+
+namespace bpsio::workload {
+
+struct IorConfig {
+  Bytes file_size = 512 * kMiB;  ///< total shared file
+  Bytes transfer_size = 64 * kKiB;
+  std::uint32_t processes = 4;
+  bool write = false;  ///< paper's Set 3b reads
+  bool collective = false;
+  std::uint32_t aggregators = 0;  ///< 0 = all (collective mode only)
+  SimDuration think = SimDuration::zero();
+  std::string path = "/ior.data";
+};
+
+class IorWorkload final : public Workload {
+ public:
+  explicit IorWorkload(IorConfig config) : config_(config) {}
+
+  std::string name() const override { return "ior"; }
+  RunResult run(Env& env) override;
+
+  const IorConfig& config() const { return config_; }
+
+ private:
+  IorConfig config_;
+};
+
+}  // namespace bpsio::workload

@@ -1,0 +1,139 @@
+#include "workload/iozone.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.hpp"
+
+namespace bpsio::workload {
+
+RunResult run_processes(Env& env,
+                        std::vector<std::unique_ptr<Process>>& processes,
+                        SimTime t0) {
+  for (auto& p : processes) {
+    p->start([]() {});
+  }
+  env.sim->run();
+
+  RunResult result;
+  result.process_count = static_cast<std::uint32_t>(processes.size());
+  SimTime last = t0;
+  for (auto& p : processes) {
+    if (!p->finished()) {
+      // The event queue drained with this process still mid-operation — a
+      // lost completion somewhere in the stack. Surface it loudly instead
+      // of reporting a bogus finish time.
+      BPSIO_ERROR("process %u never finished (%llu ops done) — "
+                  "simulation deadlock?",
+                  p->pid(),
+                  static_cast<unsigned long long>(p->ops_completed()));
+      result.finish_times.push_back(env.sim->now());
+      last = max(last, env.sim->now());
+      result.collector.gather(p->io().trace());
+      continue;
+    }
+    result.collector.gather(p->io().trace());
+    result.finish_times.push_back(p->finish_time());
+    last = max(last, p->finish_time());
+  }
+  result.exec_time = last - t0;
+  return result;
+}
+
+RunResult IozoneWorkload::run(Env& env) {
+  assert(env.sim && !env.nodes.empty());
+  const SimTime t0 = env.sim->now();
+  const std::uint32_t nprocs = config_.processes;
+  const Bytes per_proc = config_.size_is_total && nprocs > 0
+                             ? config_.file_size / nprocs
+                             : config_.file_size;
+  Rng rng(config_.seed);
+  std::vector<std::unique_ptr<Process>> processes;
+  processes.reserve(nprocs);
+
+  for (std::uint32_t p = 0; p < nprocs; ++p) {
+    const std::size_t node = p % env.node_count();
+    auto proc = std::make_unique<Process>(*env.nodes[node],
+                                          *env.backends[node], p + 1,
+                                          env.block_size);
+    if (config_.prefetch) proc->io().enable_prefetch(*config_.prefetch);
+
+    // File setup (untimed): pure writes start from an empty file; every
+    // other mode needs the data to pre-exist.
+    const std::string path =
+        config_.separate_files ? config_.path_prefix + "." + std::to_string(p)
+                               : config_.path_prefix;
+    const Bytes initial =
+        (config_.mode == IozoneConfig::Mode::write) ? 0 : per_proc;
+    Result<fs::FileHandle> handle = [&]() -> Result<fs::FileHandle> {
+      if (config_.separate_files || p == 0) {
+        return proc->io().create(path, initial);
+      }
+      return proc->io().open(path);
+    }();
+    if (!handle) {
+      BPSIO_ERROR("iozone: cannot set up %s: %s", path.c_str(),
+                  handle.error().to_string().c_str());
+      continue;
+    }
+    proc->set_file(*handle);
+
+    const auto accessed = static_cast<Bytes>(
+        static_cast<double>(per_proc) * config_.access_fraction);
+    std::vector<AppOp> ops;
+    switch (config_.mode) {
+      case IozoneConfig::Mode::read:
+        ops = sequential_ops(AppOp::Kind::read, accessed, config_.record_size);
+        break;
+      case IozoneConfig::Mode::write:
+      case IozoneConfig::Mode::rewrite:
+        ops = sequential_ops(AppOp::Kind::write, accessed, config_.record_size);
+        break;
+      case IozoneConfig::Mode::reread: {
+        ops = sequential_ops(AppOp::Kind::read, accessed, config_.record_size);
+        auto second = ops;
+        ops.insert(ops.end(), second.begin(), second.end());
+        break;
+      }
+      case IozoneConfig::Mode::mixed: {
+        ops = sequential_ops(AppOp::Kind::read, accessed, config_.record_size);
+        for (std::size_t k = 1; k < ops.size(); k += 2) {
+          ops[k].kind = AppOp::Kind::write;
+        }
+        break;
+      }
+      case IozoneConfig::Mode::backward_read: {
+        ops = sequential_ops(AppOp::Kind::read, accessed, config_.record_size);
+        std::reverse(ops.begin(), ops.end());
+        break;
+      }
+      case IozoneConfig::Mode::stride_read: {
+        const Bytes stride =
+            config_.stride ? config_.stride : 2 * config_.record_size;
+        const std::uint64_t count = accessed / std::max<Bytes>(stride, 1);
+        ops = strided_ops(AppOp::Kind::read, 0, stride, config_.record_size,
+                          count);
+        break;
+      }
+      case IozoneConfig::Mode::random_read:
+      case IozoneConfig::Mode::random_write: {
+        const std::uint64_t count =
+            config_.random_count
+                ? config_.random_count
+                : per_proc / std::max<Bytes>(config_.record_size, 1);
+        Rng proc_rng = rng.fork();
+        ops = random_ops(config_.mode == IozoneConfig::Mode::random_read
+                             ? AppOp::Kind::read
+                             : AppOp::Kind::write,
+                         per_proc, config_.record_size, count, proc_rng);
+        break;
+      }
+    }
+    proc->set_ops(std::move(ops));
+    proc->set_think_time(config_.think);
+    processes.push_back(std::move(proc));
+  }
+  return run_processes(env, processes, t0);
+}
+
+}  // namespace bpsio::workload

@@ -1,0 +1,65 @@
+// IOzone-like file system benchmark (paper ref [23]).
+//
+// Covers the paper's Set 1-3a usages: single-process sequential read with a
+// configurable record size, write/rewrite/reread variants, random modes,
+// and "throughput mode" — P processes, each with its own file (the paper
+// pins each such file to its own PVFS server via the create layout).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/sim_time.hpp"
+#include "workload/process.hpp"
+#include "workload/workload.hpp"
+
+namespace bpsio::workload {
+
+struct IozoneConfig {
+  enum class Mode {
+    read,
+    write,
+    reread,
+    rewrite,
+    random_read,
+    random_write,
+    backward_read,  ///< IOzone's "read backwards" pattern
+    stride_read,    ///< strided forward read (gap = stride - record)
+    mixed,          ///< alternating sequential read / write records
+  };
+  Mode mode = Mode::read;
+  /// Total data volume; divided across processes when size_is_total.
+  Bytes file_size = 256 * kMiB;
+  Bytes record_size = 64 * kKiB;
+  std::uint32_t processes = 1;
+  bool size_is_total = true;
+  /// Throughput mode: each process gets its own file.
+  bool separate_files = true;
+  /// Ops for random modes (0 = one pass worth).
+  std::uint64_t random_count = 0;
+  /// Stride for stride_read (0 = 2x record size).
+  Bytes stride = 0;
+  SimDuration think = SimDuration::zero();
+  std::uint64_t seed = 7;
+  std::string path_prefix = "/iozone";
+  /// Enable middleware-level sequential prefetching on every process.
+  std::optional<mio::PrefetchConfig> prefetch;
+  /// Read/write only the leading fraction of each file (files are still
+  /// created full size). Lets partial scans expose prefetch overshoot.
+  double access_fraction = 1.0;
+};
+
+class IozoneWorkload final : public Workload {
+ public:
+  explicit IozoneWorkload(IozoneConfig config) : config_(config) {}
+
+  std::string name() const override { return "iozone"; }
+  RunResult run(Env& env) override;
+
+  const IozoneConfig& config() const { return config_; }
+
+ private:
+  IozoneConfig config_;
+};
+
+}  // namespace bpsio::workload

@@ -1,0 +1,91 @@
+#include "workload/openloop.hpp"
+
+#include <memory>
+
+#include "common/log.hpp"
+#include "mio/io_client.hpp"
+#include "sim/sync.hpp"
+
+namespace bpsio::workload {
+
+RunResult OpenLoopWorkload::run(Env& env) {
+  const SimTime t0 = env.sim->now();
+  RunResult result;
+  if (config_.request_count == 0 || config_.streams == 0) return result;
+
+  struct State {
+    std::vector<std::unique_ptr<mio::IoClient>> clients;
+    SimTime last_completion;
+  };
+  auto state = std::make_shared<State>();
+  Rng master(config_.seed);
+
+  const std::uint64_t per_stream = config_.request_count / config_.streams;
+  std::uint64_t total = 0;
+  auto join =
+      std::make_shared<sim::JoinCounter>(*env.sim, 1, []() {});  // placeholder
+  // Count the real total first (last stream takes the remainder).
+  std::vector<std::uint64_t> counts(config_.streams, per_stream);
+  counts.back() = config_.request_count - per_stream * (config_.streams - 1);
+  for (const auto c : counts) total += c;
+  join = std::make_shared<sim::JoinCounter>(*env.sim, total, []() {});
+
+  for (std::uint32_t s = 0; s < config_.streams; ++s) {
+    const std::size_t node = s % env.node_count();
+    auto client = std::make_unique<mio::IoClient>(
+        *env.nodes[node], *env.backends[node], s + 1, env.block_size);
+    auto handle = client->create(
+        config_.path_prefix + "." + std::to_string(s), config_.file_size);
+    if (!handle) {
+      BPSIO_ERROR("openloop: cannot create file: %s",
+                  handle.error().to_string().c_str());
+      continue;
+    }
+    mio::IoClient* c = client.get();
+    state->clients.push_back(std::move(client));
+
+    // Pre-draw the Poisson arrival times and offsets (deterministic per
+    // seed; arrivals do not depend on completions — that is the point).
+    Rng rng = master.fork();
+    double arrival_s = 0.0;
+    Bytes seq_offset = 0;
+    for (std::uint64_t i = 0; i < counts[s]; ++i) {
+      arrival_s += rng.exponential(1.0 / config_.arrival_rate_hz);
+      Bytes offset;
+      if (config_.pattern == OpenLoopConfig::Pattern::random) {
+        const std::uint64_t slots =
+            config_.file_size / std::max<Bytes>(config_.request_size, 1);
+        offset = rng.uniform_u64(std::max<std::uint64_t>(slots, 1)) *
+                 config_.request_size;
+      } else {
+        offset = seq_offset % config_.file_size;
+        seq_offset += config_.request_size;
+      }
+      env.sim->schedule_at(
+          t0 + SimDuration::from_seconds(arrival_s),
+          [c, h = *handle, offset, size = config_.request_size,
+           is_write = config_.write, state, join, sim = env.sim]() {
+            auto done = [state, join, sim](fs::IoOutcome) {
+              state->last_completion = sim->now();
+              join->complete_one();
+            };
+            if (is_write) {
+              c->write(h, offset, size, done);
+            } else {
+              c->read(h, offset, size, done);
+            }
+          });
+    }
+  }
+
+  env.sim->run();
+  result.process_count = static_cast<std::uint32_t>(state->clients.size());
+  for (const auto& c : state->clients) {
+    result.collector.gather(c->trace());
+    result.finish_times.push_back(state->last_completion);
+  }
+  result.exec_time = state->last_completion - t0;
+  return result;
+}
+
+}  // namespace bpsio::workload

@@ -1,0 +1,44 @@
+// Open-loop synthetic load generator: accesses arrive by a Poisson process
+// at a configured rate, independent of completions (a load generator or a
+// many-client frontend, as opposed to the closed-loop benchmark processes).
+//
+// Under open-loop load below saturation the I/O system idles between
+// bursts — exactly the regime where wall-clock metrics (IOPS, BW over
+// execution time) understate the system and BPS does not, because T only
+// accumulates while requests are in flight.
+#pragma once
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "workload/workload.hpp"
+
+namespace bpsio::workload {
+
+struct OpenLoopConfig {
+  double arrival_rate_hz = 200.0;  ///< mean request arrivals per second
+  Bytes request_size = 64 * kKiB;
+  std::uint64_t request_count = 1000;  ///< total requests to issue
+  /// Offset pattern for successive requests.
+  enum class Pattern { sequential, random } pattern = Pattern::sequential;
+  Bytes file_size = 256 * kMiB;
+  bool write = false;
+  std::uint32_t streams = 1;  ///< independent arrival streams (pids)
+  std::uint64_t seed = 11;
+  std::string path_prefix = "/openloop";
+};
+
+class OpenLoopWorkload final : public Workload {
+ public:
+  explicit OpenLoopWorkload(OpenLoopConfig config) : config_(config) {}
+
+  std::string name() const override { return "openloop"; }
+  RunResult run(Env& env) override;
+
+  const OpenLoopConfig& config() const { return config_; }
+
+ private:
+  OpenLoopConfig config_;
+};
+
+}  // namespace bpsio::workload

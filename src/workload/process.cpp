@@ -1,0 +1,64 @@
+#include "workload/process.hpp"
+
+#include <cassert>
+
+namespace bpsio::workload {
+
+Process::Process(mio::ClientNode& node, fs::FileApi& backend,
+                 std::uint32_t pid, Bytes block_size,
+                 mio::DataSievingConfig sieving)
+    : io_(node, backend, pid, block_size), mpi_(io_, sieving) {}
+
+void Process::start(sim::EventFn on_finish) {
+  on_finish_ = std::move(on_finish);
+  io_.node().simulator().schedule_now([this]() { issue_next(); });
+}
+
+void Process::issue_next() {
+  if (next_op_ >= ops_.size()) {
+    finished_ = true;
+    finish_time_ = io_.node().simulator().now();
+    if (on_finish_) on_finish_();
+    return;
+  }
+  const AppOp& op = ops_[next_op_];
+  auto done = [this](fs::IoOutcome out) { on_op_done(out); };
+  switch (op.kind) {
+    case AppOp::Kind::read:
+      io_.read(file_, op.offset, op.size, done);
+      break;
+    case AppOp::Kind::write:
+      io_.write(file_, op.offset, op.size, done);
+      break;
+    case AppOp::Kind::list_read:
+      mpi_.read_list(file_, op.regions, done);
+      break;
+    case AppOp::Kind::list_write:
+      mpi_.write_list(file_, op.regions, done);
+      break;
+    case AppOp::Kind::collective_read:
+      assert(group_ && "collective op requires a group");
+      mpi_.read_collective(*group_, file_, op.regions, done);
+      break;
+    case AppOp::Kind::collective_write:
+      assert(group_ && "collective op requires a group");
+      mpi_.write_collective(*group_, file_, op.regions, done);
+      break;
+    case AppOp::Kind::compute:
+      io_.node().compute(op.compute,
+                         [done]() { done(fs::IoOutcome{true, 0}); });
+      break;
+  }
+}
+
+void Process::on_op_done(fs::IoOutcome outcome) {
+  if (!outcome.ok) ++failed_ops_;
+  ++next_op_;
+  if (think_.ns() > 0) {
+    io_.node().simulator().schedule_after(think_, [this]() { issue_next(); });
+  } else {
+    issue_next();
+  }
+}
+
+}  // namespace bpsio::workload

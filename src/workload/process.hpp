@@ -1,0 +1,56 @@
+// A simulated application process: issues its operation list synchronously
+// (op i+1 starts when op i completes), optionally separated by think time.
+// This is the "application" whose I/O the middleware instruments.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mio/io_client.hpp"
+#include "mio/mpi_io.hpp"
+#include "workload/access_pattern.hpp"
+
+namespace bpsio::workload {
+
+class Process {
+ public:
+  Process(mio::ClientNode& node, fs::FileApi& backend, std::uint32_t pid,
+          Bytes block_size, mio::DataSievingConfig sieving = {});
+
+  std::uint32_t pid() const { return io_.pid(); }
+  mio::IoClient& io() { return io_; }
+  mio::MpiIo& mpi() { return mpi_; }
+
+  void set_file(fs::FileHandle h) { file_ = h; }
+  void set_ops(std::vector<AppOp> ops) { ops_ = std::move(ops); }
+  void set_think_time(SimDuration t) { think_ = t; }
+  void set_collective_group(mio::CollectiveGroup* group) { group_ = group; }
+
+  /// Begin executing; `on_finish` fires after the last op completes.
+  void start(sim::EventFn on_finish);
+
+  bool finished() const { return finished_; }
+  SimTime finish_time() const { return finish_time_; }
+  std::uint64_t ops_completed() const { return next_op_; }
+  std::uint64_t ops_failed() const { return failed_ops_; }
+
+ private:
+  void issue_next();
+  void on_op_done(fs::IoOutcome outcome);
+
+  mio::IoClient io_;
+  mio::MpiIo mpi_;
+  fs::FileHandle file_{};
+  std::vector<AppOp> ops_;
+  SimDuration think_ = SimDuration::zero();
+  mio::CollectiveGroup* group_ = nullptr;
+
+  std::size_t next_op_ = 0;
+  std::uint64_t failed_ops_ = 0;
+  bool finished_ = false;
+  SimTime finish_time_{};
+  sim::EventFn on_finish_;
+};
+
+}  // namespace bpsio::workload

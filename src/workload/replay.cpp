@@ -1,0 +1,155 @@
+#include "workload/replay.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "common/log.hpp"
+#include "sim/sync.hpp"
+#include "workload/process.hpp"
+
+namespace bpsio::workload {
+
+namespace {
+
+struct PerPid {
+  std::vector<const trace::IoRecord*> records;  // in recorded start order
+  Bytes total_bytes = 0;
+};
+
+std::map<std::uint32_t, PerPid> group_by_pid(
+    const std::vector<trace::IoRecord>& records) {
+  std::map<std::uint32_t, PerPid> by_pid;
+  for (const auto& r : records) {
+    auto& p = by_pid[r.pid];
+    p.records.push_back(&r);
+    p.total_bytes += blocks_to_bytes(r.blocks);
+  }
+  for (auto& [pid, p] : by_pid) {
+    std::stable_sort(p.records.begin(), p.records.end(),
+                     [](const trace::IoRecord* a, const trace::IoRecord* b) {
+                       return a->start_ns < b->start_ns;
+                     });
+  }
+  return by_pid;
+}
+
+}  // namespace
+
+RunResult TraceReplayWorkload::run(Env& env) {
+  const SimTime t0 = env.sim->now();
+  const auto by_pid = group_by_pid(config_.records);
+  if (by_pid.empty()) return RunResult{};
+
+  Bytes file_size = config_.file_size;
+  if (file_size == 0) {
+    for (const auto& [pid, p] : by_pid) {
+      file_size = std::max(file_size, p.total_bytes);
+    }
+    file_size = std::max<Bytes>(file_size, 4096);
+  }
+
+  if (config_.mode == ReplayConfig::Mode::closed_loop) {
+    // One Process per pid; recorded gaps become compute ops between accesses.
+    std::vector<std::unique_ptr<Process>> processes;
+    std::size_t idx = 0;
+    for (const auto& [pid, per] : by_pid) {
+      const std::size_t node = idx++ % env.node_count();
+      auto proc = std::make_unique<Process>(*env.nodes[node],
+                                            *env.backends[node], pid,
+                                            env.block_size);
+      auto handle = proc->io().create(
+          config_.path_prefix + "." + std::to_string(pid), file_size);
+      if (!handle) {
+        BPSIO_ERROR("replay: cannot create backing file: %s",
+                    handle.error().to_string().c_str());
+        continue;
+      }
+      proc->set_file(*handle);
+
+      std::vector<AppOp> ops;
+      Bytes offset = 0;
+      std::int64_t prev_end = -1;
+      for (const auto* r : per.records) {
+        if (prev_end >= 0 && r->start_ns > prev_end) {
+          AppOp gap;
+          gap.kind = AppOp::Kind::compute;
+          gap.compute = SimDuration(r->start_ns - prev_end);
+          ops.push_back(std::move(gap));
+        }
+        AppOp op;
+        op.kind = r->op == trace::IoOpKind::write ? AppOp::Kind::write
+                                                  : AppOp::Kind::read;
+        op.offset = offset % file_size;
+        op.size = std::max<Bytes>(blocks_to_bytes(r->blocks), 1);
+        offset += op.size;
+        ops.push_back(std::move(op));
+        prev_end = r->end_ns;
+      }
+      proc->set_ops(std::move(ops));
+      processes.push_back(std::move(proc));
+    }
+    return run_processes(env, processes, t0);
+  }
+
+  // Open loop: issue every access at its recorded (shifted) start time.
+  struct OpenState {
+    std::vector<std::unique_ptr<mio::IoClient>> clients;
+    SimTime last_completion;
+  };
+  auto state = std::make_shared<OpenState>();
+  std::int64_t t_min = by_pid.begin()->second.records.front()->start_ns;
+  std::size_t total_ops = 0;
+  for (const auto& [pid, per] : by_pid) {
+    t_min = std::min(t_min, per.records.front()->start_ns);
+    total_ops += per.records.size();
+  }
+
+  std::size_t idx = 0;
+  auto join = std::make_shared<sim::JoinCounter>(*env.sim, total_ops, []() {});
+  for (const auto& [pid, per] : by_pid) {
+    const std::size_t node = idx++ % env.node_count();
+    auto client = std::make_unique<mio::IoClient>(*env.nodes[node],
+                                                  *env.backends[node], pid,
+                                                  env.block_size);
+    auto handle = client->create(
+        config_.path_prefix + "." + std::to_string(pid), file_size);
+    if (!handle) continue;
+    mio::IoClient* c = client.get();
+    state->clients.push_back(std::move(client));
+
+    Bytes offset = 0;
+    for (const auto* r : per.records) {
+      const SimDuration delay(r->start_ns - t_min);
+      const Bytes size = std::max<Bytes>(blocks_to_bytes(r->blocks), 1);
+      const Bytes at = offset % file_size;
+      offset += size;
+      const bool is_write = r->op == trace::IoOpKind::write;
+      env.sim->schedule_at(
+          t0 + delay, [c, h = *handle, at, size, is_write, state, join,
+                       sim = env.sim]() {
+            auto done = [state, join, sim](fs::IoOutcome) {
+              state->last_completion = sim->now();
+              join->complete_one();
+            };
+            if (is_write) {
+              c->write(h, at, size, done);
+            } else {
+              c->read(h, at, size, done);
+            }
+          });
+    }
+  }
+  env.sim->run();
+
+  RunResult result;
+  result.process_count = static_cast<std::uint32_t>(state->clients.size());
+  for (const auto& c : state->clients) {
+    result.collector.gather(c->trace());
+    result.finish_times.push_back(state->last_completion);
+  }
+  result.exec_time = state->last_completion - t0;
+  return result;
+}
+
+}  // namespace bpsio::workload

@@ -1,0 +1,52 @@
+// Trace replay: drive a testbed with the accesses of a previously recorded
+// trace (sizes, per-process ordering, and timing), to ask "what would this
+// application's I/O do on a different I/O system?" — the what-if usage the
+// BPS toolkit enables once traces are first-class.
+//
+// IoRecords carry no file offsets (the paper's 32-byte record is pid, size,
+// start, end), so replay synthesizes per-process sequential offsets; the
+// temporal and volumetric structure — which is what BPS measures — is
+// preserved exactly.
+//
+// Two modes:
+//  * closed_loop — each process issues its accesses in order, preserving
+//    the recorded think gaps between them; I/O times are whatever the new
+//    testbed produces. This answers "same application, new storage".
+//  * open_loop — accesses are issued at their recorded start times
+//    regardless of completion (a load generator); queueing explodes if the
+//    new system is slower than the recorded one. This answers "same offered
+//    load, new storage".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/io_record.hpp"
+#include "workload/workload.hpp"
+
+namespace bpsio::workload {
+
+struct ReplayConfig {
+  std::vector<trace::IoRecord> records;
+  enum class Mode { closed_loop, open_loop };
+  Mode mode = Mode::closed_loop;
+  /// Backing file size; 0 = sized to the largest per-process byte total.
+  Bytes file_size = 0;
+  std::string path_prefix = "/replay";
+};
+
+class TraceReplayWorkload final : public Workload {
+ public:
+  explicit TraceReplayWorkload(ReplayConfig config)
+      : config_(std::move(config)) {}
+
+  std::string name() const override { return "replay"; }
+  RunResult run(Env& env) override;
+
+  const ReplayConfig& config() const { return config_; }
+
+ private:
+  ReplayConfig config_;
+};
+
+}  // namespace bpsio::workload

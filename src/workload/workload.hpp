@@ -1,0 +1,63 @@
+// Workload abstractions: the simulated "benchmark tools".
+//
+// A Workload owns the application side of an experiment: it creates files,
+// spawns synchronous-I/O processes, runs the simulator until they finish,
+// and hands back the gathered trace. The environment (which storage stack,
+// which devices) is assembled by bpsio::core::Testbed and passed in, so the
+// same workload runs unchanged on a local HDD, a local SSD, or a PVFS-like
+// cluster — exactly how IOzone/IOR/Hpio were pointed at different file
+// systems in the paper.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "common/units.hpp"
+#include "fs/file_api.hpp"
+#include "mio/client_node.hpp"
+#include "sim/simulator.hpp"
+#include "trace/trace_collector.hpp"
+
+namespace bpsio::workload {
+
+/// The application-visible environment: one ClientNode + FileApi pair per
+/// compute node. Processes are assigned to nodes round-robin by the
+/// workload unless it chooses otherwise.
+struct Env {
+  sim::Simulator* sim = nullptr;
+  std::vector<mio::ClientNode*> nodes;
+  std::vector<fs::FileApi*> backends;  ///< parallel to `nodes`
+  Bytes block_size = kDefaultBlockSize;
+
+  std::size_t node_count() const { return nodes.size(); }
+};
+
+/// What a finished run hands back for metric computation.
+struct RunResult {
+  SimDuration exec_time = SimDuration::zero();  ///< app execution time
+  trace::TraceCollector collector;              ///< all processes' records
+  std::uint32_t process_count = 0;
+  std::vector<SimTime> finish_times;            ///< per process
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+  virtual std::string name() const = 0;
+  /// Create files, run all processes to completion, gather traces.
+  virtual RunResult run(Env& env) = 0;
+};
+
+class Process;
+
+/// Shared by all workloads: start every process, run the simulator to
+/// completion, and assemble the RunResult (execution time = latest process
+/// finish, measured from `t0`).
+RunResult run_processes(Env& env,
+                        std::vector<std::unique_ptr<Process>>& processes,
+                        SimTime t0);
+
+}  // namespace bpsio::workload

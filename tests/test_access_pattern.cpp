@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "workload/access_pattern.hpp"
+
+namespace bpsio::workload {
+namespace {
+
+TEST(SequentialOps, CoversFileExactlyOnce) {
+  const auto ops = sequential_ops(AppOp::Kind::read, 100, 32);
+  ASSERT_EQ(ops.size(), 4u);
+  Bytes expect = 0;
+  for (const auto& op : ops) {
+    EXPECT_EQ(op.offset, expect);
+    expect += op.size;
+  }
+  EXPECT_EQ(expect, 100u);
+  EXPECT_EQ(ops.back().size, 4u);  // clipped tail
+  EXPECT_EQ(ops_bytes(ops), 100u);
+}
+
+TEST(SequentialOps, DegenerateInputs) {
+  EXPECT_TRUE(sequential_ops(AppOp::Kind::read, 0, 32).empty());
+  EXPECT_TRUE(sequential_ops(AppOp::Kind::read, 100, 0).empty());
+}
+
+TEST(RandomOps, AlignedAndInBounds) {
+  Rng rng(3);
+  const auto ops = random_ops(AppOp::Kind::read, 1000, 100, 50, rng);
+  ASSERT_EQ(ops.size(), 50u);
+  for (const auto& op : ops) {
+    EXPECT_EQ(op.offset % 100, 0u);
+    EXPECT_LE(op.offset + op.size, 1000u);
+    EXPECT_EQ(op.size, 100u);
+  }
+}
+
+TEST(RandomOps, FileSmallerThanRecordYieldsNothing) {
+  Rng rng(3);
+  EXPECT_TRUE(random_ops(AppOp::Kind::read, 50, 100, 10, rng).empty());
+}
+
+TEST(StridedOps, OffsetsFollowStride) {
+  const auto ops = strided_ops(AppOp::Kind::write, 1000, 500, 100, 4);
+  ASSERT_EQ(ops.size(), 4u);
+  EXPECT_EQ(ops[0].offset, 1000u);
+  EXPECT_EQ(ops[3].offset, 2500u);
+  for (const auto& op : ops) EXPECT_EQ(op.kind, AppOp::Kind::write);
+}
+
+TEST(HpioOps, ContiguousBlockPartition) {
+  // 12 regions over 3 ranks: rank r owns regions [4r, 4r+4).
+  for (std::uint32_t rank = 0; rank < 3; ++rank) {
+    const auto ops = hpio_ops(AppOp::Kind::list_read, rank, 3, 12, 256, 8,
+                              /*regions_per_call=*/0);
+    ASSERT_EQ(ops.size(), 1u);
+    ASSERT_EQ(ops[0].regions.size(), 4u);
+    EXPECT_EQ(ops[0].regions.front().offset, rank * 4 * 264u);
+    for (const auto& r : ops[0].regions) EXPECT_EQ(r.length, 256u);
+  }
+}
+
+TEST(HpioOps, InterleavedPartition) {
+  const auto ops = hpio_ops(AppOp::Kind::list_read, 1, 3, 9, 256, 8, 0,
+                            /*interleaved=*/true);
+  ASSERT_EQ(ops.size(), 1u);
+  ASSERT_EQ(ops[0].regions.size(), 3u);
+  EXPECT_EQ(ops[0].regions[0].offset, 1u * 264);
+  EXPECT_EQ(ops[0].regions[1].offset, 4u * 264);
+  EXPECT_EQ(ops[0].regions[2].offset, 7u * 264);
+}
+
+TEST(HpioOps, ChunkedIntoCalls) {
+  const auto ops = hpio_ops(AppOp::Kind::list_read, 0, 1, 100, 256, 8, 30);
+  ASSERT_EQ(ops.size(), 4u);  // 30+30+30+10
+  EXPECT_EQ(ops[0].regions.size(), 30u);
+  EXPECT_EQ(ops[3].regions.size(), 10u);
+  Bytes total = 0;
+  for (const auto& op : ops) total += mio::regions_bytes(op.regions);
+  EXPECT_EQ(total, 100u * 256);
+}
+
+TEST(HpioOps, RanksPartitionAllRegionsExactly) {
+  // Union over ranks covers every region exactly once (last rank absorbs
+  // the remainder).
+  const std::uint64_t count = 103;
+  const std::uint32_t nprocs = 4;
+  std::vector<bool> seen(count, false);
+  for (std::uint32_t rank = 0; rank < nprocs; ++rank) {
+    for (const auto& op :
+         hpio_ops(AppOp::Kind::list_read, rank, nprocs, count, 256, 8, 0)) {
+      for (const auto& r : op.regions) {
+        const auto idx = r.offset / 264;
+        ASSERT_LT(idx, count);
+        ASSERT_FALSE(seen[idx]);
+        seen[idx] = true;
+      }
+    }
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+}  // namespace
+}  // namespace bpsio::workload

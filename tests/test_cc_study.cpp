@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "metrics/cc_study.hpp"
+
+namespace bpsio::metrics {
+namespace {
+
+MetricSample sample(double exec, double iops_v, double bw, double arpt_v,
+                    double bps_v) {
+  MetricSample s;
+  s.exec_time_s = exec;
+  s.iops = iops_v;
+  s.bandwidth_bps = bw;
+  s.arpt_s = arpt_v;
+  s.bps = bps_v;
+  return s;
+}
+
+TEST(Correlate, WellBehavedMetricsAllCorrect) {
+  // Faster runs <=> higher rates, lower latency — the Set-1 world.
+  std::vector<MetricSample> samples;
+  for (double t : {1.0, 2.0, 4.0, 8.0}) {
+    samples.push_back(sample(t, 100 / t, 1e6 / t, t / 100, 1000 / t));
+  }
+  const auto report = correlate(samples);
+  EXPECT_EQ(report.sample_count, 4u);
+  for (MetricKind kind : kAllMetrics) {
+    EXPECT_TRUE(report.of(kind).direction_correct) << metric_name(kind);
+    EXPECT_GT(report.of(kind).normalized_cc, 0.8) << metric_name(kind);
+  }
+  EXPECT_FALSE(report.to_string().empty());
+}
+
+TEST(Correlate, MisleadingIopsGetsNegativeNormalizedCc) {
+  // IOPS *rises* with execution time (the Figure-5 situation).
+  std::vector<MetricSample> samples;
+  for (double t : {1.0, 2.0, 4.0, 8.0}) {
+    samples.push_back(sample(t, 100 * t, 1e6 / t, t / 100, 1000 / t));
+  }
+  const auto report = correlate(samples);
+  EXPECT_FALSE(report.of(MetricKind::iops).direction_correct);
+  EXPECT_LT(report.of(MetricKind::iops).normalized_cc, -0.8);
+  EXPECT_TRUE(report.of(MetricKind::bps).direction_correct);
+}
+
+TEST(Correlate, SpearmanReportedAlongside) {
+  std::vector<MetricSample> samples;
+  for (double t : {1.0, 2.0, 3.0}) {
+    samples.push_back(sample(t, 1 / t, 1 / t, t, 1 / t));
+  }
+  const auto report = correlate(samples);
+  EXPECT_NEAR(report.of(MetricKind::bps).spearman, -1.0, 1e-12);
+  EXPECT_NEAR(report.of(MetricKind::arpt).spearman, 1.0, 1e-12);
+}
+
+TEST(AverageSamples, PointwiseMean) {
+  std::vector<std::vector<MetricSample>> per_seed(2);
+  auto s1 = sample(1.0, 10, 100, 0.1, 1000);
+  s1.app_blocks = 100;
+  s1.access_count = 10;
+  auto s2 = sample(3.0, 30, 300, 0.3, 3000);
+  s2.app_blocks = 200;
+  s2.access_count = 20;
+  per_seed[0] = {s1};
+  per_seed[1] = {s2};
+  const auto avg = average_samples(per_seed);
+  ASSERT_EQ(avg.size(), 1u);
+  EXPECT_DOUBLE_EQ(avg[0].exec_time_s, 2.0);
+  EXPECT_DOUBLE_EQ(avg[0].iops, 20.0);
+  EXPECT_DOUBLE_EQ(avg[0].bandwidth_bps, 200.0);
+  EXPECT_DOUBLE_EQ(avg[0].arpt_s, 0.2);
+  EXPECT_DOUBLE_EQ(avg[0].bps, 2000.0);
+  EXPECT_EQ(avg[0].app_blocks, 150u);
+  EXPECT_EQ(avg[0].access_count, 15u);
+}
+
+TEST(AverageSamples, EmptyInput) {
+  EXPECT_TRUE(average_samples({}).empty());
+}
+
+TEST(Correlate, TooFewSamplesYieldZeroCc) {
+  const auto report = correlate({sample(1, 1, 1, 1, 1)});
+  for (MetricKind kind : kAllMetrics) {
+    EXPECT_DOUBLE_EQ(report.of(kind).cc, 0.0) << metric_name(kind);
+  }
+}
+
+}  // namespace
+}  // namespace bpsio::metrics

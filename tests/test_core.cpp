@@ -1,0 +1,203 @@
+// Core toolkit: Testbed assembly, BpsMeter facade, experiment runner.
+#include <gtest/gtest.h>
+
+#include "core/bps_meter.hpp"
+#include "device/ram_device.hpp"
+#include "core/experiment.hpp"
+#include "core/presets.hpp"
+#include "core/testbed.hpp"
+#include "workload/iozone.hpp"
+
+namespace bpsio::core {
+namespace {
+
+TestbedConfig ram_pfs(std::uint32_t servers, std::uint32_t clients) {
+  TestbedConfig cfg;
+  cfg.backend = BackendKind::pfs;
+  cfg.pfs.server_count = servers;
+  cfg.pfs.device = pfs::DeviceKind::ram;
+  cfg.pfs.ram.capacity = 256 * kMiB;
+  cfg.client_nodes = clients;
+  return cfg;
+}
+
+TEST(Testbed, LocalBackendWiresOneSharedFs) {
+  Testbed tb(local_hdd_testbed());
+  ASSERT_NE(tb.local_fs(), nullptr);
+  EXPECT_EQ(tb.cluster(), nullptr);
+  ASSERT_EQ(tb.env().node_count(), 1u);
+  EXPECT_EQ(tb.env().backends[0], tb.local_fs());
+  EXPECT_EQ(tb.describe(), "local-hdd");
+}
+
+TEST(Testbed, PfsBackendWiresOneClientPerNode) {
+  Testbed tb(ram_pfs(4, 3));
+  ASSERT_NE(tb.cluster(), nullptr);
+  EXPECT_EQ(tb.cluster()->server_count(), 4u);
+  ASSERT_EQ(tb.env().node_count(), 3u);
+  EXPECT_NE(tb.env().backends[0], tb.env().backends[1]);
+}
+
+TEST(Testbed, LayoutPolicyReachesClients) {
+  auto cfg = ram_pfs(4, 1);
+  cfg.layout_policy = one_server_per_file_policy(4);
+  Testbed tb(cfg);
+  auto* client = static_cast<pfs::PfsClient*>(tb.env().backends[0]);
+  auto a = client->create("/a", 64 * kKiB);
+  auto b = client->create("/b", 64 * kKiB);
+  ASSERT_TRUE(a.ok() && b.ok());
+  bool done = false;
+  client->read(*a, 0, 64 * kKiB, [&](fs::IoOutcome) { done = true; });
+  client->read(*b, 0, 64 * kKiB, [&](fs::IoOutcome) { done = true; });
+  tb.simulator().run();
+  EXPECT_TRUE(done);
+  // Files 0 and 1 pinned to servers 0 and 1 respectively.
+  EXPECT_EQ(tb.cluster()->server(0).device().stats().bytes_read, 64u * kKiB);
+  EXPECT_EQ(tb.cluster()->server(1).device().stats().bytes_read, 64u * kKiB);
+  EXPECT_EQ(tb.cluster()->server(2).device().stats().bytes_read, 0u);
+}
+
+TEST(Testbed, CountersResetAndAggregate) {
+  Testbed tb(ram_pfs(2, 1));
+  auto* client = static_cast<pfs::PfsClient*>(tb.env().backends[0]);
+  auto h = client->create("/f", 1 * kMiB);
+  client->read(*h, 0, 1 * kMiB, [](fs::IoOutcome) {});
+  tb.simulator().run();
+  EXPECT_EQ(tb.bytes_moved(), 1u * kMiB);
+  EXPECT_EQ(tb.device_bytes_moved(), 1u * kMiB);
+  tb.reset_counters();
+  EXPECT_EQ(tb.bytes_moved(), 0u);
+  EXPECT_EQ(tb.device_bytes_moved(), 0u);
+}
+
+TEST(Testbed, DeviceFactoryOverridesBuiltinKinds) {
+  TestbedConfig cfg;
+  cfg.backend = BackendKind::local;
+  cfg.device = pfs::DeviceKind::hdd;  // would build an HDD...
+  bool factory_used = false;
+  cfg.device_factory = [&factory_used](sim::Simulator& sim, std::uint64_t) {
+    factory_used = true;
+    return std::make_unique<device::RamDevice>(
+        sim, device::RamParams{.capacity = 8 * kMiB});
+  };
+  Testbed tb(cfg);
+  EXPECT_TRUE(factory_used);
+  ASSERT_NE(tb.local_fs(), nullptr);
+  EXPECT_EQ(tb.local_fs()->device().capacity(), 8u * kMiB);
+  EXPECT_EQ(tb.local_fs()->device().describe(), "ram");
+}
+
+TEST(Presets, MirrorThePaperTestbed) {
+  EXPECT_EQ(paper_hdd().capacity, 250u * kGiB);
+  EXPECT_DOUBLE_EQ(paper_hdd().rpm, 7200.0);
+  EXPECT_EQ(paper_ssd().capacity, 100u * kGiB);
+  EXPECT_EQ(paper_client_node().cores, 8u);  // two quad-core Opterons
+  EXPECT_NEAR(paper_gige().line_rate_mbps, 117.0, 1e-9);
+  const auto pvfs = pvfs_testbed(8);
+  EXPECT_EQ(pvfs.pfs.server_count, 8u);
+  EXPECT_EQ(pvfs.backend, BackendKind::pfs);
+}
+
+TEST(BpsMeter, ThreeStepPipeline) {
+  BpsMeter meter;
+  trace::TraceBuffer p1(1), p2(2);
+  p1.record(100, SimTime(0), SimTime::from_seconds(1.0));
+  p2.record(100, SimTime(0), SimTime::from_seconds(1.0));
+  meter.gather(p1);
+  meter.gather(p2);
+  const auto reading = meter.measure();
+  EXPECT_EQ(reading.blocks, 200u);
+  EXPECT_DOUBLE_EQ(reading.io_time_s, 1.0);
+  EXPECT_DOUBLE_EQ(reading.bps, 200.0);
+  EXPECT_EQ(reading.accesses, 2u);
+  EXPECT_EQ(reading.processes, 2u);
+  EXPECT_DOUBLE_EQ(reading.avg_concurrency, 2.0);
+  EXPECT_FALSE(reading.to_string().empty());
+  meter.clear();
+  EXPECT_EQ(meter.measure().blocks, 0u);
+}
+
+TEST(BpsMeter, WindowedMeasurement) {
+  BpsMeter meter;
+  trace::TraceBuffer p(1);
+  p.record(100, SimTime(0), SimTime::from_seconds(1.0));
+  p.record(100, SimTime::from_seconds(10.0), SimTime::from_seconds(11.0));
+  meter.gather(p);
+  trace::RecordFilter window;
+  window.window_start_ns = 0;
+  window.window_end_ns = SimTime::from_seconds(5.0).ns();
+  const auto reading = meter.measure(window);
+  EXPECT_EQ(reading.blocks, 100u);
+  EXPECT_DOUBLE_EQ(reading.io_time_s, 1.0);
+}
+
+TEST(BpsMeter, MeasureAllMatchesMetricsModule) {
+  BpsMeter meter;
+  trace::TraceBuffer p(1);
+  p.record(100, SimTime(0), SimTime::from_seconds(0.5));
+  meter.gather(p);
+  const auto s = meter.measure_all(1 * kMiB, SimDuration::from_seconds(1.0));
+  EXPECT_DOUBLE_EQ(s.bps, 200.0);
+  EXPECT_DOUBLE_EQ(s.iops, 1.0);
+  EXPECT_DOUBLE_EQ(s.bandwidth_bps, static_cast<double>(kMiB));
+}
+
+RunSpec tiny_spec(const char* label, std::uint32_t procs) {
+  RunSpec spec;
+  spec.label = label;
+  spec.testbed = [](std::uint64_t seed) {
+    auto cfg = ram_pfs(2, 1);
+    cfg.seed = seed;
+    return cfg;
+  };
+  spec.workload = [procs]() -> std::unique_ptr<workload::Workload> {
+    workload::IozoneConfig cfg;
+    cfg.file_size = 2 * kMiB;
+    cfg.record_size = 64 * kKiB;
+    cfg.processes = procs;
+    return std::make_unique<workload::IozoneWorkload>(cfg);
+  };
+  return spec;
+}
+
+TEST(Experiment, RunOnceIsDeterministicPerSeed) {
+  const auto spec = tiny_spec("p2", 2);
+  const auto a = run_once(spec, 42);
+  const auto b = run_once(spec, 42);
+  EXPECT_DOUBLE_EQ(a.exec_time_s, b.exec_time_s);
+  EXPECT_DOUBLE_EQ(a.bps, b.bps);
+  EXPECT_EQ(a.moved_bytes, b.moved_bytes);
+}
+
+TEST(Experiment, SeedStabilityReported) {
+  const std::vector<RunSpec> specs{tiny_spec("p1", 1), tiny_spec("p2", 2),
+                                   tiny_spec("p4", 4)};
+  const auto sweep = run_sweep(specs, /*repeats=*/3, /*base_seed=*/7);
+  ASSERT_EQ(sweep.stability.size(), 4u);
+  const auto* bps = sweep.stability_of(metrics::MetricKind::bps);
+  ASSERT_NE(bps, nullptr);
+  EXPECT_TRUE(bps->direction_stable);
+  EXPECT_LE(bps->min_normalized_cc, bps->max_normalized_cc);
+  EXPECT_FALSE(sweep.stability_table().empty());
+
+  // Single repetition: no stability data.
+  const auto single = run_sweep(specs, /*repeats=*/1, /*base_seed=*/7);
+  EXPECT_TRUE(single.stability.empty());
+  EXPECT_TRUE(single.stability_table().empty());
+}
+
+TEST(Experiment, RunSweepProducesAlignedOutputs) {
+  const std::vector<RunSpec> specs{tiny_spec("p1", 1), tiny_spec("p2", 2),
+                                   tiny_spec("p4", 4)};
+  const auto sweep = run_sweep(specs, /*repeats=*/2, /*base_seed=*/7);
+  ASSERT_EQ(sweep.samples.size(), 3u);
+  ASSERT_EQ(sweep.labels.size(), 3u);
+  EXPECT_EQ(sweep.labels[2], "p4");
+  EXPECT_EQ(sweep.report.sample_count, 3u);
+  EXPECT_FALSE(sweep.samples_table().empty());
+  // More processes on more spindles -> faster.
+  EXPECT_LT(sweep.samples[1].exec_time_s, sweep.samples[0].exec_time_s);
+}
+
+}  // namespace
+}  // namespace bpsio::core

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "stats/correlation.hpp"
+
+namespace bpsio::stats {
+namespace {
+
+TEST(Pearson, PerfectPositiveAndNegative) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  const std::vector<double> z{10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, z), -1.0, 1e-12);
+}
+
+TEST(Pearson, KnownHandComputedValue) {
+  // CC of (1,2,3) vs (1,3,2) = 0.5.
+  EXPECT_NEAR(pearson(std::vector<double>{1, 2, 3},
+                      std::vector<double>{1, 3, 2}),
+              0.5, 1e-12);
+}
+
+TEST(Pearson, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(pearson(std::vector<double>{}, std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(pearson(std::vector<double>{1}, std::vector<double>{2}), 0.0);
+  // Constant series have no defined correlation; we return 0.
+  EXPECT_DOUBLE_EQ(pearson(std::vector<double>{3, 3, 3},
+                           std::vector<double>{1, 2, 3}),
+                   0.0);
+}
+
+TEST(Pearson, InvariantUnderAffineTransform) {
+  Rng rng(3);
+  std::vector<double> x, y;
+  for (int i = 0; i < 200; ++i) {
+    x.push_back(rng.uniform());
+    y.push_back(0.7 * x.back() + rng.normal(0, 0.1));
+  }
+  const double base = pearson(x, y);
+  std::vector<double> xs;
+  for (double v : x) xs.push_back(5.0 * v - 100.0);
+  EXPECT_NEAR(pearson(xs, y), base, 1e-12);
+}
+
+TEST(Ranks, TiesGetAverageRank) {
+  const auto r = ranks(std::vector<double>{10, 20, 20, 30});
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(Spearman, MonotoneNonlinearIsPerfect) {
+  std::vector<double> x, y;
+  for (int i = 1; i <= 20; ++i) {
+    x.push_back(i);
+    y.push_back(i * i * i);  // nonlinear but monotone
+  }
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+  for (auto& v : y) v = -v;
+  EXPECT_NEAR(spearman(x, y), -1.0, 1e-12);
+}
+
+TEST(LeastSquaresSlope, RecoversLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 * i + 7.0);
+  }
+  EXPECT_NEAR(least_squares_slope(x, y), 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(least_squares_slope(std::vector<double>{1, 1},
+                                       std::vector<double>{2, 3}),
+                   0.0);
+}
+
+TEST(NormalizeCc, PaperConvention) {
+  // Matching direction -> positive magnitude; mismatch -> negative.
+  EXPECT_DOUBLE_EQ(normalize_cc(-0.9, Direction::negative), 0.9);
+  EXPECT_DOUBLE_EQ(normalize_cc(0.9, Direction::negative), -0.9);
+  EXPECT_DOUBLE_EQ(normalize_cc(0.7, Direction::positive), 0.7);
+  EXPECT_DOUBLE_EQ(normalize_cc(-0.7, Direction::positive), -0.7);
+  // Zero counts as "not negative": direction-correct only for positive.
+  EXPECT_DOUBLE_EQ(normalize_cc(0.0, Direction::positive), 0.0);
+}
+
+TEST(Pearson, MismatchedLengthsUseCommonPrefix) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{2, 4, 6};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace bpsio::stats

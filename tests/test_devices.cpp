@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "device/hdd_model.hpp"
+#include "device/ram_device.hpp"
+#include "device/ssd_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace bpsio::device {
+namespace {
+
+struct Completion {
+  DevResult result;
+  bool fired = false;
+};
+
+DevDoneFn capture(Completion& c) {
+  return [&c](DevResult r) {
+    c.result = r;
+    c.fired = true;
+  };
+}
+
+HddParams test_hdd() {
+  HddParams p;
+  p.capacity = 8 * kGiB;
+  p.deterministic_rotation = true;  // reproducible service times
+  return p;
+}
+
+TEST(Hdd, SequentialReadsSkipSeekAndRotation) {
+  sim::Simulator sim;
+  HddModel hdd(sim, test_hdd());
+  const Bytes base = 1 * kGiB;  // away from the parked head
+  Completion first, second;
+  hdd.submit(DevOp::read, base, 64 * kKiB, capture(first));
+  sim.run();
+  hdd.submit(DevOp::read, base + 64 * kKiB, 64 * kKiB, capture(second));
+  sim.run();
+  ASSERT_TRUE(first.fired && second.fired);
+  const auto t1 = (first.result.end - first.result.start).ns();
+  const auto t2 = (second.result.end - second.result.start).ns();
+  // The first request pays seek+rotation to reach `base`; the sequential
+  // continuation pays only command overhead + transfer.
+  EXPECT_GT(t1, t2 + SimDuration::from_ms(1.0).ns());
+  const double expected_xfer =
+      64.0 * 1024.0 / hdd.transfer_rate_bps(base + 64 * kKiB);
+  EXPECT_NEAR(static_cast<double>(t2) * 1e-9,
+              hdd.params().command_overhead.seconds() + expected_xfer,
+              20e-6);
+}
+
+TEST(Hdd, RandomReadsPaySeekAndRotation) {
+  sim::Simulator sim;
+  HddModel hdd(sim, test_hdd());
+  Completion warm, far;
+  hdd.submit(DevOp::read, 0, 4 * kKiB, capture(warm));
+  sim.run();
+  hdd.submit(DevOp::read, 4 * kGiB, 4 * kKiB, capture(far));
+  sim.run();
+  const auto t_far = (far.result.end - far.result.start).seconds();
+  // Half-capacity seek + half-rotation (deterministic) dominate a 4 KiB read.
+  EXPECT_GT(t_far, 0.004);  // > 4 ms
+}
+
+TEST(Hdd, SeekTimeMonotoneInDistance) {
+  sim::Simulator sim;
+  HddModel hdd(sim, test_hdd());
+  SimDuration prev = SimDuration::zero();
+  for (Bytes dist : {1 * kMiB, 64 * kMiB, 1 * kGiB, 4 * kGiB}) {
+    const auto t = hdd.seek_time(0, dist);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+  EXPECT_EQ(hdd.seek_time(100, 100).ns(), 0);
+  // Within the sequential window: settle only.
+  EXPECT_EQ(hdd.seek_time(0, 4 * kKiB), hdd.params().settle_time);
+  // Full stroke approaches max_seek.
+  EXPECT_LE(hdd.seek_time(0, hdd.capacity()), hdd.params().max_seek);
+  EXPECT_GT(hdd.seek_time(0, hdd.capacity()).seconds(),
+            hdd.params().max_seek.seconds() * 0.9);
+}
+
+TEST(Hdd, ZonedTransferOuterFasterThanInner) {
+  sim::Simulator sim;
+  HddModel hdd(sim, test_hdd());
+  EXPECT_GT(hdd.transfer_rate_bps(0), hdd.transfer_rate_bps(hdd.capacity()));
+  EXPECT_NEAR(hdd.transfer_rate_bps(0), hdd.params().outer_rate_mbps * 1e6, 1);
+  EXPECT_NEAR(hdd.transfer_rate_bps(hdd.capacity()),
+              hdd.params().inner_rate_mbps * 1e6, 1);
+}
+
+TEST(Hdd, StatsAccumulate) {
+  sim::Simulator sim;
+  HddModel hdd(sim, test_hdd());
+  hdd.submit(DevOp::read, 0, 4096, [](DevResult) {});
+  hdd.submit(DevOp::write, 4096, 8192, [](DevResult) {});
+  sim.run();
+  EXPECT_EQ(hdd.stats().read_ops, 1u);
+  EXPECT_EQ(hdd.stats().write_ops, 1u);
+  EXPECT_EQ(hdd.stats().bytes_read, 4096u);
+  EXPECT_EQ(hdd.stats().bytes_written, 8192u);
+  EXPECT_GT(hdd.stats().busy_time.ns(), 0);
+  hdd.clear_stats();
+  EXPECT_EQ(hdd.stats().total_ops(), 0u);
+}
+
+TEST(Hdd, FaultInjection) {
+  sim::Simulator sim;
+  HddParams params = test_hdd();
+  params.faults.failure_rate = 1.0;  // always fail
+  HddModel hdd(sim, params);
+  Completion c;
+  hdd.submit(DevOp::read, 0, 4096, capture(c));
+  sim.run();
+  ASSERT_TRUE(c.fired);
+  EXPECT_FALSE(c.result.ok);
+  EXPECT_EQ(hdd.stats().failed_ops, 1u);
+  EXPECT_EQ(hdd.stats().bytes_read, 0u);  // failed transfer moves nothing
+}
+
+TEST(Hdd, ResetStateForgetsHeadPosition) {
+  sim::Simulator sim;
+  HddModel hdd(sim, test_hdd());
+  Completion a, b;
+  hdd.submit(DevOp::read, 0, 64 * kKiB, capture(a));
+  sim.run();
+  hdd.reset_state();
+  // After reset the head is parked again: same cost as a cold first read.
+  hdd.submit(DevOp::read, 64 * kKiB, 64 * kKiB, capture(b));
+  sim.run();
+  EXPECT_GT((b.result.end - b.result.start).ns(),
+            hdd.params().command_overhead.ns());
+}
+
+TEST(Ssd, NominalServiceTime) {
+  sim::Simulator sim;
+  SsdParams params;
+  params.jitter = 0.0;
+  SsdModel ssd(sim, params);
+  const auto t = ssd.nominal_service_time(DevOp::read, 1 * kMiB);
+  EXPECT_NEAR(t.seconds(),
+              params.read_latency.seconds() +
+                  1048576.0 / (params.channel_rate_mbps * 1e6),
+              1e-9);
+  EXPECT_GT(ssd.nominal_service_time(DevOp::write, 4096),
+            ssd.nominal_service_time(DevOp::read, 4096));
+}
+
+TEST(Ssd, ChannelsServeConcurrently) {
+  sim::Simulator sim;
+  SsdParams params;
+  params.channels = 4;
+  params.jitter = 0.0;
+  SsdModel ssd(sim, params);
+  std::vector<Completion> done(8);
+  for (auto& c : done) ssd.submit(DevOp::read, 0, 1 * kMiB, capture(c));
+  sim.run();
+  const auto single = ssd.nominal_service_time(DevOp::read, 1 * kMiB);
+  // 8 jobs over 4 channels: two waves.
+  EXPECT_NEAR(sim.now().seconds(), 2 * single.seconds(), 1e-9);
+}
+
+TEST(Ssd, JitterStaysBounded) {
+  sim::Simulator sim;
+  SsdParams params;
+  params.jitter = 0.1;
+  params.channels = 1;
+  SsdModel ssd(sim, params);
+  const auto nominal = ssd.nominal_service_time(DevOp::read, 64 * kKiB);
+  for (int i = 0; i < 50; ++i) {
+    Completion c;
+    ssd.submit(DevOp::read, 0, 64 * kKiB, capture(c));
+    sim.run();
+    const double t = (c.result.end - c.result.start).seconds();
+    EXPECT_GE(t, nominal.seconds() * 0.9 - 1e-9);
+    EXPECT_LE(t, nominal.seconds() * 1.1 + 1e-9);
+  }
+}
+
+TEST(Ram, FastAndCounted) {
+  sim::Simulator sim;
+  RamDevice ram(sim);
+  Completion c;
+  ram.submit(DevOp::write, 0, 1 * kMiB, capture(c));
+  sim.run();
+  ASSERT_TRUE(c.fired);
+  EXPECT_TRUE(c.result.ok);
+  EXPECT_LT((c.result.end - c.result.start).seconds(), 1e-3);
+  EXPECT_EQ(ram.stats().bytes_written, kMiB);
+}
+
+TEST(Devices, DescribeIsNonEmpty) {
+  sim::Simulator sim;
+  HddModel hdd(sim, test_hdd());
+  SsdModel ssd(sim, SsdParams{});
+  RamDevice ram(sim);
+  EXPECT_FALSE(hdd.describe().empty());
+  EXPECT_FALSE(ssd.describe().empty());
+  EXPECT_FALSE(ram.describe().empty());
+}
+
+}  // namespace
+}  // namespace bpsio::device

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "fs/extent_allocator.hpp"
+
+namespace bpsio::fs {
+namespace {
+
+TEST(ExtentAllocator, ContiguousFirstFit) {
+  ExtentAllocator alloc(0, 1024);
+  auto a = alloc.allocate(100);
+  ASSERT_TRUE(a.ok());
+  ASSERT_EQ(a->size(), 1u);
+  EXPECT_EQ((*a)[0], (Extent{0, 100}));
+  auto b = alloc.allocate(200);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ((*b)[0], (Extent{100, 200}));
+  EXPECT_EQ(alloc.free_bytes(), 724u);
+}
+
+TEST(ExtentAllocator, RejectsZeroAndOverflow) {
+  ExtentAllocator alloc(0, 100);
+  EXPECT_EQ(alloc.allocate(0).code(), Errc::invalid_argument);
+  EXPECT_EQ(alloc.allocate(101).code(), Errc::out_of_space);
+  EXPECT_TRUE(alloc.allocate(100).ok());
+  EXPECT_EQ(alloc.allocate(1).code(), Errc::out_of_space);
+}
+
+TEST(ExtentAllocator, ReleaseCoalescesNeighbours) {
+  ExtentAllocator alloc(0, 300);
+  auto a = alloc.allocate(100);
+  auto b = alloc.allocate(100);
+  auto c = alloc.allocate(100);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  alloc.release(*a);
+  alloc.release(*c);
+  EXPECT_EQ(alloc.fragment_count(), 2u);
+  alloc.release(*b);  // bridges the gap
+  EXPECT_EQ(alloc.fragment_count(), 1u);
+  EXPECT_EQ(alloc.free_bytes(), 300u);
+  // Whole space reusable as one extent again.
+  auto big = alloc.allocate(300);
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(big->size(), 1u);
+}
+
+TEST(ExtentAllocator, FragmentedAllocationSpansFreeHoles) {
+  ExtentAllocator alloc(0, 300);
+  auto a = alloc.allocate(100);
+  auto b = alloc.allocate(100);
+  auto c = alloc.allocate(100);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  alloc.release(*a);
+  alloc.release(*c);
+  // 200 free but in two 100-byte holes.
+  auto d = alloc.allocate(150);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->size(), 2u);
+  EXPECT_EQ(alloc.free_bytes(), 50u);
+}
+
+TEST(ExtentAllocator, MaxExtentForcesFragmentation) {
+  ExtentAllocator alloc(0, 1000, /*max_extent=*/64);
+  auto a = alloc.allocate(200);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->size(), 4u);  // 64+64+64+8
+  Bytes total = 0;
+  for (const auto& e : *a) {
+    EXPECT_LE(e.length, 64u);
+    total += e.length;
+  }
+  EXPECT_EQ(total, 200u);
+}
+
+TEST(ExtentAllocator, BaseOffsetRespected) {
+  ExtentAllocator alloc(4096, 1000);
+  auto a = alloc.allocate(10);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ((*a)[0].device_offset, 4096u);
+}
+
+TEST(ExtentAllocator, RandomizedAllocFreeConservesBytes) {
+  Rng rng(99);
+  ExtentAllocator alloc(0, 1 << 20);
+  std::vector<std::vector<Extent>> live;
+  Bytes live_bytes = 0;
+  for (int step = 0; step < 2000; ++step) {
+    if (live.empty() || rng.uniform() < 0.6) {
+      const Bytes size = 1 + rng.uniform_u64(4096);
+      auto r = alloc.allocate(size);
+      if (r.ok()) {
+        Bytes got = 0;
+        for (const auto& e : *r) got += e.length;
+        ASSERT_EQ(got, size);
+        live.push_back(std::move(*r));
+        live_bytes += size;
+      } else {
+        ASSERT_EQ(r.code(), Errc::out_of_space);
+        ASSERT_GT(size, alloc.free_bytes());
+      }
+    } else {
+      const auto idx = rng.uniform_u64(live.size());
+      Bytes freed = 0;
+      for (const auto& e : live[idx]) freed += e.length;
+      alloc.release(live[idx]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+      live_bytes -= freed;
+    }
+    ASSERT_EQ(alloc.free_bytes() + live_bytes, Bytes{1} << 20);
+  }
+  for (const auto& extents : live) alloc.release(extents);
+  EXPECT_EQ(alloc.free_bytes(), Bytes{1} << 20);
+  EXPECT_EQ(alloc.fragment_count(), 1u);  // everything coalesced back
+}
+
+}  // namespace
+}  // namespace bpsio::fs

@@ -1,0 +1,120 @@
+// End-to-end failure injection: device faults must propagate up the whole
+// stack (device -> fs -> pfs -> middleware) into flagged-but-counted trace
+// records, per the paper's B definition ("including all successful accesses,
+// non-successful ones").
+#include <gtest/gtest.h>
+
+#include "core/testbed.hpp"
+#include "metrics/calculators.hpp"
+#include "stats/correlation.hpp"
+#include "workload/iozone.hpp"
+
+namespace bpsio {
+namespace {
+
+core::TestbedConfig faulty_local(double failure_rate) {
+  core::TestbedConfig cfg;
+  cfg.backend = core::BackendKind::local;
+  cfg.device = pfs::DeviceKind::hdd;
+  cfg.hdd.capacity = 8 * kGiB;
+  cfg.hdd.faults.failure_rate = failure_rate;
+  cfg.local_fs.cache_enabled = false;  // every access reaches the device
+  return cfg;
+}
+
+core::TestbedConfig faulty_pfs(double failure_rate) {
+  core::TestbedConfig cfg;
+  cfg.backend = core::BackendKind::pfs;
+  cfg.pfs.server_count = 2;
+  cfg.pfs.device = pfs::DeviceKind::hdd;
+  cfg.pfs.hdd.capacity = 8 * kGiB;
+  cfg.pfs.hdd.faults.failure_rate = failure_rate;
+  cfg.pfs.server_fs.cache_enabled = false;
+  return cfg;
+}
+
+workload::RunResult run_reads(core::Testbed& testbed) {
+  workload::IozoneConfig cfg;
+  cfg.file_size = 8 * kMiB;
+  cfg.record_size = 256 * kKiB;
+  workload::IozoneWorkload wl(cfg);
+  return wl.run(testbed.env());
+}
+
+TEST(FaultInjection, LocalStackFlagsFailedRecords) {
+  core::Testbed testbed(faulty_local(0.3));
+  const auto run = run_reads(testbed);
+  std::size_t failed = 0;
+  for (const auto& r : run.collector.records()) failed += r.failed();
+  EXPECT_GT(failed, 0u);
+  EXPECT_LT(failed, run.collector.record_count());  // not everything fails
+}
+
+TEST(FaultInjection, FailedAccessesStillCountInB) {
+  core::Testbed testbed(faulty_local(0.5));
+  const auto run = run_reads(testbed);
+  // Every access was recorded at its requested size regardless of outcome.
+  EXPECT_EQ(blocks_to_bytes(run.collector.total_blocks()), 8u * kMiB);
+  trace::RecordFilter success_only;
+  success_only.include_failed = false;
+  EXPECT_LT(run.collector.total_blocks(success_only),
+            run.collector.total_blocks());
+}
+
+TEST(FaultInjection, PfsStackPropagatesServerFaults) {
+  core::Testbed testbed(faulty_pfs(0.3));
+  const auto run = run_reads(testbed);
+  std::size_t failed = 0;
+  for (const auto& r : run.collector.records()) failed += r.failed();
+  EXPECT_GT(failed, 0u);
+}
+
+TEST(FaultInjection, PfsWritesPropagateServerFaults) {
+  core::Testbed testbed(faulty_pfs(0.5));
+  workload::IozoneConfig cfg;
+  cfg.mode = workload::IozoneConfig::Mode::write;
+  cfg.file_size = 4 * kMiB;
+  cfg.record_size = 256 * kKiB;
+  workload::IozoneWorkload wl(cfg);
+  const auto run = wl.run(testbed.env());
+  std::size_t failed = 0;
+  for (const auto& r : run.collector.records()) failed += r.failed();
+  EXPECT_GT(failed, 0u);
+  // B counts the writes regardless.
+  EXPECT_EQ(blocks_to_bytes(run.collector.total_blocks()), 4u * kMiB);
+}
+
+TEST(FaultInjection, CleanDeviceProducesNoFailedRecords) {
+  core::Testbed testbed(faulty_local(0.0));
+  const auto run = run_reads(testbed);
+  for (const auto& r : run.collector.records()) {
+    EXPECT_FALSE(r.failed());
+  }
+}
+
+TEST(CcInterval, FisherZBrackets) {
+  const auto iv = stats::cc_confidence_interval(0.9, 12, 0.95);
+  EXPECT_LT(iv.lo, 0.9);
+  EXPECT_GT(iv.hi, 0.9);
+  EXPECT_GT(iv.lo, 0.5);   // strong correlation stays strong at n=12
+  EXPECT_LT(iv.hi, 1.0);
+  // Wider at smaller n.
+  const auto wide = stats::cc_confidence_interval(0.9, 6, 0.95);
+  EXPECT_LT(wide.lo, iv.lo);
+  // Degenerate inputs collapse to a point.
+  const auto tiny = stats::cc_confidence_interval(0.9, 3, 0.95);
+  EXPECT_DOUBLE_EQ(tiny.lo, 0.9);
+  EXPECT_DOUBLE_EQ(tiny.hi, 0.9);
+  const auto perfect = stats::cc_confidence_interval(1.0, 100, 0.95);
+  EXPECT_DOUBLE_EQ(perfect.lo, 1.0);
+}
+
+TEST(CcInterval, SymmetricAroundZero) {
+  const auto pos = stats::cc_confidence_interval(0.5, 20);
+  const auto neg = stats::cc_confidence_interval(-0.5, 20);
+  EXPECT_NEAR(pos.lo, -neg.hi, 1e-12);
+  EXPECT_NEAR(pos.hi, -neg.lo, 1e-12);
+}
+
+}  // namespace
+}  // namespace bpsio

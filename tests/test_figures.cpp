@@ -1,0 +1,150 @@
+// Integration tests: the paper's evaluation shapes must reproduce.
+//
+// Each test runs one figure's sweep (at reduced scale, single repetition)
+// and asserts the paper's qualitative result: which metrics correlate with
+// the correct direction, which flip, and that BPS is correct everywhere.
+// These are the tests that guard the headline claim of the reproduction.
+#include <gtest/gtest.h>
+
+#include "core/figures.hpp"
+
+namespace bpsio::core::figures {
+namespace {
+
+using metrics::MetricKind;
+
+FigureDefaults fast() {
+  FigureDefaults d;
+  d.scale = 0.25;  // quarter-size data volumes: shapes survive, tests fly
+  d.repeats = 1;
+  return d;
+}
+
+double ncc(const SweepResult& sweep, MetricKind kind) {
+  return sweep.report.of(kind).normalized_cc;
+}
+
+TEST(Fig4Devices, AllMetricsCorrectAndStrong) {
+  const auto sweep = run_figure(fig4_devices(fast()), fast());
+  for (MetricKind kind : metrics::kAllMetrics) {
+    EXPECT_GT(ncc(sweep, kind), 0.5) << metrics::metric_name(kind);
+  }
+  // Paper: strong correlation, absolute average near 0.93.
+  EXPECT_GT(ncc(sweep, MetricKind::bps), 0.8);
+}
+
+TEST(Fig5IosizeHdd, IopsAndArptFlipBwAndBpsStrong) {
+  const auto sweep = run_figure(fig5_iosize_hdd(fast()), fast());
+  EXPECT_LT(ncc(sweep, MetricKind::iops), 0.0);   // wrong direction
+  EXPECT_LT(ncc(sweep, MetricKind::arpt), 0.0);   // wrong direction
+  EXPECT_GT(ncc(sweep, MetricKind::bandwidth), 0.7);
+  EXPECT_GT(ncc(sweep, MetricKind::bps), 0.7);
+}
+
+TEST(Fig5IosizeHdd, DetailSeriesMatchesFig7Shape) {
+  // IOPS falls while execution time improves as records grow (Figure 7).
+  const auto sweep = run_figure(fig5_iosize_hdd(fast()), fast());
+  const auto& first = sweep.samples.front();  // 4 KiB
+  const auto& last = sweep.samples.back();    // 8 MiB
+  EXPECT_GT(first.iops, 4 * last.iops);
+  EXPECT_GT(first.exec_time_s, 1.5 * last.exec_time_s);
+  // ARPT rises by orders of magnitude across the sweep (Figure 8 analog).
+  EXPECT_GT(last.arpt_s, 50 * first.arpt_s);
+}
+
+TEST(Fig6IosizeSsd, SameStoryOnFlash) {
+  const auto sweep = run_figure(fig6_iosize_ssd(fast()), fast());
+  EXPECT_LT(ncc(sweep, MetricKind::iops), 0.0);
+  EXPECT_LT(ncc(sweep, MetricKind::arpt), 0.0);
+  EXPECT_GT(ncc(sweep, MetricKind::bandwidth), 0.5);
+  EXPECT_GT(ncc(sweep, MetricKind::bps), 0.5);
+  // SSD is strictly faster than HDD at equal configuration.
+  const auto hdd = run_figure(fig5_iosize_hdd(fast()), fast());
+  EXPECT_LT(sweep.samples.front().exec_time_s,
+            hdd.samples.front().exec_time_s);
+}
+
+TEST(Fig9ConcurrencyPure, ArptFlipsOthersStrong) {
+  const auto sweep = run_figure(fig9_concurrency_pure(fast()), fast());
+  EXPECT_GT(ncc(sweep, MetricKind::iops), 0.7);
+  EXPECT_GT(ncc(sweep, MetricKind::bandwidth), 0.7);
+  EXPECT_GT(ncc(sweep, MetricKind::bps), 0.7);
+  EXPECT_LT(ncc(sweep, MetricKind::arpt), 0.0);  // the Figure 9 flip
+  // Figure 10 shape: exec falls substantially from 1 to 8 procs while ARPT
+  // does not improve.
+  EXPECT_GT(sweep.samples.front().exec_time_s,
+            3 * sweep.samples.back().exec_time_s);
+  EXPECT_GE(sweep.samples.back().arpt_s, sweep.samples.front().arpt_s * 0.95);
+}
+
+TEST(Fig11ConcurrencyIor, SharedFileVersion) {
+  const auto sweep = run_figure(fig11_concurrency_ior(fast()), fast());
+  EXPECT_GT(ncc(sweep, MetricKind::iops), 0.6);
+  EXPECT_GT(ncc(sweep, MetricKind::bandwidth), 0.6);
+  EXPECT_GT(ncc(sweep, MetricKind::bps), 0.6);
+  EXPECT_LT(ncc(sweep, MetricKind::arpt), 0.0);
+}
+
+TEST(Fig12Datasieving, BandwidthFlipsOthersCorrect) {
+  const auto sweep = run_figure(fig12_datasieving(fast()), fast());
+  EXPECT_LT(ncc(sweep, MetricKind::bandwidth), 0.0);  // the Figure 12 flip
+  EXPECT_GT(ncc(sweep, MetricKind::iops), 0.6);
+  EXPECT_GT(ncc(sweep, MetricKind::arpt), 0.6);
+  EXPECT_GT(ncc(sweep, MetricKind::bps), 0.6);
+  // Moved bytes grow with spacing while application bytes stay fixed.
+  EXPECT_GT(sweep.samples.back().moved_bytes,
+            3 * sweep.samples.front().moved_bytes);
+  EXPECT_EQ(sweep.samples.back().app_blocks,
+            sweep.samples.front().app_blocks);
+}
+
+TEST(Headline, BpsCorrectInEverySet) {
+  // The paper's summary: "BPS is the only metric that works well for all
+  // the scenarios", average |CC| ~0.9.
+  const FigureDefaults d = fast();
+  double sum = 0;
+  int sets = 0;
+  for (const auto& specs :
+       {fig4_devices(d), fig5_iosize_hdd(d), fig6_iosize_ssd(d),
+        fig9_concurrency_pure(d), fig11_concurrency_ior(d),
+        fig12_datasieving(d)}) {
+    const auto sweep = run_figure(specs, d);
+    const double v = ncc(sweep, MetricKind::bps);
+    EXPECT_GT(v, 0.5);
+    sum += v;
+    ++sets;
+  }
+  EXPECT_GT(sum / sets, 0.75);
+}
+
+TEST(ScaleStability, DirectionsSurviveDataVolumeChanges) {
+  // The reproduction's scaling argument (DESIGN.md §4): CC directions come
+  // from trends, not absolute durations, so shrinking or growing the data
+  // volume must not flip any verdict.
+  auto directions_at = [](double scale) {
+    FigureDefaults d;
+    d.scale = scale;
+    d.repeats = 1;
+    const auto sweep = run_figure(fig5_iosize_hdd(d), d);
+    std::vector<bool> out;
+    for (metrics::MetricKind kind : metrics::kAllMetrics) {
+      out.push_back(sweep.report.of(kind).direction_correct);
+    }
+    return out;
+  };
+  EXPECT_EQ(directions_at(0.1), directions_at(0.5));
+}
+
+TEST(SweepHelpers, PointListsMatchPaper) {
+  const auto records = set2_record_sizes();
+  ASSERT_EQ(records.size(), 12u);  // 4 KiB .. 8 MiB doubling
+  EXPECT_EQ(records.front(), 4u * kKiB);
+  EXPECT_EQ(records.back(), 8u * kMiB);
+  const auto spacings = set4_spacings();
+  ASSERT_EQ(spacings.size(), 10u);  // 8 B .. 4096 B doubling
+  EXPECT_EQ(spacings.front(), 8u);
+  EXPECT_EQ(spacings.back(), 4096u);
+}
+
+}  // namespace
+}  // namespace bpsio::core::figures

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "common/format.hpp"
+
+namespace bpsio {
+namespace {
+
+TEST(Format, HumanBytesExactUnits) {
+  EXPECT_EQ(human_bytes(0), "0B");
+  EXPECT_EQ(human_bytes(512), "512B");
+  EXPECT_EQ(human_bytes(4096), "4KiB");
+  EXPECT_EQ(human_bytes(kMiB), "1MiB");
+  EXPECT_EQ(human_bytes(64 * kGiB), "64GiB");
+  EXPECT_EQ(human_bytes(2 * kTiB), "2TiB");
+}
+
+TEST(Format, HumanBytesFractional) {
+  EXPECT_EQ(human_bytes(1536), "1.50KiB");
+  EXPECT_EQ(human_bytes(kMiB + kMiB / 2), "1.50MiB");
+}
+
+TEST(Format, HumanRate) {
+  EXPECT_EQ(human_rate(500.0), "500.00 B/s");
+  EXPECT_EQ(human_rate(1.5e3), "1.50 KB/s");
+  EXPECT_EQ(human_rate(2.5e6), "2.50 MB/s");
+  EXPECT_EQ(human_rate(1.25e9), "1.25 GB/s");
+}
+
+TEST(Format, FmtDouble) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(-1.0, 0), "-1");
+  EXPECT_EQ(fmt_double(0.5), "0.500");
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"a", "long-header"});
+  t.add_row({"xxxx", "1"});
+  t.add_row({"y", "22"});
+  const std::string s = t.to_string();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+  // All lines equally padded up to the last column (no trailing pad).
+  EXPECT_NE(s.find("a     long-header"), std::string::npos);
+  EXPECT_NE(s.find("xxxx  1"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsArePadded) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_NO_THROW({ const auto s = t.to_string(); (void)s; });
+}
+
+TEST(TextTable, Csv) {
+  TextTable t({"h1", "h2"});
+  t.add_row({"v1", "v2"});
+  EXPECT_EQ(t.to_csv(), "h1,h2\nv1,v2\n");
+}
+
+}  // namespace
+}  // namespace bpsio

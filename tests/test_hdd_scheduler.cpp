@@ -1,0 +1,133 @@
+// Elevator (SCAN) vs FIFO dispatch in the HDD model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "device/hdd_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace bpsio::device {
+namespace {
+
+HddParams params_for(HddScheduler scheduler) {
+  HddParams p;
+  p.capacity = 8 * kGiB;
+  p.deterministic_rotation = true;
+  p.scheduler = scheduler;
+  return p;
+}
+
+std::vector<Bytes> scattered_offsets(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Bytes> offsets;
+  for (std::size_t i = 0; i < n; ++i) {
+    offsets.push_back(rng.uniform_u64(8 * kGiB - kMiB) / 4096 * 4096);
+  }
+  return offsets;
+}
+
+TEST(HddScheduler, FifoPreservesArrivalOrder) {
+  sim::Simulator sim;
+  HddModel hdd(sim, params_for(HddScheduler::fifo));
+  std::vector<int> completion_order;
+  const auto offsets = scattered_offsets(16, 3);
+  for (std::size_t i = 0; i < offsets.size(); ++i) {
+    hdd.submit(DevOp::read, offsets[i], 4096,
+               [&, i](DevResult) { completion_order.push_back(static_cast<int>(i)); });
+  }
+  sim.run();
+  ASSERT_EQ(completion_order.size(), 16u);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(completion_order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(HddScheduler, ElevatorServesEveryRequest) {
+  sim::Simulator sim;
+  HddModel hdd(sim, params_for(HddScheduler::elevator));
+  int completed = 0;
+  for (const Bytes off : scattered_offsets(64, 5)) {
+    hdd.submit(DevOp::read, off, 4096, [&](DevResult r) {
+      EXPECT_TRUE(r.ok);
+      ++completed;
+    });
+  }
+  sim.run();
+  EXPECT_EQ(completed, 64);
+  EXPECT_EQ(hdd.stats().read_ops, 64u);
+}
+
+TEST(HddScheduler, ElevatorBeatsFifoOnScatteredBatch) {
+  auto batch_time = [](HddScheduler scheduler) {
+    sim::Simulator sim;
+    HddModel hdd(sim, params_for(scheduler), /*seed=*/1);
+    for (const Bytes off : scattered_offsets(128, 7)) {
+      hdd.submit(DevOp::read, off, 4096, [](DevResult) {});
+    }
+    sim.run();
+    return sim.now().seconds();
+  };
+  const double t_fifo = batch_time(HddScheduler::fifo);
+  const double t_elev = batch_time(HddScheduler::elevator);
+  EXPECT_LT(t_elev, t_fifo);
+  // SCAN should roughly halve total seek distance on uniform batches;
+  // demand a solid margin, not a hair.
+  EXPECT_LT(t_elev, 0.8 * t_fifo);
+}
+
+TEST(HddScheduler, ElevatorSweepsMonotonicallyWithinDirection) {
+  sim::Simulator sim;
+  auto p = params_for(HddScheduler::elevator);
+  HddModel hdd(sim, p);
+  // The first submit dispatches eagerly (idle device); the rest queue and
+  // are served SCAN-style: continue upward past 3 GiB to 4 GiB, then sweep
+  // back down through 2 GiB and 1 GiB.
+  std::vector<Bytes> served;
+  for (const Bytes off : {3 * kGiB, 1 * kGiB, 2 * kGiB, 4 * kGiB}) {
+    hdd.submit(DevOp::read, off, 4096,
+               [&, off](DevResult) { served.push_back(off); });
+  }
+  sim.run();
+  ASSERT_EQ(served.size(), 4u);
+  EXPECT_EQ(served,
+            (std::vector<Bytes>{3 * kGiB, 4 * kGiB, 2 * kGiB, 1 * kGiB}));
+}
+
+TEST(HddScheduler, SchedulersEquivalentForSequentialLoad) {
+  // With one outstanding request at a time, the scheduler cannot matter.
+  auto stream_time = [](HddScheduler scheduler) {
+    sim::Simulator sim;
+    HddModel hdd(sim, params_for(scheduler));
+    Bytes off = 0;
+    std::function<void(DevResult)> next = [&](DevResult) {
+      if (off < 64 * kMiB) {
+        const Bytes at = off;
+        off += 64 * kKiB;
+        hdd.submit(DevOp::read, at, 64 * kKiB, next);
+      }
+    };
+    next(DevResult{});
+    sim.run();
+    return sim.now().ns();
+  };
+  EXPECT_EQ(stream_time(HddScheduler::fifo),
+            stream_time(HddScheduler::elevator));
+}
+
+TEST(HddScheduler, QueueDepthTracked) {
+  sim::Simulator sim;
+  HddModel hdd(sim, params_for(HddScheduler::fifo));
+  for (int i = 0; i < 10; ++i) {
+    hdd.submit(DevOp::read, static_cast<Bytes>(i) * kMiB, 4096,
+               [](DevResult) {});
+  }
+  // One dispatched immediately, nine queued.
+  EXPECT_EQ(hdd.queue_depth(), 9u);
+  EXPECT_EQ(hdd.max_queue_depth(), 9u);
+  sim.run();
+  EXPECT_EQ(hdd.queue_depth(), 0u);
+}
+
+}  // namespace
+}  // namespace bpsio::device

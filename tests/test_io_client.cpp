@@ -1,0 +1,144 @@
+// The instrumented I/O library — Step 1 of the BPS methodology. These tests
+// pin down what gets recorded: one record per application access, sized at
+// the application-required bytes, spanning the full middleware interval,
+// with failures flagged but still counted.
+#include <gtest/gtest.h>
+
+#include "device/ram_device.hpp"
+#include "fs/local_fs.hpp"
+#include "mio/io_client.hpp"
+#include "sim/simulator.hpp"
+
+namespace bpsio::mio {
+namespace {
+
+struct Fixture {
+  sim::Simulator sim;
+  device::RamDevice dev{sim, device::RamParams{.capacity = 64 * kMiB}};
+  fs::LocalFileSystem fs{sim, dev};
+  ClientNode node{sim};
+  IoClient client{node, fs, 42};
+
+  fs::FileHandle make_file(Bytes size) {
+    auto h = client.create("/f", size);
+    EXPECT_TRUE(h.ok());
+    return *h;
+  }
+  fs::IoOutcome read(fs::FileHandle h, Bytes off, Bytes size) {
+    fs::IoOutcome out{false, 0};
+    client.read(h, off, size, [&](fs::IoOutcome o) { out = o; });
+    sim.run();
+    return out;
+  }
+  fs::IoOutcome write(fs::FileHandle h, Bytes off, Bytes size) {
+    fs::IoOutcome out{false, 0};
+    client.write(h, off, size, [&](fs::IoOutcome o) { out = o; });
+    sim.run();
+    return out;
+  }
+};
+
+TEST(IoClient, RecordsOneRecordPerAccess) {
+  Fixture f;
+  auto h = f.make_file(1 * kMiB);
+  f.read(h, 0, 64 * kKiB);
+  f.read(h, 64 * kKiB, 64 * kKiB);
+  f.write(h, 0, 4 * kKiB);
+  ASSERT_EQ(f.client.trace().size(), 3u);
+  const auto& records = f.client.trace().records();
+  EXPECT_EQ(records[0].pid, 42u);
+  EXPECT_EQ(records[0].blocks, bytes_to_blocks(64 * kKiB));
+  EXPECT_EQ(records[0].op, trace::IoOpKind::read);
+  EXPECT_EQ(records[2].op, trace::IoOpKind::write);
+  EXPECT_EQ(records[2].blocks, bytes_to_blocks(4 * kKiB));
+}
+
+TEST(IoClient, RecordSpansTheWholeMiddlewareInterval) {
+  Fixture f;
+  auto h = f.make_file(1 * kMiB);
+  const SimTime before = f.sim.now();
+  f.read(h, 0, 64 * kKiB);
+  const auto& r = f.client.trace().records().front();
+  EXPECT_EQ(r.start_ns, before.ns());
+  EXPECT_GT(r.end_ns, r.start_ns);
+  // The interval includes per-op CPU overhead, so it exceeds raw device time.
+  EXPECT_GE(r.response_time(), f.node.params().per_op_overhead);
+}
+
+TEST(IoClient, RecordsRequestedNotDeliveredSize) {
+  // A read past EOF delivers fewer bytes, but B counts what the application
+  // asked for — the record keeps the requested size.
+  Fixture f;
+  auto h = f.make_file(10 * kKiB);
+  const auto out = f.read(h, 8 * kKiB, 64 * kKiB);
+  EXPECT_EQ(out.bytes, 2u * kKiB);
+  EXPECT_EQ(f.client.trace().records().front().blocks,
+            bytes_to_blocks(64 * kKiB));
+}
+
+TEST(IoClient, FailedAccessesFlaggedButCounted) {
+  Fixture f;
+  const auto out = f.read(fs::FileHandle{999}, 0, 4 * kKiB);  // bad handle
+  EXPECT_FALSE(out.ok);
+  ASSERT_EQ(f.client.trace().size(), 1u);
+  EXPECT_TRUE(f.client.trace().records().front().failed());
+  EXPECT_EQ(f.client.trace().total_blocks(), bytes_to_blocks(4 * kKiB));
+}
+
+TEST(IoClient, UnrecordedBackendReadLeavesNoTrace) {
+  Fixture f;
+  auto h = f.make_file(1 * kMiB);
+  bool done = false;
+  f.client.backend_read_unrecorded(h, 0, 64 * kKiB,
+                                   [&](fs::IoOutcome) { done = true; });
+  f.sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(f.client.trace().empty());
+}
+
+TEST(IoClient, SharedNodeCpuSerializesBeyondCoreCount) {
+  // More concurrent ops than cores -> CPU-stage queueing stretches the
+  // later records' intervals.
+  sim::Simulator sim;
+  device::RamDevice dev(sim, device::RamParams{.capacity = 64 * kMiB});
+  fs::LocalFileSystem fs(sim, dev);
+  ClientNodeParams params;
+  params.cores = 1;
+  params.per_op_overhead = SimDuration::from_us(100.0);
+  ClientNode node(sim, params);
+  IoClient a(node, fs, 1), b(node, fs, 2);
+  auto h = a.create("/f", kMiB);
+  a.read(*h, 0, 4 * kKiB, [](fs::IoOutcome) {});
+  b.read(*h, 0, 4 * kKiB, [](fs::IoOutcome) {});
+  sim.run();
+  const auto& ra = a.trace().records().front();
+  const auto& rb = b.trace().records().front();
+  // Same submit time, but the single core serializes the 100 us op setup.
+  EXPECT_EQ(ra.start_ns, rb.start_ns);
+  EXPECT_GE(std::max(ra.end_ns, rb.end_ns) - ra.start_ns,
+            2 * params.per_op_overhead.ns());
+}
+
+TEST(IoClient, WriteChargesCopyInUpFront) {
+  Fixture f;
+  auto h = f.make_file(0);
+  f.write(h, 0, 1 * kMiB);
+  const auto& r = f.client.trace().records().front();
+  EXPECT_GE(r.response_time().ns(),
+            (f.node.params().per_op_overhead + f.node.copy_time(kMiB)).ns());
+}
+
+TEST(IoClient, CustomBlockSize) {
+  sim::Simulator sim;
+  device::RamDevice dev(sim, device::RamParams{.capacity = 64 * kMiB});
+  fs::LocalFileSystem fs(sim, dev);
+  ClientNode node(sim);
+  IoClient client(node, fs, 1, /*block_size=*/4096);
+  auto h = client.create("/f", 64 * kKiB);
+  client.read(*h, 0, 64 * kKiB, [](fs::IoOutcome) {});
+  sim.run();
+  EXPECT_EQ(client.trace().records().front().blocks, 16u);
+}
+
+}  // namespace
+}  // namespace bpsio::mio

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+#include "pfs/layout.hpp"
+
+namespace bpsio::pfs {
+namespace {
+
+StripeLayout layout(Bytes stripe, std::uint32_t servers) {
+  StripeLayout l;
+  l.stripe_size = stripe;
+  for (std::uint32_t i = 0; i < servers; ++i) l.servers.push_back(i);
+  return l;
+}
+
+TEST(Layout, SingleServerIsIdentity) {
+  const auto l = layout(64 * kKiB, 1);
+  const auto runs = split_range(l, 1000, 5000);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0], (ServerRun{0, 1000, 5000}));
+}
+
+TEST(Layout, RoundRobinAcrossStripeUnits) {
+  const auto l = layout(100, 4);
+  // [0, 400) touches each server's unit 0.
+  const auto runs = split_range(l, 0, 400);
+  ASSERT_EQ(runs.size(), 4u);
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(runs[s], (ServerRun{s, 0, 100}));
+  }
+}
+
+TEST(Layout, SequentialReadYieldsOneRunPerServer) {
+  const auto l = layout(100, 4);
+  // Two full stripes: each server gets units {k, k+4} which are contiguous
+  // in server-local space -> exactly one merged run per server.
+  const auto runs = split_range(l, 0, 800);
+  ASSERT_EQ(runs.size(), 4u);
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(runs[s], (ServerRun{s, 0, 200}));
+  }
+}
+
+TEST(Layout, UnalignedRange) {
+  const auto l = layout(100, 2);
+  // [150, 370): tail of unit 1 and head of unit 3 land on server 1 at local
+  // [50,100) and [100,170) — locally contiguous, so they merge; unit 2 is
+  // server 0's local unit 1.
+  const auto runs = split_range(l, 150, 220);
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0], (ServerRun{0, 100, 100}));
+  EXPECT_EQ(runs[1], (ServerRun{1, 50, 120}));
+}
+
+TEST(Layout, EmptyRange) {
+  EXPECT_TRUE(split_range(layout(100, 3), 50, 0).empty());
+}
+
+TEST(Layout, ServerObjectSizesPartitionTheFile) {
+  for (const Bytes size : {Bytes{1}, Bytes{99}, Bytes{100}, Bytes{101},
+                           Bytes{1000}, Bytes{1234567}}) {
+    for (std::uint32_t n : {1u, 2u, 3u, 8u}) {
+      const auto l = layout(100, n);
+      Bytes sum = 0;
+      for (std::uint32_t s = 0; s < n; ++s) {
+        sum += server_object_size(l, size, s);
+      }
+      EXPECT_EQ(sum, size) << "size=" << size << " servers=" << n;
+    }
+  }
+  EXPECT_EQ(server_object_size(layout(100, 4), 0, 0), 0u);
+}
+
+// Property: split_range covers the request exactly once, each run maps back
+// to the right global offsets, and runs stay within server object bounds.
+class LayoutProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LayoutProperty, SplitRangeIsAnExactPartition) {
+  Rng rng(GetParam());
+  const Bytes stripe = 1 + rng.uniform_u64(256);
+  const auto servers = static_cast<std::uint32_t>(1 + rng.uniform_u64(7));
+  const auto l = layout(stripe, servers);
+  const Bytes offset = rng.uniform_u64(10000);
+  const Bytes size = 1 + rng.uniform_u64(5000);
+
+  const auto runs = split_range(l, offset, size);
+  Bytes total = 0;
+  // Reconstruct global coverage through the inverse mapping.
+  std::map<Bytes, Bytes> covered;  // global offset -> length
+  for (const auto& run : runs) {
+    total += run.length;
+    // Map each byte range back: local unit u on server s is global unit
+    // u_global = u * servers + s (all offsets in whole stripe units plus
+    // remainder). Walk in stripe-sized pieces.
+    Bytes local = run.local_offset;
+    Bytes left = run.length;
+    while (left > 0) {
+      const Bytes unit = local / stripe;
+      const Bytes within = local % stripe;
+      const Bytes global =
+          (unit * servers + run.server) * stripe + within;
+      const Bytes take = std::min(left, stripe - within);
+      covered[global] += take;
+      local += take;
+      left -= take;
+    }
+  }
+  EXPECT_EQ(total, size);
+  // Coverage must be contiguous [offset, offset+size) with no overlap.
+  Bytes expect = offset;
+  for (const auto& [global, len] : covered) {
+    EXPECT_EQ(global, expect);
+    expect += len;
+  }
+  EXPECT_EQ(expect, offset + size);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, LayoutProperty,
+                         ::testing::Range<std::uint64_t>(0, 30));
+
+}  // namespace
+}  // namespace bpsio::pfs

@@ -1,0 +1,41 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+
+namespace bpsio::log {
+namespace {
+
+TEST(Log, ParseLevelNames) {
+  EXPECT_EQ(parse_level("trace"), Level::trace);
+  EXPECT_EQ(parse_level("debug"), Level::debug);
+  EXPECT_EQ(parse_level("info"), Level::info);
+  EXPECT_EQ(parse_level("warn"), Level::warn);
+  EXPECT_EQ(parse_level("error"), Level::error);
+  EXPECT_EQ(parse_level("off"), Level::off);
+  EXPECT_EQ(parse_level("nonsense"), Level::warn);  // default
+}
+
+TEST(Log, SetAndGetLevel) {
+  const Level before = level();
+  set_level(Level::error);
+  EXPECT_EQ(level(), Level::error);
+  set_level(before);
+}
+
+TEST(Log, FormatProducesPrintfOutput) {
+  EXPECT_EQ(detail::format("x=%d s=%s", 42, "y"), "x=42 s=y");
+  EXPECT_EQ(detail::format("%.2f", 1.5), "1.50");
+  EXPECT_EQ(detail::format("plain"), "plain");
+}
+
+TEST(Log, MacrosRespectLevel) {
+  const Level before = level();
+  set_level(Level::off);
+  // Nothing should be emitted (and nothing should crash).
+  BPSIO_ERROR("suppressed %d", 1);
+  BPSIO_INFO("suppressed %s", "too");
+  set_level(before);
+}
+
+}  // namespace
+}  // namespace bpsio::log

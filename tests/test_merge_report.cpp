@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+#include "metrics/calculators.hpp"
+#include "trace/merge.hpp"
+#include "trace/trace_collector.hpp"
+
+namespace bpsio {
+namespace {
+
+using trace::make_record;
+
+TEST(MergeTraces, RemapsPidsPerSource) {
+  std::vector<std::vector<trace::IoRecord>> traces{
+      {make_record(1, 10, SimTime(0), SimTime(100))},
+      {make_record(1, 20, SimTime(50), SimTime(150))},
+  };
+  const auto merged = trace::merge_traces(traces);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].pid, 1001u);
+  EXPECT_EQ(merged[1].pid, 2001u);
+  // Distinct even though both apps used pid 1.
+  EXPECT_NE(merged[0].pid, merged[1].pid);
+}
+
+TEST(MergeTraces, KeepOriginalPidsWhenStrideZero) {
+  std::vector<std::vector<trace::IoRecord>> traces{
+      {make_record(7, 10, SimTime(0), SimTime(100))}};
+  trace::MergeOptions opts;
+  opts.pid_stride = 0;
+  EXPECT_EQ(trace::merge_traces(traces, opts)[0].pid, 7u);
+}
+
+TEST(MergeTraces, SortedByStartTime) {
+  std::vector<std::vector<trace::IoRecord>> traces{
+      {make_record(1, 1, SimTime(500), SimTime(600)),
+       make_record(1, 1, SimTime(100), SimTime(200))},
+      {make_record(1, 1, SimTime(300), SimTime(400))},
+  };
+  const auto merged = trace::merge_traces(traces);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_LT(merged[0].start_ns, merged[1].start_ns);
+  EXPECT_LT(merged[1].start_ns, merged[2].start_ns);
+}
+
+TEST(MergeTraces, AlignStartsShiftsEachSourceToZero) {
+  std::vector<std::vector<trace::IoRecord>> traces{
+      {make_record(1, 1, SimTime(1000), SimTime(1100))},
+      {make_record(1, 1, SimTime(9000), SimTime(9100))},
+  };
+  trace::MergeOptions opts;
+  opts.alignment = trace::TimeAlignment::align_starts;
+  const auto merged = trace::merge_traces(traces, opts);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].start_ns, 0);
+  EXPECT_EQ(merged[1].start_ns, 0);
+  // Durations preserved.
+  EXPECT_EQ(merged[0].end_ns, 100);
+}
+
+TEST(MergeTraces, MergedBpsSeesBothApplications) {
+  // Two single-app traces, concurrent in real time: merged B doubles while
+  // T stays the union.
+  std::vector<std::vector<trace::IoRecord>> traces{
+      {make_record(1, 100, SimTime(0), SimTime::from_seconds(1.0))},
+      {make_record(1, 100, SimTime(0), SimTime::from_seconds(1.0))},
+  };
+  trace::TraceCollector collector;
+  collector.gather(trace::merge_traces(traces));
+  EXPECT_DOUBLE_EQ(metrics::bps(collector), 200.0);
+  EXPECT_EQ(collector.process_count(), 2u);
+}
+
+TEST(ShiftTrace, MovesBothEndpoints) {
+  auto shifted = trace::shift_trace(
+      {make_record(1, 1, SimTime(100), SimTime(200))}, 50);
+  EXPECT_EQ(shifted[0].start_ns, 150);
+  EXPECT_EQ(shifted[0].end_ns, 250);
+}
+
+TEST(Report, MarkdownContainsTablesAndVerdicts) {
+  core::SweepResult sweep;
+  sweep.labels = {"a", "b", "c", "d"};
+  for (double t : {1.0, 2.0, 4.0, 8.0}) {
+    metrics::MetricSample s;
+    s.exec_time_s = t;
+    s.iops = 100 * t;  // misleading on purpose
+    s.bandwidth_bps = 1e6 / t;
+    s.arpt_s = t / 100;
+    s.bps = 1000 / t;
+    sweep.samples.push_back(s);
+  }
+  sweep.report = metrics::correlate(sweep.samples);
+
+  core::ReportOptions opts;
+  opts.title = "Demo sweep";
+  opts.paper_expectation = "IOPS flips";
+  const auto md = core::to_markdown(sweep, opts);
+  EXPECT_NE(md.find("### Demo sweep"), std::string::npos);
+  EXPECT_NE(md.find("*Paper expectation:* IOPS flips"), std::string::npos);
+  EXPECT_NE(md.find("| a |"), std::string::npos);
+  EXPECT_NE(md.find("**WRONG**"), std::string::npos);  // IOPS verdict
+  EXPECT_NE(md.find("| BPS |"), std::string::npos);
+  EXPECT_NE(md.find("95% CI"), std::string::npos);
+}
+
+TEST(Report, OmitsOptionalSections) {
+  core::SweepResult sweep;
+  metrics::MetricSample s;
+  s.exec_time_s = 1;
+  sweep.samples = {s, s};
+  sweep.labels = {"x", "y"};
+  sweep.report = metrics::correlate(sweep.samples);
+  core::ReportOptions opts;
+  opts.include_samples = false;
+  opts.include_confidence = false;
+  const auto md = core::to_markdown(sweep, opts);
+  EXPECT_EQ(md.find("exec (s)"), std::string::npos);
+  EXPECT_EQ(md.find("95% CI"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bpsio

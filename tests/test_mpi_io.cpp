@@ -1,0 +1,284 @@
+// MPI-IO middleware: data sieving, list I/O, collective two-phase reads.
+// The key invariant throughout: B (recorded blocks) always reflects the
+// application-required data, while FS-level moved bytes reflect what the
+// optimization actually transferred.
+#include <gtest/gtest.h>
+
+#include "device/ram_device.hpp"
+#include "fs/local_fs.hpp"
+#include "mio/mpi_io.hpp"
+#include "sim/simulator.hpp"
+
+namespace bpsio::mio {
+namespace {
+
+struct Fixture {
+  sim::Simulator sim;
+  device::RamDevice dev{sim, device::RamParams{.capacity = 256 * kMiB}};
+  fs::LocalFileSystem fs{sim, dev};
+  ClientNode node{sim};
+
+  fs::FileHandle make_file(Bytes size) {
+    auto h = fs.create("/f", size);
+    EXPECT_TRUE(h.ok());
+    return *h;
+  }
+};
+
+TEST(MakeStridedRegions, LayoutAndTotals) {
+  const auto regions = make_strided_regions(1000, 4, 256, 8);
+  ASSERT_EQ(regions.size(), 4u);
+  EXPECT_EQ(regions[0], (Region{1000, 256}));
+  EXPECT_EQ(regions[1], (Region{1264, 256}));
+  EXPECT_EQ(regions_bytes(regions), 1024u);
+}
+
+TEST(MpiIo, ListReadWithSievingReadsHolesToo) {
+  Fixture f;
+  IoClient client(f.node, f.fs, 1);
+  DataSievingConfig sieving;
+  sieving.enabled = true;
+  sieving.buffer_size = 1 * kMiB;
+  MpiIo mpi(client, sieving);
+
+  auto h = f.make_file(8 * kMiB);
+  const auto regions = make_strided_regions(0, 1024, 256, 768);  // 1 KiB pitch
+  const Bytes useful = regions_bytes(regions);
+  fs::IoOutcome out{false, 0};
+  mpi.read_list(h, regions, [&](fs::IoOutcome o) { out = o; });
+  f.sim.run();
+  ASSERT_TRUE(out.ok);
+  EXPECT_EQ(out.bytes, useful);
+  // FS moved the full extent (regions + holes), app required only regions.
+  EXPECT_GE(f.fs.bytes_moved(), 1024u * 1024);
+  EXPECT_EQ(client.trace().size(), 1u);
+  EXPECT_EQ(client.trace().records().front().blocks,
+            bytes_to_blocks(useful));
+}
+
+TEST(MpiIo, ListReadWithoutSievingMovesOnlyUsefulBytes) {
+  Fixture f;
+  IoClient client(f.node, f.fs, 1);
+  DataSievingConfig sieving;
+  sieving.enabled = false;
+  MpiIo mpi(client, sieving);
+
+  auto h = f.make_file(8 * kMiB);
+  const auto regions = make_strided_regions(0, 64, 4096, 4096);
+  fs::IoOutcome out{false, 0};
+  mpi.read_list(h, regions, [&](fs::IoOutcome o) { out = o; });
+  f.sim.run();
+  ASSERT_TRUE(out.ok);
+  EXPECT_EQ(f.fs.bytes_moved(), 64u * 4096);  // page-aligned regions: exact
+  EXPECT_EQ(client.trace().size(), 1u);       // still ONE application access
+}
+
+TEST(MpiIo, SievingIsFasterForTinyRegions) {
+  auto run_mode = [](bool sieving_on) {
+    Fixture f;
+    IoClient client(f.node, f.fs, 1);
+    DataSievingConfig cfg;
+    cfg.enabled = sieving_on;
+    MpiIo mpi(client, cfg);
+    auto h = f.make_file(8 * kMiB);
+    fs::IoOutcome out{false, 0};
+    mpi.read_list(h, make_strided_regions(0, 2048, 64, 64),
+                  [&](fs::IoOutcome o) { out = o; });
+    f.sim.run();
+    EXPECT_TRUE(out.ok);
+    return f.sim.now().seconds();
+  };
+  EXPECT_LT(run_mode(true), run_mode(false));
+}
+
+TEST(MpiIo, MaxHoleSplitsTheExtent) {
+  Fixture f;
+  IoClient client(f.node, f.fs, 1);
+  DataSievingConfig sieving;
+  sieving.enabled = true;
+  sieving.max_hole = 1 * kKiB;
+  MpiIo mpi(client, sieving);
+
+  auto h = f.make_file(64 * kMiB);
+  // Two dense clusters separated by a ~30 MiB hole: sieving must not read
+  // the giant gap.
+  std::vector<Region> regions = make_strided_regions(0, 16, 4096, 0);
+  const auto far = make_strided_regions(32 * kMiB, 16, 4096, 0);
+  regions.insert(regions.end(), far.begin(), far.end());
+  fs::IoOutcome out{false, 0};
+  mpi.read_list(h, regions, [&](fs::IoOutcome o) { out = o; });
+  f.sim.run();
+  ASSERT_TRUE(out.ok);
+  EXPECT_LT(f.fs.bytes_moved(), 1 * kMiB);  // only the two clusters
+}
+
+TEST(MpiIo, WriteListFullCoverageSkipsReadModifyWrite) {
+  Fixture f;
+  IoClient client(f.node, f.fs, 1);
+  MpiIo mpi(client);
+  auto h = f.make_file(1 * kMiB);
+  // Hole-free: contiguous regions covering [0, 256 KiB).
+  fs::IoOutcome out{false, 0};
+  mpi.write_list(h, make_strided_regions(0, 64, 4096, 0),
+                 [&](fs::IoOutcome o) { out = o; });
+  f.sim.run();
+  ASSERT_TRUE(out.ok);
+  EXPECT_EQ(f.dev.stats().bytes_read, 0u);  // no RMW read
+  EXPECT_GE(f.dev.stats().bytes_written, 256u * kKiB);
+}
+
+TEST(MpiIo, WriteListWithHolesDoesReadModifyWrite) {
+  Fixture f;
+  IoClient client(f.node, f.fs, 1);
+  MpiIo mpi(client);
+  auto h = f.make_file(1 * kMiB);
+  fs::IoOutcome out{false, 0};
+  mpi.write_list(h, make_strided_regions(0, 64, 2048, 2048),
+                 [&](fs::IoOutcome o) { out = o; });
+  f.sim.run();
+  ASSERT_TRUE(out.ok);
+  EXPECT_GT(f.dev.stats().bytes_read, 0u);  // sieve buffer read back first
+  const auto& r = client.trace().records().front();
+  EXPECT_EQ(r.op, trace::IoOpKind::write);
+  EXPECT_EQ(r.blocks, bytes_to_blocks(64 * 2048));
+}
+
+TEST(MpiIo, EmptyRegionListCompletes) {
+  Fixture f;
+  IoClient client(f.node, f.fs, 1);
+  MpiIo mpi(client);
+  auto h = f.make_file(1 * kMiB);
+  fs::IoOutcome out{false, 1};
+  mpi.read_list(h, {}, [&](fs::IoOutcome o) { out = o; });
+  f.sim.run();
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.bytes, 0u);
+}
+
+TEST(MpiIo, UnsortedRegionsAreSorted) {
+  Fixture f;
+  IoClient client(f.node, f.fs, 1);
+  MpiIo mpi(client);
+  auto h = f.make_file(1 * kMiB);
+  std::vector<Region> regions{{8192, 4096}, {0, 4096}, {4096, 4096}};
+  fs::IoOutcome out{false, 0};
+  mpi.read_list(h, regions, [&](fs::IoOutcome o) { out = o; });
+  f.sim.run();
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.bytes, 12288u);
+}
+
+TEST(Collective, AllPartiesCompleteWithOneRecordEach) {
+  Fixture f;
+  const std::uint32_t P = 4;
+  std::vector<std::unique_ptr<IoClient>> clients;
+  std::vector<std::unique_ptr<MpiIo>> ios;
+  CollectiveGroup group(f.sim, P);
+  auto h = f.make_file(4 * kMiB);
+  int completed = 0;
+  for (std::uint32_t p = 0; p < P; ++p) {
+    clients.push_back(std::make_unique<IoClient>(f.node, f.fs, p + 1));
+    ios.push_back(std::make_unique<MpiIo>(*clients.back()));
+  }
+  for (std::uint32_t p = 0; p < P; ++p) {
+    // Interleaved 64 KiB pieces: proc p takes pieces p, p+P, ...
+    std::vector<Region> regions;
+    for (Bytes piece = p; piece < 64; piece += P) {
+      regions.push_back(Region{piece * 64 * kKiB, 64 * kKiB});
+    }
+    ios[p]->read_collective(group, h, regions,
+                            [&](fs::IoOutcome o) { completed += o.ok; });
+  }
+  f.sim.run();
+  EXPECT_EQ(completed, 4);
+  for (auto& c : clients) {
+    ASSERT_EQ(c->trace().size(), 1u);
+    EXPECT_EQ(c->trace().records().front().blocks,
+              bytes_to_blocks(16 * 64 * kKiB));
+    EXPECT_TRUE(c->trace().records().front().flags & trace::kIoCollective);
+  }
+  // The merged request space is the whole 4 MiB, read exactly once.
+  EXPECT_EQ(f.fs.bytes_moved(), 4u * kMiB);
+}
+
+TEST(Collective, ReadsOnlyRequestedData) {
+  Fixture f;
+  CollectiveGroup group(f.sim, 2);
+  auto h = f.make_file(64 * kMiB);
+  IoClient c1(f.node, f.fs, 1), c2(f.node, f.fs, 2);
+  MpiIo m1(c1), m2(c2);
+  int completed = 0;
+  // Two tiny requests very far apart: two-phase must NOT read the gap.
+  m1.read_collective(group, h, {Region{0, 4096}},
+                     [&](fs::IoOutcome o) { completed += o.ok; });
+  m2.read_collective(group, h, {Region{48 * kMiB, 4096}},
+                     [&](fs::IoOutcome o) { completed += o.ok; });
+  f.sim.run();
+  EXPECT_EQ(completed, 2);
+  EXPECT_LE(f.fs.bytes_moved(), 16u * kKiB);
+}
+
+TEST(Collective, WriteRoundWritesExactlyTheRequestSpace) {
+  Fixture f;
+  CollectiveGroup group(f.sim, 2);
+  auto h = f.make_file(4 * kMiB);
+  IoClient c1(f.node, f.fs, 1), c2(f.node, f.fs, 2);
+  MpiIo m1(c1), m2(c2);
+  int completed = 0;
+  // Interleaved 64 KiB pieces covering [0, 1 MiB).
+  std::vector<Region> r1, r2;
+  for (Bytes piece = 0; piece < 16; ++piece) {
+    ((piece % 2) ? r2 : r1).push_back(Region{piece * 64 * kKiB, 64 * kKiB});
+  }
+  m1.write_collective(group, h, r1,
+                      [&](fs::IoOutcome o) { completed += o.ok; });
+  m2.write_collective(group, h, r2,
+                      [&](fs::IoOutcome o) { completed += o.ok; });
+  f.sim.run();
+  EXPECT_EQ(completed, 2);
+  // No RMW reads, and the merged space written exactly once.
+  EXPECT_EQ(f.dev.stats().bytes_read, 0u);
+  EXPECT_GE(f.dev.stats().bytes_written, 1u * kMiB);
+  EXPECT_LE(f.dev.stats().bytes_written, kMiB + 64 * kKiB);
+  ASSERT_EQ(c1.trace().size(), 1u);
+  EXPECT_EQ(c1.trace().records().front().op, trace::IoOpKind::write);
+  EXPECT_TRUE(c1.trace().records().front().flags & trace::kIoCollective);
+  EXPECT_EQ(c1.trace().records().front().blocks,
+            bytes_to_blocks(8 * 64 * kKiB));
+}
+
+TEST(Collective, WriteExtendsTheFile) {
+  Fixture f;
+  CollectiveGroup group(f.sim, 1);
+  auto h = f.make_file(0);
+  IoClient c1(f.node, f.fs, 1);
+  MpiIo m1(c1);
+  bool ok = false;
+  m1.write_collective(group, h, {Region{0, 256 * kKiB}},
+                      [&](fs::IoOutcome o) { ok = o.ok; });
+  f.sim.run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(f.fs.size_of(h).value(), 256u * kKiB);
+}
+
+TEST(Collective, GroupReusableAcrossRounds) {
+  Fixture f;
+  CollectiveGroup group(f.sim, 2);
+  auto h = f.make_file(1 * kMiB);
+  IoClient c1(f.node, f.fs, 1), c2(f.node, f.fs, 2);
+  MpiIo m1(c1), m2(c2);
+  int completed = 0;
+  for (int round = 0; round < 3; ++round) {
+    const Bytes base = static_cast<Bytes>(round) * 128 * kKiB;
+    m1.read_collective(group, h, {Region{base, 64 * kKiB}},
+                       [&](fs::IoOutcome o) { completed += o.ok; });
+    m2.read_collective(group, h, {Region{base + 64 * kKiB, 64 * kKiB}},
+                       [&](fs::IoOutcome o) { completed += o.ok; });
+    f.sim.run();
+  }
+  EXPECT_EQ(completed, 6);
+  EXPECT_EQ(c1.trace().size(), 3u);
+}
+
+}  // namespace
+}  // namespace bpsio::mio

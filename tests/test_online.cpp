@@ -1,0 +1,142 @@
+// Online (hardware-counter-style) BPS vs the offline record pipeline.
+// The two must agree exactly: the counter is the O(1)-state version of the
+// Figure-3 union computation.
+#include <gtest/gtest.h>
+
+#include "core/testbed.hpp"
+#include "metrics/calculators.hpp"
+#include "metrics/online.hpp"
+#include "workload/iozone.hpp"
+#include "workload/process.hpp"
+
+namespace bpsio::metrics {
+namespace {
+
+TEST(OnlineBps, SingleAccess) {
+  OnlineBpsCounter c;
+  c.access_started(SimTime(0));
+  c.access_finished(SimTime::from_seconds(0.5), 100);
+  EXPECT_EQ(c.blocks(), 100u);
+  EXPECT_DOUBLE_EQ(c.busy_time(SimTime::from_seconds(1.0)).seconds(), 0.5);
+  EXPECT_DOUBLE_EQ(c.bps(SimTime::from_seconds(1.0)), 200.0);
+}
+
+TEST(OnlineBps, OverlapCountsOnce) {
+  OnlineBpsCounter c;
+  c.access_started(SimTime(0));
+  c.access_started(SimTime(0));
+  c.access_finished(SimTime::from_seconds(1.0), 100);
+  c.access_finished(SimTime::from_seconds(1.0), 100);
+  EXPECT_DOUBLE_EQ(c.busy_time(SimTime::from_seconds(2.0)).seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(c.bps(SimTime::from_seconds(2.0)), 200.0);
+}
+
+TEST(OnlineBps, IdleGapsExcluded) {
+  OnlineBpsCounter c;
+  c.access_started(SimTime(0));
+  c.access_finished(SimTime::from_seconds(1.0), 100);
+  c.access_started(SimTime::from_seconds(9.0));
+  c.access_finished(SimTime::from_seconds(10.0), 100);
+  EXPECT_DOUBLE_EQ(c.busy_time(SimTime::from_seconds(10.0)).seconds(), 2.0);
+}
+
+TEST(OnlineBps, OpenIntervalIncludedUpToNow) {
+  OnlineBpsCounter c;
+  c.access_started(SimTime(0));
+  EXPECT_EQ(c.in_flight(), 1u);
+  EXPECT_DOUBLE_EQ(c.busy_time(SimTime::from_seconds(0.25)).seconds(), 0.25);
+  // B is still zero until completion, so BPS reads zero mid-access.
+  EXPECT_DOUBLE_EQ(c.bps(SimTime::from_seconds(0.25)), 0.0);
+}
+
+TEST(OnlineBps, ResetClears) {
+  OnlineBpsCounter c;
+  c.access_started(SimTime(0));
+  c.access_finished(SimTime(100), 5);
+  c.reset();
+  EXPECT_EQ(c.blocks(), 0u);
+  EXPECT_EQ(c.busy_time(SimTime(200)).ns(), 0);
+  EXPECT_EQ(c.accesses_started(), 0u);
+}
+
+// The headline property: on a real concurrent workload, online == offline.
+class OnlineOfflineAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OnlineOfflineAgreement, ExactMatchOnConcurrentWorkloads) {
+  Rng rng(GetParam() ^ 0xccULL);
+  core::TestbedConfig cfg;
+  cfg.backend = core::BackendKind::pfs;
+  cfg.pfs.server_count = static_cast<std::uint32_t>(1 + rng.uniform_u64(4));
+  cfg.pfs.device = pfs::DeviceKind::hdd;
+  cfg.pfs.hdd.capacity = 8 * kGiB;
+  cfg.client_nodes = 1;
+  cfg.seed = GetParam();
+  core::Testbed testbed(cfg);
+
+  OnlineBpsCounter online;
+  workload::IozoneConfig wl;
+  wl.file_size = (2 + rng.uniform_u64(8)) * kMiB;
+  wl.record_size = 1ULL << (13 + rng.uniform_u64(5));
+  wl.processes = static_cast<std::uint32_t>(1 + rng.uniform_u64(6));
+  // Build processes manually so each client feeds the shared counter.
+  auto& env = testbed.env();
+  const SimTime t0 = env.sim->now();
+  std::vector<std::unique_ptr<workload::Process>> processes;
+  for (std::uint32_t p = 0; p < wl.processes; ++p) {
+    auto proc = std::make_unique<workload::Process>(
+        *env.nodes[0], *env.backends[0], p + 1, env.block_size);
+    proc->io().set_online_counter(&online);
+    auto h = proc->io().create("/f" + std::to_string(p),
+                               wl.file_size / wl.processes);
+    proc->set_file(*h);
+    proc->set_ops(workload::sequential_ops(workload::AppOp::Kind::read,
+                                           wl.file_size / wl.processes,
+                                           wl.record_size));
+    processes.push_back(std::move(proc));
+  }
+  const auto run = workload::run_processes(env, processes, t0);
+
+  const SimTime now = env.sim->now();
+  const auto offline_t = overlapped_io_time(run.collector);
+  EXPECT_EQ(online.blocks(), run.collector.total_blocks());
+  EXPECT_EQ(online.busy_time(now).ns(), offline_t.ns());
+  EXPECT_DOUBLE_EQ(online.bps(now), bps(run.collector));
+  EXPECT_EQ(online.accesses_finished(), run.collector.record_count());
+  EXPECT_EQ(online.in_flight(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomRuns, OnlineOfflineAgreement,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+TEST(OnlineBps, ListIoAndCollectivePathsFeedTheCounter) {
+  core::TestbedConfig cfg;
+  cfg.backend = core::BackendKind::local;
+  cfg.device = pfs::DeviceKind::ram;
+  cfg.ram.capacity = 64 * kMiB;
+  core::Testbed testbed(cfg);
+  auto& env = testbed.env();
+
+  OnlineBpsCounter online;
+  mio::IoClient client(*env.nodes[0], *env.backends[0], 1);
+  client.set_online_counter(&online);
+  mio::MpiIo mpi(client);
+  auto h = client.create("/f", 4 * kMiB);
+
+  bool done = false;
+  mpi.read_list(*h, mio::make_strided_regions(0, 64, 4096, 4096),
+                [&](fs::IoOutcome) { done = true; });
+  env.sim->run();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(online.accesses_finished(), 1u);
+  EXPECT_EQ(online.blocks(), bytes_to_blocks(64 * 4096));
+  EXPECT_GT(online.busy_time(env.sim->now()).ns(), 0);
+
+  mio::CollectiveGroup group(*env.sim, 1);
+  mpi.read_collective(group, *h, {mio::Region{0, 64 * kKiB}},
+                      [&](fs::IoOutcome) {});
+  env.sim->run();
+  EXPECT_EQ(online.accesses_finished(), 2u);
+}
+
+}  // namespace
+}  // namespace bpsio::metrics

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "pfs/cluster.hpp"
+#include "pfs/pfs_client.hpp"
+#include "sim/simulator.hpp"
+
+namespace bpsio::pfs {
+namespace {
+
+PfsClusterParams ram_cluster(std::uint32_t servers) {
+  PfsClusterParams p;
+  p.server_count = servers;
+  p.device = DeviceKind::ram;
+  p.ram.capacity = 64 * kMiB;
+  return p;
+}
+
+struct Fixture {
+  sim::Simulator sim;
+  PfsCluster cluster;
+  PfsClient& client;
+
+  explicit Fixture(PfsClusterParams params)
+      : cluster(sim, std::move(params)), client(cluster.make_client("c0")) {}
+
+  fs::IoOutcome read(fs::FileHandle h, Bytes off, Bytes size,
+                     PfsClient* c = nullptr) {
+    fs::IoOutcome out{false, 0};
+    (c ? *c : client).read(h, off, size, [&](fs::IoOutcome o) { out = o; });
+    sim.run();
+    return out;
+  }
+  fs::IoOutcome write(fs::FileHandle h, Bytes off, Bytes size) {
+    fs::IoOutcome out{false, 0};
+    client.write(h, off, size, [&](fs::IoOutcome o) { out = o; });
+    sim.run();
+    return out;
+  }
+};
+
+TEST(Pfs, CreateMakesOneObjectPerServer) {
+  Fixture f(ram_cluster(4));
+  auto h = f.client.create("/file", 1 * kMiB);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(f.cluster.metadata().file_count(), 1u);
+  EXPECT_EQ(f.client.size_of(*h).value(), kMiB);
+  EXPECT_EQ(f.client.create("/file", 1).code(), Errc::already_exists);
+}
+
+TEST(Pfs, ReadWriteRoundTripSizes) {
+  Fixture f(ram_cluster(4));
+  auto h = f.client.create("/file", 1 * kMiB);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(f.read(*h, 0, 256 * kKiB).bytes, 256u * kKiB);
+  EXPECT_EQ(f.read(*h, kMiB - 1000, 5000).bytes, 1000u);  // clip at EOF
+  EXPECT_EQ(f.read(*h, 2 * kMiB, 10).bytes, 0u);
+  EXPECT_EQ(f.write(*h, kMiB, 64 * kKiB).bytes, 64u * kKiB);  // extend
+  EXPECT_EQ(f.client.size_of(*h).value(), kMiB + 64 * kKiB);
+}
+
+TEST(Pfs, MovedBytesCountClientTraffic) {
+  Fixture f(ram_cluster(2));
+  auto h = f.client.create("/file", 1 * kMiB);
+  f.read(*h, 0, 512 * kKiB);
+  EXPECT_EQ(f.client.bytes_moved(), 512u * kKiB);
+  EXPECT_EQ(f.cluster.client_bytes_moved(), 512u * kKiB);
+  f.cluster.reset_counters();
+  EXPECT_EQ(f.client.bytes_moved(), 0u);
+}
+
+TEST(Pfs, StripingSpreadsBytesAcrossServers) {
+  Fixture f(ram_cluster(4));
+  auto h = f.client.create("/file", 4 * kMiB);
+  f.read(*h, 0, 4 * kMiB);
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(f.cluster.server(s).device().stats().bytes_read, kMiB)
+        << "server " << s;
+  }
+}
+
+TEST(Pfs, SingleServerLayoutPinsFile) {
+  Fixture f(ram_cluster(4));
+  StripeLayout pin;
+  pin.stripe_size = 64 * kKiB;
+  pin.servers = {2};
+  f.client.set_create_layout(pin);
+  auto h = f.client.create("/pinned", 1 * kMiB);
+  ASSERT_TRUE(h.ok());
+  f.read(*h, 0, 1 * kMiB);
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(f.cluster.server(s).device().stats().bytes_read,
+              s == 2 ? kMiB : 0u);
+  }
+}
+
+TEST(Pfs, LayoutPolicyOverridesCreateLayout) {
+  Fixture f(ram_cluster(4));
+  f.client.set_layout_policy([](const std::string& path) {
+    StripeLayout l;
+    l.stripe_size = 64 * kKiB;
+    l.servers = {path == "/a" ? 0u : 3u};
+    return l;
+  });
+  auto a = f.client.create("/a", 64 * kKiB);
+  auto b = f.client.create("/b", 64 * kKiB);
+  f.read(*a, 0, 64 * kKiB);
+  f.read(*b, 0, 64 * kKiB);
+  EXPECT_EQ(f.cluster.server(0).device().stats().bytes_read, 64u * kKiB);
+  EXPECT_EQ(f.cluster.server(3).device().stats().bytes_read, 64u * kKiB);
+}
+
+TEST(Pfs, InvalidLayoutServerRejected) {
+  Fixture f(ram_cluster(2));
+  StripeLayout bad;
+  bad.stripe_size = 64 * kKiB;
+  bad.servers = {7};
+  f.client.set_create_layout(bad);
+  EXPECT_EQ(f.client.create("/x", 1000).code(), Errc::invalid_argument);
+}
+
+TEST(Pfs, SharedNamespaceAcrossClients) {
+  Fixture f(ram_cluster(2));
+  PfsClient& other = f.cluster.make_client("c1");
+  auto h = f.client.create("/shared", 128 * kKiB);
+  ASSERT_TRUE(h.ok());
+  auto h2 = other.open("/shared");
+  ASSERT_TRUE(h2.ok());
+  EXPECT_EQ(f.read(*h2, 0, 128 * kKiB, &other).bytes, 128u * kKiB);
+  EXPECT_EQ(other.bytes_moved(), 128u * kKiB);
+  EXPECT_EQ(f.client.bytes_moved(), 0u);
+}
+
+TEST(Pfs, RemoveDeletesObjectsAndMetadata) {
+  Fixture f(ram_cluster(2));
+  ASSERT_TRUE(f.client.create("/gone", 128 * kKiB).ok());
+  ASSERT_TRUE(f.client.remove("/gone").ok());
+  EXPECT_EQ(f.cluster.metadata().file_count(), 0u);
+  EXPECT_EQ(f.client.open("/gone").code(), Errc::not_found);
+  // Server-side objects are gone too: space is reusable.
+  EXPECT_TRUE(f.client.create("/gone", 128 * kKiB).ok());
+}
+
+TEST(Pfs, ParallelServersBeatSingleServer) {
+  // Same data volume through 1 vs 8 HDD servers: striping must win.
+  auto run_with = [](std::uint32_t servers) {
+    PfsClusterParams p;
+    p.server_count = servers;
+    p.device = DeviceKind::hdd;
+    p.hdd.capacity = 8 * kGiB;
+    sim::Simulator sim;
+    PfsCluster cluster(sim, p);
+    PfsClient& client = cluster.make_client("c");
+    auto h = client.create("/f", 16 * kMiB);
+    bool done = false;
+    client.read(*h, 0, 16 * kMiB, [&](fs::IoOutcome) { done = true; });
+    sim.run();
+    EXPECT_TRUE(done);
+    return sim.now().seconds();
+  };
+  const double t1 = run_with(1);
+  const double t8 = run_with(8);
+  EXPECT_LT(t8, t1);
+  EXPECT_GT(t1 / t8, 1.5);  // meaningful parallel speedup
+}
+
+TEST(Pfs, DropAllCachesForcesServerRefetch) {
+  PfsClusterParams p = ram_cluster(2);
+  p.server_fs.cache_capacity = 32 * kMiB;
+  Fixture f(p);
+  auto h = f.client.create("/file", 1 * kMiB);
+  f.read(*h, 0, 1 * kMiB);
+  const Bytes dev_first = f.cluster.device_bytes_moved();
+  f.read(*h, 0, 1 * kMiB);
+  EXPECT_EQ(f.cluster.device_bytes_moved(), dev_first);  // server cache hit
+  f.cluster.drop_all_caches();
+  f.read(*h, 0, 1 * kMiB);
+  EXPECT_EQ(f.cluster.device_bytes_moved(), 2 * dev_first);
+}
+
+TEST(Pfs, ConcurrentSharedWritesFromTwoClients) {
+  Fixture f(ram_cluster(4));
+  PfsClient& other = f.cluster.make_client("c1");
+  auto h1 = f.client.create("/shared", 0);
+  ASSERT_TRUE(h1.ok());
+  auto h2 = other.open("/shared");
+  ASSERT_TRUE(h2.ok());
+  int done = 0;
+  // Disjoint halves written concurrently; both extend the file.
+  f.client.write(*h1, 0, 512 * kKiB, [&](fs::IoOutcome o) { done += o.ok; });
+  other.write(*h2, 512 * kKiB, 512 * kKiB,
+              [&](fs::IoOutcome o) { done += o.ok; });
+  f.sim.run();
+  EXPECT_EQ(done, 2);
+  EXPECT_EQ(f.client.size_of(*h1).value(), 1u * kMiB);
+  EXPECT_EQ(f.cluster.client_bytes_moved(), 1u * kMiB);
+  // Both clients can read the whole file back.
+  EXPECT_EQ(f.read(*h2, 0, 1 * kMiB, &other).bytes, 1u * kMiB);
+}
+
+TEST(Pfs, FlushCompletes) {
+  Fixture f(ram_cluster(2));
+  auto h = f.client.create("/file", 0);
+  f.write(*h, 0, 256 * kKiB);
+  bool flushed = false;
+  f.client.flush([&]() { flushed = true; });
+  f.sim.run();
+  EXPECT_TRUE(flushed);
+}
+
+}  // namespace
+}  // namespace bpsio::pfs

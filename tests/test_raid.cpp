@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "device/hdd_model.hpp"
+#include "device/raid.hpp"
+#include "device/ram_device.hpp"
+#include "fs/local_fs.hpp"
+#include "sim/simulator.hpp"
+
+namespace bpsio::device {
+namespace {
+
+std::vector<std::unique_ptr<BlockDevice>> ram_children(sim::Simulator& sim,
+                                                       std::size_t n,
+                                                       Bytes cap = 64 * kMiB) {
+  std::vector<std::unique_ptr<BlockDevice>> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(
+        std::make_unique<RamDevice>(sim, RamParams{.capacity = cap}));
+  }
+  return out;
+}
+
+std::vector<std::unique_ptr<BlockDevice>> hdd_children(sim::Simulator& sim,
+                                                       std::size_t n) {
+  std::vector<std::unique_ptr<BlockDevice>> out;
+  HddParams p;
+  p.capacity = 8 * kGiB;
+  p.deterministic_rotation = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(std::make_unique<HddModel>(sim, p, i + 1));
+  }
+  return out;
+}
+
+TEST(Raid0, CapacityIsSumOfMinimum) {
+  sim::Simulator sim;
+  auto children = ram_children(sim, 4, 10 * kMiB);
+  Raid0Device raid(sim, std::move(children));
+  EXPECT_EQ(raid.capacity(), 40u * kMiB);
+}
+
+TEST(Raid0, StripesBytesEvenlyAcrossChildren) {
+  sim::Simulator sim;
+  Raid0Device raid(sim, ram_children(sim, 4), 64 * kKiB);
+  bool done = false;
+  raid.submit(DevOp::read, 0, 1 * kMiB, [&](DevResult r) {
+    EXPECT_TRUE(r.ok);
+    done = true;
+  });
+  sim.run();
+  ASSERT_TRUE(done);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(raid.child(i).stats().bytes_read, 256u * kKiB) << i;
+  }
+  EXPECT_EQ(raid.stats().bytes_read, 1u * kMiB);
+}
+
+TEST(Raid0, UnalignedRequestCoversExactly) {
+  sim::Simulator sim;
+  Raid0Device raid(sim, ram_children(sim, 3), 100);
+  bool done = false;
+  raid.submit(DevOp::write, 151, 777, [&](DevResult r) {
+    EXPECT_TRUE(r.ok);
+    done = true;
+  });
+  sim.run();
+  ASSERT_TRUE(done);
+  Bytes total = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    total += raid.child(i).stats().bytes_written;
+  }
+  EXPECT_EQ(total, 777u);
+}
+
+TEST(Raid0, StripingBeatsSingleSpindleOnStreams) {
+  auto stream_time = [](std::size_t spindles) {
+    sim::Simulator sim;
+    auto array = std::make_unique<Raid0Device>(sim, hdd_children(sim, spindles),
+                                               64 * kKiB);
+    fs::LocalFsParams params;
+    params.cache_enabled = false;
+    params.max_device_io = 256 * kKiB;  // let requests span spindles
+    fs::LocalFileSystem fs(sim, *array, params);
+    auto h = fs.create("/f", 32 * kMiB);
+    Bytes off = 0;
+    std::function<void(fs::IoOutcome)> next = [&](fs::IoOutcome) {
+      if (off < 32 * kMiB) {
+        const Bytes at = off;
+        off += 256 * kKiB;
+        fs.read(h.value(), at, 256 * kKiB, next);
+      }
+    };
+    next(fs::IoOutcome{});
+    sim.run();
+    return sim.now().seconds();
+  };
+  const double t1 = stream_time(1);
+  const double t4 = stream_time(4);
+  EXPECT_LT(t4, t1);
+  EXPECT_GT(t1 / t4, 1.5);
+}
+
+TEST(Raid1, CapacityIsMinimum) {
+  sim::Simulator sim;
+  auto children = ram_children(sim, 3, 10 * kMiB);
+  Raid1Device raid(sim, std::move(children));
+  EXPECT_EQ(raid.capacity(), 10u * kMiB);
+}
+
+TEST(Raid1, WritesGoToEveryReplica) {
+  sim::Simulator sim;
+  Raid1Device raid(sim, ram_children(sim, 3));
+  bool done = false;
+  raid.submit(DevOp::write, 0, 1 * kMiB, [&](DevResult r) {
+    EXPECT_TRUE(r.ok);
+    done = true;
+  });
+  sim.run();
+  ASSERT_TRUE(done);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(raid.child(i).stats().bytes_written, kMiB) << i;
+  }
+}
+
+TEST(Raid1, ReadsRoundRobinAcrossReplicas) {
+  sim::Simulator sim;
+  Raid1Device raid(sim, ram_children(sim, 2));
+  for (int i = 0; i < 6; ++i) {
+    raid.submit(DevOp::read, 0, 64 * kKiB, [](DevResult) {});
+  }
+  sim.run();
+  EXPECT_EQ(raid.child(0).stats().bytes_read, 3u * 64 * kKiB);
+  EXPECT_EQ(raid.child(1).stats().bytes_read, 3u * 64 * kKiB);
+}
+
+TEST(Raid1, WriteFailsIfAnyReplicaFails) {
+  sim::Simulator sim;
+  std::vector<std::unique_ptr<BlockDevice>> children;
+  children.push_back(
+      std::make_unique<RamDevice>(sim, RamParams{.capacity = 8 * kMiB}));
+  HddParams faulty;
+  faulty.capacity = 8 * kMiB;
+  faulty.faults.failure_rate = 1.0;
+  children.push_back(std::make_unique<HddModel>(sim, faulty));
+  Raid1Device raid(sim, std::move(children));
+  bool ok = true;
+  raid.submit(DevOp::write, 0, 4096, [&](DevResult r) { ok = r.ok; });
+  sim.run();
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(raid.stats().failed_ops, 1u);
+}
+
+TEST(Raid, WorksUnderTheLocalFileSystem) {
+  // The array is a drop-in BlockDevice: the whole FS stack runs unchanged.
+  sim::Simulator sim;
+  auto array = std::make_unique<Raid0Device>(sim, ram_children(sim, 4));
+  fs::LocalFileSystem fs(sim, *array);
+  auto h = fs.create("/f", 4 * kMiB);
+  ASSERT_TRUE(h.ok());
+  fs::IoOutcome out{false, 0};
+  fs.read(*h, 0, 4 * kMiB, [&](fs::IoOutcome o) { out = o; });
+  sim.run();
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.bytes, 4u * kMiB);
+}
+
+}  // namespace
+}  // namespace bpsio::device

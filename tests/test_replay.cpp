@@ -1,0 +1,136 @@
+// Trace replay: recorded traces driven through fresh testbeds.
+#include <gtest/gtest.h>
+
+#include "core/testbed.hpp"
+#include "metrics/calculators.hpp"
+#include "workload/iozone.hpp"
+#include "workload/replay.hpp"
+
+namespace bpsio::workload {
+namespace {
+
+core::TestbedConfig ram_local() {
+  core::TestbedConfig cfg;
+  cfg.backend = core::BackendKind::local;
+  cfg.device = pfs::DeviceKind::ram;
+  cfg.ram.capacity = 256 * kMiB;
+  return cfg;
+}
+
+core::TestbedConfig hdd_local() {
+  core::TestbedConfig cfg;
+  cfg.backend = core::BackendKind::local;
+  cfg.device = pfs::DeviceKind::hdd;
+  cfg.hdd.capacity = 8 * kGiB;
+  return cfg;
+}
+
+std::vector<trace::IoRecord> record_source_trace() {
+  core::Testbed testbed(ram_local());
+  IozoneConfig cfg;
+  cfg.file_size = 8 * kMiB;
+  cfg.record_size = 64 * kKiB;
+  cfg.processes = 2;
+  IozoneWorkload wl(cfg);
+  return wl.run(testbed.env()).collector.records();
+}
+
+TEST(Replay, ClosedLoopPreservesAccessStructure) {
+  const auto source = record_source_trace();
+  core::Testbed testbed(ram_local());
+  ReplayConfig cfg;
+  cfg.records = source;
+  cfg.mode = ReplayConfig::Mode::closed_loop;
+  TraceReplayWorkload replay(cfg);
+  const auto run = replay.run(testbed.env());
+  EXPECT_EQ(run.collector.record_count(), source.size());
+  EXPECT_EQ(run.process_count, 2u);
+  // Same B: replay preserves sizes exactly.
+  trace::TraceCollector original;
+  original.gather(source);
+  EXPECT_EQ(run.collector.total_blocks(), original.total_blocks());
+}
+
+TEST(Replay, ClosedLoopOnSlowerDeviceTakesLonger) {
+  const auto source = record_source_trace();
+  ReplayConfig cfg;
+  cfg.records = source;
+  core::Testbed fast(ram_local());
+  core::Testbed slow(hdd_local());
+  TraceReplayWorkload r1(cfg), r2(cfg);
+  const auto fast_run = r1.run(fast.env());
+  const auto slow_run = r2.run(slow.env());
+  EXPECT_GT(slow_run.exec_time.ns(), fast_run.exec_time.ns());
+  // ... and BPS on the slower system is lower.
+  EXPECT_LT(metrics::bps(slow_run.collector), metrics::bps(fast_run.collector));
+}
+
+TEST(Replay, ClosedLoopPreservesThinkGaps) {
+  // Hand-built trace with a 1 s gap between two accesses.
+  std::vector<trace::IoRecord> records{
+      trace::make_record(1, 8, SimTime(0), SimTime::from_seconds(0.001)),
+      trace::make_record(1, 8, SimTime::from_seconds(1.001),
+                         SimTime::from_seconds(1.002)),
+  };
+  core::Testbed testbed(ram_local());
+  ReplayConfig cfg;
+  cfg.records = records;
+  TraceReplayWorkload replay(cfg);
+  const auto run = replay.run(testbed.env());
+  EXPECT_GT(run.exec_time.seconds(), 1.0);
+  // The gap stays idle: T excludes it.
+  EXPECT_LT(metrics::overlapped_io_time(run.collector).seconds(), 0.5);
+}
+
+TEST(Replay, OpenLoopIssuesAtRecordedTimes) {
+  std::vector<trace::IoRecord> records;
+  // Four accesses 0.25 s apart from two pids.
+  for (int i = 0; i < 4; ++i) {
+    records.push_back(trace::make_record(
+        static_cast<std::uint32_t>(1 + i % 2), 128,
+        SimTime::from_seconds(0.25 * i), SimTime::from_seconds(0.25 * i + 0.01)));
+  }
+  core::Testbed testbed(ram_local());
+  ReplayConfig cfg;
+  cfg.records = records;
+  cfg.mode = ReplayConfig::Mode::open_loop;
+  TraceReplayWorkload replay(cfg);
+  const auto run = replay.run(testbed.env());
+  EXPECT_EQ(run.collector.record_count(), 4u);
+  // Offered load spans 0.75 s; on a fast device completion lands just after.
+  EXPECT_GE(run.exec_time.seconds(), 0.75);
+  EXPECT_LT(run.exec_time.seconds(), 0.9);
+  // Issue times match the recorded schedule.
+  std::vector<std::int64_t> starts;
+  for (const auto& r : run.collector.records()) starts.push_back(r.start_ns);
+  std::sort(starts.begin(), starts.end());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(starts[static_cast<std::size_t>(i)],
+              SimTime::from_seconds(0.25 * i).ns());
+  }
+}
+
+TEST(Replay, EmptyTraceYieldsEmptyRun) {
+  core::Testbed testbed(ram_local());
+  TraceReplayWorkload replay(ReplayConfig{});
+  const auto run = replay.run(testbed.env());
+  EXPECT_EQ(run.process_count, 0u);
+  EXPECT_EQ(run.collector.record_count(), 0u);
+}
+
+TEST(Replay, WritesReplayAsWrites) {
+  std::vector<trace::IoRecord> records{
+      trace::make_record(1, 8, SimTime(0), SimTime(1000),
+                         trace::IoOpKind::write),
+  };
+  core::Testbed testbed(ram_local());
+  ReplayConfig cfg;
+  cfg.records = records;
+  TraceReplayWorkload replay(cfg);
+  const auto run = replay.run(testbed.env());
+  ASSERT_EQ(run.collector.record_count(), 1u);
+  EXPECT_EQ(run.collector.records().front().op, trace::IoOpKind::write);
+}
+
+}  // namespace
+}  // namespace bpsio::workload

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/result.hpp"
+
+namespace bpsio {
+namespace {
+
+Result<int> half(int v) {
+  if (v % 2 != 0) return Error{Errc::invalid_argument, "odd"};
+  return v / 2;
+}
+
+TEST(Result, ValueAccess) {
+  auto r = half(8);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(*r, 4);
+  EXPECT_EQ(r.value(), 4);
+  EXPECT_EQ(r.code(), Errc::ok);
+}
+
+TEST(Result, ErrorAccess) {
+  auto r = half(7);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), Errc::invalid_argument);
+  EXPECT_EQ(r.error().message, "odd");
+  EXPECT_EQ(r.error().to_string(), "invalid_argument: odd");
+}
+
+TEST(Result, ValueOr) {
+  EXPECT_EQ(half(8).value_or(-1), 4);
+  EXPECT_EQ(half(7).value_or(-1), -1);
+}
+
+TEST(Result, MoveOnlyPayload) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  auto p = std::move(r).value();
+  EXPECT_EQ(*p, 5);
+}
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Errc::ok);
+  EXPECT_EQ(s.to_string(), "ok");
+}
+
+TEST(Status, CarriesError) {
+  Status s{Errc::not_found, "nope"};
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Errc::not_found);
+  EXPECT_EQ(s.to_string(), "not_found: nope");
+}
+
+TEST(Status, OkCodeIsNotFailure) {
+  Status s{Errc::ok};
+  EXPECT_TRUE(s.ok());
+}
+
+TEST(Errc, AllCodesHaveNames) {
+  for (auto code : {Errc::ok, Errc::not_found, Errc::already_exists,
+                    Errc::out_of_space, Errc::invalid_argument,
+                    Errc::out_of_range, Errc::io_error, Errc::busy,
+                    Errc::unsupported}) {
+    EXPECT_NE(errc_name(code), "unknown");
+    EXPECT_FALSE(errc_name(code).empty());
+  }
+}
+
+}  // namespace
+}  // namespace bpsio

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "common/sim_time.hpp"
+
+namespace bpsio {
+namespace {
+
+TEST(SimTime, DefaultIsZero) {
+  EXPECT_EQ(SimTime{}.ns(), 0);
+  EXPECT_EQ(SimTime::zero(), SimTime{});
+}
+
+TEST(SimTime, ConversionRoundTrips) {
+  EXPECT_DOUBLE_EQ(SimTime::from_seconds(1.5).seconds(), 1.5);
+  EXPECT_EQ(SimTime::from_seconds(1e-9).ns(), 1);
+  EXPECT_DOUBLE_EQ(SimDuration::from_ms(2.0).seconds(), 0.002);
+  EXPECT_DOUBLE_EQ(SimDuration::from_us(3.0).ns(), 3000);
+  EXPECT_DOUBLE_EQ(SimDuration::from_ms(1.0).us(), 1000.0);
+}
+
+TEST(SimTime, ArithmeticIsExactInNs) {
+  const SimTime t(100);
+  const SimDuration d(40);
+  EXPECT_EQ((t + d).ns(), 140);
+  EXPECT_EQ((t - d).ns(), 60);
+  EXPECT_EQ((t + d) - t, d);
+  SimTime u = t;
+  u += d;
+  EXPECT_EQ(u.ns(), 140);
+  u -= d;
+  EXPECT_EQ(u, t);
+}
+
+TEST(SimTime, DurationArithmetic) {
+  const SimDuration a(10), b(4);
+  EXPECT_EQ((a + b).ns(), 14);
+  EXPECT_EQ((a - b).ns(), 6);
+  EXPECT_EQ((a * 3).ns(), 30);
+  EXPECT_EQ((3 * a).ns(), 30);
+  SimDuration c = a;
+  c += b;
+  EXPECT_EQ(c.ns(), 14);
+}
+
+TEST(SimTime, Ordering) {
+  EXPECT_LT(SimTime(1), SimTime(2));
+  EXPECT_GT(SimDuration(5), SimDuration(4));
+  EXPECT_EQ(max(SimTime(3), SimTime(7)).ns(), 7);
+  EXPECT_EQ(min(SimTime(3), SimTime(7)).ns(), 3);
+  EXPECT_EQ(max(SimDuration(3), SimDuration(7)).ns(), 7);
+}
+
+TEST(SimTime, ToStringPicksSensibleUnit) {
+  EXPECT_EQ(SimDuration::from_seconds(2.0).to_string(), "2s");
+  EXPECT_EQ(SimDuration::from_ms(5.0).to_string(), "5ms");
+  EXPECT_EQ(SimDuration::from_us(7.0).to_string(), "7us");
+  EXPECT_EQ(SimDuration(42).to_string(), "42ns");
+  EXPECT_EQ(SimTime::zero().to_string(), "0s");
+}
+
+}  // namespace
+}  // namespace bpsio

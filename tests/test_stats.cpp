@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/histogram.hpp"
+
+namespace bpsio::stats {
+namespace {
+
+TEST(RunningStats, EmptyIsZeroes) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, KnownSample) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng(5);
+  RunningStats whole, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    whole.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(RunningStats, NumericallyStableForLargeOffsets) {
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) s.add(1e9 + (i % 2));
+  EXPECT_NEAR(s.variance(), 0.25025, 1e-3);
+}
+
+TEST(Percentile, InterpolatesOrderStatistics) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 10), 1.4);
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 99), 7.0);
+}
+
+TEST(Means, KnownValues) {
+  const std::vector<double> v{1.0, 2.0, 4.0};
+  EXPECT_NEAR(arithmetic_mean(v), 7.0 / 3.0, 1e-12);
+  EXPECT_NEAR(geometric_mean(v), 2.0, 1e-12);
+  EXPECT_NEAR(harmonic_mean(v), 3.0 / 1.75, 1e-12);
+  EXPECT_DOUBLE_EQ(arithmetic_mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(geometric_mean({2.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(harmonic_mean({2.0, 0.0}), 0.0);
+}
+
+TEST(LogHistogram, CountsAndQuantiles) {
+  LogHistogram h(1e-6, 1.0, 2.0);
+  for (int i = 0; i < 100; ++i) h.add(1e-3);
+  for (int i = 0; i < 100; ++i) h.add(1e-2);
+  EXPECT_EQ(h.count(), 200u);
+  const double q25 = h.quantile(0.25);
+  const double q75 = h.quantile(0.75);
+  EXPECT_LT(q25, q75);
+  EXPECT_NEAR(q25, 1e-3, 1e-3);
+  EXPECT_NEAR(q75, 1e-2, 1e-2);
+}
+
+TEST(LogHistogram, UnderAndOverflowBuckets) {
+  LogHistogram h(1.0, 8.0);
+  h.add(0.1);    // underflow
+  h.add(100.0);  // overflow
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.bucket_value(0), 1u);
+  EXPECT_EQ(h.bucket_value(h.bucket_count() - 1), 1u);
+}
+
+}  // namespace
+}  // namespace bpsio::stats

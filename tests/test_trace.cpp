@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/io_record.hpp"
+#include "trace/serialize.hpp"
+#include "trace/trace_buffer.hpp"
+#include "trace/trace_collector.hpp"
+#include "trace/validate.hpp"
+
+namespace bpsio::trace {
+namespace {
+
+TEST(IoRecord, Is32BytesAsInPaper) {
+  // "As the size of each record is 32 bytes, even for 65535 I/O operations,
+  //  all the records need about 3 megabytes".
+  EXPECT_EQ(sizeof(IoRecord), 32u);
+  EXPECT_LE(65535 * sizeof(IoRecord), 3u * 1024 * 1024);
+}
+
+TEST(IoRecord, AccessorsAndValidity) {
+  const auto r = make_record(3, 100, SimTime(10), SimTime(50),
+                             IoOpKind::write, kIoFailed);
+  EXPECT_EQ(r.pid, 3u);
+  EXPECT_EQ(r.blocks, 100u);
+  EXPECT_EQ(r.start().ns(), 10);
+  EXPECT_EQ(r.end().ns(), 50);
+  EXPECT_EQ(r.response_time().ns(), 40);
+  EXPECT_TRUE(r.failed());
+  EXPECT_TRUE(r.valid());
+  auto bad = r;
+  bad.end_ns = 5;
+  EXPECT_FALSE(bad.valid());
+}
+
+TEST(TraceBuffer, RecordsAndTotals) {
+  TraceBuffer buf(7);
+  buf.record(10, SimTime(0), SimTime(100));
+  buf.record(20, SimTime(100), SimTime(250), IoOpKind::write);
+  EXPECT_EQ(buf.size(), 2u);
+  EXPECT_EQ(buf.total_blocks(), 30u);
+  EXPECT_EQ(buf.records()[0].pid, 7u);
+  EXPECT_EQ(buf.footprint_bytes(), 64u);
+}
+
+TEST(TraceBuffer, PushOverridesPid) {
+  TraceBuffer buf(9);
+  buf.push(make_record(1, 5, SimTime(0), SimTime(1)));
+  EXPECT_EQ(buf.records()[0].pid, 9u);
+}
+
+TEST(TraceCollector, GathersAcrossProcesses) {
+  TraceBuffer a(1), b(2);
+  a.record(10, SimTime(0), SimTime(100));
+  b.record(20, SimTime(50), SimTime(150));
+  TraceCollector c;
+  c.gather(a);
+  c.gather(b);
+  EXPECT_EQ(c.record_count(), 2u);
+  EXPECT_EQ(c.total_blocks(), 30u);
+  EXPECT_EQ(c.total_bytes(), 30u * 512);
+  EXPECT_EQ(c.process_count(), 2u);
+  const auto span = c.span();
+  ASSERT_TRUE(span.has_value());
+  EXPECT_EQ(span->start_ns, 0);
+  EXPECT_EQ(span->end_ns, 150);
+}
+
+TEST(TraceCollector, EmptySpanIsNull) {
+  TraceCollector c;
+  EXPECT_FALSE(c.span().has_value());
+  EXPECT_EQ(c.total_blocks(), 0u);
+}
+
+TEST(TraceCollector, FailedAccessesStillCountInB) {
+  // Section III.A: "all the I/O blocks issued from the application are
+  // counted, including all successful accesses, non-successful ones".
+  TraceCollector c;
+  c.add(make_record(1, 10, SimTime(0), SimTime(1)));
+  c.add(make_record(1, 5, SimTime(1), SimTime(2), IoOpKind::read, kIoFailed));
+  EXPECT_EQ(c.total_blocks(), 15u);
+  RecordFilter no_failed;
+  no_failed.include_failed = false;
+  EXPECT_EQ(c.total_blocks(no_failed), 10u);
+}
+
+TEST(RecordFilter, ByPidAndOp) {
+  TraceCollector c;
+  c.add(make_record(1, 10, SimTime(0), SimTime(1), IoOpKind::read));
+  c.add(make_record(2, 20, SimTime(0), SimTime(1), IoOpKind::write));
+  RecordFilter f;
+  f.pid = 2;
+  EXPECT_EQ(c.total_blocks(f), 20u);
+  RecordFilter g;
+  g.op = IoOpKind::read;
+  EXPECT_EQ(c.total_blocks(g), 10u);
+}
+
+TEST(RecordFilter, TimeWindowClampsIntervals) {
+  TraceCollector c;
+  c.add(make_record(1, 10, SimTime(0), SimTime(100)));
+  RecordFilter f;
+  f.window_start_ns = 25;
+  f.window_end_ns = 75;
+  const auto ivs = c.col_time(f);
+  ASSERT_EQ(ivs.size(), 1u);
+  EXPECT_EQ(ivs[0].start_ns, 25);
+  EXPECT_EQ(ivs[0].end_ns, 75);
+  // Outside the window entirely -> excluded.
+  RecordFilter g;
+  g.window_start_ns = 200;
+  EXPECT_TRUE(c.col_time(g).empty());
+}
+
+TEST(Serialize, BinaryRoundTrip) {
+  std::vector<IoRecord> records;
+  for (int i = 0; i < 100; ++i) {
+    records.push_back(make_record(static_cast<std::uint32_t>(i % 4),
+                                  static_cast<std::uint64_t>(i * 3),
+                                  SimTime(i * 10), SimTime(i * 10 + 5),
+                                  i % 2 ? IoOpKind::write : IoOpKind::read));
+  }
+  std::stringstream ss;
+  const auto written = write_binary(ss, records);
+  ASSERT_TRUE(written.ok());
+  EXPECT_EQ(*written, 16u + 100 * 32);
+  const auto loaded = read_binary(ss);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, records);
+}
+
+TEST(Serialize, BinaryRejectsGarbage) {
+  std::stringstream ss;
+  ss << "this is not a trace";
+  EXPECT_EQ(read_binary(ss).code(), Errc::invalid_argument);
+}
+
+TEST(Serialize, BinaryRejectsTruncation) {
+  std::vector<IoRecord> records(10);
+  std::stringstream ss;
+  ASSERT_TRUE(write_binary(ss, records).ok());
+  std::string data = ss.str();
+  data.resize(data.size() - 17);
+  std::stringstream truncated(data);
+  EXPECT_EQ(read_binary(truncated).code(), Errc::io_error);
+}
+
+TEST(Serialize, CsvRoundTrip) {
+  std::vector<IoRecord> records{
+      make_record(1, 8, SimTime(0), SimTime(1000)),
+      make_record(2, 16, SimTime(500), SimTime(2500), IoOpKind::write,
+                  kIoFailed),
+  };
+  std::stringstream ss;
+  write_csv(ss, records);
+  const auto loaded = read_csv(ss);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, records);
+}
+
+TEST(Serialize, CsvRejectsMalformedLine) {
+  std::stringstream ss("pid,op,flags,blocks,start_ns,end_ns\n1,read,0\n");
+  EXPECT_EQ(read_csv(ss).code(), Errc::invalid_argument);
+}
+
+TEST(Validate, FlagsBadRecords) {
+  std::vector<IoRecord> records{
+      make_record(1, 8, SimTime(10), SimTime(5)),   // end < start
+      make_record(1, 0, SimTime(0), SimTime(1)),    // zero blocks, success
+      make_record(1, 8, SimTime(-5), SimTime(1)),   // negative start
+  };
+  const auto report = validate(records);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.issues.size(), 3u);
+  EXPECT_EQ(report.checked, 3u);
+}
+
+TEST(Validate, MonotoneCheckPerPid) {
+  std::vector<IoRecord> records{
+      make_record(1, 8, SimTime(10), SimTime(20)),
+      make_record(2, 8, SimTime(0), SimTime(5)),   // other pid: fine
+      make_record(1, 8, SimTime(5), SimTime(15)),  // pid 1 went backwards
+  };
+  EXPECT_TRUE(validate(records, false).ok());
+  const auto report = validate(records, true);
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_EQ(report.issues[0].index, 2u);
+}
+
+}  // namespace
+}  // namespace bpsio::trace

@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace bpsio {
+namespace {
+
+using namespace bpsio::literals;
+
+TEST(Units, LiteralsProduceExpectedByteCounts) {
+  EXPECT_EQ(1_B, 1u);
+  EXPECT_EQ(1_KiB, 1024u);
+  EXPECT_EQ(4_KiB, 4096u);
+  EXPECT_EQ(1_MiB, 1024u * 1024u);
+  EXPECT_EQ(2_GiB, 2ull * 1024 * 1024 * 1024);
+}
+
+TEST(Units, BytesToBlocksRoundsUp) {
+  EXPECT_EQ(bytes_to_blocks(0), 0u);
+  EXPECT_EQ(bytes_to_blocks(1), 1u);
+  EXPECT_EQ(bytes_to_blocks(511), 1u);
+  EXPECT_EQ(bytes_to_blocks(512), 1u);
+  EXPECT_EQ(bytes_to_blocks(513), 2u);
+  EXPECT_EQ(bytes_to_blocks(1024), 2u);
+}
+
+TEST(Units, BytesToBlocksCustomBlockSize) {
+  EXPECT_EQ(bytes_to_blocks(4096, 4096), 1u);
+  EXPECT_EQ(bytes_to_blocks(4097, 4096), 2u);
+  EXPECT_EQ(bytes_to_blocks(1, 4096), 1u);
+}
+
+TEST(Units, BytesToBlocksZeroBlockSizeIsSafe) {
+  EXPECT_EQ(bytes_to_blocks(1024, 0), 0u);
+}
+
+TEST(Units, BlocksToBytesInvertsWholeBlocks) {
+  EXPECT_EQ(blocks_to_bytes(8), 4096u);
+  for (Bytes b : {512u, 1024u, 65536u}) {
+    EXPECT_EQ(bytes_to_blocks(blocks_to_bytes(7, b), b), 7u);
+  }
+}
+
+TEST(Units, DefaultBlockSizeMatchesPaper) {
+  // "the number of I/O blocks (e.g., 512bytes)"
+  EXPECT_EQ(kDefaultBlockSize, 512u);
+}
+
+}  // namespace
+}  // namespace bpsio

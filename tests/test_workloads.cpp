@@ -1,0 +1,297 @@
+// End-to-end workload runs on small testbeds: the benchmark-tool replicas
+// must produce coherent traces (right process count, right B, plausible
+// times) on both local and parallel backends.
+#include <gtest/gtest.h>
+
+#include "core/presets.hpp"
+#include "metrics/calculators.hpp"
+#include "trace/validate.hpp"
+#include "core/testbed.hpp"
+#include "workload/hpio.hpp"
+#include "workload/ior.hpp"
+#include "workload/iozone.hpp"
+
+namespace bpsio::workload {
+namespace {
+
+core::TestbedConfig ram_local() {
+  core::TestbedConfig cfg;
+  cfg.backend = core::BackendKind::local;
+  cfg.device = pfs::DeviceKind::ram;
+  cfg.ram.capacity = 256 * kMiB;
+  return cfg;
+}
+
+core::TestbedConfig ram_pfs(std::uint32_t servers, std::uint32_t clients) {
+  core::TestbedConfig cfg;
+  cfg.backend = core::BackendKind::pfs;
+  cfg.pfs.server_count = servers;
+  cfg.pfs.device = pfs::DeviceKind::ram;
+  cfg.pfs.ram.capacity = 256 * kMiB;
+  cfg.client_nodes = clients;
+  return cfg;
+}
+
+TEST(Iozone, SingleProcessSequentialRead) {
+  core::Testbed testbed(ram_local());
+  IozoneConfig cfg;
+  cfg.file_size = 8 * kMiB;
+  cfg.record_size = 64 * kKiB;
+  IozoneWorkload wl(cfg);
+  const auto run = wl.run(testbed.env());
+  EXPECT_EQ(run.process_count, 1u);
+  EXPECT_EQ(run.collector.record_count(), 128u);
+  EXPECT_EQ(blocks_to_bytes(run.collector.total_blocks()), 8u * kMiB);
+  EXPECT_GT(run.exec_time.ns(), 0);
+  EXPECT_TRUE(trace::validate(run.collector.records(), true).ok());
+}
+
+TEST(Iozone, ThroughputModeSplitsTotalAcrossProcesses) {
+  core::Testbed testbed(ram_pfs(4, 1));
+  IozoneConfig cfg;
+  cfg.file_size = 8 * kMiB;
+  cfg.record_size = 64 * kKiB;
+  cfg.processes = 4;
+  cfg.size_is_total = true;
+  IozoneWorkload wl(cfg);
+  const auto run = wl.run(testbed.env());
+  EXPECT_EQ(run.process_count, 4u);
+  EXPECT_EQ(run.collector.process_count(), 4u);
+  EXPECT_EQ(blocks_to_bytes(run.collector.total_blocks()), 8u * kMiB);
+  trace::RecordFilter f;
+  f.pid = 1;
+  EXPECT_EQ(blocks_to_bytes(run.collector.total_blocks(f)), 2u * kMiB);
+}
+
+TEST(Iozone, WriteModeCreatesAndExtends) {
+  core::Testbed testbed(ram_local());
+  IozoneConfig cfg;
+  cfg.mode = IozoneConfig::Mode::write;
+  cfg.file_size = 4 * kMiB;
+  cfg.record_size = 256 * kKiB;
+  IozoneWorkload wl(cfg);
+  const auto run = wl.run(testbed.env());
+  EXPECT_EQ(run.collector.record_count(), 16u);
+  EXPECT_EQ(run.collector.records().front().op, trace::IoOpKind::write);
+  EXPECT_GE(testbed.bytes_moved(), 4u * kMiB);
+}
+
+TEST(Iozone, RereadDoesTwoPasses) {
+  core::Testbed testbed(ram_local());
+  IozoneConfig cfg;
+  cfg.mode = IozoneConfig::Mode::reread;
+  cfg.file_size = 2 * kMiB;
+  cfg.record_size = 128 * kKiB;
+  IozoneWorkload wl(cfg);
+  const auto run = wl.run(testbed.env());
+  EXPECT_EQ(run.collector.record_count(), 32u);  // 16 + 16
+  // Second pass hits the page cache: device traffic < app traffic.
+  EXPECT_LT(testbed.bytes_moved(), 4u * kMiB);
+}
+
+TEST(Iozone, RandomReadStaysInBounds) {
+  core::Testbed testbed(ram_local());
+  IozoneConfig cfg;
+  cfg.mode = IozoneConfig::Mode::random_read;
+  cfg.file_size = 4 * kMiB;
+  cfg.record_size = 64 * kKiB;
+  cfg.random_count = 40;
+  IozoneWorkload wl(cfg);
+  const auto run = wl.run(testbed.env());
+  EXPECT_EQ(run.collector.record_count(), 40u);
+  for (const auto& r : run.collector.records()) {
+    EXPECT_EQ(blocks_to_bytes(r.blocks), 64u * kKiB);
+  }
+}
+
+TEST(Iozone, AccessFractionLimitsScan) {
+  core::Testbed testbed(ram_local());
+  IozoneConfig cfg;
+  cfg.file_size = 8 * kMiB;
+  cfg.record_size = 64 * kKiB;
+  cfg.access_fraction = 0.25;
+  IozoneWorkload wl(cfg);
+  const auto run = wl.run(testbed.env());
+  EXPECT_EQ(blocks_to_bytes(run.collector.total_blocks()), 2u * kMiB);
+}
+
+TEST(Iozone, ThinkTimeStretchesExecNotIoTime) {
+  core::Testbed a(ram_local()), b(ram_local());
+  IozoneConfig cfg;
+  cfg.file_size = 1 * kMiB;
+  cfg.record_size = 128 * kKiB;
+  IozoneWorkload fast(cfg);
+  cfg.think = SimDuration::from_ms(5.0);
+  IozoneWorkload slow(cfg);
+  const auto run_fast = fast.run(a.env());
+  const auto run_slow = slow.run(b.env());
+  EXPECT_GT(run_slow.exec_time.ns(),
+            run_fast.exec_time.ns() + 7 * SimDuration::from_ms(5.0).ns());
+  // The think gaps are idle I/O time and must not enter T.
+  const auto t_fast = metrics::overlapped_io_time(run_fast.collector);
+  const auto t_slow = metrics::overlapped_io_time(run_slow.collector);
+  EXPECT_NEAR(t_slow.seconds(), t_fast.seconds(), t_fast.seconds() * 0.2);
+}
+
+TEST(Ior, SharedFileSegmentsAreDisjoint) {
+  core::Testbed testbed(ram_pfs(4, 4));
+  IorConfig cfg;
+  cfg.file_size = 8 * kMiB;
+  cfg.transfer_size = 64 * kKiB;
+  cfg.processes = 4;
+  IorWorkload wl(cfg);
+  const auto run = wl.run(testbed.env());
+  EXPECT_EQ(run.process_count, 4u);
+  EXPECT_EQ(run.collector.record_count(), 128u);
+  EXPECT_EQ(blocks_to_bytes(run.collector.total_blocks()), 8u * kMiB);
+  EXPECT_EQ(testbed.bytes_moved(), 8u * kMiB);  // nothing read twice
+}
+
+TEST(Ior, CollectiveModeCompletes) {
+  core::Testbed testbed(ram_pfs(4, 2));
+  IorConfig cfg;
+  cfg.file_size = 2 * kMiB;
+  cfg.transfer_size = 256 * kKiB;
+  cfg.processes = 2;
+  cfg.collective = true;
+  IorWorkload wl(cfg);
+  const auto run = wl.run(testbed.env());
+  EXPECT_EQ(run.collector.record_count(), 8u);
+  for (const auto& r : run.collector.records()) {
+    EXPECT_TRUE(r.flags & trace::kIoCollective);
+  }
+}
+
+TEST(Ior, WriteMode) {
+  core::Testbed testbed(ram_pfs(2, 2));
+  IorConfig cfg;
+  cfg.file_size = 2 * kMiB;
+  cfg.transfer_size = 128 * kKiB;
+  cfg.processes = 2;
+  cfg.write = true;
+  IorWorkload wl(cfg);
+  const auto run = wl.run(testbed.env());
+  EXPECT_EQ(run.collector.records().front().op, trace::IoOpKind::write);
+  EXPECT_EQ(blocks_to_bytes(run.collector.total_blocks()), 2u * kMiB);
+}
+
+TEST(Hpio, SievingMovesMoreThanRequired) {
+  core::Testbed testbed(ram_pfs(4, 4));
+  HpioConfig cfg;
+  cfg.region_count = 4096;
+  cfg.region_size = 256;
+  cfg.region_spacing = 768;
+  cfg.processes = 4;
+  cfg.sieving.enabled = true;
+  cfg.regions_per_call = 1024;
+  HpioWorkload wl(cfg);
+  const auto run = wl.run(testbed.env());
+  const Bytes useful = 4096u * 256;
+  EXPECT_EQ(blocks_to_bytes(run.collector.total_blocks()), useful);
+  EXPECT_GT(testbed.bytes_moved(), 3 * useful);  // holes dominate
+  EXPECT_EQ(run.collector.record_count(), 4u);   // one list call per proc
+}
+
+TEST(Hpio, FileSpanMatchesPattern) {
+  HpioConfig cfg;
+  cfg.region_count = 100;
+  cfg.region_size = 256;
+  cfg.region_spacing = 44;
+  HpioWorkload wl(cfg);
+  EXPECT_EQ(wl.file_span(), 100u * 300);
+}
+
+TEST(Iozone, BackwardReadVisitsWholeFileInReverse) {
+  core::Testbed testbed(ram_local());
+  IozoneConfig cfg;
+  cfg.mode = IozoneConfig::Mode::backward_read;
+  cfg.file_size = 2 * kMiB;
+  cfg.record_size = 256 * kKiB;
+  IozoneWorkload wl(cfg);
+  const auto run = wl.run(testbed.env());
+  EXPECT_EQ(run.collector.record_count(), 8u);
+  EXPECT_EQ(blocks_to_bytes(run.collector.total_blocks()), 2u * kMiB);
+}
+
+TEST(Iozone, BackwardReadSlowerThanForwardOnHdd) {
+  // Reverse access defeats the disk's sequential detection: every record
+  // pays a (short) seek. The forward pass streams.
+  auto exec_for = [](IozoneConfig::Mode mode) {
+    core::TestbedConfig tb = core::local_hdd_testbed(42);
+    tb.hdd.capacity = 8 * kGiB;
+    tb.local_fs.cache_enabled = false;
+    core::Testbed testbed(tb);
+    IozoneConfig cfg;
+    cfg.mode = mode;
+    cfg.file_size = 16 * kMiB;
+    cfg.record_size = 64 * kKiB;
+    IozoneWorkload wl(cfg);
+    return wl.run(testbed.env()).exec_time.seconds();
+  };
+  EXPECT_GT(exec_for(IozoneConfig::Mode::backward_read),
+            1.5 * exec_for(IozoneConfig::Mode::read));
+}
+
+TEST(Iozone, StrideReadSkipsGaps) {
+  core::Testbed testbed(ram_local());
+  IozoneConfig cfg;
+  cfg.mode = IozoneConfig::Mode::stride_read;
+  cfg.file_size = 4 * kMiB;
+  cfg.record_size = 64 * kKiB;
+  cfg.stride = 256 * kKiB;
+  IozoneWorkload wl(cfg);
+  const auto run = wl.run(testbed.env());
+  EXPECT_EQ(run.collector.record_count(), 16u);  // 4 MiB / 256 KiB strides
+  EXPECT_EQ(blocks_to_bytes(run.collector.total_blocks()), 1u * kMiB);
+}
+
+TEST(Iozone, MixedModeAlternatesReadsAndWrites) {
+  core::Testbed testbed(ram_local());
+  IozoneConfig cfg;
+  cfg.mode = IozoneConfig::Mode::mixed;
+  cfg.file_size = 2 * kMiB;
+  cfg.record_size = 128 * kKiB;
+  IozoneWorkload wl(cfg);
+  const auto run = wl.run(testbed.env());
+  ASSERT_EQ(run.collector.record_count(), 16u);
+  std::size_t reads = 0, writes = 0;
+  for (const auto& r : run.collector.records()) {
+    (r.op == trace::IoOpKind::read ? reads : writes)++;
+  }
+  EXPECT_EQ(reads, 8u);
+  EXPECT_EQ(writes, 8u);
+}
+
+TEST(Ior, CollectiveWriteCompletes) {
+  core::Testbed testbed(ram_pfs(4, 2));
+  IorConfig cfg;
+  cfg.file_size = 2 * kMiB;
+  cfg.transfer_size = 256 * kKiB;
+  cfg.processes = 2;
+  cfg.collective = true;
+  cfg.write = true;
+  IorWorkload wl(cfg);
+  const auto run = wl.run(testbed.env());
+  EXPECT_EQ(run.collector.record_count(), 8u);
+  for (const auto& r : run.collector.records()) {
+    EXPECT_EQ(r.op, trace::IoOpKind::write);
+    EXPECT_TRUE(r.flags & trace::kIoCollective);
+  }
+  EXPECT_EQ(blocks_to_bytes(run.collector.total_blocks()), 2u * kMiB);
+}
+
+TEST(Workloads, DeterministicAcrossRuns) {
+  auto run_once = []() {
+    core::Testbed testbed(ram_pfs(4, 2));
+    IorConfig cfg;
+    cfg.file_size = 4 * kMiB;
+    cfg.transfer_size = 64 * kKiB;
+    cfg.processes = 2;
+    IorWorkload wl(cfg);
+    return wl.run(testbed.env()).exec_time.ns();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace bpsio::workload
