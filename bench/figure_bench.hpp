@@ -16,6 +16,7 @@
 
 #include "common/config.hpp"
 #include "common/format.hpp"
+#include "common/thread_pool.hpp"
 #include "core/experiment.hpp"
 #include "core/figures.hpp"
 #include "core/report.hpp"
@@ -33,6 +34,7 @@ inline core::figures::FigureDefaults defaults_from_args(int argc,
   d.scale = cfg.get_double("scale", 1.0);
   d.repeats = static_cast<std::uint32_t>(cfg.get_int("repeats", 3));
   d.base_seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
+  d.threads = resolve_threads(cfg);  // --threads=N, --threads=0 -> all cores
   return d;
 }
 

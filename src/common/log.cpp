@@ -1,5 +1,6 @@
 #include "common/log.hpp"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdlib>
 #include <vector>
@@ -8,7 +9,9 @@ namespace bpsio::log {
 
 namespace {
 
-Level g_level = [] {
+// Atomic so the parallel sweep runner's workers can log while another thread
+// adjusts the level; relaxed is fine — the level is a filter, not a fence.
+std::atomic<Level> g_level = [] {
   if (const char* env = std::getenv("BPSIO_LOG")) {
     return parse_level(env);
   }
@@ -29,8 +32,8 @@ const char* level_tag(Level lvl) {
 
 }  // namespace
 
-Level level() { return g_level; }
-void set_level(Level lvl) { g_level = lvl; }
+Level level() { return g_level.load(std::memory_order_relaxed); }
+void set_level(Level lvl) { g_level.store(lvl, std::memory_order_relaxed); }
 
 Level parse_level(const std::string& name) {
   if (name == "trace") return Level::trace;

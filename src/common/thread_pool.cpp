@@ -1,0 +1,108 @@
+#include "common/thread_pool.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "common/config.hpp"
+
+namespace bpsio {
+
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable work_cv;   ///< workers wait for tasks
+  std::condition_variable done_cv;   ///< run_all waits for drain
+  std::deque<std::function<void()>> queue;
+  std::size_t in_flight = 0;  ///< queued + currently executing
+  bool stop = false;
+  std::vector<std::thread> workers;
+
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        work_cv.wait(lock, [this] { return stop || !queue.empty(); });
+        if (stop && queue.empty()) return;
+        task = std::move(queue.front());
+        queue.pop_front();
+      }
+      task();
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (--in_flight == 0) done_cv.notify_all();
+      }
+    }
+  }
+};
+
+std::size_t ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  size_ = threads == 0 ? hardware_threads() : threads;
+  if (size_ == 1) return;  // inline mode, no workers
+  impl_ = new Impl;
+  impl_->workers.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  if (!impl_) return;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->work_cv.notify_all();
+  for (auto& w : impl_->workers) w.join();
+  delete impl_;
+}
+
+void ThreadPool::run_all(std::vector<std::function<void()>> tasks) {
+  if (!impl_) {
+    for (auto& t : tasks) t();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->in_flight += tasks.size();
+    for (auto& t : tasks) impl_->queue.push_back(std::move(t));
+  }
+  impl_->work_cv.notify_all();
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  impl_->done_cv.wait(lock, [this] { return impl_->in_flight == 0; });
+}
+
+void ThreadPool::parallel_for(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (count == 0) return;
+  const std::size_t chunks = std::min(size_, count);
+  if (chunks <= 1) {
+    body(0, count);
+    return;
+  }
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(chunks);
+  // ceil division so the last chunk is the short one.
+  const std::size_t per = (count + chunks - 1) / chunks;
+  for (std::size_t begin = 0; begin < count; begin += per) {
+    const std::size_t end = std::min(begin + per, count);
+    tasks.push_back([&body, begin, end] { body(begin, end); });
+  }
+  run_all(std::move(tasks));
+}
+
+std::size_t resolve_threads(const Config& cfg, const char* key,
+                            std::size_t dflt) {
+  const auto v = cfg.get_int(key, static_cast<std::int64_t>(dflt));
+  if (v <= 0) return ThreadPool::hardware_threads();
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace bpsio

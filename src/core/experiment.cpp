@@ -4,6 +4,7 @@
 
 #include "common/format.hpp"
 #include "common/log.hpp"
+#include "common/thread_pool.hpp"
 
 namespace bpsio::core {
 
@@ -26,31 +27,40 @@ metrics::MetricSample run_once(const RunSpec& spec, std::uint64_t seed,
   return sample;
 }
 
-SweepResult run_sweep(const std::vector<RunSpec>& specs, std::uint32_t repeats,
-                      std::uint64_t base_seed,
-                      metrics::OverlapAlgorithm algo) {
+SweepResult run_sweep(const std::vector<RunSpec>& specs,
+                      const SweepOptions& options) {
   SweepResult result;
-  std::vector<std::vector<metrics::MetricSample>> per_seed;
-  for (std::uint32_t r = 0; r < repeats; ++r) {
-    std::vector<metrics::MetricSample> row;
-    row.reserve(specs.size());
-    for (const auto& spec : specs) {
-      row.push_back(run_once(spec, base_seed + r, algo));
+  ThreadPool pool(options.threads);
+
+  // Every (seed, spec) pair is an independent simulation with its own
+  // Testbed and RNG; each writes into its pre-assigned per_seed slot, so
+  // pool width and completion order cannot change any downstream number.
+  std::vector<std::vector<metrics::MetricSample>> per_seed(
+      options.repeats, std::vector<metrics::MetricSample>(specs.size()));
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(options.repeats * specs.size());
+  for (std::uint32_t r = 0; r < options.repeats; ++r) {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      tasks.push_back([&, r, i] {
+        per_seed[r][i] =
+            run_once(specs[i], options.base_seed + r, options.algo);
+      });
     }
-    per_seed.push_back(std::move(row));
   }
+  pool.run_all(std::move(tasks));
+
   result.samples = metrics::average_samples(per_seed);
   for (const auto& spec : specs) result.labels.push_back(spec.label);
   result.report = metrics::correlate(result.samples);
 
   if (per_seed.size() >= 2) {
+    const auto row_reports = metrics::correlate_each(per_seed, &pool);
     for (metrics::MetricKind kind : metrics::kAllMetrics) {
       CcStability st;
       st.kind = kind;
       bool first = true;
       bool any_correct = false, any_wrong = false;
-      for (const auto& row : per_seed) {
-        const auto row_report = metrics::correlate(row);
+      for (const auto& row_report : row_reports) {
         const auto& mc = row_report.of(kind);
         if (first) {
           st.min_normalized_cc = st.max_normalized_cc = mc.normalized_cc;
@@ -66,6 +76,16 @@ SweepResult run_sweep(const std::vector<RunSpec>& specs, std::uint32_t repeats,
     }
   }
   return result;
+}
+
+SweepResult run_sweep(const std::vector<RunSpec>& specs, std::uint32_t repeats,
+                      std::uint64_t base_seed,
+                      metrics::OverlapAlgorithm algo) {
+  SweepOptions options;
+  options.repeats = repeats;
+  options.base_seed = base_seed;
+  options.algo = algo;
+  return run_sweep(specs, options);
 }
 
 const CcStability* SweepResult::stability_of(metrics::MetricKind kind) const {

@@ -55,8 +55,27 @@ struct SweepResult {
   std::string stability_table() const;
 };
 
+/// Knobs for a sweep, including the concurrent runner.
+struct SweepOptions {
+  std::uint32_t repeats = 5;
+  std::uint64_t base_seed = 42;
+  metrics::OverlapAlgorithm algo = metrics::OverlapAlgorithm::merged;
+  /// >1: run the repeats*specs independent (spec, seed) simulations on a
+  /// thread pool of this many workers (0 = hardware threads). Each run gets
+  /// a fresh Testbed and its deterministic per-run seed, and writes into a
+  /// pre-assigned slot, so results are bit-identical to threads=1 — the
+  /// concurrency-determinism regression test asserts this. RunSpec factories
+  /// must be safe to invoke concurrently (build fresh state, don't mutate
+  /// captures).
+  std::size_t threads = 1;
+};
+
 /// Run every spec `repeats` times (seeds base_seed..base_seed+repeats-1),
 /// average pointwise, and correlate metric values against execution time.
+SweepResult run_sweep(const std::vector<RunSpec>& specs,
+                      const SweepOptions& options);
+
+/// Back-compat convenience overload (serial).
 SweepResult run_sweep(
     const std::vector<RunSpec>& specs, std::uint32_t repeats = 5,
     std::uint64_t base_seed = 42,

@@ -198,7 +198,11 @@ std::vector<RunSpec> fig12_datasieving(const FigureDefaults& d) {
 
 SweepResult run_figure(const std::vector<RunSpec>& specs,
                        const FigureDefaults& d) {
-  return run_sweep(specs, d.repeats, d.base_seed);
+  SweepOptions options;
+  options.repeats = d.repeats;
+  options.base_seed = d.base_seed;
+  options.threads = d.threads;
+  return run_sweep(specs, options);
 }
 
 }  // namespace bpsio::core::figures

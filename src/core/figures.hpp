@@ -27,6 +27,7 @@ struct FigureDefaults {
   double scale = 1.0;       ///< multiplies data volumes
   std::uint32_t repeats = 3;
   std::uint64_t base_seed = 42;
+  std::size_t threads = 1;  ///< sweep concurrency (bench --threads, 0 = all)
 };
 
 std::vector<RunSpec> fig4_devices(const FigureDefaults& d = {});

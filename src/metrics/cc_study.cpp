@@ -51,6 +51,24 @@ CorrelationReport correlate(const std::vector<MetricSample>& samples) {
   return report;
 }
 
+std::vector<CorrelationReport> correlate_each(
+    const std::vector<std::vector<MetricSample>>& per_seed, ThreadPool* pool) {
+  std::vector<CorrelationReport> reports(per_seed.size());
+  if (!pool || pool->size() <= 1) {
+    for (std::size_t i = 0; i < per_seed.size(); ++i) {
+      reports[i] = correlate(per_seed[i]);
+    }
+    return reports;
+  }
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(per_seed.size());
+  for (std::size_t i = 0; i < per_seed.size(); ++i) {
+    tasks.push_back([&, i] { reports[i] = correlate(per_seed[i]); });
+  }
+  pool->run_all(std::move(tasks));
+  return reports;
+}
+
 std::vector<MetricSample> average_samples(
     const std::vector<std::vector<MetricSample>>& per_seed) {
   std::vector<MetricSample> out;

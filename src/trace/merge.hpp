@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "trace/io_record.hpp"
 
 namespace bpsio::trace {
@@ -23,13 +24,27 @@ enum class TimeAlignment {
 struct MergeOptions {
   TimeAlignment alignment = TimeAlignment::keep;
   /// Remap pids to (source_index+1) * pid_stride + original_pid so records
-  /// from different applications never collide. 0 = keep original pids.
+  /// from different applications never collide. 0 = keep original pids, even
+  /// when sources share pid values — callers opting out of remapping accept
+  /// that records from different applications become indistinguishable by
+  /// pid (per-pid filters then select the union of the colliding processes).
   std::uint32_t pid_stride = 1000;
 };
 
-/// Merge several applications' record sets into one, sorted by start time.
+/// Merge several applications' record sets into one, sorted by start time
+/// (ties by end time; tie order beyond that is unspecified).
 std::vector<IoRecord> merge_traces(
     const std::vector<std::vector<IoRecord>>& traces,
+    const MergeOptions& options = {});
+
+/// Pool-parallel merge: each source trace is shifted/remapped and sorted on
+/// its own worker, then the sorted sources are k-way merged. Output is fully
+/// deterministic — ordered by (start, end), ties broken by source index then
+/// original position — and is a permutation-equal reordering of the serial
+/// merge_traces() result (identical multiset of records, identical order
+/// wherever (start, end) keys are distinct).
+std::vector<IoRecord> merge_traces_parallel(
+    const std::vector<std::vector<IoRecord>>& traces, ThreadPool& pool,
     const MergeOptions& options = {});
 
 /// Shift every record by `delta_ns` (e.g. to concatenate phases).

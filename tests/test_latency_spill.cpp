@@ -80,6 +80,44 @@ TEST(SpillWriter, RoundTripsThroughTheStandardFormat) {
   std::remove(path.c_str());
 }
 
+TEST(SpillWriter, BatchBoundaryCounts) {
+  // records == batch, batch - 1, and batch + 1 all round-trip exactly; the
+  // == case must spill precisely once and leave the batch empty.
+  constexpr std::size_t kBatch = 32;
+  for (const std::size_t count : {kBatch - 1, kBatch, kBatch + 1}) {
+    const std::string path = "/tmp/bpsio_spill_boundary_" +
+                             std::to_string(count) + ".bpstrace";
+    std::vector<trace::IoRecord> expected;
+    {
+      trace::SpillWriter writer(path, kBatch);
+      ASSERT_TRUE(writer.ok());
+      for (std::size_t i = 0; i < count; ++i) {
+        const auto r = make_record(
+            static_cast<std::uint32_t>(i), i + 1,
+            SimTime(static_cast<std::int64_t>(i) * 10),
+            SimTime(static_cast<std::int64_t>(i) * 10 + 7));
+        expected.push_back(r);
+        writer.append(r);
+      }
+      // Exactly at the boundary the batch has just spilled; one past it a
+      // fresh batch holds the single overflow record.
+      if (count == kBatch) {
+        EXPECT_EQ(writer.resident_records(), 0u);
+      } else if (count == kBatch + 1) {
+        EXPECT_EQ(writer.resident_records(), 1u);
+      } else {
+        EXPECT_EQ(writer.resident_records(), count);
+      }
+      EXPECT_EQ(writer.records_written(), count);
+      EXPECT_TRUE(writer.close().ok());
+    }
+    const auto loaded = trace::load_binary(path);
+    ASSERT_TRUE(loaded.ok()) << "count=" << count;
+    EXPECT_EQ(*loaded, expected) << "count=" << count;
+    std::remove(path.c_str());
+  }
+}
+
 TEST(SpillWriter, DestructorFinalizesTheFile) {
   const std::string path = "/tmp/bpsio_spill_dtor.bpstrace";
   {

@@ -31,6 +31,41 @@ TEST(MergeTraces, KeepOriginalPidsWhenStrideZero) {
   EXPECT_EQ(trace::merge_traces(traces, opts)[0].pid, 7u);
 }
 
+TEST(MergeTraces, StrideZeroPidCollisionsAreDocumentedBehavior) {
+  // pid_stride = 0 opts out of remapping entirely: two applications that
+  // both used pid 7 collide, and a per-pid filter then selects the union of
+  // the colliding processes. This is by contract (see MergeOptions), not an
+  // accident — callers who need separation keep a nonzero stride.
+  std::vector<std::vector<trace::IoRecord>> traces{
+      {make_record(7, 10, SimTime(0), SimTime(100))},
+      {make_record(7, 20, SimTime(200), SimTime(300))},
+      {make_record(8, 40, SimTime(400), SimTime(500))},
+  };
+  trace::MergeOptions opts;
+  opts.pid_stride = 0;
+  const auto merged = trace::merge_traces(traces, opts);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].pid, 7u);
+  EXPECT_EQ(merged[1].pid, 7u);
+  EXPECT_EQ(merged[2].pid, 8u);
+
+  trace::TraceCollector collector;
+  collector.gather(merged);
+  // The two colliding sources are indistinguishable: process_count sees 2
+  // pids, and filtering on pid 7 sums blocks across both applications.
+  EXPECT_EQ(collector.process_count(), 2u);
+  trace::RecordFilter pid7;
+  pid7.pid = 7;
+  EXPECT_EQ(collector.total_blocks(pid7), 30u);
+
+  // The parallel merge honors the same opt-out.
+  ThreadPool pool(3);
+  const auto parallel = trace::merge_traces_parallel(traces, pool, opts);
+  ASSERT_EQ(parallel.size(), 3u);
+  EXPECT_EQ(parallel[0].pid, 7u);
+  EXPECT_EQ(parallel[1].pid, 7u);
+}
+
 TEST(MergeTraces, SortedByStartTime) {
   std::vector<std::vector<trace::IoRecord>> traces{
       {make_record(1, 1, SimTime(500), SimTime(600)),

@@ -3,6 +3,9 @@
 // Figure-3 union computation.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "core/testbed.hpp"
 #include "metrics/calculators.hpp"
 #include "metrics/online.hpp"
@@ -107,6 +110,77 @@ TEST_P(OnlineOfflineAgreement, ExactMatchOnConcurrentWorkloads) {
 
 INSTANTIATE_TEST_SUITE_P(RandomRuns, OnlineOfflineAgreement,
                          ::testing::Range<std::uint64_t>(0, 10));
+
+// ---------------------------------------------------------------------------
+// Differential replay: the same random trace pushed through the streaming
+// counter and the offline Figure-3 pipeline must yield identical B, T, and
+// BPS — including failed accesses (they count in B) and interleaved
+// start/finish events at equal timestamps (either processing order closes
+// and reopens the busy interval at the same instant, adding zero).
+// ---------------------------------------------------------------------------
+
+struct ReplayEvent {
+  std::int64_t t_ns;
+  bool is_finish;
+  std::uint64_t blocks;  // finish events only
+};
+
+class OnlineReplayDifferential
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OnlineReplayDifferential, MatchesOfflinePipelineExactly) {
+  Rng rng(GetParam() * 0x2545f4914f6cdd1dULL + 99);
+  const bool finishes_first_at_ties = (GetParam() % 2) == 1;
+
+  trace::TraceCollector collector;
+  std::vector<ReplayEvent> events;
+  const std::size_t n = 1 + rng.uniform_u64(500);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Coarse timestamps force plenty of exact collisions between starts and
+    // finishes of different accesses.
+    const auto start = static_cast<std::int64_t>(rng.uniform_u64(200)) * 10;
+    std::int64_t len = static_cast<std::int64_t>(rng.uniform_u64(20)) * 10;
+    // Zero-length accesses only when starts sort before finishes at ties;
+    // the other ordering would replay an access's finish before its start.
+    if (finishes_first_at_ties && len == 0) len = 10;
+    const std::uint8_t flags =
+        rng.uniform() < 0.2 ? trace::kIoFailed : trace::kIoOk;
+    const auto r = make_record(static_cast<std::uint32_t>(1 + i % 7),
+                               1 + rng.uniform_u64(100), SimTime(start),
+                               SimTime(start + len), trace::IoOpKind::read,
+                               flags);
+    collector.add(r);
+    events.push_back({r.start_ns, false, 0});
+    events.push_back({r.end_ns, true, r.blocks});
+  }
+  std::sort(events.begin(), events.end(),
+            [finishes_first_at_ties](const ReplayEvent& a,
+                                     const ReplayEvent& b) {
+              if (a.t_ns != b.t_ns) return a.t_ns < b.t_ns;
+              return finishes_first_at_ties ? (a.is_finish && !b.is_finish)
+                                            : (!a.is_finish && b.is_finish);
+            });
+
+  OnlineBpsCounter online;
+  for (const auto& e : events) {
+    if (e.is_finish) {
+      online.access_finished(SimTime(e.t_ns), e.blocks);
+    } else {
+      online.access_started(SimTime(e.t_ns));
+    }
+  }
+
+  const SimTime now(events.back().t_ns);
+  EXPECT_EQ(online.in_flight(), 0u);
+  EXPECT_EQ(online.blocks(), collector.total_blocks());  // failed count in B
+  EXPECT_EQ(online.busy_time(now).ns(), overlapped_io_time(collector).ns());
+  EXPECT_EQ(online.busy_time(now).ns(),
+            overlapped_io_time(collector, OverlapAlgorithm::paper).ns());
+  EXPECT_DOUBLE_EQ(online.bps(now), bps(collector));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTraces, OnlineReplayDifferential,
+                         ::testing::Range<std::uint64_t>(0, 30));
 
 TEST(OnlineBps, ListIoAndCollectivePathsFeedTheCounter) {
   core::TestbedConfig cfg;

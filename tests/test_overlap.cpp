@@ -96,6 +96,23 @@ TEST(Overlap, WindowedClipsAndExcludes) {
   EXPECT_EQ(overlap_time_windowed(v, 0, 100).ns(), 20);
 }
 
+TEST(Overlap, WindowedEmptyAndInvertedWindows) {
+  const std::vector<TimeInterval> v{{0, 10}, {20, 30}};
+  // Empty window: start == end selects nothing, even on an interval boundary.
+  EXPECT_EQ(overlap_time_windowed(v, 5, 5).ns(), 0);
+  EXPECT_EQ(overlap_time_windowed(v, 0, 0).ns(), 0);
+  EXPECT_EQ(overlap_time_windowed(v, 20, 20).ns(), 0);
+  // Inverted window (start > end): nothing can satisfy s < e after clipping.
+  EXPECT_EQ(overlap_time_windowed(v, 25, 5).ns(), 0);
+  EXPECT_EQ(overlap_time_windowed(v, 100, -100).ns(), 0);
+  // Window entirely outside the data on either side.
+  EXPECT_EQ(overlap_time_windowed(v, -50, -10).ns(), 0);
+  EXPECT_EQ(overlap_time_windowed(v, 40, 90).ns(), 0);
+  // Empty input with any window.
+  EXPECT_EQ(overlap_time_windowed({}, 0, 100).ns(), 0);
+  EXPECT_EQ(overlap_time_windowed({}, 100, 0).ns(), 0);
+}
+
 TEST(Overlap, IdleTime) {
   EXPECT_EQ(idle_time({{0, 4}, {1, 2}, {2, 6}, {7, 9}}).ns(), 1);
   EXPECT_EQ(idle_time({}).ns(), 0);

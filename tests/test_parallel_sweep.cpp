@@ -1,0 +1,121 @@
+// Determinism regression for the concurrent sweep runner: a CC-study sweep
+// run serially and on a 4-wide pool must agree bit-for-bit — per-point
+// metrics, correlation coefficients, and seed-stability ranges. Each sweep
+// point is an independent Simulator with its own per-run seed; the pool only
+// changes *where* a run executes, never *what* it computes.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "core/figures.hpp"
+#include "core/testbed.hpp"
+#include "workload/iozone.hpp"
+
+namespace bpsio::core {
+namespace {
+
+RunSpec tiny_spec(const char* label, std::uint32_t procs) {
+  RunSpec spec;
+  spec.label = label;
+  spec.testbed = [](std::uint64_t seed) {
+    TestbedConfig cfg;
+    cfg.backend = BackendKind::pfs;
+    cfg.pfs.server_count = 2;
+    cfg.pfs.device = pfs::DeviceKind::ram;
+    cfg.pfs.ram.capacity = 256 * kMiB;
+    cfg.client_nodes = 1;
+    cfg.seed = seed;
+    return cfg;
+  };
+  spec.workload = [procs]() -> std::unique_ptr<workload::Workload> {
+    workload::IozoneConfig cfg;
+    cfg.file_size = 2 * kMiB;
+    cfg.record_size = 64 * kKiB;
+    cfg.processes = procs;
+    return std::make_unique<workload::IozoneWorkload>(cfg);
+  };
+  return spec;
+}
+
+void expect_bit_identical(const SweepResult& a, const SweepResult& b) {
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    const auto& s = a.samples[i];
+    const auto& p = b.samples[i];
+    // Exact equality on doubles is the point: same inputs, same order of
+    // floating-point operations, same bits.
+    EXPECT_EQ(s.exec_time_s, p.exec_time_s) << "point " << i;
+    EXPECT_EQ(s.iops, p.iops) << "point " << i;
+    EXPECT_EQ(s.bandwidth_bps, p.bandwidth_bps) << "point " << i;
+    EXPECT_EQ(s.arpt_s, p.arpt_s) << "point " << i;
+    EXPECT_EQ(s.bps, p.bps) << "point " << i;
+    EXPECT_EQ(s.io_time_s, p.io_time_s) << "point " << i;
+    EXPECT_EQ(s.access_count, p.access_count) << "point " << i;
+    EXPECT_EQ(s.app_blocks, p.app_blocks) << "point " << i;
+    EXPECT_EQ(s.moved_bytes, p.moved_bytes) << "point " << i;
+  }
+  ASSERT_EQ(a.report.metrics.size(), b.report.metrics.size());
+  for (metrics::MetricKind kind : metrics::kAllMetrics) {
+    EXPECT_EQ(a.report.of(kind).cc, b.report.of(kind).cc);
+    EXPECT_EQ(a.report.of(kind).normalized_cc, b.report.of(kind).normalized_cc);
+    EXPECT_EQ(a.report.of(kind).spearman, b.report.of(kind).spearman);
+    EXPECT_EQ(a.report.of(kind).direction_correct,
+              b.report.of(kind).direction_correct);
+  }
+  ASSERT_EQ(a.stability.size(), b.stability.size());
+  for (std::size_t i = 0; i < a.stability.size(); ++i) {
+    EXPECT_EQ(a.stability[i].min_normalized_cc, b.stability[i].min_normalized_cc);
+    EXPECT_EQ(a.stability[i].max_normalized_cc, b.stability[i].max_normalized_cc);
+    EXPECT_EQ(a.stability[i].direction_stable, b.stability[i].direction_stable);
+  }
+}
+
+TEST(ParallelSweep, ConcurrentRunnerIsBitIdenticalToSerial) {
+  const std::vector<RunSpec> specs{tiny_spec("p1", 1), tiny_spec("p2", 2),
+                                   tiny_spec("p4", 4)};
+  SweepOptions serial;
+  serial.repeats = 3;
+  serial.base_seed = 7;
+
+  SweepOptions concurrent = serial;
+  concurrent.threads = 4;
+
+  const auto a = run_sweep(specs, serial);
+  const auto b = run_sweep(specs, concurrent);
+  expect_bit_identical(a, b);
+  // And the pool width itself must not matter.
+  SweepOptions wide = serial;
+  wide.threads = 7;
+  expect_bit_identical(a, run_sweep(specs, wide));
+}
+
+TEST(ParallelSweep, RepeatedConcurrentRunsAgree) {
+  const std::vector<RunSpec> specs{tiny_spec("p1", 1), tiny_spec("p2", 2)};
+  SweepOptions opt;
+  opt.repeats = 2;
+  opt.base_seed = 11;
+  opt.threads = 4;
+  expect_bit_identical(run_sweep(specs, opt), run_sweep(specs, opt));
+}
+
+TEST(ParallelSweep, FigureRunnerRoutesThreads) {
+  // run_figure with threads set must reproduce the serial figure exactly.
+  figures::FigureDefaults d;
+  d.scale = 0.25;
+  d.repeats = 2;
+  figures::FigureDefaults dp = d;
+  dp.threads = 4;
+  const auto specs = figures::fig9_concurrency_pure(d);
+  expect_bit_identical(figures::run_figure(specs, d),
+                       figures::run_figure(specs, dp));
+}
+
+TEST(ParallelSweep, LegacyOverloadStillSerial) {
+  const std::vector<RunSpec> specs{tiny_spec("p1", 1), tiny_spec("p2", 2)};
+  SweepOptions opt;
+  opt.repeats = 2;
+  opt.base_seed = 42;
+  expect_bit_identical(run_sweep(specs, 2, 42), run_sweep(specs, opt));
+}
+
+}  // namespace
+}  // namespace bpsio::core
