@@ -1,0 +1,26 @@
+#include "common/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bpsio::detail {
+
+void check_failed(const char* file, int line, const char* cond,
+                  const std::string& msg) {
+  // Trim path to basename, matching the log prefix style.
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  if (msg.empty()) {
+    std::fprintf(stderr, "[bpsio FATAL %s:%d] CHECK failed: %s\n", base, line,
+                 cond);
+  } else {
+    std::fprintf(stderr, "[bpsio FATAL %s:%d] CHECK failed: %s — %s\n", base,
+                 line, cond, msg.c_str());
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace bpsio::detail

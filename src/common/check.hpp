@@ -1,0 +1,55 @@
+// Contract checks that survive Release builds.
+//
+// The BPS metric is only meaningful if B is accumulated exactly and T comes
+// from a deterministic interval merge (paper §III.B, Figure 3). Those
+// correctness contracts used to live in `assert()`s, which compile out under
+// NDEBUG — the default RelWithDebInfo build ran with every invariant silently
+// disabled. BPSIO_CHECK stays armed in every build type: a violated contract
+// logs file:line plus a formatted message to stderr and aborts, instead of
+// letting a corrupted B or T propagate into reported numbers.
+//
+//   BPSIO_CHECK(cond)                   — always-on invariant
+//   BPSIO_CHECK(cond, "fmt %d", x)      — with printf-style context
+//   BPSIO_DCHECK(cond, ...)             — debug-only (hot inner loops); same
+//                                         syntax, compiled out under NDEBUG
+//                                         unless BPSIO_DCHECK_ALWAYS_ON
+//
+// Bare `assert(` in src/ is a lint error (tools/bpsio_lint, rule
+// `bare-assert`); new code must use these macros.
+#pragma once
+
+#include <string>
+
+#include "common/log.hpp"
+
+namespace bpsio::detail {
+
+/// Print "file:line: CHECK failed: cond — msg" to stderr (bypassing the log
+/// level filter: a violated contract must never be silent) and abort.
+[[noreturn]] void check_failed(const char* file, int line, const char* cond,
+                               const std::string& msg = {});
+
+}  // namespace bpsio::detail
+
+#define BPSIO_CHECK(cond, ...)                                          \
+  do {                                                                  \
+    if (!(cond)) [[unlikely]] {                                         \
+      ::bpsio::detail::check_failed(                                    \
+          __FILE__, __LINE__, #cond                                     \
+          __VA_OPT__(, ::bpsio::log::detail::format(__VA_ARGS__)));     \
+    }                                                                   \
+  } while (0)
+
+#if defined(NDEBUG) && !defined(BPSIO_DCHECK_ALWAYS_ON)
+// `if (false)` (not `(void)0`) so the condition still type-checks and its
+// operands count as used — no -Wunused fallout when a variable exists only
+// for its DCHECK.
+#define BPSIO_DCHECK(cond, ...)                       \
+  do {                                                \
+    if (false) {                                      \
+      BPSIO_CHECK(cond __VA_OPT__(, __VA_ARGS__));    \
+    }                                                 \
+  } while (0)
+#else
+#define BPSIO_DCHECK(cond, ...) BPSIO_CHECK(cond __VA_OPT__(, __VA_ARGS__))
+#endif

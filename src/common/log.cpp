@@ -3,7 +3,10 @@
 #include <atomic>
 #include <cstdarg>
 #include <cstdlib>
-#include <vector>
+#include <deque>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace bpsio::log {
 
@@ -17,6 +20,13 @@ std::atomic<Level> g_level = [] {
   }
   return Level::warn;
 }();
+
+// Sink state: one mutex serializes line emission (stderr writes from pool
+// workers never interleave mid-line) and guards the capture ring.
+constexpr std::size_t kCaptureCap = 64;
+Mutex g_sink_mu;
+bool g_capture BPSIO_GUARDED_BY(g_sink_mu) = false;
+std::deque<std::string> g_recent BPSIO_GUARDED_BY(g_sink_mu);
 
 const char* level_tag(Level lvl) {
   switch (lvl) {
@@ -34,6 +44,17 @@ const char* level_tag(Level lvl) {
 
 Level level() { return g_level.load(std::memory_order_relaxed); }
 void set_level(Level lvl) { g_level.store(lvl, std::memory_order_relaxed); }
+
+void set_capture(bool on) {
+  MutexLock lock(g_sink_mu);
+  g_capture = on;
+  g_recent.clear();
+}
+
+std::vector<std::string> recent_messages() {
+  MutexLock lock(g_sink_mu);
+  return {g_recent.begin(), g_recent.end()};
+}
 
 Level parse_level(const std::string& name) {
   if (name == "trace") return Level::trace;
@@ -53,8 +74,14 @@ void emit(Level lvl, const char* file, int line, const std::string& msg) {
   for (const char* p = file; *p; ++p) {
     if (*p == '/') base = p + 1;
   }
-  std::fprintf(stderr, "[bpsio %s %s:%d] %s\n", level_tag(lvl), base, line,
-               msg.c_str());
+  std::string line_text = std::string("[bpsio ") + level_tag(lvl) + " " + base +
+                          ":" + std::to_string(line) + "] " + msg;
+  MutexLock lock(g_sink_mu);
+  if (g_capture) {
+    if (g_recent.size() >= kCaptureCap) g_recent.pop_front();
+    g_recent.push_back(line_text);
+  }
+  std::fprintf(stderr, "%s\n", line_text.c_str());
 }
 
 std::string format(const char* fmt, ...) {

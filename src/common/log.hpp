@@ -2,13 +2,15 @@
 //
 // The simulator is a library; by default it is silent (level = warn). Bench
 // harnesses and examples raise the level via BPSIO_LOG or set_level().
-// Logging is intentionally not thread-safe beyond per-call atomicity: the
-// discrete-event core is single-threaded by design.
+// The level filter is a relaxed atomic; the emit path serializes whole lines
+// behind an annotated Mutex so messages from parallel sweep workers never
+// interleave mid-line (clang -Wthread-safety checks the sink state).
 #pragma once
 
 #include <cstdio>
 #include <string>
 #include <utility>
+#include <vector>
 
 namespace bpsio::log {
 
@@ -18,6 +20,13 @@ Level level();
 void set_level(Level lvl);
 /// Parse "trace"/"debug"/"info"/"warn"/"error"/"off"; unknown -> warn.
 Level parse_level(const std::string& name);
+
+/// When capture is on, emitted lines are also kept in a small bounded ring
+/// (newest-last) readable via recent_messages(). Thread-safe; used by tests
+/// and post-mortem diagnostics. Enabling clears the ring.
+void set_capture(bool on);
+/// Snapshot of the captured ring (empty when capture is off).
+std::vector<std::string> recent_messages();
 
 namespace detail {
 void emit(Level lvl, const char* file, int line, const std::string& msg);

@@ -1,0 +1,71 @@
+// Annotated mutex / condition-variable wrappers.
+//
+// std::mutex carries no thread-safety attributes, so clang's capability
+// analysis cannot see it. These thin wrappers add the annotations (zero
+// overhead: every method is an inline forward to the std primitive) so that
+// GUARDED_BY fields in ThreadPool, the log sink, and TraceCollector are
+// machine-checked instead of comment-checked.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace bpsio {
+
+class BPSIO_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() BPSIO_ACQUIRE() { mu_.lock(); }
+  void unlock() BPSIO_RELEASE() { mu_.unlock(); }
+  bool try_lock() BPSIO_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock; the scoped-capability annotation lets clang track the held
+/// region across early returns.
+class BPSIO_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) BPSIO_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() BPSIO_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable usable with Mutex. `wait` is annotated REQUIRES(mu):
+/// callers wait in an explicit `while (!condition) cv.wait(mu);` loop, which
+/// keeps the guarded condition reads inside the caller's own analyzed scope
+/// (predicate-lambda overloads would hide them from the analysis).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) BPSIO_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the wait, then release the
+    // unique_lock without unlocking — ownership stays with the caller.
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace bpsio

@@ -6,11 +6,12 @@
 // make failure-injection tests awkward.
 #pragma once
 
-#include <cassert>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <variant>
+
+#include "common/check.hpp"
 
 namespace bpsio {
 
@@ -51,15 +52,15 @@ class [[nodiscard]] Result {
   explicit operator bool() const { return ok(); }
 
   const T& value() const& {
-    assert(ok());
+    BPSIO_CHECK(ok(), "value() on failed Result: %s", error_text());
     return std::get<T>(data_);
   }
   T& value() & {
-    assert(ok());
+    BPSIO_CHECK(ok(), "value() on failed Result: %s", error_text());
     return std::get<T>(data_);
   }
   T&& value() && {
-    assert(ok());
+    BPSIO_CHECK(ok(), "value() on failed Result: %s", error_text());
     return std::get<T>(std::move(data_));
   }
 
@@ -71,12 +72,18 @@ class [[nodiscard]] Result {
   T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
 
   const Error& error() const {
-    assert(!ok());
+    BPSIO_CHECK(!ok(), "error() on successful Result");
     return std::get<Error>(data_);
   }
   Errc code() const { return ok() ? Errc::ok : error().code; }
 
  private:
+  /// Failure-path-only helper for the CHECK message (never hot).
+  const char* error_text() const {
+    const Error* e = std::get_if<Error>(&data_);
+    return e ? e->message.c_str() : "<no error>";
+  }
+
   std::variant<T, Error> data_;
 };
 
@@ -94,7 +101,7 @@ class [[nodiscard]] Status {
   explicit operator bool() const { return ok(); }
 
   const Error& error() const {
-    assert(failed_);
+    BPSIO_CHECK(failed_, "error() on ok Status");
     return error_;
   }
   Errc code() const { return failed_ ? error_.code : Errc::ok; }

@@ -1,36 +1,36 @@
 #include "common/thread_pool.hpp"
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <thread>
 
 #include "common/config.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace bpsio {
 
 struct ThreadPool::Impl {
-  std::mutex mu;
-  std::condition_variable work_cv;   ///< workers wait for tasks
-  std::condition_variable done_cv;   ///< run_all waits for drain
-  std::deque<std::function<void()>> queue;
-  std::size_t in_flight = 0;  ///< queued + currently executing
-  bool stop = false;
-  std::vector<std::thread> workers;
+  Mutex mu;
+  CondVar work_cv;   ///< workers wait for tasks
+  CondVar done_cv;   ///< run_all waits for drain
+  std::deque<std::function<void()>> queue BPSIO_GUARDED_BY(mu);
+  std::size_t in_flight BPSIO_GUARDED_BY(mu) = 0;  ///< queued + executing
+  bool stop BPSIO_GUARDED_BY(mu) = false;
+  std::vector<std::thread> workers;  ///< ctor/dtor thread only
 
   void worker_loop() {
     for (;;) {
       std::function<void()> task;
       {
-        std::unique_lock<std::mutex> lock(mu);
-        work_cv.wait(lock, [this] { return stop || !queue.empty(); });
+        MutexLock lock(mu);
+        while (!stop && queue.empty()) work_cv.wait(mu);
         if (stop && queue.empty()) return;
         task = std::move(queue.front());
         queue.pop_front();
       }
       task();
       {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         if (--in_flight == 0) done_cv.notify_all();
       }
     }
@@ -55,7 +55,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 ThreadPool::~ThreadPool() {
   if (!impl_) return;
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    MutexLock lock(impl_->mu);
     impl_->stop = true;
   }
   impl_->work_cv.notify_all();
@@ -69,13 +69,13 @@ void ThreadPool::run_all(std::vector<std::function<void()>> tasks) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    MutexLock lock(impl_->mu);
     impl_->in_flight += tasks.size();
     for (auto& t : tasks) impl_->queue.push_back(std::move(t));
   }
   impl_->work_cv.notify_all();
-  std::unique_lock<std::mutex> lock(impl_->mu);
-  impl_->done_cv.wait(lock, [this] { return impl_->in_flight == 0; });
+  MutexLock lock(impl_->mu);
+  while (impl_->in_flight != 0) impl_->done_cv.wait(impl_->mu);
 }
 
 void ThreadPool::parallel_for(

@@ -6,8 +6,10 @@
 // independent sweep points run on separate Simulator instances
 // (core/experiment). All of those fan out through this pool.
 //
-// Deliberately minimal: a mutex-protected task queue, no work stealing, no
-// futures. Determinism is the callers' job and they get it by pre-assigning
+// Deliberately minimal: a mutex-protected task queue (an annotated
+// common/mutex.hpp Mutex, so clang's -Wthread-safety proves every queue
+// access is locked), no work stealing, no futures. Determinism is the
+// callers' job and they get it by pre-assigning
 // every task an output slot (no result depends on completion order). Blocking
 // helpers (`run_all`, `parallel_for`) must be called from outside the pool's
 // own workers — tasks must not submit blocking sub-tasks, or the pool can

@@ -4,9 +4,36 @@
 
 #include "common/format.hpp"
 #include "common/log.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/thread_pool.hpp"
 
 namespace bpsio::core {
+
+namespace {
+
+// The one piece of sweep state shared between workers that is not a
+// pre-assigned slot; GUARDED_BY makes clang verify the locking instead of a
+// comment promising it.
+class SweepProgress {
+ public:
+  explicit SweepProgress(std::size_t total) : total_(total) {}
+
+  /// Count one finished run and report it; callback runs under the mutex so
+  /// user code observes strictly increasing counts without its own locking.
+  void tick(const std::function<void(std::size_t, std::size_t)>& callback) {
+    MutexLock lock(mu_);
+    ++done_;
+    if (callback) callback(done_, total_);
+  }
+
+ private:
+  Mutex mu_;
+  std::size_t done_ BPSIO_GUARDED_BY(mu_) = 0;
+  const std::size_t total_;
+};
+
+}  // namespace
 
 metrics::MetricSample run_once(const RunSpec& spec, std::uint64_t seed,
                                metrics::OverlapAlgorithm algo) {
@@ -37,6 +64,7 @@ SweepResult run_sweep(const std::vector<RunSpec>& specs,
   // pool width and completion order cannot change any downstream number.
   std::vector<std::vector<metrics::MetricSample>> per_seed(
       options.repeats, std::vector<metrics::MetricSample>(specs.size()));
+  SweepProgress progress(options.repeats * specs.size());
   std::vector<std::function<void()>> tasks;
   tasks.reserve(options.repeats * specs.size());
   for (std::uint32_t r = 0; r < options.repeats; ++r) {
@@ -44,6 +72,7 @@ SweepResult run_sweep(const std::vector<RunSpec>& specs,
       tasks.push_back([&, r, i] {
         per_seed[r][i] =
             run_once(specs[i], options.base_seed + r, options.algo);
+        progress.tick(options.progress);
       });
     }
   }

@@ -68,6 +68,11 @@ struct SweepOptions {
   /// must be safe to invoke concurrently (build fresh state, don't mutate
   /// captures).
   std::size_t threads = 1;
+  /// Optional progress hook: called after each completed (spec, seed) run
+  /// with (completed, total). Invocations are serialized by an internal
+  /// annotated mutex (so the callback itself needs no locking), may come
+  /// from worker threads, and `completed` is strictly increasing.
+  std::function<void(std::size_t completed, std::size_t total)> progress;
 };
 
 /// Run every spec `repeats` times (seeds base_seed..base_seed+repeats-1),

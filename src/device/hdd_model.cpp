@@ -1,9 +1,10 @@
 #include "device/hdd_model.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <cstdio>
+
+#include "common/check.hpp"
 
 namespace bpsio::device {
 
@@ -69,7 +70,7 @@ SimDuration HddModel::service_time(DevOp op, Bytes offset, Bytes size) {
 }
 
 std::size_t HddModel::pick_next() const {
-  assert(!queue_.empty());
+  BPSIO_CHECK(!queue_.empty(), "pick_next on empty HDD queue");
   if (params_.scheduler == HddScheduler::fifo || queue_.size() == 1) return 0;
 
   // Elevator / SCAN: serve the nearest request at-or-beyond the head in the

@@ -1,8 +1,8 @@
 #include "device/raid.hpp"
 
 #include <algorithm>
-#include <cassert>
 
+#include "common/check.hpp"
 #include "sim/sync.hpp"
 
 namespace bpsio::device {
@@ -11,7 +11,7 @@ namespace {
 
 Bytes min_child_capacity(
     const std::vector<std::unique_ptr<BlockDevice>>& children) {
-  assert(!children.empty());
+  BPSIO_CHECK(!children.empty(), "RAID needs at least one child device");
   Bytes cap = children.front()->capacity();
   for (const auto& c : children) cap = std::min(cap, c->capacity());
   return cap;
@@ -23,7 +23,8 @@ Raid0Device::Raid0Device(sim::Simulator& sim,
                          std::vector<std::unique_ptr<BlockDevice>> children,
                          Bytes stripe)
     : sim_(sim), children_(std::move(children)), stripe_(stripe) {
-  assert(!children_.empty() && stripe_ > 0);
+  BPSIO_CHECK(!children_.empty() && stripe_ > 0,
+              "RAID0 needs children and a positive stripe");
   capacity_ = min_child_capacity(children_) * children_.size();
 }
 
@@ -94,7 +95,7 @@ void Raid0Device::submit(DevOp op, Bytes offset, Bytes size, DevDoneFn done) {
 Raid1Device::Raid1Device(sim::Simulator& sim,
                          std::vector<std::unique_ptr<BlockDevice>> children)
     : sim_(sim), children_(std::move(children)) {
-  assert(!children_.empty());
+  BPSIO_CHECK(!children_.empty(), "RAID1 needs at least one child device");
   capacity_ = min_child_capacity(children_);
 }
 

@@ -1,7 +1,8 @@
 #include "fs/extent_allocator.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.hpp"
 
 namespace bpsio::fs {
 
@@ -33,7 +34,9 @@ Result<std::vector<Extent>> ExtentAllocator::allocate(Bytes size) {
       // With max_extent set, keep carving this fragment on the next pass.
     }
   }
-  assert(remaining == 0 && "free_bytes_ said there was room");
+  BPSIO_CHECK(remaining == 0,
+              "allocator bookkeeping: %llu bytes unplaced though free_bytes_ said there was room",
+              static_cast<unsigned long long>(remaining));
   free_bytes_ -= size;
   return out;
 }

@@ -1,8 +1,8 @@
 #include "fs/local_fs.hpp"
 
 #include <algorithm>
-#include <cassert>
 
+#include "common/check.hpp"
 #include "common/log.hpp"
 
 namespace bpsio::fs {
@@ -136,7 +136,11 @@ std::vector<LocalFileSystem::DevSegment> LocalFileSystem::map_range(
     const Inode& inode, Bytes offset, Bytes length) const {
   std::vector<DevSegment> segments;
   if (length == 0) return segments;
-  assert(offset + length <= inode.alloc_size && "range beyond allocation");
+  BPSIO_CHECK(offset + length <= inode.alloc_size,
+              "range [%llu, %llu) beyond allocation of %llu bytes",
+              static_cast<unsigned long long>(offset),
+              static_cast<unsigned long long>(offset + length),
+              static_cast<unsigned long long>(inode.alloc_size));
   // Locate the first extent containing `offset`.
   auto it = std::upper_bound(inode.extent_logical_start.begin(),
                              inode.extent_logical_start.end(), offset);
@@ -145,7 +149,7 @@ std::vector<LocalFileSystem::DevSegment> LocalFileSystem::map_range(
   Bytes remaining = length;
   Bytes cur = offset;
   while (remaining > 0) {
-    assert(idx < inode.extents.size());
+    BPSIO_DCHECK(idx < inode.extents.size(), "extent walk out of range");
     const Extent& e = inode.extents[idx];
     const Bytes within = cur - inode.extent_logical_start[idx];
     const Bytes avail = e.length - within;

@@ -1,12 +1,13 @@
 #include "fs/page_cache.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.hpp"
 
 namespace bpsio::fs {
 
 PageCache::PageCache(Bytes capacity, Bytes page_size) : page_size_(page_size) {
-  assert(page_size_ > 0);
+  BPSIO_CHECK(page_size_ > 0, "page cache needs a positive page size");
   capacity_pages_ = static_cast<std::size_t>(capacity / page_size_);
   if (capacity_pages_ == 0) capacity_pages_ = 1;
 }
@@ -46,11 +47,11 @@ bool PageCache::contains(std::uint32_t file_id, std::uint64_t first_page,
 }
 
 void PageCache::evict_one(std::vector<Key>& dirty_out) {
-  assert(!lru_.empty());
+  BPSIO_CHECK(!lru_.empty(), "evict_one on empty cache");
   const Key victim = lru_.back();
   lru_.pop_back();
   const auto it = map_.find(victim);
-  assert(it != map_.end());
+  BPSIO_DCHECK(it != map_.end(), "LRU key missing from page map");
   ++stats_.evictions;
   if (it->second.dirty) {
     ++stats_.dirty_evictions;

@@ -1,8 +1,8 @@
 #include "metrics/cc_study.hpp"
 
-#include <cassert>
 #include <cstdio>
 
+#include "common/check.hpp"
 #include "common/format.hpp"
 
 namespace bpsio::metrics {
@@ -11,8 +11,11 @@ const MetricCorrelation& CorrelationReport::of(MetricKind kind) const {
   for (const auto& m : metrics) {
     if (m.kind == kind) return m;
   }
-  assert(false && "metric kind missing from report");
-  return metrics.front();
+  // Previously a bare assert that compiled out in Release and fell through
+  // to metrics.front() — returning a *different metric's* correlation as if
+  // it were the requested one. Abort loudly instead.
+  BPSIO_CHECK(false, "metric '%s' missing from report (%zu metrics present)",
+              metric_name(kind).c_str(), metrics.size());
 }
 
 std::string CorrelationReport::to_string() const {
@@ -74,8 +77,10 @@ std::vector<MetricSample> average_samples(
   std::vector<MetricSample> out;
   if (per_seed.empty()) return out;
   const std::size_t points = per_seed.front().size();
-  for ([[maybe_unused]] const auto& v : per_seed) {
-    assert(v.size() == points && "sweeps must align across seeds");
+  for (const auto& v : per_seed) {
+    BPSIO_CHECK(v.size() == points,
+                "sweeps must align across seeds (%zu points vs %zu)", v.size(),
+                points);
   }
   out.resize(points);
   const double n = static_cast<double>(per_seed.size());

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "common/log.hpp"
+
 namespace bpsio::metrics {
 
 void OnlineBpsCounter::access_started(SimTime t) {
@@ -11,7 +13,17 @@ void OnlineBpsCounter::access_started(SimTime t) {
 }
 
 void OnlineBpsCounter::access_finished(SimTime t, std::uint64_t blocks) {
-  assert(active_ > 0 && "finish without matching start");
+  if (active_ == 0) {
+    // Feeder contract violation (previously a bare assert that was a no-op
+    // in Release, letting active_ wrap to ~4 billion): drop the event and
+    // record the violation instead of corrupting B and T.
+    ++unmatched_finishes_;
+    BPSIO_WARN("online counter: finish at t=%lldns (%llu blocks) without a "
+               "matching start; dropped",
+               static_cast<long long>(t.ns()),
+               static_cast<unsigned long long>(blocks));
+    return;
+  }
   blocks_ += blocks;
   ++finished_;
   --active_;

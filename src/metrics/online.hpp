@@ -14,7 +14,6 @@
 // property the tests enforce — with no per-access storage at all.
 #pragma once
 
-#include <cassert>
 #include <cstdint>
 #include <string>
 
@@ -28,12 +27,18 @@ class OnlineBpsCounter {
   void access_started(SimTime t);
   /// An access completed at time `t`, having required `blocks` blocks.
   /// Failed accesses report their requested size too (they count in B).
+  /// A finish with no matching start violates the feeder contract: it is
+  /// dropped (neither B nor T moves), counted in unmatched_finishes(), and
+  /// logged — it must never underflow the in-flight count, which would
+  /// corrupt every later busy interval.
   void access_finished(SimTime t, std::uint64_t blocks);
 
   std::uint64_t blocks() const { return blocks_; }     ///< B so far
   std::uint32_t in_flight() const { return active_; }
   std::uint64_t accesses_started() const { return started_; }
   std::uint64_t accesses_finished() const { return finished_; }
+  /// Contract-violating finishes that were dropped (0 on a healthy feed).
+  std::uint64_t unmatched_finishes() const { return unmatched_finishes_; }
 
   /// T so far: closed busy time plus the currently open busy interval
   /// (up to `now`).
@@ -53,6 +58,7 @@ class OnlineBpsCounter {
   std::uint64_t blocks_ = 0;
   std::uint64_t started_ = 0;
   std::uint64_t finished_ = 0;
+  std::uint64_t unmatched_finishes_ = 0;
 };
 
 }  // namespace bpsio::metrics

@@ -1,7 +1,6 @@
 #include "metrics/overlap.hpp"
 
 #include <algorithm>
-#include <queue>
 
 namespace bpsio::metrics {
 
@@ -97,7 +96,7 @@ SimDuration overlap_time_bruteforce(const std::vector<TimeInterval>& col_time) {
   return SimDuration(T);
 }
 
-SimDuration overlap_time_windowed(std::vector<TimeInterval> col_time,
+SimDuration overlap_time_windowed(const std::vector<TimeInterval>& col_time,
                                   std::int64_t window_start_ns,
                                   std::int64_t window_end_ns) {
   std::vector<TimeInterval> clipped;

@@ -63,7 +63,7 @@ SimDuration overlap_time_parallel(std::vector<TimeInterval> col_time,
                                   std::size_t threads);
 
 /// Union measure restricted to a window [w_start, w_end).
-SimDuration overlap_time_windowed(std::vector<TimeInterval> col_time,
+SimDuration overlap_time_windowed(const std::vector<TimeInterval>& col_time,
                                   std::int64_t window_start_ns,
                                   std::int64_t window_end_ns);
 

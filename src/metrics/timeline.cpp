@@ -1,9 +1,9 @@
 #include "metrics/timeline.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cstdio>
 
+#include "common/check.hpp"
 #include "metrics/overlap.hpp"
 
 namespace bpsio::metrics {
@@ -43,7 +43,8 @@ std::string Timeline::to_string() const {
 Timeline build_timeline(const trace::TraceCollector& collector,
                         SimDuration window,
                         const trace::RecordFilter& filter) {
-  assert(window.ns() > 0);
+  BPSIO_CHECK(window.ns() > 0, "timeline window must be positive, got %lldns",
+              static_cast<long long>(window.ns()));
   Timeline timeline;
   timeline.window = window;
 

@@ -21,6 +21,10 @@ namespace bpsio::metrics {
 struct TimelineWindow {
   std::int64_t start_ns = 0;
   std::int64_t end_ns = 0;
+  // Deliberately fractional: an access spanning a window boundary contributes
+  // pro-rata to both windows. The exact integer B lives in TraceCollector;
+  // this is a per-window visualization split, not the metric's accumulator.
+  // bpsio-lint: allow(float-blocks)
   double blocks = 0;        ///< B attributed to this window (pro-rated)
   double io_time_s = 0;     ///< overlapped I/O time inside the window
   double bps = 0;           ///< blocks / io_time (0 when idle)

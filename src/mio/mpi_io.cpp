@@ -1,7 +1,8 @@
 #include "mio/mpi_io.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.hpp"
 
 namespace bpsio::mio {
 
@@ -283,7 +284,7 @@ void MpiIo::write_list(fs::FileHandle h, std::vector<Region> regions,
 CollectiveGroup::CollectiveGroup(sim::Simulator& sim, std::uint32_t parties,
                                  CollectiveConfig config)
     : sim_(sim), parties_(parties), config_(config) {
-  assert(parties_ >= 1);
+  BPSIO_CHECK(parties_ >= 1, "collective group needs at least one party");
 }
 
 void MpiIo::read_collective(CollectiveGroup& group, fs::FileHandle h,

@@ -1,7 +1,8 @@
 #include "pfs/layout.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.hpp"
 
 namespace bpsio::pfs {
 
@@ -16,8 +17,8 @@ std::string StripeLayout::to_string() const {
 
 std::vector<ServerRun> split_range(const StripeLayout& layout, Bytes offset,
                                    Bytes size) {
-  assert(!layout.servers.empty());
-  assert(layout.stripe_size > 0);
+  BPSIO_CHECK(!layout.servers.empty(), "layout has no servers");
+  BPSIO_CHECK(layout.stripe_size > 0, "layout stripe_size must be positive");
   const std::uint32_t n = layout.server_count();
 
   // Collect per-server merged runs.
@@ -52,7 +53,9 @@ std::vector<ServerRun> split_range(const StripeLayout& layout, Bytes offset,
 
 Bytes server_object_size(const StripeLayout& layout, Bytes logical_size,
                          std::uint32_t which) {
-  assert(which < layout.server_count());
+  BPSIO_CHECK(which < layout.server_count(),
+              "server index %u out of range (%u servers)", which,
+              layout.server_count());
   if (logical_size == 0) return 0;
   const std::uint32_t n = layout.server_count();
   const Bytes full_units = logical_size / layout.stripe_size;

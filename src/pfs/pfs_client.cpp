@@ -1,7 +1,6 @@
 #include "pfs/pfs_client.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <memory>
 
 #include "sim/sync.hpp"

@@ -1,14 +1,16 @@
 #include "sim/service_center.hpp"
 
-#include <cassert>
 #include <utility>
+
+#include "common/check.hpp"
 
 namespace bpsio::sim {
 
 ServiceCenter::ServiceCenter(Simulator& sim, std::uint32_t slots,
                              std::string name)
     : sim_(sim), slots_(slots), name_(std::move(name)) {
-  assert(slots_ >= 1);
+  BPSIO_CHECK(slots_ >= 1, "service center '%s' needs at least one slot",
+              name_.c_str());
 }
 
 void ServiceCenter::submit(SimDuration service_time, ServiceDoneFn done) {
@@ -28,7 +30,9 @@ void ServiceCenter::try_dispatch() {
     const SimTime start = sim_.now();
     total_wait_ += start - job.submitted;
     const SimDuration service = job.service_fn();
-    assert(service.ns() >= 0);
+    BPSIO_CHECK(service.ns() >= 0,
+                "negative service time %lldns at '%s'",
+                static_cast<long long>(service.ns()), name_.c_str());
     sim_.schedule_after(service, [this, start, service,
                                   done = std::move(job.done)]() mutable {
       finish(start, service, std::move(done));

@@ -1,17 +1,21 @@
 #include "sim/simulator.hpp"
 
-#include <cassert>
 #include <utility>
+
+#include "common/check.hpp"
 
 namespace bpsio::sim {
 
 void Simulator::schedule_at(SimTime t, EventFn fn) {
-  assert(t >= now_ && "cannot schedule into the past");
+  BPSIO_CHECK(t >= now_, "cannot schedule into the past (t=%lldns, now=%lldns)",
+              static_cast<long long>(t.ns()),
+              static_cast<long long>(now_.ns()));
   queue_.push(Event{t, next_seq_++, std::move(fn)});
 }
 
 void Simulator::schedule_after(SimDuration d, EventFn fn) {
-  assert(d.ns() >= 0 && "negative delay");
+  BPSIO_CHECK(d.ns() >= 0, "negative delay %lldns",
+              static_cast<long long>(d.ns()));
   schedule_at(now_ + d, std::move(fn));
 }
 

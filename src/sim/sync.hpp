@@ -1,12 +1,12 @@
 // Synchronization helpers for simulated parallel programs.
 #pragma once
 
-#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <utility>
 #include <vector>
 
+#include "common/check.hpp"
 #include "sim/simulator.hpp"
 
 namespace bpsio::sim {
@@ -17,7 +17,7 @@ class Barrier {
  public:
   Barrier(Simulator& sim, std::uint32_t parties)
       : sim_(sim), parties_(parties) {
-    assert(parties_ >= 1);
+    BPSIO_CHECK(parties_ >= 1, "barrier needs at least one party");
   }
 
   /// Register this party's arrival; `resume` runs when the round completes.
@@ -46,7 +46,7 @@ class JoinCounter {
   }
 
   void complete_one() {
-    assert(remaining_ > 0);
+    BPSIO_CHECK(remaining_ > 0, "JoinCounter completed more than expected");
     if (--remaining_ == 0) fire();
   }
 

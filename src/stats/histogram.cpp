@@ -1,14 +1,16 @@
 #include "stats/histogram.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cstdio>
+
+#include "common/check.hpp"
 
 namespace bpsio::stats {
 
 LogHistogram::LogHistogram(double lo, double hi, double growth)
     : lo_(lo), growth_(growth) {
-  assert(lo > 0.0 && hi > lo && growth > 1.0);
+  BPSIO_CHECK(lo > 0.0 && hi > lo && growth > 1.0,
+              "LogHistogram bounds: lo=%g hi=%g growth=%g", lo, hi, growth);
   double bound = lo;
   bounds_.push_back(bound);
   while (bound < hi) {

@@ -1,21 +1,11 @@
 #include "trace/serialize.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 
 namespace bpsio::trace {
-
-namespace {
-
-struct TraceHeader {
-  std::uint32_t magic = kTraceMagic;
-  std::uint32_t version = kTraceVersion;
-  std::uint64_t record_count = 0;
-};
-static_assert(sizeof(TraceHeader) == 16);
-
-}  // namespace
 
 Result<std::size_t> write_binary(std::ostream& out,
                                  const std::vector<IoRecord>& records) {
@@ -40,17 +30,50 @@ Result<std::size_t> save_binary(const std::string& path,
 Result<std::vector<IoRecord>> read_binary(std::istream& in) {
   TraceHeader header;
   in.read(reinterpret_cast<char*>(&header), sizeof header);
-  if (!in || header.magic != kTraceMagic) {
+  if (in.gcount() != static_cast<std::streamsize>(sizeof header)) {
+    return Error{Errc::invalid_argument,
+                 "truncated trace header (" + std::to_string(in.gcount()) +
+                     " of " + std::to_string(sizeof header) + " bytes)"};
+  }
+  if (header.magic != kTraceMagic) {
     return Error{Errc::invalid_argument, "bad trace magic"};
   }
   if (header.version != kTraceVersion) {
-    return Error{Errc::unsupported, "unsupported trace version"};
+    return Error{Errc::unsupported, "unsupported trace version " +
+                                        std::to_string(header.version) +
+                                        " (expected " +
+                                        std::to_string(kTraceVersion) + ")"};
   }
-  std::vector<IoRecord> records(header.record_count);
-  if (header.record_count > 0) {
-    in.read(reinterpret_cast<char*>(records.data()),
-            static_cast<std::streamsize>(records.size() * sizeof(IoRecord)));
-    if (!in) return Error{Errc::io_error, "truncated trace"};
+  if (header.record_size != sizeof(IoRecord)) {
+    return Error{Errc::unsupported,
+                 "non-32-byte record size " +
+                     std::to_string(header.record_size) +
+                     " (paper-format records are " +
+                     std::to_string(sizeof(IoRecord)) + " bytes)"};
+  }
+  // Read in bounded chunks: a corrupt record_count must fail with a clean
+  // "truncated" error, not a multi-gigabyte allocation.
+  constexpr std::uint64_t kChunkRecords = 1 << 16;
+  std::vector<IoRecord> records;
+  records.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(header.record_count, kChunkRecords)));
+  std::uint64_t remaining = header.record_count;
+  while (remaining > 0) {
+    const std::uint64_t take = std::min<std::uint64_t>(remaining, kChunkRecords);
+    const std::size_t old_size = records.size();
+    records.resize(old_size + static_cast<std::size_t>(take));
+    in.read(reinterpret_cast<char*>(records.data() + old_size),
+            static_cast<std::streamsize>(take * sizeof(IoRecord)));
+    const auto got_bytes = static_cast<std::uint64_t>(in.gcount());
+    if (got_bytes != take * sizeof(IoRecord)) {
+      const std::uint64_t got_records =
+          static_cast<std::uint64_t>(old_size) + got_bytes / sizeof(IoRecord);
+      return Error{Errc::io_error,
+                   "trace truncated: header claims " +
+                       std::to_string(header.record_count) +
+                       " records, found " + std::to_string(got_records)};
+    }
+    remaining -= take;
   }
   return records;
 }

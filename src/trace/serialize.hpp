@@ -16,7 +16,21 @@
 namespace bpsio::trace {
 
 inline constexpr std::uint32_t kTraceMagic = 0x42505354;  // "BPST"
-inline constexpr std::uint32_t kTraceVersion = 1;
+// v2: header carries the record size so a reader can reject traces written
+// with a different (corrupt, foreign, or future) record layout instead of
+// reinterpreting their bytes.
+inline constexpr std::uint32_t kTraceVersion = 2;
+
+/// On-disk header of the binary format. Also written by SpillWriter (same
+/// format, single definition). All fields little-endian host order.
+struct TraceHeader {
+  std::uint32_t magic = kTraceMagic;
+  std::uint32_t version = kTraceVersion;
+  std::uint32_t record_size = sizeof(IoRecord);  ///< must be 32 (paper §III)
+  std::uint32_t reserved = 0;
+  std::uint64_t record_count = 0;
+};
+static_assert(sizeof(TraceHeader) == 24, "header layout is part of the format");
 
 /// Write records in binary format. Returns bytes written.
 Result<std::size_t> write_binary(std::ostream& out,

@@ -4,23 +4,13 @@
 
 namespace bpsio::trace {
 
-namespace {
-
-struct Header {
-  std::uint32_t magic = kTraceMagic;
-  std::uint32_t version = kTraceVersion;
-  std::uint64_t record_count = 0;
-};
-
-}  // namespace
-
 SpillWriter::SpillWriter(std::string path, std::size_t batch_records)
     : path_(std::move(path)), batch_limit_(batch_records ? batch_records : 1) {
   out_.open(path_, std::ios::binary | std::ios::trunc);
   ok_ = static_cast<bool>(out_);
   if (ok_) {
     // Placeholder header; the final count lands in close().
-    Header header;
+    TraceHeader header;
     out_.write(reinterpret_cast<const char*>(&header), sizeof header);
     ok_ = static_cast<bool>(out_);
   }
@@ -54,7 +44,7 @@ Status SpillWriter::close() {
   if (!ok_) return Status{Errc::io_error, "writer not open"};
   if (const Status flushed = flush(); !flushed.ok()) return flushed;
   // Rewrite the header with the final record count.
-  Header header;
+  TraceHeader header;
   header.record_count = written_;
   out_.seekp(0);
   out_.write(reinterpret_cast<const char*>(&header), sizeof header);

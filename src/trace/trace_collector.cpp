@@ -16,21 +16,34 @@ bool RecordFilter::matches(const IoRecord& r) const {
 }
 
 void TraceCollector::gather(const TraceBuffer& buffer) {
+  MutexLock lock(mu_);
   records_.insert(records_.end(), buffer.records().begin(),
                   buffer.records().end());
 }
 
 void TraceCollector::gather(const std::vector<IoRecord>& records) {
+  MutexLock lock(mu_);
   records_.insert(records_.end(), records.begin(), records.end());
 }
 
-void TraceCollector::add(const IoRecord& record) { records_.push_back(record); }
+void TraceCollector::add(const IoRecord& record) {
+  MutexLock lock(mu_);
+  records_.push_back(record);
+}
 
-void TraceCollector::clear() { records_.clear(); }
+void TraceCollector::clear() {
+  MutexLock lock(mu_);
+  records_.clear();
+}
+
+std::size_t TraceCollector::record_count() const {
+  MutexLock lock(mu_);
+  return records_.size();
+}
 
 std::uint64_t TraceCollector::total_blocks(const RecordFilter& filter) const {
   std::uint64_t sum = 0;
-  for (const auto& r : records_) {
+  for (const auto& r : records()) {
     if (filter.matches(r)) sum += r.blocks;
   }
   return sum;
@@ -39,14 +52,16 @@ std::uint64_t TraceCollector::total_blocks(const RecordFilter& filter) const {
 std::uint64_t TraceCollector::total_blocks_parallel(
     ThreadPool& pool, const RecordFilter& filter) const {
   // One partial sum slot per chunk; no shared accumulator, no atomics.
-  const std::size_t n = records_.size();
+  // Quiescent read (class contract): workers index records() lock-free.
+  const std::vector<IoRecord>& recs = records();
+  const std::size_t n = recs.size();
   if (pool.size() <= 1 || n < 4096) return total_blocks(filter);
   std::vector<std::uint64_t> partial(pool.size(), 0);
   std::atomic<std::size_t> next_slot{0};
   pool.parallel_for(n, [&](std::size_t begin, std::size_t end) {
     std::uint64_t sum = 0;
     for (std::size_t i = begin; i < end; ++i) {
-      if (filter.matches(records_[i])) sum += records_[i].blocks;
+      if (filter.matches(recs[i])) sum += recs[i].blocks;
     }
     partial[next_slot.fetch_add(1, std::memory_order_relaxed)] = sum;
   });
@@ -63,8 +78,8 @@ Bytes TraceCollector::total_bytes(Bytes block_size,
 std::vector<TimeInterval> TraceCollector::col_time(
     const RecordFilter& filter) const {
   std::vector<TimeInterval> out;
-  out.reserve(records_.size());
-  for (const auto& r : records_) {
+  out.reserve(records().size());
+  for (const auto& r : records()) {
     if (!filter.matches(r)) continue;
     // Clamp to the analysis window when one is given, so windowed BPS only
     // counts I/O time inside the window.
@@ -80,14 +95,14 @@ std::vector<TimeInterval> TraceCollector::col_time(
 
 std::size_t TraceCollector::process_count() const {
   std::unordered_set<std::uint32_t> pids;
-  for (const auto& r : records_) pids.insert(r.pid);
+  for (const auto& r : records()) pids.insert(r.pid);
   return pids.size();
 }
 
 std::optional<TimeInterval> TraceCollector::span() const {
-  if (records_.empty()) return std::nullopt;
-  TimeInterval s{records_.front().start_ns, records_.front().end_ns};
-  for (const auto& r : records_) {
+  if (records().empty()) return std::nullopt;
+  TimeInterval s{records().front().start_ns, records().front().end_ns};
+  for (const auto& r : records()) {
     s.start_ns = std::min(s.start_ns, r.start_ns);
     s.end_ns = std::max(s.end_ns, r.end_ns);
   }

@@ -14,7 +14,9 @@
 #include <optional>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "common/sim_time.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/thread_pool.hpp"
 #include "trace/io_record.hpp"
 #include "trace/trace_buffer.hpp"
@@ -41,18 +43,45 @@ struct RecordFilter {
   bool matches(const IoRecord& r) const;
 };
 
+/// Threading contract: mutators (gather / add / clear) are serialized by an
+/// internal annotated mutex, so concurrent processes may gather their buffers
+/// directly. Readers (records(), col_time(), total_blocks*, ...) take no lock
+/// — analysis runs on a quiescent collection (all gathering finished), which
+/// is how the Figure-3 pipeline is specified. Do not read while a gather is
+/// in flight.
 class TraceCollector {
  public:
   TraceCollector() = default;
 
-  /// Gather one process's buffer into the global collection.
+  /// Copies/moves exist so RunResult can carry a collector by value. They
+  /// follow the quiescent-read contract: the source must have no gather in
+  /// flight (hence the analysis opt-out — there is no lock to hold here).
+  TraceCollector(const TraceCollector& other) BPSIO_NO_THREAD_SAFETY_ANALYSIS
+      : records_(other.records_) {}
+  TraceCollector(TraceCollector&& other) noexcept BPSIO_NO_THREAD_SAFETY_ANALYSIS
+      : records_(std::move(other.records_)) {}
+  TraceCollector& operator=(const TraceCollector& other)
+      BPSIO_NO_THREAD_SAFETY_ANALYSIS {
+    if (this != &other) records_ = other.records_;
+    return *this;
+  }
+  TraceCollector& operator=(TraceCollector&& other) noexcept
+      BPSIO_NO_THREAD_SAFETY_ANALYSIS {
+    if (this != &other) records_ = std::move(other.records_);
+    return *this;
+  }
+
+  /// Gather one process's buffer into the global collection. Thread-safe.
   void gather(const TraceBuffer& buffer);
-  /// Gather raw records (e.g. loaded from a trace file).
+  /// Gather raw records (e.g. loaded from a trace file). Thread-safe.
   void gather(const std::vector<IoRecord>& records);
   void add(const IoRecord& record);
 
-  std::size_t record_count() const { return records_.size(); }
-  const std::vector<IoRecord>& records() const { return records_; }
+  std::size_t record_count() const;
+  /// Quiescent-read accessor (see class comment): must not race a mutator.
+  const std::vector<IoRecord>& records() const BPSIO_NO_THREAD_SAFETY_ANALYSIS {
+    return records_;
+  }
   void clear();
 
   /// B — total number of I/O blocks required by the applications
@@ -80,7 +109,9 @@ class TraceCollector {
   std::optional<TimeInterval> span() const;
 
  private:
-  std::vector<IoRecord> records_;
+  /// Quiescent readers go through records(); every mutation locks mu_.
+  mutable Mutex mu_;
+  std::vector<IoRecord> records_ BPSIO_GUARDED_BY(mu_);
 };
 
 }  // namespace bpsio::trace

@@ -1,14 +1,15 @@
 #include "workload/hpio.hpp"
 
-#include <cassert>
 #include <memory>
 
+#include "common/check.hpp"
 #include "common/log.hpp"
 
 namespace bpsio::workload {
 
 RunResult HpioWorkload::run(Env& env) {
-  assert(env.sim && !env.nodes.empty());
+  BPSIO_CHECK(env.sim && !env.nodes.empty(),
+              "workload environment needs a simulator and client nodes");
   const SimTime t0 = env.sim->now();
   const std::uint32_t nprocs = config_.processes;
 

@@ -1,8 +1,8 @@
 #include "workload/iozone.hpp"
 
 #include <algorithm>
-#include <cassert>
 
+#include "common/check.hpp"
 #include "common/log.hpp"
 
 namespace bpsio::workload {
@@ -41,7 +41,8 @@ RunResult run_processes(Env& env,
 }
 
 RunResult IozoneWorkload::run(Env& env) {
-  assert(env.sim && !env.nodes.empty());
+  BPSIO_CHECK(env.sim && !env.nodes.empty(),
+              "workload environment needs a simulator and client nodes");
   const SimTime t0 = env.sim->now();
   const std::uint32_t nprocs = config_.processes;
   const Bytes per_proc = config_.size_is_total && nprocs > 0

@@ -1,6 +1,7 @@
 #include "workload/process.hpp"
 
-#include <cassert>
+#include "common/check.hpp"
+
 
 namespace bpsio::workload {
 
@@ -37,11 +38,11 @@ void Process::issue_next() {
       mpi_.write_list(file_, op.regions, done);
       break;
     case AppOp::Kind::collective_read:
-      assert(group_ && "collective op requires a group");
+      BPSIO_CHECK(group_, "collective read requires a group");
       mpi_.read_collective(*group_, file_, op.regions, done);
       break;
     case AppOp::Kind::collective_write:
-      assert(group_ && "collective op requires a group");
+      BPSIO_CHECK(group_, "collective write requires a group");
       mpi_.write_collective(*group_, file_, op.regions, done);
       break;
     case AppOp::Kind::compute:

@@ -26,6 +26,10 @@ std::map<std::uint32_t, PerPid> group_by_pid(
     p.total_bytes += blocks_to_bytes(r.blocks);
   }
   for (auto& [pid, p] : by_pid) {
+    // Replay scheduling order, not the metric pipeline: per-pid issue order
+    // by start time, stable so same-start records keep trace order. T/B are
+    // still computed by the blessed comparators downstream.
+    // bpsio-lint: allow(iorecord-sort)
     std::stable_sort(p.records.begin(), p.records.end(),
                      [](const trace::IoRecord* a, const trace::IoRecord* b) {
                        return a->start_ns < b->start_ns;

@@ -85,5 +85,14 @@ TEST(Correlate, TooFewSamplesYieldZeroCc) {
   }
 }
 
+TEST(CorrelateDeathTest, MissingMetricIsAHardFailureEvenInRelease) {
+  // Regression: of() on a report that lacks the requested metric used to
+  // fall through a Release-mode no-op assert and return metrics[0] (the
+  // wrong metric's correlation) to the caller.
+  CorrelationReport report;
+  report.metrics.push_back({MetricKind::iops, 0.5, 0.5, 0.5, true});
+  EXPECT_DEATH(report.of(MetricKind::bps), "missing from report");
+}
+
 }  // namespace
 }  // namespace bpsio::metrics

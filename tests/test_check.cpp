@@ -1,0 +1,60 @@
+// Contract macros: BPSIO_CHECK must stay armed in Release builds (the
+// default RelWithDebInfo build defines NDEBUG, where a bare assert() is a
+// no-op), abort with a file:line diagnostic, and support printf-style
+// messages. BPSIO_DCHECK is debug-only but its operands must always compile.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace bpsio {
+namespace {
+
+TEST(Check, PassingConditionIsANoop) {
+  int evaluations = 0;
+  BPSIO_CHECK(++evaluations == 1);
+  BPSIO_CHECK(evaluations == 1, "already evaluated %d time(s)", evaluations);
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(CheckDeathTest, FailingConditionAborts) {
+  EXPECT_DEATH(BPSIO_CHECK(1 + 1 == 3), "CHECK failed: 1 \\+ 1 == 3");
+}
+
+TEST(CheckDeathTest, DiagnosticNamesThisFileAndFormatsTheMessage) {
+  EXPECT_DEATH(BPSIO_CHECK(false, "widget %d missing (%s)", 42, "detail"),
+               "test_check\\.cpp.*widget 42 missing \\(detail\\)");
+}
+
+TEST(CheckDeathTest, ConditionTextAppearsWithoutAMessage) {
+  const bool contract_holds = false;
+  EXPECT_DEATH(BPSIO_CHECK(contract_holds), "contract_holds");
+}
+
+TEST(Check, DcheckOperandsAreCompiledButDebugOnly) {
+  // The operands must be semantically checked in every build (no unused
+  // warnings, no bit-rot); under NDEBUG the condition must not execute.
+  int evaluations = 0;
+  auto bump = [&evaluations]() { return ++evaluations > 0; };
+#ifdef NDEBUG
+  BPSIO_DCHECK(bump(), "count=%d", evaluations);
+  EXPECT_EQ(evaluations, 0);
+#else
+  BPSIO_DCHECK(bump(), "count=%d", evaluations);
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_DEATH(BPSIO_DCHECK(false), "CHECK failed");
+#endif
+}
+
+TEST(CheckDeathTest, SideEffectsBeforeTheFailureAreVisible) {
+  // CHECK evaluates its condition exactly once, in order.
+  EXPECT_DEATH(
+      {
+        int steps = 0;
+        BPSIO_CHECK(++steps == 1);
+        BPSIO_CHECK(++steps == 99, "reached step %d", steps);
+      },
+      "reached step 2");
+}
+
+}  // namespace
+}  // namespace bpsio

@@ -37,5 +37,45 @@ TEST(Log, MacrosRespectLevel) {
   set_level(before);
 }
 
+TEST(Log, CaptureRingRecordsEmittedLines) {
+  const Level before = level();
+  set_level(Level::warn);
+  set_capture(true);
+  BPSIO_WARN("captured %d", 7);
+  BPSIO_INFO("below threshold %d", 8);  // filtered, must not be captured
+  const auto lines = recent_messages();
+  set_capture(false);
+  set_level(before);
+  ASSERT_FALSE(lines.empty());
+  EXPECT_NE(lines.back().find("captured 7"), std::string::npos);
+  for (const auto& line : lines) {
+    EXPECT_EQ(line.find("below threshold"), std::string::npos) << line;
+  }
+}
+
+TEST(Log, CaptureRingIsBoundedAndKeepsTheNewest) {
+  const Level before = level();
+  set_level(Level::warn);
+  set_capture(true);
+  for (int i = 0; i < 200; ++i) BPSIO_WARN("ring entry %d", i);
+  const auto lines = recent_messages();
+  set_capture(false);
+  set_level(before);
+  EXPECT_LE(lines.size(), 64u);
+  EXPECT_NE(lines.back().find("ring entry 199"), std::string::npos);
+}
+
+TEST(Log, DisablingCaptureClearsTheRing) {
+  const Level before = level();
+  set_level(Level::warn);
+  set_capture(true);
+  BPSIO_WARN("ephemeral");
+  set_capture(false);
+  set_capture(true);
+  EXPECT_TRUE(recent_messages().empty());
+  set_capture(false);
+  set_level(before);
+}
+
 }  // namespace
 }  // namespace bpsio::log

@@ -52,6 +52,30 @@ TEST(OnlineBps, OpenIntervalIncludedUpToNow) {
   EXPECT_DOUBLE_EQ(c.bps(SimTime::from_seconds(0.25)), 0.0);
 }
 
+TEST(OnlineBps, UnmatchedFinishIsDroppedNotUnderflowed) {
+  // Regression: an unmatched finish used to decrement active_ past zero in
+  // Release builds (the guarding assert was a no-op), wrapping in_flight to
+  // ~4 billion and poisoning every later busy interval.
+  OnlineBpsCounter c;
+  c.access_finished(SimTime(100), 50);
+  EXPECT_EQ(c.unmatched_finishes(), 1u);
+  EXPECT_EQ(c.in_flight(), 0u);
+  EXPECT_EQ(c.blocks(), 0u);
+  EXPECT_EQ(c.accesses_finished(), 0u);
+  EXPECT_EQ(c.busy_time(SimTime(200)).ns(), 0);
+
+  // The counter stays usable: a well-formed access afterwards is exact.
+  c.access_started(SimTime(200));
+  c.access_finished(SimTime(300), 10);
+  EXPECT_EQ(c.unmatched_finishes(), 1u);
+  EXPECT_EQ(c.in_flight(), 0u);
+  EXPECT_EQ(c.blocks(), 10u);
+  EXPECT_EQ(c.busy_time(SimTime(300)).ns(), 100);
+
+  c.reset();
+  EXPECT_EQ(c.unmatched_finishes(), 0u);
+}
+
 TEST(OnlineBps, ResetClears) {
   OnlineBpsCounter c;
   c.access_started(SimTime(0));

@@ -109,6 +109,32 @@ TEST(ParallelSweep, FigureRunnerRoutesThreads) {
                        figures::run_figure(specs, dp));
 }
 
+TEST(ParallelSweep, ProgressCallbackCoversEveryPointExactlyOnce) {
+  const std::vector<RunSpec> specs{tiny_spec("p1", 1), tiny_spec("p2", 2)};
+  SweepOptions opt;
+  opt.repeats = 3;
+  opt.base_seed = 5;
+  opt.threads = 4;
+  // The callback is serialized by the runner's mutex, so plain (non-atomic)
+  // state is safe to mutate here even on a 4-wide pool.
+  std::vector<std::size_t> completions;
+  std::size_t reported_total = 0;
+  opt.progress = [&](std::size_t completed, std::size_t total) {
+    completions.push_back(completed);
+    reported_total = total;
+  };
+  const auto result = run_sweep(specs, opt);
+  const std::size_t points = specs.size() * opt.repeats;
+  EXPECT_EQ(reported_total, points);
+  ASSERT_EQ(completions.size(), points);
+  // Completed counts are strictly increasing 1..N regardless of which
+  // worker finishes which point.
+  for (std::size_t i = 0; i < completions.size(); ++i) {
+    EXPECT_EQ(completions[i], i + 1);
+  }
+  EXPECT_EQ(result.samples.size(), specs.size());
+}
+
 TEST(ParallelSweep, LegacyOverloadStillSerial) {
   const std::vector<RunSpec> specs{tiny_spec("p1", 1), tiny_spec("p2", 2)};
   SweepOptions opt;

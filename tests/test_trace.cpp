@@ -123,7 +123,7 @@ TEST(Serialize, BinaryRoundTrip) {
   std::stringstream ss;
   const auto written = write_binary(ss, records);
   ASSERT_TRUE(written.ok());
-  EXPECT_EQ(*written, 16u + 100 * 32);
+  EXPECT_EQ(*written, sizeof(TraceHeader) + 100 * sizeof(IoRecord));
   const auto loaded = read_binary(ss);
   ASSERT_TRUE(loaded.ok());
   EXPECT_EQ(*loaded, records);

@@ -1,0 +1,177 @@
+// Negative-path coverage for trace persistence and validation: corrupt or
+// foreign inputs must be rejected with a descriptive error, never silently
+// reinterpreted. B and T are only trustworthy if malformed traces cannot
+// reach the metric pipeline.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "trace/io_record.hpp"
+#include "trace/serialize.hpp"
+#include "trace/spill_writer.hpp"
+#include "trace/validate.hpp"
+
+namespace bpsio::trace {
+namespace {
+
+std::vector<IoRecord> sample_records(std::size_t n) {
+  std::vector<IoRecord> records;
+  for (std::size_t i = 0; i < n; ++i) {
+    records.push_back(make_record(static_cast<std::uint32_t>(1 + i % 3), 8 + i,
+                                  SimTime(static_cast<std::int64_t>(i) * 100),
+                                  SimTime(static_cast<std::int64_t>(i) * 100 +
+                                          50),
+                                  IoOpKind::read, kIoOk));
+  }
+  return records;
+}
+
+std::string serialized(const std::vector<IoRecord>& records) {
+  std::ostringstream out(std::ios::binary);
+  const auto written = write_binary(out, records);
+  EXPECT_TRUE(written.ok());
+  return out.str();
+}
+
+Result<std::vector<IoRecord>> read_bytes(const std::string& bytes) {
+  std::istringstream in(bytes, std::ios::binary);
+  return read_binary(in);
+}
+
+TEST(TraceNegative, RoundTripStillWorks) {
+  const auto records = sample_records(5);
+  const auto loaded = read_bytes(serialized(records));
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), records.size());
+  EXPECT_EQ(std::memcmp(loaded->data(), records.data(),
+                        records.size() * sizeof(IoRecord)),
+            0);
+}
+
+TEST(TraceNegative, TruncatedHeaderIsRejected) {
+  const std::string bytes = serialized(sample_records(2));
+  for (std::size_t keep : {std::size_t{0}, std::size_t{4},
+                           sizeof(TraceHeader) - 1}) {
+    const auto result = read_bytes(bytes.substr(0, keep));
+    ASSERT_FALSE(result.ok()) << "kept " << keep << " bytes";
+    EXPECT_NE(result.error().message.find("truncated trace header"),
+              std::string::npos)
+        << result.error().message;
+  }
+}
+
+TEST(TraceNegative, BadMagicIsRejected) {
+  std::string bytes = serialized(sample_records(1));
+  bytes[0] ^= 0xff;
+  const auto result = read_bytes(bytes);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("bad trace magic"), std::string::npos);
+}
+
+TEST(TraceNegative, UnsupportedVersionIsRejectedByNumber) {
+  std::string bytes = serialized(sample_records(1));
+  TraceHeader header;
+  std::memcpy(&header, bytes.data(), sizeof header);
+  header.version = 77;
+  std::memcpy(bytes.data(), &header, sizeof header);
+  const auto result = read_bytes(bytes);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("unsupported trace version 77"),
+            std::string::npos)
+      << result.error().message;
+}
+
+TEST(TraceNegative, NonPaperRecordSizeIsRejected) {
+  std::string bytes = serialized(sample_records(1));
+  TraceHeader header;
+  std::memcpy(&header, bytes.data(), sizeof header);
+  header.record_size = 48;
+  std::memcpy(bytes.data(), &header, sizeof header);
+  const auto result = read_bytes(bytes);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("non-32-byte record size 48"),
+            std::string::npos)
+      << result.error().message;
+}
+
+TEST(TraceNegative, RecordCountMismatchReportsClaimedAndFound) {
+  const auto records = sample_records(4);
+  std::string bytes = serialized(records);
+  // Drop the last record's bytes: the header still claims 4.
+  bytes.resize(bytes.size() - sizeof(IoRecord));
+  const auto result = read_bytes(bytes);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("header claims 4 records, found 3"),
+            std::string::npos)
+      << result.error().message;
+}
+
+TEST(TraceNegative, AbsurdRecordCountFailsCleanlyWithoutHugeAllocation) {
+  // A corrupt header claiming ~500 billion records must produce a clean
+  // truncation error, not a ~16 TiB vector allocation.
+  std::string bytes = serialized(sample_records(2));
+  TraceHeader header;
+  std::memcpy(&header, bytes.data(), sizeof header);
+  header.record_count = 1ULL << 39;
+  std::memcpy(bytes.data(), &header, sizeof header);
+  const auto result = read_bytes(bytes);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("trace truncated"), std::string::npos);
+  EXPECT_NE(result.error().message.find("found 2"), std::string::npos)
+      << result.error().message;
+}
+
+TEST(TraceNegative, SpillWriterEmitsTheSharedHeaderFormat) {
+  const std::string path = ::testing::TempDir() + "/spill_negative.bpstrace";
+  const auto records = sample_records(3);
+  {
+    SpillWriter writer(path, /*batch_records=*/2);
+    for (const auto& r : records) writer.append(r);
+    ASSERT_TRUE(writer.close().ok());
+  }
+  const auto loaded = load_binary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  ASSERT_EQ(loaded->size(), records.size());
+  EXPECT_EQ(std::memcmp(loaded->data(), records.data(),
+                        records.size() * sizeof(IoRecord)),
+            0);
+}
+
+TEST(TraceNegative, ValidateFlagsEndBeforeStart) {
+  auto records = sample_records(3);
+  records[1].end_ns = records[1].start_ns - 10;
+  const auto report = validate(records);
+  ASSERT_FALSE(report.ok());
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_EQ(report.issues[0].index, 1u);
+  EXPECT_EQ(report.issues[0].what, "end before start");
+  EXPECT_NE(report.to_string().find("end before start"), std::string::npos);
+}
+
+TEST(TraceNegative, ValidateFlagsNegativeStartAndZeroBlocks) {
+  auto records = sample_records(2);
+  records[0].start_ns = -5;
+  records[1].blocks = 0;  // successful access claiming no data moved
+  const auto report = validate(records);
+  EXPECT_EQ(report.issues.size(), 2u);
+  EXPECT_EQ(report.issues[0].what, "negative start time");
+  EXPECT_EQ(report.issues[1].what, "successful access with zero blocks");
+}
+
+TEST(TraceNegative, ValidatePerPidMonotoneOrder) {
+  std::vector<IoRecord> records;
+  records.push_back(make_record(1, 4, SimTime(100), SimTime(150),
+                                IoOpKind::read, kIoOk));
+  records.push_back(make_record(1, 4, SimTime(50), SimTime(90),
+                                IoOpKind::read, kIoOk));
+  EXPECT_TRUE(validate(records, /*expect_per_pid_monotone=*/false).ok());
+  const auto report = validate(records, /*expect_per_pid_monotone=*/true);
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_EQ(report.issues[0].what, "per-pid start order violated");
+}
+
+}  // namespace
+}  // namespace bpsio::trace

@@ -1,0 +1,598 @@
+// bpsio-lint — repo-specific static checks for the BPS metric pipeline.
+//
+// The BPS metric's validity rests on contracts a generic compiler never sees
+// (PAPER.md §III.B): B must be accumulated in exact integer arithmetic, T
+// must come from a deterministic interval merge, and the analysis paths must
+// be replayable bit-for-bit. This tool is a token/regex scanner (no libclang)
+// over src/ that turns those conventions into CI failures. It runs as a
+// ctest (`bpsio_lint_src`) and self-verifies every rule against synthetic
+// violations (`bpsio_lint_selftest`).
+//
+// Rules (see docs/STATIC_ANALYSIS.md for rationale):
+//   iorecord-sort   std::sort/std::stable_sort over IoRecord ranges outside
+//                   the blessed comparators in trace/ and metrics/overlap*.
+//   raw-random      rand()/srand()/std::random_device/wall-clock reads
+//                   outside common/rng (determinism: seeds only).
+//   float-blocks    float/double variables holding block counts (B is exact;
+//                   floating accumulation drifts).
+//   bare-assert     assert( in src/ — contracts must use BPSIO_CHECK, which
+//                   stays armed in Release.
+//   mutable-global  static/namespace-scope mutable state that is not atomic,
+//                   const, or a synchronization primitive.
+//
+// Escape hatch: `// bpsio-lint: allow(rule)` on the offending line or on a
+// comment-only line directly above it. Every allow must carry a
+// justification comment.
+//
+// Usage:
+//   bpsio_lint --root <dir>     lint all .cpp/.hpp under <dir>
+//   bpsio_lint <files...>       lint specific files
+//   bpsio_lint --self-test      prove every rule fires and is suppressible
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;  // 1-based
+  std::string rule;
+  std::string detail;
+};
+
+// ---------------------------------------------------------------------------
+// Source preprocessing
+// ---------------------------------------------------------------------------
+
+struct SourceFile {
+  std::string path;
+  std::vector<std::string> raw;             // original lines
+  std::vector<std::string> code;            // comments/strings blanked
+  std::vector<std::set<std::string>> allow; // per-line allowed rules
+  std::vector<bool> comment_only;           // line is blank/comment-only
+};
+
+// Blank out comments, string and char literals so the rules only ever match
+// real code tokens. Replaced characters become spaces, preserving columns.
+std::vector<std::string> strip_code(const std::vector<std::string>& lines) {
+  std::vector<std::string> out;
+  out.reserve(lines.size());
+  bool in_block_comment = false;
+  for (const std::string& line : lines) {
+    std::string code(line.size(), ' ');
+    for (std::size_t i = 0; i < line.size();) {
+      if (in_block_comment) {
+        if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+          in_block_comment = false;
+          i += 2;
+        } else {
+          ++i;
+        }
+        continue;
+      }
+      if (line[i] == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+      if (line[i] == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+        in_block_comment = true;
+        i += 2;
+        continue;
+      }
+      if (line[i] == '"' || line[i] == '\'') {
+        const char quote = line[i];
+        code[i] = quote;
+        ++i;
+        while (i < line.size()) {
+          if (line[i] == '\\') {
+            i += 2;
+            continue;
+          }
+          if (line[i] == quote) {
+            code[i] = quote;
+            ++i;
+            break;
+          }
+          ++i;
+        }
+        continue;
+      }
+      code[i] = line[i];
+      ++i;
+    }
+    out.push_back(std::move(code));
+  }
+  return out;
+}
+
+// Parse `bpsio-lint: allow(rule1, rule2)` from a raw line's comment.
+std::set<std::string> parse_allow(const std::string& raw) {
+  std::set<std::string> rules;
+  const std::string tag = "bpsio-lint: allow(";
+  const std::size_t at = raw.find(tag);
+  if (at == std::string::npos) return rules;
+  const std::size_t open = at + tag.size();
+  const std::size_t close = raw.find(')', open);
+  if (close == std::string::npos) return rules;
+  std::string inside = raw.substr(open, close - open);
+  std::stringstream ss(inside);
+  std::string rule;
+  while (std::getline(ss, rule, ',')) {
+    rule.erase(0, rule.find_first_not_of(" \t"));
+    rule.erase(rule.find_last_not_of(" \t") + 1);
+    if (!rule.empty()) rules.insert(rule);
+  }
+  return rules;
+}
+
+SourceFile load_source(std::string path, const std::string& content) {
+  SourceFile src;
+  src.path = std::move(path);
+  std::stringstream ss(content);
+  std::string line;
+  while (std::getline(ss, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    src.raw.push_back(line);
+  }
+  src.code = strip_code(src.raw);
+  src.allow.resize(src.raw.size());
+  src.comment_only.resize(src.raw.size());
+  for (std::size_t i = 0; i < src.raw.size(); ++i) {
+    src.allow[i] = parse_allow(src.raw[i]);
+    const std::string& code = src.code[i];
+    src.comment_only[i] =
+        code.find_first_not_of(" \t") == std::string::npos &&
+        src.raw[i].find_first_not_of(" \t") != std::string::npos;
+  }
+  return src;
+}
+
+// A finding at `line` (0-based) is suppressed by an allow on the same line or
+// on a comment-only line directly above.
+bool is_allowed(const SourceFile& src, std::size_t line,
+                const std::string& rule) {
+  if (line < src.allow.size() && src.allow[line].count(rule)) return true;
+  if (line > 0 && src.comment_only[line - 1] &&
+      src.allow[line - 1].count(rule)) {
+    return true;
+  }
+  return false;
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Find `token` in `code` as a whole identifier (not part of a longer one,
+// not a member access like `.token` / `->token`). Qualified uses
+// (`std::token`) DO match — that is how std entropy/clock names appear.
+std::vector<std::size_t> find_calls(const std::string& code,
+                                    const std::string& token,
+                                    bool require_paren) {
+  std::vector<std::size_t> hits;
+  std::size_t at = 0;
+  while ((at = code.find(token, at)) != std::string::npos) {
+    const std::size_t end = at + token.size();
+    const bool left_ok =
+        (at == 0 || (!ident_char(code[at - 1]) && code[at - 1] != '.' &&
+                     !(code[at - 1] == '>' && at >= 2 && code[at - 2] == '-')));
+    bool right_ok = end >= code.size() || !ident_char(code[end]);
+    if (right_ok && require_paren) {
+      std::size_t j = end;
+      while (j < code.size() && code[j] == ' ') ++j;
+      right_ok = j < code.size() && code[j] == '(';
+    }
+    if (left_ok && right_ok) hits.push_back(at);
+    at = end;
+  }
+  return hits;
+}
+
+// Gather the statement starting at `line` up to the first ';' (joining up to
+// `max_lines` following lines) — used to inspect a whole sort call.
+std::string statement_at(const SourceFile& src, std::size_t line,
+                         std::size_t max_lines = 8) {
+  std::string stmt;
+  for (std::size_t i = line; i < src.code.size() && i < line + max_lines; ++i) {
+    stmt += src.code[i];
+    stmt += ' ';
+    if (src.code[i].find(';') != std::string::npos) break;
+  }
+  return stmt;
+}
+
+bool path_contains(const std::string& path, const std::string& piece) {
+  return path.find(piece) != std::string::npos;
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+using RuleFn = void (*)(const SourceFile&, std::vector<Finding>&);
+
+void add_finding(const SourceFile& src, std::vector<Finding>& out,
+                 std::size_t line, const char* rule, std::string detail) {
+  if (is_allowed(src, line, rule)) return;
+  out.push_back(Finding{src.path, line + 1, rule, std::move(detail)});
+}
+
+// Determinism contract (PAPER.md §III.B, Figure 3): IoRecord ranges are
+// sorted only by the blessed comparators in trace/ and metrics/overlap*,
+// which define the canonical (start_ns, end_ns) order that makes the
+// parallel pipeline bit-identical to the serial one.
+void rule_iorecord_sort(const SourceFile& src, std::vector<Finding>& out) {
+  if (path_contains(src.path, "src/trace/") ||
+      path_contains(src.path, "src/metrics/overlap")) {
+    return;
+  }
+  for (std::size_t i = 0; i < src.code.size(); ++i) {
+    bool found = false;
+    for (const char* fn : {"std::sort", "std::stable_sort", "std::partial_sort"}) {
+      if (!find_calls(src.code[i], fn, /*require_paren=*/true).empty()) {
+        found = true;
+      }
+    }
+    if (!found) continue;
+    const std::string stmt = statement_at(src, i);
+    if (stmt.find("IoRecord") != std::string::npos) {
+      add_finding(src, out, i, "iorecord-sort",
+                  "sorting IoRecord range outside the blessed comparators in "
+                  "trace/ and metrics/overlap*");
+    }
+  }
+}
+
+// Determinism contract: the only entropy source is common/rng (seeded,
+// replayable); wall-clock reads would make runs non-reproducible.
+void rule_raw_random(const SourceFile& src, std::vector<Finding>& out) {
+  if (path_contains(src.path, "src/common/rng")) return;
+  struct Probe {
+    const char* token;
+    bool call;  // must be followed by '('
+  };
+  const Probe probes[] = {
+      {"rand", true},          {"srand", true},
+      {"random_device", false}, {"time", true},
+      {"clock", true},         {"gettimeofday", true},
+      {"system_clock", false}, {"steady_clock", false},
+      {"high_resolution_clock", false},
+  };
+  for (std::size_t i = 0; i < src.code.size(); ++i) {
+    for (const Probe& p : probes) {
+      if (!find_calls(src.code[i], p.token, p.call).empty()) {
+        add_finding(src, out, i, "raw-random",
+                    std::string("'") + p.token +
+                        "' outside common/rng breaks deterministic replay");
+      }
+    }
+  }
+}
+
+// Exactness contract (paper: B is a *count* of required blocks): block
+// counts accumulate in unsigned integers; a float/double accumulator loses
+// exactness past 2^53 and drifts under reassociation.
+void rule_float_blocks(const SourceFile& src, std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < src.code.size(); ++i) {
+    const std::string& code = src.code[i];
+    for (const char* type : {"double", "float"}) {
+      for (std::size_t at : find_calls(code, type, /*require_paren=*/false)) {
+        // Scan the declared name(s): stop at anything that ends the
+        // declarator head (initializer, call, statement end).
+        std::size_t end = code.find_first_of("=;,(){", at);
+        if (end == std::string::npos) end = code.size();
+        const std::string head = code.substr(at, end - at);
+        const std::size_t b = head.find("block");
+        // Require "block" to start an identifier-ish word (total_blocks,
+        // blocks_, block_count), not e.g. a type name mid-token.
+        if (b != std::string::npos) {
+          add_finding(src, out, i, "float-blocks",
+                      "block counts must accumulate in integers (B is exact); "
+                      "convert to double only at the final division");
+          break;
+        }
+      }
+    }
+  }
+}
+
+// Release-mode contract checks: assert() compiles out under NDEBUG (the
+// default build), silently disarming every invariant. BPSIO_CHECK stays on.
+void rule_bare_assert(const SourceFile& src, std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < src.code.size(); ++i) {
+    for (std::size_t at :
+         find_calls(src.code[i], "assert", /*require_paren=*/true)) {
+      // static_assert is compile-time and fine; find_calls already rejects
+      // identifier-prefixed matches, but be explicit about intent.
+      (void)at;
+      add_finding(src, out, i, "bare-assert",
+                  "use BPSIO_CHECK/BPSIO_DCHECK (common/check.hpp): assert() "
+                  "is a no-op in Release builds");
+      break;
+    }
+  }
+}
+
+// Concurrency contract: the analysis layer fans out through ThreadPool;
+// non-atomic mutable shared state is a data race waiting for a schedule.
+// Synchronization primitives and constants are exempt.
+void rule_mutable_global(const SourceFile& src, std::vector<Finding>& out) {
+  auto benign = [](const std::string& stmt) {
+    for (const char* ok :
+         {"const", "constexpr", "thread_local", "atomic", "Mutex", "mutex",
+          "once_flag", "CondVar"}) {
+      if (stmt.find(ok) != std::string::npos) return true;
+    }
+    return false;
+  };
+  for (std::size_t i = 0; i < src.code.size(); ++i) {
+    const std::string& code = src.code[i];
+
+    // (a) `static` storage that is not const/atomic/sync and initializes or
+    // declares a variable (function declarations contain '(' before any '='
+    // or ';' and are skipped).
+    for (std::size_t at : find_calls(code, "static", /*require_paren=*/false)) {
+      const std::string stmt = statement_at(src, i).substr(
+          i == 0 ? at : 0);  // cheap: whole joined statement
+      if (benign(stmt)) continue;
+      const std::size_t paren = stmt.find('(');
+      const std::size_t eq = stmt.find('=');
+      const std::size_t semi = stmt.find(';');
+      const bool is_function =
+          paren != std::string::npos &&
+          (eq == std::string::npos || paren < eq) &&
+          (semi == std::string::npos || paren < semi);
+      if (is_function) continue;
+      if (semi == std::string::npos && eq == std::string::npos) continue;
+      add_finding(src, out, i, "mutable-global",
+                  "static mutable state must be std::atomic, const, or a "
+                  "synchronization primitive");
+      break;
+    }
+
+    // (b) namespace-scope `g_` globals (project convention) that are not
+    // atomic/const/sync-typed.
+    for (std::size_t at : find_calls(code, "g_", /*require_paren=*/false)) {
+      (void)at;
+      // Only treat as a *declaration* when a type-ish token precedes g_ on
+      // the same line (crude but effective: line must not start with g_ and
+      // must end the statement with '=' or ';').
+      const std::string stmt = statement_at(src, i);
+      const std::size_t first = code.find_first_not_of(" \t");
+      if (first == std::string::npos) continue;
+      if (code.compare(first, 2, "g_") == 0) continue;  // use, not decl
+      if (stmt.find('=') == std::string::npos &&
+          stmt.find(';') == std::string::npos) {
+        continue;
+      }
+      if (benign(stmt)) continue;
+      // Reject expressions (assignment to member, function call args...):
+      // require the g_ token to be directly preceded by an identifier or
+      // '>' or '&' plus whitespace — i.e. `Type g_name`.
+      const std::size_t g = code.find("g_");
+      std::size_t p = g;
+      while (p > 0 && code[p - 1] == ' ') --p;
+      if (p == 0) continue;
+      const char before = code[p - 1];
+      if (!ident_char(before) && before != '>' && before != '&' &&
+          before != '*') {
+        continue;
+      }
+      add_finding(src, out, i, "mutable-global",
+                  "namespace-scope mutable global must be std::atomic, "
+                  "const, or a synchronization primitive");
+      break;
+    }
+  }
+}
+
+const std::map<std::string, RuleFn>& all_rules() {
+  static const std::map<std::string, RuleFn> rules = {
+      {"iorecord-sort", rule_iorecord_sort},
+      {"raw-random", rule_raw_random},
+      {"float-blocks", rule_float_blocks},
+      {"bare-assert", rule_bare_assert},
+      {"mutable-global", rule_mutable_global},
+  };
+  return rules;
+}
+
+std::vector<Finding> lint_source(const SourceFile& src) {
+  std::vector<Finding> findings;
+  for (const auto& [name, fn] : all_rules()) fn(src, findings);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              return a.line < b.line;
+            });
+  return findings;
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> collect_files(const std::string& root) {
+  std::vector<std::string> files;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc") {
+      files.push_back(entry.path().generic_string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+int lint_paths(const std::vector<std::string>& files) {
+  std::size_t total = 0;
+  for (const std::string& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "bpsio-lint: cannot open %s\n", path.c_str());
+      return 2;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const SourceFile src = load_source(path, buf.str());
+    for (const Finding& f : lint_source(src)) {
+      std::printf("%s:%zu: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                  f.detail.c_str());
+      ++total;
+    }
+  }
+  if (total > 0) {
+    std::printf("bpsio-lint: %zu violation(s) in %zu file(s) scanned\n", total,
+                files.size());
+    return 1;
+  }
+  std::printf("bpsio-lint: clean (%zu files)\n", files.size());
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Self-test: every rule must fire on a synthetic violation, stay quiet on a
+// conforming twin, and honor the allow-comment.
+// ---------------------------------------------------------------------------
+
+struct SelfCase {
+  const char* rule;
+  const char* path;     // fake path (rules are path-sensitive)
+  const char* bad;      // must produce exactly one finding for `rule`
+  const char* good;     // must produce no finding for `rule`
+};
+
+const SelfCase kSelfCases[] = {
+    {"iorecord-sort", "src/metrics/latency.cpp",
+     "void f(std::vector<IoRecord>& v) {\n"
+     "  std::sort(v.begin(), v.end(),\n"
+     "            [](const IoRecord& a, const IoRecord& b) {\n"
+     "              return a.start_ns < b.start_ns;\n"
+     "            });\n"
+     "}\n",
+     // Same sort is fine in the blessed location — checked via path below —
+     // and sorting non-record data is fine anywhere.
+     "void f(std::vector<double>& v) { std::sort(v.begin(), v.end()); }\n"},
+    {"raw-random", "src/device/ssd_model.cpp",
+     "int jitter() { return rand() % 7; }\n",
+     "int jitter(Rng& rng) { return static_cast<int>(rng.next_u64() % 7); }\n"},
+    {"raw-random", "src/device/ssd_model.cpp",
+     "double now() { return std::chrono::system_clock::now().time_since_epoch().count(); }\n",
+     "SimDuration busy = busy_time(now); // member call named time is fine\n"},
+    {"float-blocks", "src/metrics/calculators.cpp",
+     "double total_blocks = 0;\n",
+     "std::uint64_t total_blocks = 0; double bps = 0;\n"},
+    {"bare-assert", "src/sim/simulator.cpp",
+     "void f(int x) { assert(x > 0); }\n",
+     "void f(int x) { BPSIO_CHECK(x > 0); static_assert(sizeof(int) == 4); }\n"},
+    {"mutable-global", "src/common/log.cpp",
+     "static int g_counter = 0;\n",
+     "static const int g_counter = 0;\n"
+     "std::atomic<int> g_hits{0};\n"
+     "Mutex g_mu;\n"
+     "static std::size_t hardware_threads();\n"},
+};
+
+int self_test() {
+  int failures = 0;
+  auto count_rule = [](const std::vector<Finding>& fs, const std::string& rule) {
+    std::size_t n = 0;
+    for (const auto& f : fs) {
+      if (f.rule == rule) ++n;
+    }
+    return n;
+  };
+  for (const SelfCase& c : kSelfCases) {
+    const SourceFile bad = load_source(c.path, c.bad);
+    const SourceFile good = load_source(c.path, c.good);
+    const std::size_t bad_hits = count_rule(lint_source(bad), c.rule);
+    const std::size_t good_hits = count_rule(lint_source(good), c.rule);
+    if (bad_hits == 0) {
+      std::printf("SELF-TEST FAIL [%s]: rule did not fire on violation\n",
+                  c.rule);
+      ++failures;
+    }
+    if (good_hits != 0) {
+      std::printf("SELF-TEST FAIL [%s]: rule fired on conforming code\n",
+                  c.rule);
+      ++failures;
+    }
+    // An allow-comment line directly above the firing line suppresses it.
+    std::vector<Finding> bad_findings = lint_source(bad);
+    for (const Finding& f : bad_findings) {
+      if (f.rule != c.rule) continue;
+      std::vector<std::string> lines = bad.raw;
+      lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(f.line - 1),
+                   std::string("// bpsio-lint: allow(") + c.rule + ")");
+      std::string joined;
+      for (const std::string& l : lines) joined += l + "\n";
+      const SourceFile suppressed = load_source(c.path, joined);
+      if (count_rule(lint_source(suppressed), c.rule) != 0) {
+        std::printf("SELF-TEST FAIL [%s]: allow-comment did not suppress\n",
+                    c.rule);
+        ++failures;
+      }
+      break;
+    }
+  }
+  // Path sensitivity: the same IoRecord sort is blessed inside trace/.
+  {
+    const SourceFile blessed = load_source(
+        "src/trace/merge.cpp",
+        "void f(std::vector<IoRecord>& v) {\n"
+        "  std::sort(v.begin(), v.end(),\n"
+        "            [](const IoRecord& a, const IoRecord& b) {\n"
+        "              return a.start_ns < b.start_ns;\n"
+        "            });\n"
+        "}\n");
+    if (count_rule(lint_source(blessed), "iorecord-sort") != 0) {
+      std::printf("SELF-TEST FAIL [iorecord-sort]: fired in blessed path\n");
+      ++failures;
+    }
+  }
+  // Comments and strings never trigger rules.
+  {
+    const SourceFile quiet = load_source(
+        "src/metrics/latency.cpp",
+        "// assert(false) and rand() in a comment\n"
+        "const char* kDoc = \"assert(rand())\";\n");
+    if (!lint_source(quiet).empty()) {
+      std::printf("SELF-TEST FAIL: comment/string text triggered a rule\n");
+      ++failures;
+    }
+  }
+  if (failures == 0) {
+    std::printf("bpsio-lint self-test: all %zu rules verified\n",
+                all_rules().size());
+    return 0;
+  }
+  std::printf("bpsio-lint self-test: %d failure(s)\n", failures);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) {
+    std::fprintf(stderr,
+                 "usage: bpsio_lint --root <dir> | --self-test | <files...>\n");
+    return 2;
+  }
+  if (args[0] == "--self-test") return self_test();
+  if (args[0] == "--root") {
+    if (args.size() != 2) {
+      std::fprintf(stderr, "usage: bpsio_lint --root <dir>\n");
+      return 2;
+    }
+    return lint_paths(collect_files(args[1]));
+  }
+  return lint_paths(args);
+}
