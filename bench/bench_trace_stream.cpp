@@ -1,0 +1,161 @@
+// Peak-RSS: streaming vs materialized metric computation over a spilled
+// trace.
+//
+// The claim under test is the streaming pipeline's reason to exist: a
+// MetricSample over an N-record trace file costs O(chunk) resident memory
+// through SpilledTraceSource + measure_stream, while the materialized path
+// (load_binary -> TraceCollector -> measure_run) costs O(N). Both must
+// produce bit-identical samples — this harness checks equality AND that the
+// streaming pass's RSS growth stays flat while the trace is >= 100x the
+// SpillWriter's in-memory batch default (4096 records).
+//
+//   bench_trace_stream [--records=4096000] [--chunk=16384]
+//
+// The smoke ctest runs --records=409600 (100x the in-memory default,
+// ~12.5 MiB on disk). Exit status is nonzero on any mismatch or an RSS
+// blowup, so CI catches a regression that quietly re-materializes the trace.
+#include <sys/resource.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/config.hpp"
+#include "metrics/calculators.hpp"
+#include "metrics/pipeline.hpp"
+#include "trace/record_source.hpp"
+#include "trace/serialize.hpp"
+#include "trace/spill_writer.hpp"
+#include "trace/trace_collector.hpp"
+
+using namespace bpsio;
+
+namespace {
+
+// Peak resident set size in KiB (Linux ru_maxrss unit). Monotone per
+// process, which is why the streaming pass must run first.
+long peak_rss_kib() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;
+}
+
+// Overlapping bursty workload in canonical (start, end) order: strictly
+// increasing starts, each access overlapping the next few.
+trace::IoRecord synthetic_record(std::uint64_t i) {
+  const auto start = static_cast<std::int64_t>(i) * 50;
+  const auto len = 120 + static_cast<std::int64_t>(i % 7) * 40;
+  return trace::make_record(static_cast<std::uint32_t>(i % 8 + 1), i % 9 + 1,
+                            SimTime(start), SimTime(start + len));
+}
+
+bool identical(const metrics::MetricSample& a, const metrics::MetricSample& b,
+               const char* what) {
+  const bool same =
+      a.access_count == b.access_count && a.app_blocks == b.app_blocks &&
+      a.app_bytes == b.app_bytes && a.io_time_s == b.io_time_s &&
+      a.iops == b.iops && a.arpt_s == b.arpt_s && a.bps == b.bps &&
+      a.peak_concurrency == b.peak_concurrency;
+  if (!same) {
+    std::fprintf(stderr, "FAIL: %s differs\n  streaming:    %s\n  batch:        %s\n",
+                 what, a.to_string().c_str(), b.to_string().c_str());
+  }
+  return same;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Config cfg = Config::from_args(argc - 1, argv + 1);
+  const auto records =
+      static_cast<std::uint64_t>(cfg.get_int("records", 4'096'000));
+  const auto chunk = static_cast<std::size_t>(
+      cfg.get_int("chunk", static_cast<std::int64_t>(trace::kDefaultSourceChunk)));
+  const Bytes moved = records * 4 * kKiB;
+  const SimDuration exec = SimDuration(static_cast<std::int64_t>(records) * 60);
+  const std::string path = "/tmp/bpsio_bench_trace_stream.bpstrace";
+
+  std::printf("=== streaming vs materialized metrics: %llu records (%.1f MiB on disk) ===\n",
+              static_cast<unsigned long long>(records),
+              static_cast<double>(records) * sizeof(trace::IoRecord) /
+                  (1024.0 * 1024.0));
+
+  // Write the trace with the bounded-memory writer (never holds > 4096
+  // records), so generation itself cannot inflate the baseline RSS.
+  {
+    trace::SpillWriter writer(path);
+    for (std::uint64_t i = 0; i < records; ++i) {
+      writer.append(synthetic_record(i));
+    }
+    if (!writer.close().ok()) {
+      std::fprintf(stderr, "FAIL: cannot write %s\n", path.c_str());
+      return 1;
+    }
+  }
+
+  // Pass 1 — streaming (must run first: ru_maxrss never decreases).
+  const long rss_before_stream = peak_rss_kib();
+  trace::SpilledTraceSource source(path, chunk);
+  const auto streamed = metrics::measure_stream(source, moved, exec);
+  const long stream_growth = peak_rss_kib() - rss_before_stream;
+  if (!streamed.ok()) {
+    std::fprintf(stderr, "FAIL: streaming measure: %s\n",
+                 streamed.error().message.c_str());
+    return 1;
+  }
+
+  // Pass 2 — materialized batch path.
+  const long rss_before_batch = peak_rss_kib();
+  metrics::MetricSample batch;
+  {
+    const auto loaded = trace::load_binary(path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "FAIL: load_binary: %s\n",
+                   loaded.error().message.c_str());
+      return 1;
+    }
+    trace::TraceCollector collector;
+    collector.gather(*loaded);
+    batch = metrics::measure_run(collector, moved, exec);
+  }
+  const long batch_growth = peak_rss_kib() - rss_before_batch;
+
+  std::printf("  streaming: %s\n", streamed->to_string().c_str());
+  std::printf("  rss growth: streaming %+ld KiB (chunk=%zu records), "
+              "materialized %+ld KiB\n",
+              stream_growth, chunk, batch_growth);
+  std::remove(path.c_str());
+
+  int failures = 0;
+  if (!identical(*streamed, batch, "streaming vs materialized sample")) {
+    ++failures;
+  }
+  // Flat-memory check, deliberately generous: the streaming pass may grow by
+  // its chunk buffer plus allocator slack, never by anything proportional to
+  // the trace. 16 MiB is ~3% of the full-mode trace's materialized footprint.
+  const long stream_budget_kib =
+      16 * 1024 + static_cast<long>(chunk * sizeof(trace::IoRecord) / 1024);
+  if (stream_growth > stream_budget_kib) {
+    std::fprintf(stderr,
+                 "FAIL: streaming pass grew %ld KiB (budget %ld KiB) — "
+                 "something materialized the trace\n",
+                 stream_growth, stream_budget_kib);
+    ++failures;
+  }
+  // The materialized path must actually pay for the records (one full copy
+  // at minimum), otherwise this harness is not measuring what it claims.
+  const long one_copy_kib =
+      static_cast<long>(records * sizeof(trace::IoRecord) / 1024);
+  if (batch_growth < one_copy_kib) {
+    std::fprintf(stderr,
+                 "FAIL: materialized pass grew only %ld KiB (< one record "
+                 "copy %ld KiB) — baseline invalid\n",
+                 batch_growth, one_copy_kib);
+    ++failures;
+  }
+  if (failures == 0) {
+    std::printf("OK: identical samples, streaming memory flat\n");
+    return 0;
+  }
+  return 1;
+}

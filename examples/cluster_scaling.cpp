@@ -45,7 +45,10 @@ int main(int argc, char** argv) {
     specs.push_back(std::move(spec));
   }
 
-  const auto sweep = core::run_sweep(specs, /*repeats=*/3, /*base_seed=*/42);
+  core::SweepOptions sweep_opt;
+  sweep_opt.repeats = 3;
+  sweep_opt.base_seed = 42;
+  const auto sweep = core::run_sweep(specs, sweep_opt);
   std::printf("%s\n", sweep.samples_table().c_str());
   std::printf("%s\n", sweep.report.to_string().c_str());
   std::printf(

@@ -2,7 +2,9 @@
 
 #include <cstdio>
 
-#include "metrics/overlap.hpp"
+#include "common/check.hpp"
+#include "metrics/pipeline.hpp"
+#include "trace/record_source.hpp"
 
 namespace bpsio::core {
 
@@ -18,26 +20,33 @@ std::string BpsReading::to_string() const {
 }
 
 BpsReading BpsMeter::measure(const trace::RecordFilter& filter) const {
+  // One unfiltered pass: the filtered accumulators sit behind consumer-side
+  // filters because the process count is deliberately unfiltered (it reports
+  // the whole collection, matching TraceCollector::process_count()).
+  metrics::BlocksConsumer acc;
+  metrics::FilteredConsumer filtered_acc(filter, acc);
+  metrics::OverlapConsumer overlap(filter);
+  metrics::FilteredConsumer filtered_overlap(filter, overlap);
+  metrics::ProcessCountConsumer processes;
+  auto source = trace::collector_source(collector_);
+  metrics::MetricPipeline pipeline;
+  pipeline.attach(filtered_acc).attach(filtered_overlap).attach(processes);
+  const Status run = pipeline.run(source);
+  BPSIO_CHECK(run.ok(), "meter pipeline failed: %s",
+              run.error().message.c_str());
+  (void)algo_;  // all overlap algorithms yield the same union T
+
   BpsReading r;
   r.blocks = block_size_ == kDefaultBlockSize
-                 ? collector_.total_blocks(filter)
-                 : bytes_to_blocks(
-                       collector_.total_bytes(kDefaultBlockSize, filter),
-                       block_size_);
-  const auto col_time = collector_.col_time(filter);
-  const SimDuration t = algo_ == metrics::OverlapAlgorithm::paper
-                            ? metrics::overlap_time_paper(col_time)
-                            : metrics::overlap_time_merged(col_time);
+                 ? acc.blocks()
+                 : bytes_to_blocks(acc.bytes(kDefaultBlockSize), block_size_);
+  const SimDuration t = overlap.io_time();
   r.io_time_s = t.seconds();
   r.bps = t.ns() > 0 ? static_cast<double>(r.blocks) / t.seconds() : 0.0;
-  std::size_t n = 0;
-  for (const auto& rec : collector_.records()) {
-    if (filter.matches(rec)) ++n;
-  }
-  r.accesses = n;
-  r.processes = collector_.process_count();
-  r.idle_time_s = metrics::idle_time(col_time).seconds();
-  r.avg_concurrency = metrics::average_concurrency(col_time);
+  r.accesses = acc.record_count();
+  r.processes = processes.process_count();
+  r.idle_time_s = overlap.idle_time().seconds();
+  r.avg_concurrency = overlap.avg_concurrency();
   return r;
 }
 

@@ -81,7 +81,7 @@ SweepResult run_sweep(const std::vector<RunSpec>& specs,
                       const SweepOptions& options);
 
 /// Back-compat convenience overload (serial).
-SweepResult run_sweep(
+[[deprecated("use the SweepOptions overload")]] SweepResult run_sweep(
     const std::vector<RunSpec>& specs, std::uint32_t repeats = 5,
     std::uint64_t base_seed = 42,
     metrics::OverlapAlgorithm algo = metrics::OverlapAlgorithm::merged);

@@ -2,30 +2,51 @@
 
 #include <cstdio>
 
+#include "common/check.hpp"
 #include "metrics/overlap.hpp"
+#include "metrics/pipeline.hpp"
+#include "trace/record_source.hpp"
 
 namespace bpsio::metrics {
 
 SimDuration overlapped_io_time(const trace::TraceCollector& collector,
                                OverlapAlgorithm algo,
                                const trace::RecordFilter& filter) {
-  auto col_time = collector.col_time(filter);
-  return algo == OverlapAlgorithm::paper
-             ? overlap_time_paper(std::move(col_time))
-             : overlap_time_merged(std::move(col_time));
+  if (algo == OverlapAlgorithm::paper) {
+    // The paper's literal pairwise-subtraction formulation, kept as the
+    // materialized reference implementation.
+    return overlap_time_paper(collector.col_time(filter));
+  }
+  // Every other algorithm computes the same integer union measure, so the
+  // batch entry point runs the streaming pipeline.
+  auto source = trace::collector_source(collector, filter);
+  OverlapConsumer overlap(filter);
+  MetricPipeline pipeline;
+  pipeline.attach(overlap);
+  const Status run = pipeline.run(source);
+  BPSIO_CHECK(run.ok(), "overlap pipeline failed: %s",
+              run.error().message.c_str());
+  return overlap.io_time();
 }
 
 double bps(const trace::TraceCollector& collector, Bytes block_size,
            OverlapAlgorithm algo, const trace::RecordFilter& filter) {
-  const auto t = overlapped_io_time(collector, algo, filter);
+  auto source = trace::collector_source(collector, filter);
+  BlocksConsumer acc;
+  OverlapConsumer overlap(filter);
+  MetricPipeline pipeline;
+  pipeline.attach(acc).attach(overlap);
+  const Status run = pipeline.run(source);
+  BPSIO_CHECK(run.ok(), "bps pipeline failed: %s", run.error().message.c_str());
+  (void)algo;  // all overlap algorithms yield the same union T
+  const SimDuration t = overlap.io_time();
   if (t.ns() <= 0) return 0.0;
   // Records store blocks in the collector's native block unit (512 B). If a
   // different block size is requested, rescale via bytes.
   const std::uint64_t blocks =
       block_size == kDefaultBlockSize
-          ? collector.total_blocks(filter)
-          : bytes_to_blocks(collector.total_bytes(kDefaultBlockSize, filter),
-                            block_size);
+          ? acc.blocks()
+          : bytes_to_blocks(acc.bytes(kDefaultBlockSize), block_size);
   return static_cast<double>(blocks) / t.seconds();
 }
 
@@ -36,11 +57,17 @@ double iops(std::size_t access_count, SimDuration period) {
 
 double iops(const trace::TraceCollector& collector, SimDuration period,
             const trace::RecordFilter& filter) {
-  std::size_t n = 0;
-  for (const auto& r : collector.records()) {
-    if (filter.matches(r)) ++n;
-  }
-  return iops(n, period);
+  // Counting is order-independent: stream the collector's gather order
+  // without the sorted snapshot.
+  auto source = trace::collector_view(collector);
+  BlocksConsumer acc;
+  FilteredConsumer filtered(filter, acc);
+  MetricPipeline pipeline;
+  pipeline.attach(filtered).check_order(false);
+  const Status run = pipeline.run(source);
+  BPSIO_CHECK(run.ok(), "iops pipeline failed: %s",
+              run.error().message.c_str());
+  return iops(static_cast<std::size_t>(acc.record_count()), period);
 }
 
 double bandwidth(Bytes moved_bytes, SimDuration period) {
@@ -50,34 +77,26 @@ double bandwidth(Bytes moved_bytes, SimDuration period) {
 
 double arpt(const trace::TraceCollector& collector,
             const trace::RecordFilter& filter) {
-  double total = 0.0;
-  std::size_t n = 0;
-  for (const auto& r : collector.records()) {
-    if (!filter.matches(r)) continue;
-    total += r.response_time().seconds();
-    ++n;
-  }
-  return n ? total / static_cast<double>(n) : 0.0;
+  auto source = trace::collector_view(collector);
+  ArptConsumer acc;
+  FilteredConsumer filtered(filter, acc);
+  MetricPipeline pipeline;
+  pipeline.attach(filtered).check_order(false);
+  const Status run = pipeline.run(source);
+  BPSIO_CHECK(run.ok(), "arpt pipeline failed: %s",
+              run.error().message.c_str());
+  return acc.arpt_s();
 }
 
 MetricSample measure_run(const trace::TraceCollector& collector,
                          Bytes moved_bytes, SimDuration exec_time,
                          Bytes block_size, OverlapAlgorithm algo) {
-  MetricSample s;
-  s.exec_time_s = exec_time.seconds();
-  s.access_count = collector.record_count();
-  s.app_blocks = collector.total_blocks();
-  s.app_bytes = collector.total_bytes();
-  s.moved_bytes = moved_bytes;
-  const auto t_union = overlapped_io_time(collector, algo);
-  s.io_time_s = t_union.seconds();
-  s.iops = iops(s.access_count, exec_time);
-  s.bandwidth_bps = bandwidth(moved_bytes, exec_time);
-  s.arpt_s = arpt(collector);
-  s.bps = bps(collector, block_size, algo);
-  s.peak_concurrency =
-      static_cast<double>(peak_concurrency(collector.col_time()));
-  return s;
+  (void)algo;  // all overlap algorithms yield the same union T
+  auto source = trace::collector_source(collector);
+  auto sample = measure_stream(source, moved_bytes, exec_time, block_size);
+  BPSIO_CHECK(sample.ok(), "measure pipeline failed: %s",
+              sample.error().message.c_str());
+  return *sample;
 }
 
 std::string MetricSample::to_string() const {

@@ -4,21 +4,33 @@
 #include <cstdio>
 #include <vector>
 
+#include "common/check.hpp"
+#include "metrics/pipeline.hpp"
 #include "stats/descriptive.hpp"
+#include "trace/record_source.hpp"
 
 namespace bpsio::metrics {
 
 LatencySummary latency_summary(const trace::TraceCollector& collector,
                                const trace::RecordFilter& filter) {
+  // Latency statistics are order-independent (percentile() sorts its copy),
+  // so stream the collector's gather order. The response times themselves
+  // must be materialized — exact percentiles need every sample — which is
+  // the documented escape hatch, not a whole-record copy.
   std::vector<double> rts;
-  rts.reserve(collector.record_count());
   double sum = 0;
-  for (const auto& r : collector.records()) {
-    if (!filter.matches(r)) continue;
+  ForEachConsumer gather([&](const trace::IoRecord& r) {
     const double rt = r.response_time().seconds();
     rts.push_back(rt);
     sum += rt;
-  }
+  });
+  FilteredConsumer filtered(filter, gather);
+  auto source = trace::collector_view(collector);
+  MetricPipeline pipeline;
+  pipeline.attach(filtered).check_order(false);
+  const Status run = pipeline.run(source);
+  BPSIO_CHECK(run.ok(), "latency pipeline failed: %s",
+              run.error().message.c_str());
   LatencySummary s;
   s.count = rts.size();
   if (rts.empty()) return s;
@@ -43,10 +55,14 @@ std::string LatencySummary::to_string() const {
 stats::LogHistogram latency_histogram(const trace::TraceCollector& collector,
                                       const trace::RecordFilter& filter) {
   stats::LogHistogram hist(1e-6, 100.0, 2.0);
-  for (const auto& r : collector.records()) {
-    if (!filter.matches(r)) continue;
-    hist.add(r.response_time().seconds());
-  }
+  HistogramConsumer add(hist);
+  FilteredConsumer filtered(filter, add);
+  auto source = trace::collector_view(collector);
+  MetricPipeline pipeline;
+  pipeline.attach(filtered).check_order(false);
+  const Status run = pipeline.run(source);
+  BPSIO_CHECK(run.ok(), "histogram pipeline failed: %s",
+              run.error().message.c_str());
   return hist;
 }
 

@@ -1,0 +1,385 @@
+#include "metrics/pipeline.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace bpsio::metrics {
+
+// ---------------------------------------------------------------------------
+// Simple accumulators
+// ---------------------------------------------------------------------------
+
+void BlocksConsumer::consume(std::span<const trace::IoRecord> chunk) {
+  records_ += chunk.size();
+  for (const auto& r : chunk) blocks_ += r.blocks;
+}
+
+void ArptConsumer::consume(std::span<const trace::IoRecord> chunk) {
+  count_ += chunk.size();
+  for (const auto& r : chunk) {
+    total_ns_ += static_cast<TotalNs>(r.end_ns - r.start_ns);
+  }
+}
+
+double ArptConsumer::arpt_s() const {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(total_ns_) / static_cast<double>(count_) * 1e-9;
+}
+
+void ProcessCountConsumer::consume(std::span<const trace::IoRecord> chunk) {
+  for (const auto& r : chunk) pids_.insert(r.pid);
+}
+
+void HistogramConsumer::consume(std::span<const trace::IoRecord> chunk) {
+  for (const auto& r : chunk) hist_->add(r.response_time().seconds());
+}
+
+void ForEachConsumer::consume(std::span<const trace::IoRecord> chunk) {
+  for (const auto& r : chunk) fn_(r);
+}
+
+void FilteredConsumer::consume(std::span<const trace::IoRecord> chunk) {
+  buf_.clear();
+  for (const auto& r : chunk) {
+    if (filter_.matches(r)) buf_.push_back(r);
+  }
+  if (!buf_.empty()) inner_->consume({buf_.data(), buf_.size()});
+}
+
+// ---------------------------------------------------------------------------
+// IntervalSweep
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+void IntervalSweep::step(std::int64_t t, int delta) {
+  // Same event handling as the batch sweeps (peak_concurrency,
+  // concurrency_profile): emit the segment since the previous event while
+  // at the old level, then apply the level change.
+  if (active_ > 0 && t > prev_ && on_segment) on_segment(prev_, t, active_);
+  prev_ = t;
+  if (delta > 0) {
+    ++active_;
+    peak_ = std::max(peak_, active_);
+  } else {
+    --active_;
+  }
+}
+
+void IntervalSweep::add(std::int64_t start_ns, std::int64_t end_ns) {
+  // Retire every pending end <= this start first: the min-heap pops them in
+  // increasing time order, and an end equal to the start retires before the
+  // start — the batch comparator's "-1 before +1 at the same time" rule.
+  while (!ends_.empty() && ends_.top() <= start_ns) {
+    const std::int64_t t = ends_.top();
+    ends_.pop();
+    step(t, -1);
+  }
+  step(start_ns, +1);
+  ends_.push(end_ns);
+}
+
+void IntervalSweep::finish() {
+  while (!ends_.empty()) {
+    const std::int64_t t = ends_.top();
+    ends_.pop();
+    step(t, -1);
+  }
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// OverlapConsumer
+// ---------------------------------------------------------------------------
+
+void OverlapConsumer::consume(std::span<const trace::IoRecord> chunk) {
+  if (!sweep_bound_) {
+    sweep_bound_ = true;
+    sweep_.on_segment = [this](std::int64_t t0, std::int64_t t1, std::size_t) {
+      busy_ns_ += t1 - t0;  // any level >= 1 is busy: T is the union measure
+    };
+  }
+  for (const auto& r : chunk) {
+    // col_time()'s window clamp: time inside the window only. Clamping a
+    // nondecreasing start sequence with max() keeps it nondecreasing, so
+    // the sweep's ordering requirement survives.
+    std::int64_t s = r.start_ns;
+    std::int64_t e = r.end_ns;
+    if (window_start_) s = std::max(s, *window_start_);
+    if (window_end_) e = std::min(e, *window_end_);
+    if (e < s) continue;  // entirely outside the window
+    if (!any_interval_) {
+      any_interval_ = true;
+      lo_ns_ = s;
+      hi_ns_ = e;
+    } else {
+      lo_ns_ = std::min(lo_ns_, s);
+      hi_ns_ = std::max(hi_ns_, e);
+    }
+    if (e > s) {
+      sum_len_ns_ += e - s;
+      sweep_.add(s, e);
+    }
+  }
+}
+
+void OverlapConsumer::finish() { sweep_.finish(); }
+
+double OverlapConsumer::avg_concurrency() const {
+  if (busy_ns_ <= 0) return 0.0;
+  return static_cast<double>(sum_len_ns_) / static_cast<double>(busy_ns_);
+}
+
+SimDuration OverlapConsumer::idle_time() const {
+  if (!any_interval_) return SimDuration::zero();
+  return SimDuration(hi_ns_ - lo_ns_) - io_time();
+}
+
+// ---------------------------------------------------------------------------
+// ConcurrencyProfileConsumer
+// ---------------------------------------------------------------------------
+
+void ConcurrencyProfileConsumer::consume(std::span<const trace::IoRecord> chunk) {
+  if (!sweep_bound_) {
+    sweep_bound_ = true;
+    sweep_.on_segment = [this](std::int64_t t0, std::int64_t t1,
+                               std::size_t level) {
+      if (at_level_.size() < level) at_level_.resize(level, 0.0);
+      const double span = static_cast<double>(t1 - t0) * 1e-9;
+      at_level_[level - 1] += span;
+      busy_total_ += span;
+    };
+  }
+  for (const auto& r : chunk) {
+    std::int64_t s = r.start_ns;
+    std::int64_t e = r.end_ns;
+    if (window_start_) s = std::max(s, *window_start_);
+    if (window_end_) e = std::min(e, *window_end_);
+    if (e <= s) continue;  // zero measure contributes no time at any level
+    sweep_.add(s, e);
+  }
+}
+
+void ConcurrencyProfileConsumer::finish() {
+  sweep_.finish();
+  if (busy_total_ > 0) {
+    for (double& v : at_level_) v /= busy_total_;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TimelineConsumer
+// ---------------------------------------------------------------------------
+
+TimelineConsumer::TimelineConsumer(SimDuration window,
+                                   std::optional<std::int64_t> lo,
+                                   std::optional<std::int64_t> hi)
+    : window_ns_(window.ns()), lo_override_(lo), hi_override_(hi) {
+  BPSIO_CHECK(window_ns_ > 0, "timeline window must be positive, got %lldns",
+              static_cast<long long>(window_ns_));
+  timeline_.window = window;
+}
+
+void TimelineConsumer::ensure_windows(std::size_t count) {
+  if (timeline_.windows.size() < count) {
+    timeline_.windows.resize(count);
+    merges_.resize(count);
+  }
+}
+
+void TimelineConsumer::consume(std::span<const trace::IoRecord> chunk) {
+  const std::int64_t hi_clamp =
+      hi_override_ ? *hi_override_ : std::numeric_limits<std::int64_t>::max();
+  for (const auto& r : chunk) {
+    if (!any_) {
+      any_ = true;
+      // Ordered stream: the first record's start is the minimum start, so
+      // this equals the batch min-scan default.
+      lo_ = lo_override_ ? *lo_override_ : r.start_ns;
+      max_end_ = r.end_ns;
+    } else {
+      max_end_ = std::max(max_end_, r.end_ns);
+    }
+    // Only explicit bounds can actually clamp: the span-default lo/hi
+    // enclose every record by construction.
+    const std::int64_t r_start = std::max(r.start_ns, lo_);
+    const std::int64_t r_end = std::min(r.end_ns, hi_clamp);
+    if (r_end < r_start) continue;
+    const std::int64_t duration = r.end_ns - r.start_ns;
+    const auto first_win =
+        static_cast<std::size_t>((r_start - lo_) / window_ns_);
+    const auto last_win = static_cast<std::size_t>(
+        r_end == r_start ? (r_start - lo_) / window_ns_
+                         : (r_end - 1 - lo_) / window_ns_);
+    ensure_windows(last_win + 1);
+    for (std::size_t i = first_win; i <= last_win; ++i) {
+      TimelineWindow& win = timeline_.windows[i];
+      const std::int64_t win_start =
+          lo_ + static_cast<std::int64_t>(i) * window_ns_;
+      // The final window's end is clipped to hi only at finish(); using the
+      // unclipped end here is exact because r_end never exceeds hi.
+      const std::int64_t s = std::max(r_start, win_start);
+      const std::int64_t e = std::min(r_end, win_start + window_ns_);
+      const std::int64_t inside = std::max<std::int64_t>(e - s, 0);
+      // Pro-rate blocks by the share of the access's duration inside this
+      // window. Instantaneous accesses land whole in their start window.
+      const double share =
+          duration > 0
+              ? static_cast<double>(inside) / static_cast<double>(duration)
+              : (i == first_win ? 1.0 : 0.0);
+      win.blocks += static_cast<double>(r.blocks) * share;
+      ++win.accesses_active;
+      if (inside > 0) {
+        // Streaming union merge: per-window clipped starts arrive in
+        // nondecreasing order, so one open interval suffices (the same
+        // extend-or-emit rule as merge_intervals()).
+        WindowMerge& m = merges_[i];
+        if (!m.open) {
+          m.open = true;
+          m.cur_start_ns = s;
+          m.cur_end_ns = e;
+        } else if (s <= m.cur_end_ns) {
+          m.cur_end_ns = std::max(m.cur_end_ns, e);
+        } else {
+          m.busy_ns += m.cur_end_ns - m.cur_start_ns;
+          m.cur_start_ns = s;
+          m.cur_end_ns = e;
+        }
+        m.sum_len_ns += e - s;
+      }
+    }
+  }
+}
+
+void TimelineConsumer::finish() {
+  if (!any_) return;
+  const std::int64_t hi = hi_override_ ? *hi_override_ : max_end_;
+  if (hi <= lo_) {
+    timeline_.windows.clear();
+    merges_.clear();
+    return;
+  }
+  // The batch builder sizes the window array from the span up front and
+  // skips contributions past it; streaming discovers the span last, so drop
+  // any window past it now (only a zero-length record exactly at hi can
+  // have created one).
+  const auto n_windows =
+      static_cast<std::size_t>((hi - lo_ + window_ns_ - 1) / window_ns_);
+  if (timeline_.windows.size() > n_windows) {
+    timeline_.windows.resize(n_windows);
+    merges_.resize(n_windows);
+  }
+  for (std::size_t i = 0; i < timeline_.windows.size(); ++i) {
+    TimelineWindow& win = timeline_.windows[i];
+    win.start_ns = lo_ + static_cast<std::int64_t>(i) * window_ns_;
+    win.end_ns = std::min<std::int64_t>(win.start_ns + window_ns_, hi);
+    WindowMerge& m = merges_[i];
+    if (m.open) {
+      m.busy_ns += m.cur_end_ns - m.cur_start_ns;
+      m.open = false;
+    }
+    win.io_time_s = SimDuration(m.busy_ns).seconds();
+    const double len = static_cast<double>(win.end_ns - win.start_ns) * 1e-9;
+    win.busy_fraction = len > 0 ? win.io_time_s / len : 0.0;
+    win.bps = win.io_time_s > 0 ? win.blocks / win.io_time_s : 0.0;
+    win.avg_concurrency =
+        m.busy_ns > 0
+            ? static_cast<double>(m.sum_len_ns) / static_cast<double>(m.busy_ns)
+            : 0.0;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MetricPipeline
+// ---------------------------------------------------------------------------
+
+MetricPipeline& MetricPipeline::attach(MetricConsumer& consumer) {
+  consumers_.push_back(&consumer);
+  return *this;
+}
+
+MetricPipeline& MetricPipeline::check_order(bool enabled) {
+  check_order_ = enabled;
+  return *this;
+}
+
+Status MetricPipeline::run(trace::RecordSource& source) {
+  bool have_prev = false;
+  std::int64_t prev_start = 0;
+  std::int64_t prev_end = 0;
+  for (;;) {
+    const auto chunk = source.next_chunk();
+    if (chunk.empty()) break;
+    if (check_order_) {
+      for (std::size_t i = 0; i < chunk.size(); ++i) {
+        const trace::IoRecord& r = chunk[i];
+        if (have_prev &&
+            (r.start_ns < prev_start ||
+             (r.start_ns == prev_start && r.end_ns < prev_end))) {
+          return Status{
+              Errc::invalid_argument,
+              "record stream unordered at record #" +
+                  std::to_string(processed_ + i) + ": (start " +
+                  std::to_string(r.start_ns) + ", end " +
+                  std::to_string(r.end_ns) + ") after (start " +
+                  std::to_string(prev_start) + ", end " +
+                  std::to_string(prev_end) +
+                  ") — sort the source or use collector_source()"};
+        }
+        prev_start = r.start_ns;
+        prev_end = r.end_ns;
+        have_prev = true;
+      }
+    }
+    for (MetricConsumer* c : consumers_) c->consume(chunk);
+    processed_ += chunk.size();
+  }
+  if (const Status s = source.status(); !s.ok()) return s;
+  for (MetricConsumer* c : consumers_) c->finish();
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// measure_stream
+// ---------------------------------------------------------------------------
+
+Result<MetricSample> measure_stream(trace::RecordSource& source,
+                                    Bytes moved_bytes, SimDuration exec_time,
+                                    Bytes block_size) {
+  BlocksConsumer blocks;
+  OverlapConsumer overlap;
+  ArptConsumer arpt_acc;
+  MetricPipeline pipeline;
+  pipeline.attach(blocks).attach(overlap).attach(arpt_acc);
+  if (const Status run = pipeline.run(source); !run.ok()) return run.error();
+
+  MetricSample s;
+  s.exec_time_s = exec_time.seconds();
+  s.access_count = blocks.record_count();
+  s.app_blocks = blocks.blocks();
+  s.app_bytes = blocks.bytes();
+  s.moved_bytes = moved_bytes;
+  const SimDuration t_union = overlap.io_time();
+  s.io_time_s = t_union.seconds();
+  s.iops = iops(static_cast<std::size_t>(s.access_count), exec_time);
+  s.bandwidth_bps = bandwidth(moved_bytes, exec_time);
+  s.arpt_s = arpt_acc.arpt_s();
+  if (t_union.ns() > 0) {
+    // Records store blocks in the native 512-byte unit; rescale via bytes
+    // when a different block size is requested (same rule as bps()).
+    const std::uint64_t scaled_blocks =
+        block_size == kDefaultBlockSize
+            ? s.app_blocks
+            : bytes_to_blocks(blocks_to_bytes(s.app_blocks, kDefaultBlockSize),
+                              block_size);
+    s.bps = static_cast<double>(scaled_blocks) / t_union.seconds();
+  }
+  s.peak_concurrency = static_cast<double>(overlap.peak_concurrency());
+  return s;
+}
+
+}  // namespace bpsio::metrics

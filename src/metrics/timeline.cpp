@@ -4,7 +4,8 @@
 #include <cstdio>
 
 #include "common/check.hpp"
-#include "metrics/overlap.hpp"
+#include "metrics/pipeline.hpp"
+#include "trace/record_source.hpp"
 
 namespace bpsio::metrics {
 
@@ -45,113 +46,27 @@ Timeline build_timeline(const trace::TraceCollector& collector,
                         const trace::RecordFilter& filter) {
   BPSIO_CHECK(window.ns() > 0, "timeline window must be positive, got %lldns",
               static_cast<long long>(window.ns()));
-  Timeline timeline;
-  timeline.window = window;
-
-  // Collect matching records and the span.
-  std::vector<const trace::IoRecord*> records;
-  std::int64_t lo = 0, hi = 0;
-  bool first = true;
-  for (const auto& r : collector.records()) {
-    if (!filter.matches(r)) continue;
-    records.push_back(&r);
-    if (first) {
-      lo = r.start_ns;
-      hi = r.end_ns;
-      first = false;
-    } else {
-      lo = std::min(lo, r.start_ns);
-      hi = std::max(hi, r.end_ns);
-    }
-  }
-  if (records.empty()) return timeline;
-  if (filter.window_start_ns) lo = *filter.window_start_ns;
-  if (filter.window_end_ns) hi = *filter.window_end_ns;
-  if (hi <= lo) return timeline;
-
-  const std::int64_t w = window.ns();
-  const auto n_windows = static_cast<std::size_t>((hi - lo + w - 1) / w);
-  timeline.windows.resize(n_windows);
-  for (std::size_t i = 0; i < n_windows; ++i) {
-    timeline.windows[i].start_ns = lo + static_cast<std::int64_t>(i) * w;
-    timeline.windows[i].end_ns =
-        std::min<std::int64_t>(timeline.windows[i].start_ns + w, hi);
-  }
-
-  // Attribute blocks and collect per-window intervals.
-  std::vector<std::vector<trace::TimeInterval>> per_window(n_windows);
-  for (const auto* r : records) {
-    const std::int64_t r_start = std::max(r->start_ns, lo);
-    const std::int64_t r_end = std::min(r->end_ns, hi);
-    if (r_end < r_start) continue;
-    const std::int64_t duration = r->end_ns - r->start_ns;
-    const auto first_win = static_cast<std::size_t>((r_start - lo) / w);
-    const auto last_win = static_cast<std::size_t>(
-        r_end == r_start ? (r_start - lo) / w
-                         : (r_end - 1 - lo) / w);
-    for (std::size_t i = first_win; i <= last_win && i < n_windows; ++i) {
-      auto& win = timeline.windows[i];
-      const std::int64_t s = std::max(r_start, win.start_ns);
-      const std::int64_t e = std::min(r_end, win.end_ns);
-      const std::int64_t inside = std::max<std::int64_t>(e - s, 0);
-      // Pro-rate blocks by the share of the access's duration inside this
-      // window. Instantaneous accesses land whole in their start window.
-      const double share =
-          duration > 0 ? static_cast<double>(inside) /
-                             static_cast<double>(duration)
-                       : (i == first_win ? 1.0 : 0.0);
-      win.blocks += static_cast<double>(r->blocks) * share;
-      ++win.accesses_active;
-      if (inside > 0) per_window[i].push_back({s, e});
-    }
-  }
-
-  for (std::size_t i = 0; i < n_windows; ++i) {
-    auto& win = timeline.windows[i];
-    const auto busy = overlap_time_merged(per_window[i]);
-    win.io_time_s = busy.seconds();
-    const double len =
-        static_cast<double>(win.end_ns - win.start_ns) * 1e-9;
-    win.busy_fraction = len > 0 ? win.io_time_s / len : 0.0;
-    win.bps = win.io_time_s > 0 ? win.blocks / win.io_time_s : 0.0;
-    win.avg_concurrency = average_concurrency(per_window[i]);
-  }
-  return timeline;
+  auto source = trace::collector_source(collector, filter);
+  TimelineConsumer timeline(window, filter.window_start_ns,
+                            filter.window_end_ns);
+  MetricPipeline pipeline;
+  pipeline.attach(timeline);
+  const Status run = pipeline.run(source);
+  BPSIO_CHECK(run.ok(), "timeline pipeline failed: %s",
+              run.error().message.c_str());
+  return timeline.take();
 }
 
 std::vector<double> concurrency_profile(const trace::TraceCollector& collector,
                                         const trace::RecordFilter& filter) {
-  // Sweep boundary events, accumulating time at each active level.
-  std::vector<std::pair<std::int64_t, int>> events;
-  for (const auto& iv : collector.col_time(filter)) {
-    if (iv.end_ns <= iv.start_ns) continue;
-    events.emplace_back(iv.start_ns, +1);
-    events.emplace_back(iv.end_ns, -1);
-  }
-  std::vector<double> at_level;
-  if (events.empty()) return at_level;
-  std::sort(events.begin(), events.end(),
-            [](const auto& a, const auto& b) {
-              if (a.first != b.first) return a.first < b.first;
-              return a.second < b.second;
-            });
-  std::size_t active = 0;
-  std::int64_t prev = events.front().first;
-  double busy_total = 0;
-  for (const auto& [t, delta] : events) {
-    if (active > 0 && t > prev) {
-      if (at_level.size() < active) at_level.resize(active, 0.0);
-      const double span = static_cast<double>(t - prev) * 1e-9;
-      at_level[active - 1] += span;
-      busy_total += span;
-    }
-    prev = t;
-    active = static_cast<std::size_t>(static_cast<std::int64_t>(active) + delta);
-  }
-  if (busy_total > 0) {
-    for (auto& v : at_level) v /= busy_total;
-  }
-  return at_level;
+  auto source = trace::collector_source(collector, filter);
+  ConcurrencyProfileConsumer profile(filter);
+  MetricPipeline pipeline;
+  pipeline.attach(profile);
+  const Status run = pipeline.run(source);
+  BPSIO_CHECK(run.ok(), "concurrency pipeline failed: %s",
+              run.error().message.c_str());
+  return profile.profile();
 }
 
 }  // namespace bpsio::metrics

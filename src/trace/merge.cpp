@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "trace/record_source.hpp"
+
 namespace bpsio::trace {
 
 std::vector<IoRecord> merge_traces(
@@ -109,6 +111,21 @@ std::vector<IoRecord> merge_traces_parallel(
     out.push_back(flat[heads[best]++]);
   }
   return out;
+}
+
+std::unique_ptr<RecordSource> merged_record_source(
+    const std::vector<std::vector<IoRecord>>& traces,
+    const MergeOptions& options) {
+  // Each child stable-sorts a copy of its trace; the shift/remap transform
+  // happens inside MergedSource and cannot reorder records (uniform shift,
+  // pid not part of the comparator), so child streams match the batch
+  // merge's per-source stage record for record.
+  std::vector<std::unique_ptr<RecordSource>> children;
+  children.reserve(traces.size());
+  for (const auto& t : traces) {
+    children.push_back(std::make_unique<VectorSource>(VectorSource::sorted(t)));
+  }
+  return std::make_unique<MergedSource>(std::move(children), options);
 }
 
 std::vector<IoRecord> shift_trace(std::vector<IoRecord> records,

@@ -9,12 +9,15 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/thread_pool.hpp"
 #include "trace/io_record.hpp"
 
 namespace bpsio::trace {
+
+class RecordSource;  // record_source.hpp
 
 enum class TimeAlignment {
   keep,         ///< trust the recorded timestamps (shared clock)
@@ -45,6 +48,18 @@ std::vector<IoRecord> merge_traces(
 /// wherever (start, end) keys are distinct).
 std::vector<IoRecord> merge_traces_parallel(
     const std::vector<std::vector<IoRecord>>& traces, ThreadPool& pool,
+    const MergeOptions& options = {});
+
+/// Streaming counterpart of merge_traces_parallel(): wraps each input trace
+/// in a sorted in-memory source and k-way merges them through a
+/// MergedSource. Yields exactly the record sequence merge_traces_parallel()
+/// returns — ordered by (start, end), ties by source index then original
+/// position — but chunk by chunk, without building the merged vector.
+/// Copies each input once (for the per-source sort); inputs that are
+/// already on disk should feed SpilledTraceSource children to a
+/// MergedSource directly instead.
+std::unique_ptr<RecordSource> merged_record_source(
+    const std::vector<std::vector<IoRecord>>& traces,
     const MergeOptions& options = {});
 
 /// Shift every record by `delta_ns` (e.g. to concatenate phases).

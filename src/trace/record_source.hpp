@@ -1,0 +1,185 @@
+// Streaming record sources — the pull side of the metric pipeline.
+//
+// The paper's methodology is a stream: 32-byte records flow from the capture
+// points into a global collection where B accumulates and col_time is merged
+// into T (Section III.B). A RecordSource surfaces that stream in bounded
+// chunks so the metric layer never has to materialize a whole trace:
+//
+//   * VectorSource         — view over in-memory records (or an owned,
+//                            sorted snapshot of a TraceCollector).
+//   * SpilledTraceSource   — streams a .bpstrace file chunk by chunk,
+//                            validating the v2 header without loading it.
+//   * MergedSource         — deterministic k-way merge over per-process /
+//                            per-application sources (the streaming twin of
+//                            merge_traces_parallel).
+//   * FilteredSource       — RecordFilter::matches() applied on the fly.
+//
+// Ordering contract: a RecordSource yields records in nondecreasing
+// (start_ns, end_ns) order unless documented otherwise (collector_view).
+// The MetricPipeline verifies this and refuses unordered streams, because
+// the single-pass overlap merge depends on it.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "trace/io_record.hpp"
+#include "trace/merge.hpp"
+#include "trace/serialize.hpp"
+#include "trace/trace_collector.hpp"
+
+namespace bpsio::trace {
+
+/// Default records per next_chunk() call: 16384 records = 512 KiB resident.
+inline constexpr std::size_t kDefaultSourceChunk = std::size_t{1} << 14;
+
+/// Pull-iterator over an ordered record stream.
+class RecordSource {
+ public:
+  virtual ~RecordSource() = default;
+
+  /// The next chunk of records, or an empty span when the stream is
+  /// exhausted (or failed — check status()). The span is valid until the
+  /// next next_chunk() call on the same source.
+  virtual std::span<const IoRecord> next_chunk() = 0;
+
+  /// Total records this source will yield, when cheaply known (e.g. from a
+  /// trace header). Consumers may use it to reserve; never to terminate.
+  virtual std::optional<std::uint64_t> size_hint() const { return std::nullopt; }
+
+  /// Ok while the stream is healthy; a failed source yields no further
+  /// chunks and reports why here.
+  virtual Status status() const { return {}; }
+};
+
+/// In-memory source over a span or an owned vector of records.
+class VectorSource final : public RecordSource {
+ public:
+  /// Non-owning view over records that are ALREADY in (start, end) order
+  /// (e.g. merge_traces output). The caller keeps the storage alive.
+  static VectorSource view(std::span<const IoRecord> records,
+                           std::size_t chunk_records = kDefaultSourceChunk);
+
+  /// Owning source: takes the records and stable-sorts them into the
+  /// canonical (start, end) order (ties keep their input order, matching
+  /// merge_traces_parallel's per-source stage).
+  static VectorSource sorted(std::vector<IoRecord> records,
+                             std::size_t chunk_records = kDefaultSourceChunk);
+
+  std::span<const IoRecord> next_chunk() override;
+  std::optional<std::uint64_t> size_hint() const override { return data_.size(); }
+
+ private:
+  VectorSource(std::vector<IoRecord> owned, std::span<const IoRecord> data,
+               std::size_t chunk_records);
+
+  std::vector<IoRecord> owned_;        // empty for views
+  std::span<const IoRecord> data_;
+  std::size_t pos_ = 0;
+  std::size_t chunk_;
+};
+
+/// Snapshot a collector into an owned, filtered, (start, end)-ordered source.
+/// This is the batch-compat adapter: every legacy entry point funnels its
+/// records through here so batch and streaming runs execute the same code.
+VectorSource collector_source(const TraceCollector& collector,
+                              const RecordFilter& filter = {},
+                              std::size_t chunk_records = kDefaultSourceChunk);
+
+/// Zero-copy view over a collector's records in GATHER order (unsorted).
+/// Only for order-insensitive consumers (counts, ARPT, latency); drive it
+/// with the pipeline's order check disabled. Quiescent-read contract: the
+/// collector must outlive the source and see no concurrent gather.
+VectorSource collector_view(const TraceCollector& collector,
+                            std::size_t chunk_records = kDefaultSourceChunk);
+
+/// Streams a .bpstrace (v2) file in bounded chunks. Header validation and
+/// truncation detection match read_binary(): a failed open, bad header, or
+/// short file surfaces through status(), never through a partial silent
+/// stream — next_chunk() yields nothing once the source has failed.
+class SpilledTraceSource final : public RecordSource {
+ public:
+  explicit SpilledTraceSource(std::string path,
+                              std::size_t chunk_records = kDefaultSourceChunk);
+
+  std::span<const IoRecord> next_chunk() override;
+  std::optional<std::uint64_t> size_hint() const override;
+  Status status() const override { return status_; }
+
+  /// Record count the header claims (0 when the header was rejected).
+  std::uint64_t record_count() const { return header_.record_count; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ifstream in_;
+  TraceHeader header_{};
+  std::vector<IoRecord> buf_;
+  std::uint64_t remaining_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::size_t chunk_;
+  Status status_;
+};
+
+/// Deterministic k-way merge over ordered child sources — the streaming twin
+/// of merge_traces_parallel: output is ordered by (start, end) with ties
+/// broken by child index, and MergeOptions pid remapping / start alignment
+/// apply exactly as in the batch merge (a child's first record carries its
+/// earliest start, since children are ordered). A failing child truncates
+/// the stream and surfaces through status().
+class MergedSource final : public RecordSource {
+ public:
+  explicit MergedSource(std::vector<std::unique_ptr<RecordSource>> children,
+                        MergeOptions options = {},
+                        std::size_t chunk_records = kDefaultSourceChunk);
+
+  std::span<const IoRecord> next_chunk() override;
+  std::optional<std::uint64_t> size_hint() const override { return hint_; }
+  Status status() const override { return status_; }
+
+ private:
+  struct Child {
+    std::unique_ptr<RecordSource> src;
+    std::vector<IoRecord> buf;  // current chunk, shift/remap applied
+    std::size_t pos = 0;
+    std::int64_t shift = 0;
+    std::uint32_t index = 0;
+    bool first = true;
+    bool done = false;
+  };
+
+  bool refill(Child& child);
+
+  std::vector<Child> children_;
+  MergeOptions options_;
+  std::vector<IoRecord> out_;
+  std::size_t chunk_;
+  std::optional<std::uint64_t> hint_;
+  Status status_;
+};
+
+/// Applies RecordFilter::matches() on the fly, preserving order. Window
+/// filters select overlapping records whole — interval clamping to the
+/// window stays in the overlap consumer, exactly as TraceCollector::
+/// col_time() clamps but total_blocks() does not.
+class FilteredSource final : public RecordSource {
+ public:
+  FilteredSource(RecordSource& inner, RecordFilter filter);
+
+  std::span<const IoRecord> next_chunk() override;
+  std::optional<std::uint64_t> size_hint() const override { return std::nullopt; }
+  Status status() const override { return inner_->status(); }
+
+ private:
+  RecordSource* inner_;
+  RecordFilter filter_;
+  std::vector<IoRecord> buf_;
+};
+
+}  // namespace bpsio::trace

@@ -27,7 +27,7 @@ Result<std::size_t> save_binary(const std::string& path,
   return write_binary(out, records);
 }
 
-Result<std::vector<IoRecord>> read_binary(std::istream& in) {
+Result<TraceHeader> read_trace_header(std::istream& in) {
   TraceHeader header;
   in.read(reinterpret_cast<char*>(&header), sizeof header);
   if (in.gcount() != static_cast<std::streamsize>(sizeof header)) {
@@ -51,6 +51,13 @@ Result<std::vector<IoRecord>> read_binary(std::istream& in) {
                      " (paper-format records are " +
                      std::to_string(sizeof(IoRecord)) + " bytes)"};
   }
+  return header;
+}
+
+Result<std::vector<IoRecord>> read_binary(std::istream& in) {
+  const auto parsed = read_trace_header(in);
+  if (!parsed.ok()) return parsed.error();
+  const TraceHeader header = *parsed;
   // Read in bounded chunks: a corrupt record_count must fail with a clean
   // "truncated" error, not a multi-gigabyte allocation.
   constexpr std::uint64_t kChunkRecords = 1 << 16;

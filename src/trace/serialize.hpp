@@ -38,6 +38,12 @@ Result<std::size_t> write_binary(std::ostream& out,
 Result<std::size_t> save_binary(const std::string& path,
                                 const std::vector<IoRecord>& records);
 
+/// Read and validate a v2 header from `in`. Shared by read_binary() and the
+/// streaming SpilledTraceSource so both paths reject the same corruptions
+/// (short header, bad magic, wrong version, non-32-byte records) with the
+/// same messages.
+Result<TraceHeader> read_trace_header(std::istream& in);
+
 /// Read a binary trace. Fails on bad magic/version or truncation.
 Result<std::vector<IoRecord>> read_binary(std::istream& in);
 Result<std::vector<IoRecord>> load_binary(const std::string& path);

@@ -16,6 +16,7 @@
 
 #include "common/result.hpp"
 #include "trace/io_record.hpp"
+#include "trace/record_source.hpp"
 
 namespace bpsio::trace {
 
@@ -39,6 +40,16 @@ class SpillWriter {
   /// Flush, rewrite the header with the final count, and close the file.
   /// Called by the destructor if not called explicitly.
   Status close();
+
+  /// Flush, close, and reopen the spill file as a streaming RecordSource —
+  /// the write-side-to-read-side handoff of the bounded-memory pipeline.
+  /// Records stream back in append order; `chunk_records` bounds resident
+  /// memory on the read side as `batch_records` did on the write side.
+  /// Fails when the writer never opened or the close failed (a failed close
+  /// can leave a stale placeholder header, which must not read as an empty
+  /// trace).
+  Result<SpilledTraceSource> into_source(
+      std::size_t chunk_records = kDefaultSourceChunk);
 
   std::uint64_t records_written() const { return written_ + batch_.size(); }
   std::size_t resident_records() const { return batch_.size(); }

@@ -172,7 +172,10 @@ TEST(Experiment, RunOnceIsDeterministicPerSeed) {
 TEST(Experiment, SeedStabilityReported) {
   const std::vector<RunSpec> specs{tiny_spec("p1", 1), tiny_spec("p2", 2),
                                    tiny_spec("p4", 4)};
-  const auto sweep = run_sweep(specs, /*repeats=*/3, /*base_seed=*/7);
+  SweepOptions opt;
+  opt.repeats = 3;
+  opt.base_seed = 7;
+  const auto sweep = run_sweep(specs, opt);
   ASSERT_EQ(sweep.stability.size(), 4u);
   const auto* bps = sweep.stability_of(metrics::MetricKind::bps);
   ASSERT_NE(bps, nullptr);
@@ -181,7 +184,10 @@ TEST(Experiment, SeedStabilityReported) {
   EXPECT_FALSE(sweep.stability_table().empty());
 
   // Single repetition: no stability data.
-  const auto single = run_sweep(specs, /*repeats=*/1, /*base_seed=*/7);
+  SweepOptions single_opt;
+  single_opt.repeats = 1;
+  single_opt.base_seed = 7;
+  const auto single = run_sweep(specs, single_opt);
   EXPECT_TRUE(single.stability.empty());
   EXPECT_TRUE(single.stability_table().empty());
 }
@@ -189,7 +195,10 @@ TEST(Experiment, SeedStabilityReported) {
 TEST(Experiment, RunSweepProducesAlignedOutputs) {
   const std::vector<RunSpec> specs{tiny_spec("p1", 1), tiny_spec("p2", 2),
                                    tiny_spec("p4", 4)};
-  const auto sweep = run_sweep(specs, /*repeats=*/2, /*base_seed=*/7);
+  SweepOptions opt;
+  opt.repeats = 2;
+  opt.base_seed = 7;
+  const auto sweep = run_sweep(specs, opt);
   ASSERT_EQ(sweep.samples.size(), 3u);
   ASSERT_EQ(sweep.labels.size(), 3u);
   EXPECT_EQ(sweep.labels[2], "p4");

@@ -135,12 +135,14 @@ TEST(ParallelSweep, ProgressCallbackCoversEveryPointExactlyOnce) {
   EXPECT_EQ(result.samples.size(), specs.size());
 }
 
-TEST(ParallelSweep, LegacyOverloadStillSerial) {
+TEST(ParallelSweep, DefaultOptionsMatchExplicitSerial) {
   const std::vector<RunSpec> specs{tiny_spec("p1", 1), tiny_spec("p2", 2)};
   SweepOptions opt;
   opt.repeats = 2;
   opt.base_seed = 42;
-  expect_bit_identical(run_sweep(specs, 2, 42), run_sweep(specs, opt));
+  SweepOptions serial = opt;
+  serial.threads = 1;
+  expect_bit_identical(run_sweep(specs, serial), run_sweep(specs, opt));
 }
 
 }  // namespace

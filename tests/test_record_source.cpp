@@ -1,0 +1,381 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "trace/merge.hpp"
+#include "trace/record_source.hpp"
+#include "trace/serialize.hpp"
+#include "trace/spill_writer.hpp"
+#include "trace/trace_collector.hpp"
+
+namespace bpsio {
+namespace {
+
+using trace::IoRecord;
+using trace::make_record;
+
+std::vector<IoRecord> drain(trace::RecordSource& source) {
+  std::vector<IoRecord> all;
+  for (auto chunk = source.next_chunk(); !chunk.empty();
+       chunk = source.next_chunk()) {
+    all.insert(all.end(), chunk.begin(), chunk.end());
+  }
+  return all;
+}
+
+// A small overlapping workload with duplicate (start, end) keys, multiple
+// pids, and a zero-length access.
+std::vector<IoRecord> sample_trace() {
+  std::vector<IoRecord> t;
+  t.push_back(make_record(1, 4, SimTime(0), SimTime(100)));
+  t.push_back(make_record(2, 2, SimTime(50), SimTime(150)));
+  t.push_back(make_record(1, 1, SimTime(50), SimTime(150)));  // duplicate key
+  t.push_back(make_record(3, 8, SimTime(120), SimTime(120)));  // zero-length
+  t.push_back(make_record(2, 3, SimTime(200), SimTime(260)));
+  return t;
+}
+
+TEST(VectorSource, ViewChunksWithoutCopying) {
+  const auto records = sample_trace();
+  auto source = trace::VectorSource::view(records, /*chunk_records=*/2);
+  ASSERT_TRUE(source.size_hint().has_value());
+  EXPECT_EQ(*source.size_hint(), records.size());
+
+  auto first = source.next_chunk();
+  ASSERT_EQ(first.size(), 2u);
+  // Zero-copy: the chunk aliases the caller's storage.
+  EXPECT_EQ(first.data(), records.data());
+
+  std::vector<IoRecord> all(first.begin(), first.end());
+  for (auto chunk = source.next_chunk(); !chunk.empty();
+       chunk = source.next_chunk()) {
+    EXPECT_LE(chunk.size(), 2u);
+    all.insert(all.end(), chunk.begin(), chunk.end());
+  }
+  EXPECT_EQ(all, records);
+  // Exhausted sources stay exhausted.
+  EXPECT_TRUE(source.next_chunk().empty());
+  EXPECT_TRUE(source.status().ok());
+}
+
+TEST(VectorSource, SortedOrdersByStartThenEnd) {
+  std::vector<IoRecord> shuffled;
+  shuffled.push_back(make_record(1, 1, SimTime(200), SimTime(210)));
+  shuffled.push_back(make_record(1, 1, SimTime(0), SimTime(300)));
+  shuffled.push_back(make_record(1, 1, SimTime(0), SimTime(100)));
+  auto source = trace::VectorSource::sorted(shuffled, /*chunk_records=*/10);
+  const auto all = drain(source);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].end_ns, 100);
+  EXPECT_EQ(all[1].end_ns, 300);
+  EXPECT_EQ(all[2].start_ns, 200);
+}
+
+TEST(VectorSource, EmptySourceYieldsNothing) {
+  auto source = trace::VectorSource::sorted({});
+  EXPECT_TRUE(source.next_chunk().empty());
+  ASSERT_TRUE(source.size_hint().has_value());
+  EXPECT_EQ(*source.size_hint(), 0u);
+}
+
+TEST(CollectorSource, FiltersAndSorts) {
+  trace::TraceCollector c;
+  c.add(make_record(2, 2, SimTime(500), SimTime(600)));
+  c.add(make_record(1, 1, SimTime(0), SimTime(100)));
+  c.add(make_record(2, 4, SimTime(100), SimTime(200)));
+  trace::RecordFilter f;
+  f.pid = 2;
+  auto source = trace::collector_source(c, f);
+  const auto all = drain(source);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].start_ns, 100);
+  EXPECT_EQ(all[1].start_ns, 500);
+}
+
+TEST(CollectorSource, ViewPreservesGatherOrder) {
+  trace::TraceCollector c;
+  c.add(make_record(1, 1, SimTime(500), SimTime(600)));
+  c.add(make_record(1, 1, SimTime(0), SimTime(100)));
+  auto source = trace::collector_view(c);
+  const auto all = drain(source);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].start_ns, 500);  // unsorted: gather order
+}
+
+// ---------------------------------------------------------------------------
+// SpilledTraceSource
+// ---------------------------------------------------------------------------
+
+std::vector<IoRecord> ordered_records(std::size_t n) {
+  std::vector<IoRecord> records;
+  records.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto s = static_cast<std::int64_t>(i) * 10;
+    records.push_back(make_record(static_cast<std::uint32_t>(i % 5), i % 7 + 1,
+                                  SimTime(s), SimTime(s + 25)));
+  }
+  return records;
+}
+
+std::string write_spill(const std::string& path,
+                        const std::vector<IoRecord>& records) {
+  trace::SpillWriter writer(path, /*batch_records=*/16);
+  for (const auto& r : records) writer.append(r);
+  EXPECT_TRUE(writer.close().ok());
+  return path;
+}
+
+TEST(SpilledTraceSource, StreamsExactlyTheFileContents) {
+  const auto records = ordered_records(100);
+  const std::string path =
+      write_spill("/tmp/bpsio_src_stream.bpstrace", records);
+  trace::SpilledTraceSource source(path, /*chunk_records=*/7);
+  ASSERT_TRUE(source.status().ok());
+  EXPECT_EQ(source.record_count(), 100u);
+  ASSERT_TRUE(source.size_hint().has_value());
+  EXPECT_EQ(*source.size_hint(), 100u);
+  EXPECT_EQ(drain(source), records);
+  EXPECT_TRUE(source.status().ok());
+  std::remove(path.c_str());
+}
+
+TEST(SpilledTraceSource, ChunkBoundaryCounts) {
+  // Record counts at chunk-1 / chunk / chunk+1 / 2*chunk stream exactly.
+  constexpr std::size_t kChunk = 8;
+  for (const std::size_t n : {kChunk - 1, kChunk, kChunk + 1, 2 * kChunk}) {
+    const auto records = ordered_records(n);
+    const std::string path = write_spill(
+        "/tmp/bpsio_src_boundary_" + std::to_string(n) + ".bpstrace", records);
+    trace::SpilledTraceSource source(path, kChunk);
+    EXPECT_EQ(drain(source), records) << "n=" << n;
+    EXPECT_TRUE(source.status().ok()) << "n=" << n;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(SpilledTraceSource, MissingFileFailsUpFront) {
+  trace::SpilledTraceSource source("/tmp/bpsio_no_such_trace.bpstrace");
+  EXPECT_FALSE(source.status().ok());
+  EXPECT_TRUE(source.next_chunk().empty());
+  EXPECT_FALSE(source.size_hint().has_value());
+}
+
+TEST(SpilledTraceSource, TruncatedFileSurfacesTheLoaderError) {
+  const auto records = ordered_records(40);
+  const std::string path =
+      write_spill("/tmp/bpsio_src_trunc.bpstrace", records);
+  // Chop the last 1.5 records off the file.
+  {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    const auto full = static_cast<std::size_t>(in.tellg());
+    std::vector<char> bytes(full - sizeof(IoRecord) - sizeof(IoRecord) / 2);
+    in.seekg(0);
+    in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  trace::SpilledTraceSource source(path, /*chunk_records=*/16);
+  ASSERT_TRUE(source.status().ok());  // header still intact
+  while (!source.next_chunk().empty()) {
+  }
+  EXPECT_FALSE(source.status().ok());
+  EXPECT_NE(source.status().error().message.find("trace truncated"),
+            std::string::npos)
+      << source.status().error().message;
+  // The streamed error matches the whole-file loader's verdict.
+  const auto loaded = trace::load_binary(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.error().message, source.status().error().message);
+  std::remove(path.c_str());
+}
+
+TEST(SpillWriter, IntoSourceRoundTrips) {
+  const std::string path = "/tmp/bpsio_into_source.bpstrace";
+  const auto records = ordered_records(50);
+  trace::SpillWriter writer(path, /*batch_records=*/8);
+  for (const auto& r : records) writer.append(r);
+  auto source = writer.into_source(/*chunk_records=*/9);
+  ASSERT_TRUE(source.ok());
+  EXPECT_EQ(source->record_count(), 50u);
+  EXPECT_EQ(drain(*source), records);
+  std::remove(path.c_str());
+}
+
+TEST(SpillWriter, IntoSourcePropagatesWriteFailure) {
+  trace::SpillWriter writer("/nonexistent-dir/x.bpstrace");
+  writer.append(make_record(1, 1, SimTime(0), SimTime(1)));
+  const auto source = writer.into_source();
+  EXPECT_FALSE(source.ok());
+}
+
+// ---------------------------------------------------------------------------
+// MergedSource
+// ---------------------------------------------------------------------------
+
+std::vector<std::vector<IoRecord>> three_traces() {
+  std::vector<std::vector<IoRecord>> traces(3);
+  // Unsorted inputs with cross-trace ties on (start, end).
+  traces[0].push_back(make_record(7, 1, SimTime(300), SimTime(400)));
+  traces[0].push_back(make_record(7, 2, SimTime(0), SimTime(100)));
+  traces[1].push_back(make_record(7, 3, SimTime(0), SimTime(100)));  // tie
+  traces[1].push_back(make_record(8, 4, SimTime(150), SimTime(250)));
+  traces[2].push_back(make_record(9, 5, SimTime(50), SimTime(60)));
+  traces[2].push_back(make_record(9, 6, SimTime(300), SimTime(400)));  // tie
+  return traces;
+}
+
+void expect_same_sequence(const trace::MergeOptions& options) {
+  const auto traces = three_traces();
+  ThreadPool pool(2);
+  const auto batch = trace::merge_traces_parallel(traces, pool, options);
+  auto source = trace::merged_record_source(traces, options);
+  ASSERT_NE(source, nullptr);
+  std::vector<IoRecord> streamed;
+  for (auto chunk = source->next_chunk(); !chunk.empty();
+       chunk = source->next_chunk()) {
+    EXPECT_LE(chunk.size(), trace::kDefaultSourceChunk);
+    streamed.insert(streamed.end(), chunk.begin(), chunk.end());
+  }
+  EXPECT_TRUE(source->status().ok());
+  ASSERT_TRUE(source->size_hint().has_value());
+  EXPECT_EQ(*source->size_hint(), batch.size());
+  EXPECT_EQ(streamed, batch);
+}
+
+TEST(MergedSource, MatchesBatchMergeRecordForRecord) {
+  expect_same_sequence(trace::MergeOptions{});
+}
+
+TEST(MergedSource, MatchesBatchMergeWithAlignedStarts) {
+  trace::MergeOptions options;
+  options.alignment = trace::TimeAlignment::align_starts;
+  expect_same_sequence(options);
+}
+
+TEST(MergedSource, MatchesBatchMergeWithoutPidRemap) {
+  trace::MergeOptions options;
+  options.pid_stride = 0;
+  expect_same_sequence(options);
+}
+
+TEST(MergedSource, SmallChunksPreserveTheSequence) {
+  const auto traces = three_traces();
+  ThreadPool pool(2);
+  const auto batch =
+      trace::merge_traces_parallel(traces, pool, trace::MergeOptions{});
+  std::vector<std::unique_ptr<trace::RecordSource>> children;
+  for (const auto& t : traces) {
+    children.push_back(std::make_unique<trace::VectorSource>(
+        trace::VectorSource::sorted(t, /*chunk_records=*/1)));
+  }
+  trace::MergedSource source(std::move(children), trace::MergeOptions{},
+                             /*chunk_records=*/2);
+  EXPECT_EQ(drain(source), batch);
+}
+
+TEST(MergedSource, NoChildrenIsEmpty) {
+  trace::MergedSource source({});
+  EXPECT_TRUE(source.next_chunk().empty());
+  EXPECT_TRUE(source.status().ok());
+}
+
+TEST(MergedSource, ChildFailureTruncatesAndReports) {
+  std::vector<std::unique_ptr<trace::RecordSource>> children;
+  children.push_back(std::make_unique<trace::SpilledTraceSource>(
+      "/tmp/bpsio_no_such_child.bpstrace"));
+  trace::MergedSource source(std::move(children));
+  EXPECT_TRUE(source.next_chunk().empty());
+  EXPECT_FALSE(source.status().ok());
+}
+
+// ---------------------------------------------------------------------------
+// FilteredSource (RecordFilter on streams)
+// ---------------------------------------------------------------------------
+
+TEST(FilteredSource, FilterThenMergeEqualsMergeThenFilter) {
+  const auto traces = three_traces();
+  trace::MergeOptions options;
+  options.pid_stride = 0;  // keep pids stable so the filter sees them
+  trace::RecordFilter f;
+  f.pid = 7;
+
+  // Merge, then filter the merged stream.
+  auto merged = trace::merged_record_source(traces, options);
+  trace::FilteredSource merge_then_filter(*merged, f);
+  const auto a = drain(merge_then_filter);
+
+  // Filter each child, then merge the filtered streams.
+  std::vector<std::unique_ptr<trace::RecordSource>> children;
+  for (const auto& t : traces) {
+    std::vector<IoRecord> kept;
+    for (const auto& r : t) {
+      if (f.matches(r)) kept.push_back(r);
+    }
+    children.push_back(std::make_unique<trace::VectorSource>(
+        trace::VectorSource::sorted(std::move(kept))));
+  }
+  trace::MergedSource filter_then_merge(std::move(children), options);
+  const auto b = drain(filter_then_merge);
+
+  EXPECT_EQ(a, b);
+  ASSERT_FALSE(a.empty());
+  for (const auto& r : a) EXPECT_EQ(r.pid, 7u);
+}
+
+TEST(FilteredSource, EmptyInnerSourceYieldsNothing) {
+  auto inner = trace::VectorSource::sorted({});
+  trace::FilteredSource source(inner, trace::RecordFilter{});
+  EXPECT_TRUE(source.next_chunk().empty());
+}
+
+TEST(FilteredSource, SingleRecordPassesOrDrops) {
+  std::vector<IoRecord> one{make_record(5, 2, SimTime(10), SimTime(20))};
+  {
+    auto inner = trace::VectorSource::view(one);
+    trace::RecordFilter f;
+    f.pid = 5;
+    trace::FilteredSource source(inner, f);
+    const auto all = drain(source);
+    ASSERT_EQ(all.size(), 1u);
+    EXPECT_EQ(all[0].blocks, 2u);
+  }
+  {
+    auto inner = trace::VectorSource::view(one);
+    trace::RecordFilter f;
+    f.pid = 6;
+    trace::FilteredSource source(inner, f);
+    EXPECT_TRUE(source.next_chunk().empty());
+  }
+}
+
+TEST(FilteredSource, WindowFilterAcrossSpilledChunkBoundaries) {
+  // A window that selects records straddling several small spill chunks:
+  // the filtered stream must equal the filtered whole-file load.
+  const auto records = ordered_records(64);
+  const std::string path =
+      write_spill("/tmp/bpsio_src_winfilter.bpstrace", records);
+  trace::RecordFilter f;
+  f.window_start_ns = 95;   // drops records ending before 95
+  f.window_end_ns = 400;    // drops records starting at/after 400
+  std::vector<IoRecord> expected;
+  for (const auto& r : records) {
+    if (f.matches(r)) expected.push_back(r);
+  }
+  ASSERT_FALSE(expected.empty());
+  ASSERT_LT(expected.size(), records.size());
+
+  trace::SpilledTraceSource spilled(path, /*chunk_records=*/5);
+  trace::FilteredSource source(spilled, f);
+  const auto streamed = drain(source);
+  EXPECT_EQ(streamed, expected);
+  EXPECT_TRUE(source.status().ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bpsio

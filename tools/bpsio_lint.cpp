@@ -19,6 +19,11 @@
 //                   stays armed in Release.
 //   mutable-global  static/namespace-scope mutable state that is not atomic,
 //                   const, or a synchronization primitive.
+//   records-materialize
+//                   .records() member calls outside the source adapters in
+//                   trace/ — materializing the full record vector caps
+//                   analyzable traces at RAM; metric code pulls bounded
+//                   chunks from a trace::RecordSource instead.
 //
 // Escape hatch: `// bpsio-lint: allow(rule)` on the offending line or on a
 // comment-only line directly above it. Every allow must carry a
@@ -391,6 +396,44 @@ void rule_mutable_global(const SourceFile& src, std::vector<Finding>& out) {
   }
 }
 
+// Bounded-memory contract (streaming pipeline): iterating a collector's or
+// buffer's .records() vector materializes the whole trace, capping analyzable
+// sizes at RAM. Only the source adapters in trace/ (collector_source,
+// collector_view, the buffers they wrap) may touch it; metric code pulls
+// chunks from a trace::RecordSource.
+void rule_records_materialize(const SourceFile& src,
+                              std::vector<Finding>& out) {
+  if (path_contains(src.path, "src/trace/")) return;
+  const std::string token = "records";
+  for (std::size_t i = 0; i < src.code.size(); ++i) {
+    const std::string& code = src.code[i];
+    std::size_t at = 0;
+    while ((at = code.find(token, at)) != std::string::npos) {
+      const std::size_t end = at + token.size();
+      // Member access only (`.records()` / `->records()`): free identifiers
+      // and longer names (record_count, records_) are unrelated.
+      const bool member =
+          (at >= 1 && code[at - 1] == '.') ||
+          (at >= 2 && code[at - 2] == '-' && code[at - 1] == '>');
+      const bool whole = end >= code.size() || !ident_char(code[end]);
+      bool call = false;
+      if (whole) {
+        std::size_t j = end;
+        while (j < code.size() && code[j] == ' ') ++j;
+        call = j < code.size() && code[j] == '(';
+      }
+      if (member && whole && call) {
+        add_finding(src, out, i, "records-materialize",
+                    "iterating .records() materializes the whole trace; pull "
+                    "bounded chunks from a trace::RecordSource "
+                    "(trace/record_source.hpp) instead");
+        break;
+      }
+      at = end;
+    }
+  }
+}
+
 const std::map<std::string, RuleFn>& all_rules() {
   static const std::map<std::string, RuleFn> rules = {
       {"iorecord-sort", rule_iorecord_sort},
@@ -398,6 +441,7 @@ const std::map<std::string, RuleFn>& all_rules() {
       {"float-blocks", rule_float_blocks},
       {"bare-assert", rule_bare_assert},
       {"mutable-global", rule_mutable_global},
+      {"records-materialize", rule_records_materialize},
   };
   return rules;
 }
@@ -498,6 +542,15 @@ const SelfCase kSelfCases[] = {
      "std::atomic<int> g_hits{0};\n"
      "Mutex g_mu;\n"
      "static std::size_t hardware_threads();\n"},
+    {"records-materialize", "src/metrics/foo.cpp",
+     "void f(const trace::TraceCollector& c) {\n"
+     "  for (const auto& r : c.records()) { use(r); }\n"
+     "}\n",
+     "void f(const trace::TraceCollector& c) {\n"
+     "  auto source = trace::collector_source(c);\n"
+     "  const std::uint64_t n = acc.record_count();\n"
+     "  std::vector<IoRecord> records;\n"
+     "}\n"},
 };
 
 int self_test() {
@@ -554,6 +607,19 @@ int self_test() {
         "}\n");
     if (count_rule(lint_source(blessed), "iorecord-sort") != 0) {
       std::printf("SELF-TEST FAIL [iorecord-sort]: fired in blessed path\n");
+      ++failures;
+    }
+  }
+  // Path sensitivity: the source adapters in trace/ may touch .records().
+  {
+    const SourceFile blessed = load_source(
+        "src/trace/record_source.cpp",
+        "void f(const TraceCollector& c) {\n"
+        "  for (const auto& r : c.records()) { use(r); }\n"
+        "}\n");
+    if (count_rule(lint_source(blessed), "records-materialize") != 0) {
+      std::printf(
+          "SELF-TEST FAIL [records-materialize]: fired in blessed path\n");
       ++failures;
     }
   }
