@@ -1,0 +1,531 @@
+// LD_PRELOAD interposer over the POSIX I/O family — the paper's capture
+// point, realized: "the I/O function library is modified to record the
+// information of each I/O access" (Section III.B), except nothing is
+// modified — the dynamic linker resolves open/read/write/... to the
+// wrappers below, which stamp CLOCK_MONOTONIC around the real call and
+// append a 32-byte IoRecord to a lock-free per-thread buffer. Buffers
+// spill to per-thread .bpstrace v2 files through SpillWriter; every
+// spill ends in a header checkpoint, so a traced process that dies
+// without running atexit still leaves a readable trace.
+//
+// Ground rules for code in this file (it runs inside OTHER PEOPLE'S
+// processes):
+//
+//  * Never abort the host. No BPSIO_CHECK, no exceptions escaping a
+//    wrapper, no exit on error — a broken output directory degrades to
+//    passthrough with one stderr warning.
+//  * Preserve errno. The host application's error handling reads errno
+//    after every call we wrap; the capture bookkeeping must be invisible.
+//  * Guard against self-recording. SpillWriter's own open/write/close
+//    land back in these wrappers (libstdc++ ofstream calls the PLT like
+//    everyone else); a thread_local reentrancy depth drops them.
+//  * No locks on the hot path. Each thread owns its buffer and its
+//    writer outright; the only shared mutable state is atomics (the
+//    runtime pointer, the cached pid, the fd-tracking table).
+//
+// Scope: only PLT calls to libc-exported symbols are interposable.
+// glibc-internal I/O (the loader, stdio's internal syscalls when the
+// host was linked -static) bypasses us — DESIGN.md §9 spells out the
+// boundary.
+#include <dlfcn.h>
+#include <fcntl.h>
+#include <pthread.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <array>
+#include <cerrno>
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "capture/capture_config.hpp"
+#include "common/wallclock.hpp"
+#include "trace/io_record.hpp"
+#include "trace/spill_writer.hpp"
+
+namespace bpsio::capture {
+namespace {
+
+using ReadFn = ssize_t (*)(int, void*, size_t);
+using WriteFn = ssize_t (*)(int, const void*, size_t);
+using PreadFn = ssize_t (*)(int, void*, size_t, off_t);
+using PwriteFn = ssize_t (*)(int, const void*, size_t, off_t);
+using Pread64Fn = ssize_t (*)(int, void*, size_t, off64_t);
+using Pwrite64Fn = ssize_t (*)(int, const void*, size_t, off64_t);
+using OpenFn = int (*)(const char*, int, mode_t);
+using OpenatFn = int (*)(int, const char*, int, mode_t);
+using CloseFn = int (*)(int);
+using FsyncFn = int (*)(int);
+
+/// Immutable after init; published through g_runtime with release ordering.
+struct Runtime {
+  CaptureConfig cfg;
+};
+
+std::atomic<Runtime*> g_runtime{nullptr};
+std::atomic<std::uint32_t> g_pid{0};
+std::atomic<bool> g_warned_writer{false};
+
+/// Which fds were opened through the interposed open/openat family (and not
+/// by the capture machinery itself). Indexed by fd; fds beyond the table are
+/// simply not tracked. 64 KiB of zero-initialized statics — no constructor
+/// ordering hazards.
+constexpr int kMaxTrackedFd = 1 << 16;
+std::array<std::atomic<unsigned char>, kMaxTrackedFd> g_fd_tracked{};
+
+/// Reentrancy depth: >0 while capture bookkeeping (spill I/O, warnings) is
+/// on the stack, so the wrappers pass its syscalls through unrecorded.
+thread_local int t_in_capture = 0;
+
+struct ReentrancyGuard {
+  ReentrancyGuard() { ++t_in_capture; }
+  ~ReentrancyGuard() { --t_in_capture; }
+};
+
+/// Set once the current thread's ThreadCapture has been destroyed. A
+/// trivially destructible TLS flag stays readable after complex TLS objects
+/// are torn down, so late I/O during thread exit is dropped instead of
+/// resurrecting a destroyed buffer.
+thread_local bool t_capture_dead = false;
+
+std::uint32_t cached_pid() {
+  const std::uint32_t pid = g_pid.load(std::memory_order_relaxed);
+  return pid != 0 ? pid : static_cast<std::uint32_t>(::getpid());
+}
+
+/// Per-thread capture state: the lock-free record buffer plus the thread's
+/// own SpillWriter. No other thread ever touches an instance.
+struct ThreadCapture {
+  std::vector<trace::IoRecord> buffer;
+  trace::SpillWriter* writer = nullptr;
+  bool disabled = false;  ///< writer failed or already closed: drop records
+
+  ThreadCapture();
+
+  ~ThreadCapture() {
+    ReentrancyGuard guard;
+    flush_and_close();
+    detach();
+  }
+
+  void detach();  // defined after the TLS mirrors below
+
+  void append(const trace::IoRecord& record, const CaptureConfig& cfg) {
+    if (disabled) return;
+    if (buffer.capacity() == 0) buffer.reserve(cfg.buffer_records);
+    buffer.push_back(record);
+    if (buffer.size() >= cfg.buffer_records) {
+      ReentrancyGuard guard;
+      flush(cfg);
+    }
+  }
+
+  /// Spill the buffer and checkpoint the header. Caller holds the
+  /// reentrancy guard. On any writer failure, capture for this thread
+  /// degrades to a silent drop (one process-wide stderr warning).
+  void flush(const CaptureConfig& cfg) {
+    if (disabled || buffer.empty()) {
+      buffer.clear();
+      return;
+    }
+    if (writer == nullptr) {
+      const std::string path =
+          capture_trace_path(cfg, cached_pid(),
+                             static_cast<std::uint32_t>(::gettid()),
+                             realtime_ns());
+      writer = new trace::SpillWriter(path, cfg.buffer_records);
+      if (!writer->ok()) {
+        fail("cannot open trace file in BPSIO_CAPTURE_DIR");
+        return;
+      }
+    }
+    for (const trace::IoRecord& record : buffer) writer->append(record);
+    if (!writer->checkpoint().ok()) {
+      fail("trace spill failed");
+      return;
+    }
+    buffer.clear();
+  }
+
+  void flush_and_close() {
+    Runtime* runtime = g_runtime.load(std::memory_order_acquire);
+    if (runtime != nullptr) flush(runtime->cfg);
+    if (writer != nullptr) {
+      (void)writer->close();
+      delete writer;
+      writer = nullptr;
+    }
+    disabled = true;  // records arriving after close have nowhere to go
+  }
+
+  /// Fork child: the inherited writer (and its fd offset) belongs to the
+  /// parent — abandon it without closing, drop buffered records (the fork
+  /// prepare handler flushed them on the parent side), start fresh. The
+  /// leaked SpillWriter object is one small allocation per fork.
+  void abandon_after_fork() {
+    buffer.clear();
+    writer = nullptr;
+    disabled = false;
+  }
+
+  void fail(const char* what) {
+    if (!g_warned_writer.exchange(true)) {
+      std::fprintf(stderr, "bpsio-capture: %s; capture disabled\n", what);
+    }
+    delete writer;
+    writer = nullptr;
+    disabled = true;
+    buffer.clear();
+  }
+};
+
+/// Raw pointer mirror of the function-local TLS instance, so the fork and
+/// atexit handlers can reach the current thread's state without
+/// constructing it. Null before first record and again after teardown.
+thread_local ThreadCapture* t_capture = nullptr;
+
+ThreadCapture::ThreadCapture() { t_capture = this; }
+
+void ThreadCapture::detach() {
+  t_capture = nullptr;
+  t_capture_dead = true;
+}
+
+ThreadCapture& thread_capture() {
+  static thread_local ThreadCapture capture;
+  return capture;
+}
+
+bool fd_tracked(int fd) {
+  return fd >= 0 && fd < kMaxTrackedFd &&
+         g_fd_tracked[static_cast<std::size_t>(fd)].load(
+             std::memory_order_relaxed) != 0;
+}
+
+/// Should a call on `fd` produce a record right now?
+bool should_record(int fd) {
+  if (t_in_capture > 0 || t_capture_dead) return false;
+  Runtime* runtime = g_runtime.load(std::memory_order_acquire);
+  if (runtime == nullptr || !runtime->cfg.enabled) return false;
+  if (fd < 0) return false;
+  if (!runtime->cfg.capture_all_fds && !fd_tracked(fd)) return false;
+  return fd_passes_filters(runtime->cfg, fd);
+}
+
+/// Build and buffer one record. `requested` is the byte count the
+/// application asked for — B counts requested blocks even when the call
+/// came back short or failed (Section III.A). Preserves errno across all
+/// bookkeeping.
+void record_io(trace::IoOpKind op, std::size_t requested, ssize_t ret,
+               std::int64_t start_ns, std::int64_t end_ns,
+               bool is_sync = false) {
+  const int saved_errno = errno;
+  Runtime* runtime = g_runtime.load(std::memory_order_acquire);
+  if (runtime != nullptr) {
+    trace::IoRecord record;
+    record.pid = cached_pid();
+    record.op = op;
+    record.flags = static_cast<std::uint8_t>(
+        (ret < 0 ? trace::kIoFailed : trace::kIoOk) |
+        (is_sync ? trace::kIoSync : trace::kIoOk));
+    record.blocks = is_sync ? 0 : requested_blocks(runtime->cfg, requested);
+    record.start_ns = start_ns;
+    record.end_ns = end_ns;
+    thread_capture().append(record, runtime->cfg);
+  }
+  errno = saved_errno;
+}
+
+/// Successful open through the wrappers marks the fd as application I/O.
+/// Capture-internal opens run under the reentrancy guard and stay
+/// untracked — that is what keeps the trace file's own writes out of the
+/// trace.
+void note_open(int fd) {
+  if (fd < 0 || fd >= kMaxTrackedFd) return;
+  if (t_in_capture > 0) return;
+  if (g_runtime.load(std::memory_order_acquire) == nullptr) return;
+  g_fd_tracked[static_cast<std::size_t>(fd)].store(1,
+                                                   std::memory_order_relaxed);
+}
+
+void note_close(int fd) {
+  if (fd < 0 || fd >= kMaxTrackedFd) return;
+  g_fd_tracked[static_cast<std::size_t>(fd)].store(0,
+                                                   std::memory_order_relaxed);
+}
+
+void atfork_prepare() {
+  Runtime* runtime = g_runtime.load(std::memory_order_acquire);
+  if (runtime == nullptr || t_capture == nullptr) return;
+  ReentrancyGuard guard;
+  t_capture->flush(runtime->cfg);  // pre-fork records land on the parent side
+}
+
+void atfork_child() {
+  g_pid.store(static_cast<std::uint32_t>(::getpid()),
+              std::memory_order_relaxed);
+  if (t_capture != nullptr) t_capture->abandon_after_fork();
+}
+
+void at_exit_flush() {
+  // The exiting thread's TLS destructor also does this, but destructor
+  // order versus atexit is subtle across libcs; flush_and_close is
+  // idempotent, so run it from both.
+  if (t_capture != nullptr) {
+    ReentrancyGuard guard;
+    t_capture->flush_and_close();
+  }
+}
+
+const char* capture_getenv(const char* name) { return std::getenv(name); }
+
+__attribute__((constructor)) void capture_init() {
+  if (g_runtime.load(std::memory_order_acquire) != nullptr) return;
+  std::vector<std::string> warnings;
+  auto* runtime = new Runtime;
+  runtime->cfg = parse_capture_config(capture_getenv, &warnings);
+  for (const std::string& warning : warnings) {
+    std::fprintf(stderr, "bpsio-capture: %s\n", warning.c_str());
+  }
+  g_pid.store(static_cast<std::uint32_t>(::getpid()),
+              std::memory_order_relaxed);
+  if (runtime->cfg.enabled) {
+    ::pthread_atfork(atfork_prepare, nullptr, atfork_child);
+    std::atexit(at_exit_flush);
+  }
+  g_runtime.store(runtime, std::memory_order_release);
+}
+
+/// dlsym(RTLD_NEXT) resolution of the real libc entry point. Each wrapper
+/// caches its result in a function-local `static void* const` — a
+/// thread-safe magic static, immutable after first use.
+template <typename Fn>
+Fn as_fn(void* symbol) {
+  return reinterpret_cast<Fn>(symbol);
+}
+
+}  // namespace
+}  // namespace bpsio::capture
+
+namespace cap = bpsio::capture;
+
+extern "C" {
+
+int open(const char* path, int flags, ...) {
+  static void* const real = dlsym(RTLD_NEXT, "open");
+  mode_t mode = 0;
+  if ((flags & O_CREAT) != 0 || (flags & O_TMPFILE) == O_TMPFILE) {
+    va_list args;
+    va_start(args, flags);
+    mode = va_arg(args, mode_t);
+    va_end(args);
+  }
+  const auto fn = cap::as_fn<cap::OpenFn>(real);
+  if (fn == nullptr) {
+    errno = ENOSYS;
+    return -1;
+  }
+  const int fd = fn(path, flags, mode);
+  cap::note_open(fd);
+  return fd;
+}
+
+int open64(const char* path, int flags, ...) {
+  static void* const real = dlsym(RTLD_NEXT, "open64");
+  mode_t mode = 0;
+  if ((flags & O_CREAT) != 0 || (flags & O_TMPFILE) == O_TMPFILE) {
+    va_list args;
+    va_start(args, flags);
+    mode = va_arg(args, mode_t);
+    va_end(args);
+  }
+  const auto fn = cap::as_fn<cap::OpenFn>(real);
+  if (fn == nullptr) {
+    errno = ENOSYS;
+    return -1;
+  }
+  const int fd = fn(path, flags, mode);
+  cap::note_open(fd);
+  return fd;
+}
+
+int openat(int dirfd, const char* path, int flags, ...) {
+  static void* const real = dlsym(RTLD_NEXT, "openat");
+  mode_t mode = 0;
+  if ((flags & O_CREAT) != 0 || (flags & O_TMPFILE) == O_TMPFILE) {
+    va_list args;
+    va_start(args, flags);
+    mode = va_arg(args, mode_t);
+    va_end(args);
+  }
+  const auto fn = cap::as_fn<cap::OpenatFn>(real);
+  if (fn == nullptr) {
+    errno = ENOSYS;
+    return -1;
+  }
+  const int fd = fn(dirfd, path, flags, mode);
+  cap::note_open(fd);
+  return fd;
+}
+
+int openat64(int dirfd, const char* path, int flags, ...) {
+  static void* const real = dlsym(RTLD_NEXT, "openat64");
+  mode_t mode = 0;
+  if ((flags & O_CREAT) != 0 || (flags & O_TMPFILE) == O_TMPFILE) {
+    va_list args;
+    va_start(args, flags);
+    mode = va_arg(args, mode_t);
+    va_end(args);
+  }
+  const auto fn = cap::as_fn<cap::OpenatFn>(real);
+  if (fn == nullptr) {
+    errno = ENOSYS;
+    return -1;
+  }
+  const int fd = fn(dirfd, path, flags, mode);
+  cap::note_open(fd);
+  return fd;
+}
+
+int close(int fd) {
+  static void* const real = dlsym(RTLD_NEXT, "close");
+  const auto fn = cap::as_fn<cap::CloseFn>(real);
+  if (fn == nullptr) {
+    errno = ENOSYS;
+    return -1;
+  }
+  cap::note_close(fd);
+  return fn(fd);
+}
+
+ssize_t read(int fd, void* buf, size_t count) {
+  static void* const real = dlsym(RTLD_NEXT, "read");
+  const auto fn = cap::as_fn<cap::ReadFn>(real);
+  if (fn == nullptr) {
+    errno = ENOSYS;
+    return -1;
+  }
+  if (count == 0 || !cap::should_record(fd)) return fn(fd, buf, count);
+  const std::int64_t start = bpsio::monotonic_ns();
+  const ssize_t ret = fn(fd, buf, count);
+  cap::record_io(bpsio::trace::IoOpKind::read, count, ret, start,
+                 bpsio::monotonic_ns());
+  return ret;
+}
+
+ssize_t write(int fd, const void* buf, size_t count) {
+  static void* const real = dlsym(RTLD_NEXT, "write");
+  const auto fn = cap::as_fn<cap::WriteFn>(real);
+  if (fn == nullptr) {
+    errno = ENOSYS;
+    return -1;
+  }
+  if (count == 0 || !cap::should_record(fd)) return fn(fd, buf, count);
+  const std::int64_t start = bpsio::monotonic_ns();
+  const ssize_t ret = fn(fd, buf, count);
+  cap::record_io(bpsio::trace::IoOpKind::write, count, ret, start,
+                 bpsio::monotonic_ns());
+  return ret;
+}
+
+ssize_t pread(int fd, void* buf, size_t count, off_t offset) {
+  static void* const real = dlsym(RTLD_NEXT, "pread");
+  const auto fn = cap::as_fn<cap::PreadFn>(real);
+  if (fn == nullptr) {
+    errno = ENOSYS;
+    return -1;
+  }
+  if (count == 0 || !cap::should_record(fd)) return fn(fd, buf, count, offset);
+  const std::int64_t start = bpsio::monotonic_ns();
+  const ssize_t ret = fn(fd, buf, count, offset);
+  cap::record_io(bpsio::trace::IoOpKind::read, count, ret, start,
+                 bpsio::monotonic_ns());
+  return ret;
+}
+
+ssize_t pwrite(int fd, const void* buf, size_t count, off_t offset) {
+  static void* const real = dlsym(RTLD_NEXT, "pwrite");
+  const auto fn = cap::as_fn<cap::PwriteFn>(real);
+  if (fn == nullptr) {
+    errno = ENOSYS;
+    return -1;
+  }
+  if (count == 0 || !cap::should_record(fd)) return fn(fd, buf, count, offset);
+  const std::int64_t start = bpsio::monotonic_ns();
+  const ssize_t ret = fn(fd, buf, count, offset);
+  cap::record_io(bpsio::trace::IoOpKind::write, count, ret, start,
+                 bpsio::monotonic_ns());
+  return ret;
+}
+
+ssize_t pread64(int fd, void* buf, size_t count, off64_t offset) {
+  static void* const real = dlsym(RTLD_NEXT, "pread64");
+  const auto fn = cap::as_fn<cap::Pread64Fn>(real);
+  if (fn == nullptr) {
+    errno = ENOSYS;
+    return -1;
+  }
+  if (count == 0 || !cap::should_record(fd)) return fn(fd, buf, count, offset);
+  const std::int64_t start = bpsio::monotonic_ns();
+  const ssize_t ret = fn(fd, buf, count, offset);
+  cap::record_io(bpsio::trace::IoOpKind::read, count, ret, start,
+                 bpsio::monotonic_ns());
+  return ret;
+}
+
+ssize_t pwrite64(int fd, const void* buf, size_t count, off64_t offset) {
+  static void* const real = dlsym(RTLD_NEXT, "pwrite64");
+  const auto fn = cap::as_fn<cap::Pwrite64Fn>(real);
+  if (fn == nullptr) {
+    errno = ENOSYS;
+    return -1;
+  }
+  if (count == 0 || !cap::should_record(fd)) return fn(fd, buf, count, offset);
+  const std::int64_t start = bpsio::monotonic_ns();
+  const ssize_t ret = fn(fd, buf, count, offset);
+  cap::record_io(bpsio::trace::IoOpKind::write, count, ret, start,
+                 bpsio::monotonic_ns());
+  return ret;
+}
+
+int fsync(int fd) {
+  static void* const real = dlsym(RTLD_NEXT, "fsync");
+  const auto fn = cap::as_fn<cap::FsyncFn>(real);
+  if (fn == nullptr) {
+    errno = ENOSYS;
+    return -1;
+  }
+  auto* runtime = cap::g_runtime.load(std::memory_order_acquire);
+  const bool record = runtime != nullptr && runtime->cfg.record_fsync &&
+                      cap::should_record(fd);
+  if (!record) return fn(fd);
+  const std::int64_t start = bpsio::monotonic_ns();
+  const int ret = fn(fd);
+  cap::record_io(bpsio::trace::IoOpKind::write, 0, ret, start,
+                 bpsio::monotonic_ns(), /*is_sync=*/true);
+  return ret;
+}
+
+int fdatasync(int fd) {
+  static void* const real = dlsym(RTLD_NEXT, "fdatasync");
+  const auto fn = cap::as_fn<cap::FsyncFn>(real);
+  if (fn == nullptr) {
+    errno = ENOSYS;
+    return -1;
+  }
+  auto* runtime = cap::g_runtime.load(std::memory_order_acquire);
+  const bool record = runtime != nullptr && runtime->cfg.record_fsync &&
+                      cap::should_record(fd);
+  if (!record) return fn(fd);
+  const std::int64_t start = bpsio::monotonic_ns();
+  const int ret = fn(fd);
+  cap::record_io(bpsio::trace::IoOpKind::write, 0, ret, start,
+                 bpsio::monotonic_ns(), /*is_sync=*/true);
+  return ret;
+}
+
+}  // extern "C"

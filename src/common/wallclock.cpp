@@ -1,0 +1,21 @@
+#include "common/wallclock.hpp"
+
+#include <ctime>
+
+namespace bpsio {
+
+namespace {
+
+std::int64_t read_clock(clockid_t id) {
+  timespec ts{};
+  if (clock_gettime(id, &ts) != 0) return 0;
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
+}  // namespace
+
+std::int64_t monotonic_ns() { return read_clock(CLOCK_MONOTONIC); }
+
+std::int64_t realtime_ns() { return read_clock(CLOCK_REALTIME); }
+
+}  // namespace bpsio

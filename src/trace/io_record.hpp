@@ -29,6 +29,10 @@ enum IoRecordFlags : std::uint8_t {
   kIoFailed = 1u << 0,
   /// The access was serviced by a collective / list operation (MPI-IO).
   kIoCollective = 1u << 1,
+  /// A synchronization access (fsync/fdatasync) captured from a real program:
+  /// it occupies I/O time (its interval counts toward T) but moves zero
+  /// application-required blocks, so blocks == 0 is valid for it.
+  kIoSync = 1u << 2,
 };
 
 /// One application-level I/O access. POD, 32 bytes, trivially serializable.
@@ -45,8 +49,11 @@ struct IoRecord {
   SimTime end() const { return SimTime(end_ns); }
   SimDuration response_time() const { return SimDuration(end_ns - start_ns); }
   bool failed() const { return (flags & kIoFailed) != 0; }
+  bool sync() const { return (flags & kIoSync) != 0; }
 
-  /// Validity: a record must have end >= start.
+  /// Validity: a record must have end >= start. Zero-duration records
+  /// (end == start) are valid — real syscalls captured with a nanosecond
+  /// clock can start and finish inside one tick.
   bool valid() const { return end_ns >= start_ns; }
 
   friend bool operator==(const IoRecord&, const IoRecord&) = default;

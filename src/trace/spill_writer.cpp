@@ -38,6 +38,22 @@ Status SpillWriter::flush() {
   return {};
 }
 
+Status SpillWriter::checkpoint() {
+  if (closed_) return Status{Errc::io_error, "writer already closed"};
+  if (const Status flushed = flush(); !flushed.ok()) return flushed;
+  TraceHeader header;
+  header.record_count = written_;
+  const std::ofstream::pos_type end_pos = out_.tellp();
+  out_.seekp(0);
+  out_.write(reinterpret_cast<const char*>(&header), sizeof header);
+  out_.seekp(end_pos);
+  if (!out_) {
+    ok_ = false;
+    return Status{Errc::io_error, "header checkpoint failed"};
+  }
+  return {};
+}
+
 Result<SpilledTraceSource> SpillWriter::into_source(
     std::size_t chunk_records) {
   if (const Status closed = close(); !closed.ok()) return closed.error();

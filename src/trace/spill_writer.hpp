@@ -37,6 +37,12 @@ class SpillWriter {
 
   /// Flush the current batch to disk.
   Status flush();
+  /// Flush, then rewrite the header with the records written so far and
+  /// seek back to the end — a durability point for long-lived writers (the
+  /// real-I/O capture library checkpoints after every buffer flush, so a
+  /// traced process that dies without a clean close still leaves a readable
+  /// trace up to its last checkpoint instead of a 0-count placeholder).
+  Status checkpoint();
   /// Flush, rewrite the header with the final count, and close the file.
   /// Called by the destructor if not called explicitly.
   Status close();

@@ -21,13 +21,19 @@ ValidationReport validate(const std::vector<IoRecord>& records,
   std::unordered_map<std::uint32_t, std::int64_t> last_start;
   for (std::size_t i = 0; i < records.size(); ++i) {
     const auto& r = records[i];
+    // end == start is NOT an issue: real syscalls captured with a
+    // nanosecond clock routinely start and finish inside one tick, and the
+    // metric layer handles zero-measure intervals (they contribute to B and
+    // the span but add nothing to T).
     if (r.end_ns < r.start_ns) {
       report.issues.push_back({i, "end before start"});
     }
     if (r.start_ns < 0) {
       report.issues.push_back({i, "negative start time"});
     }
-    if (r.blocks == 0 && !r.failed()) {
+    // Sync accesses (fsync captured by the real-I/O interposer) legitimately
+    // carry zero blocks: they occupy I/O time but move no application data.
+    if (r.blocks == 0 && !r.failed() && !r.sync()) {
       report.issues.push_back({i, "successful access with zero blocks"});
     }
     if (expect_per_pid_monotone) {

@@ -22,9 +22,11 @@ struct ValidationReport {
 };
 
 /// Check structural invariants of a record set:
-///  - end >= start on every record,
+///  - end >= start on every record (end == start is valid: captured
+///    sub-tick syscalls produce zero-duration records),
 ///  - no negative start times,
-///  - nonzero blocks on successful records,
+///  - nonzero blocks on successful non-sync records (kIoSync accesses move
+///    zero application blocks by definition),
 ///  - per-pid monotone start order for synchronous processes (optional).
 ValidationReport validate(const std::vector<IoRecord>& records,
                           bool expect_per_pid_monotone = false);

@@ -175,6 +175,32 @@ TEST(Validate, FlagsBadRecords) {
   EXPECT_EQ(report.checked, 3u);
 }
 
+TEST(Validate, AcceptsZeroDurationRecords) {
+  // Regression: real sub-tick syscalls captured by the LD_PRELOAD interposer
+  // produce end == start records; only simulated (always-positive) durations
+  // were exercised before. Zero duration is valid — it contributes to B but
+  // adds nothing to T.
+  std::vector<IoRecord> records{
+      make_record(1, 8, SimTime(100), SimTime(100)),
+      make_record(1, 8, SimTime(100), SimTime(100), IoOpKind::write),
+      make_record(2, 1, SimTime(0), SimTime(0)),
+  };
+  const auto report = validate(records);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_TRUE(validate(records, /*expect_per_pid_monotone=*/true).ok());
+}
+
+TEST(Validate, AcceptsZeroBlockSyncRecords) {
+  // fsync captured from a real program: occupies I/O time, moves no blocks.
+  std::vector<IoRecord> records{
+      make_record(1, 0, SimTime(10), SimTime(20), IoOpKind::write, kIoSync),
+  };
+  EXPECT_TRUE(validate(records).ok());
+  // The same zero-block record without the sync flag is still an issue.
+  records[0].flags = kIoOk;
+  EXPECT_FALSE(validate(records).ok());
+}
+
 TEST(Validate, MonotoneCheckPerPid) {
   std::vector<IoRecord> records{
       make_record(1, 8, SimTime(10), SimTime(20)),

@@ -4,12 +4,16 @@
 // reach the metric pipeline.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "metrics/pipeline.hpp"
 #include "trace/io_record.hpp"
+#include "trace/record_source.hpp"
 #include "trace/serialize.hpp"
 #include "trace/spill_writer.hpp"
 #include "trace/validate.hpp"
@@ -159,6 +163,78 @@ TEST(TraceNegative, ValidateFlagsNegativeStartAndZeroBlocks) {
   EXPECT_EQ(report.issues.size(), 2u);
   EXPECT_EQ(report.issues[0].what, "negative start time");
   EXPECT_EQ(report.issues[1].what, "successful access with zero blocks");
+}
+
+TEST(TraceNegative, HeaderOnlyTraceReadsAsEmpty) {
+  // A traced process that performed no captured I/O (or was filtered down
+  // to nothing) leaves a header-only .bpstrace — a valid, empty trace, not
+  // a corruption. bpsio_report on such a capture must report B=0, T=0.
+  const std::string path = "/tmp/bpsio_neg_empty.bpstrace";
+  {
+    SpillWriter writer(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.close().ok());
+    EXPECT_EQ(writer.records_written(), 0u);
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.is_open());
+  const auto header = read_trace_header(in);
+  ASSERT_TRUE(header.ok()) << header.error().to_string();
+  EXPECT_EQ(header->record_count, 0u);
+  EXPECT_EQ(header->record_size, sizeof(IoRecord));
+  in.close();
+
+  SpilledTraceSource source(path);
+  EXPECT_TRUE(source.status().ok());
+  EXPECT_EQ(source.record_count(), 0u);
+  EXPECT_TRUE(source.next_chunk().empty());
+  EXPECT_TRUE(source.status().ok());  // exhausted, not failed
+  std::remove(path.c_str());
+}
+
+TEST(TraceNegative, EmptyTraceMeasuresZeroBlocksZeroTime) {
+  const std::string path = "/tmp/bpsio_neg_empty_measure.bpstrace";
+  {
+    SpillWriter writer(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.close().ok());
+  }
+  SpilledTraceSource source(path);
+  const auto sample =
+      metrics::measure_stream(source, /*moved_bytes=*/0, SimDuration(0));
+  ASSERT_TRUE(sample.ok()) << sample.error().to_string();
+  EXPECT_EQ(sample->app_blocks, 0u);   // B = 0
+  EXPECT_EQ(sample->access_count, 0u);
+  EXPECT_EQ(sample->io_time_s, 0.0);   // T = 0
+  EXPECT_EQ(sample->bps, 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(TraceNegative, CheckpointedTraceIsReadableWithoutClose) {
+  // The capture library checkpoints after every spill precisely so a
+  // process that dies without running atexit still leaves a usable trace.
+  const std::string path = "/tmp/bpsio_neg_checkpoint.bpstrace";
+  auto records = sample_records(5);
+  {
+    SpillWriter writer(path, /*batch_records=*/8);
+    for (const IoRecord& r : records) writer.append(r);
+    ASSERT_TRUE(writer.checkpoint().ok());
+    // No close(): simulate a hard exit. The destructor's close() is what a
+    // clean exit would do, so read the file back *before* destroying...
+    std::ifstream in(path, std::ios::binary);
+    const auto loaded = read_binary(in);
+    ASSERT_TRUE(loaded.ok()) << loaded.error().to_string();
+    EXPECT_EQ(*loaded, records);
+    // ...and checkpoint() must leave the writer appendable.
+    writer.append(records[0]);
+    ASSERT_TRUE(writer.close().ok());
+    EXPECT_EQ(writer.records_written(), 6u);
+  }
+  const auto final_load = load_binary(path);
+  ASSERT_TRUE(final_load.ok());
+  EXPECT_EQ(final_load->size(), 6u);
+  std::remove(path.c_str());
 }
 
 TEST(TraceNegative, ValidatePerPidMonotoneOrder) {

@@ -1,0 +1,41 @@
+#include "common/wallclock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace bpsio {
+namespace {
+
+TEST(Wallclock, MonotonicNeverDecreasesAcross1kSamples) {
+  std::vector<std::int64_t> samples(1000);
+  for (auto& s : samples) s = monotonic_ns();
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    ASSERT_GE(samples[i], samples[i - 1]) << "sample " << i;
+  }
+}
+
+TEST(Wallclock, MonotonicIsPositive) {
+  // CLOCK_MONOTONIC counts from boot; a zero reading means the clock call
+  // failed, which the capture subsystem treats as unusable.
+  EXPECT_GT(monotonic_ns(), 0);
+}
+
+TEST(Wallclock, MonotonicAdvancesEventually) {
+  const std::int64_t first = monotonic_ns();
+  std::int64_t last = first;
+  // A nanosecond-resolution monotonic clock must tick within a bounded
+  // number of reads (vDSO reads are ~20ns apart in practice).
+  for (int i = 0; i < 1'000'000 && last == first; ++i) last = monotonic_ns();
+  EXPECT_GT(last, first);
+}
+
+TEST(Wallclock, RealtimeIsPastKnownEpoch) {
+  // 2020-01-01 in ns since the Unix epoch — catches sec/ns unit mix-ups.
+  constexpr std::int64_t k2020 = 1'577'836'800LL * 1'000'000'000LL;
+  EXPECT_GT(realtime_ns(), k2020);
+}
+
+}  // namespace
+}  // namespace bpsio

@@ -1,0 +1,106 @@
+// capture_smoke — a plain-POSIX writer with a fully known I/O pattern, for
+// exercising libbpsio_capture.so end to end.
+//
+//   capture_smoke <dir> [procs=4] [writes=200] [bytes=65536]
+//
+// Forks <procs> children; each opens <dir>/data.<i>, issues <writes>
+// write() calls of <bytes> bytes, fsync()s, and closes. Run it under the
+// preload and every number the analyzer should report is known in advance:
+//
+//   records = procs * writes
+//   B       = procs * writes * ceil(bytes / block_size)
+//   traces  = procs files (children are single-threaded; the parent does
+//             no captured I/O)
+//
+// tests/test_capture_e2e.cpp and the CI capture-smoke job assert exactly
+// that. Deliberately no bpsio library dependencies — the traced program
+// stands in for an arbitrary third-party application.
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace {
+
+int run_child(const std::string& dir, int index, long writes, long bytes) {
+  const std::string path = dir + "/data." + std::to_string(index);
+  const int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd < 0) {
+    std::fprintf(stderr, "capture_smoke: open %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    return 1;
+  }
+  const std::vector<char> buf(static_cast<std::size_t>(bytes), 'b');
+  for (long i = 0; i < writes; ++i) {
+    const char* data = buf.data();
+    std::size_t left = buf.size();
+    while (left > 0) {
+      const ssize_t wrote = ::write(fd, data, left);
+      if (wrote < 0) {
+        std::fprintf(stderr, "capture_smoke: write %s: %s\n", path.c_str(),
+                     std::strerror(errno));
+        ::close(fd);
+        return 1;
+      }
+      data += wrote;
+      left -= static_cast<std::size_t>(wrote);
+    }
+  }
+  if (::fsync(fd) != 0) {
+    std::fprintf(stderr, "capture_smoke: fsync %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    ::close(fd);
+    return 1;
+  }
+  return ::close(fd) == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argc > 5) {
+    std::fprintf(stderr,
+                 "usage: capture_smoke <dir> [procs=4] [writes=200] "
+                 "[bytes=65536]\n");
+    return 2;
+  }
+  const std::string dir = argv[1];
+  const long procs = argc > 2 ? std::strtol(argv[2], nullptr, 10) : 4;
+  const long writes = argc > 3 ? std::strtol(argv[3], nullptr, 10) : 200;
+  const long bytes = argc > 4 ? std::strtol(argv[4], nullptr, 10) : 65536;
+  if (procs < 1 || writes < 1 || bytes < 1) {
+    std::fprintf(stderr, "capture_smoke: all counts must be >= 1\n");
+    return 2;
+  }
+
+  std::vector<pid_t> children;
+  for (long i = 0; i < procs; ++i) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::fprintf(stderr, "capture_smoke: fork: %s\n", std::strerror(errno));
+      return 1;
+    }
+    if (pid == 0) std::exit(run_child(dir, static_cast<int>(i), writes, bytes));
+    children.push_back(pid);
+  }
+
+  int failures = 0;
+  for (const pid_t pid : children) {
+    int status = 0;
+    if (::waitpid(pid, &status, 0) != pid || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      ++failures;
+    }
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "capture_smoke: %d child(ren) failed\n", failures);
+    return 1;
+  }
+  return 0;
+}
