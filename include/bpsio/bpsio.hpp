@@ -1,0 +1,20 @@
+// bpsio — umbrella public header.
+//
+// #include <bpsio/bpsio.hpp> pulls the whole stable surface:
+//
+//   bpsio/trace.hpp     records, streaming sources, persistence, framing
+//   bpsio/metrics.hpp   the BPS metric pipeline (batch, streaming, online)
+//   bpsio/capture.hpp   real-I/O capture configuration
+//   core/experiment.hpp RunSpec / SweepOptions / run_sweep — simulator
+//                       experiment sweeps (Figures 4-13 of the paper)
+//
+// Prefer the per-area headers in new code; the umbrella is for quick
+// experiments and for the header self-containment CI job, which compiles
+// each include/bpsio/*.hpp standalone with -Wall -Werror. docs/API.md
+// documents what "stable" means here.
+#pragma once
+
+#include "bpsio/capture.hpp"
+#include "bpsio/metrics.hpp"
+#include "bpsio/trace.hpp"
+#include "core/experiment.hpp"

@@ -1,0 +1,139 @@
+#include "agent/aggregator.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/format.hpp"
+
+namespace bpsio::agent {
+namespace {
+
+/// One pid's (or the global) windowed gauge block, labelled {pid="<label>"}.
+void window_gauges(std::string& out, const std::string& label,
+                   const metrics::SlidingWindowMetrics& w, Bytes block_size) {
+  const std::string tag = "{pid=\"" + label + "\"}";
+  out += "bpsio_window_records" + tag + " " + std::to_string(w.accesses()) + "\n";
+  out += "bpsio_window_blocks" + tag + " " + std::to_string(w.blocks()) + "\n";
+  out += "bpsio_window_io_seconds" + tag + " " +
+         fmt_double(w.io_time().seconds(), 9) + "\n";
+  out += "bpsio_window_bps" + tag + " " + fmt_double(w.bps(), 3) + "\n";
+  out += "bpsio_window_iops" + tag + " " + fmt_double(w.iops(), 3) + "\n";
+  out += "bpsio_window_bw_bytes_per_second" + tag + " " +
+         fmt_double(w.bandwidth_bps(block_size), 3) + "\n";
+  out += "bpsio_window_arpt_seconds" + tag + " " + fmt_double(w.arpt_s(), 9) +
+         "\n";
+}
+
+void csv_row(std::string& out, const std::string& label,
+             const metrics::SlidingWindowMetrics& w, Bytes block_size) {
+  out += label + "," + std::to_string(w.accesses()) + "," +
+         std::to_string(w.blocks()) + "," + fmt_double(w.io_time().seconds(), 9) +
+         "," + fmt_double(w.bps(), 3) + "," + fmt_double(w.iops(), 3) + "," +
+         fmt_double(w.bandwidth_bps(block_size), 3) + "," +
+         fmt_double(w.arpt_s(), 9) + "\n";
+}
+
+}  // namespace
+
+MetricAggregator::MetricAggregator(SimDuration window, Bytes block_size)
+    : window_(window), block_size_(block_size), global_(window) {
+  BPSIO_CHECK(block_size > 0, "aggregator block size must be positive, got %llu",
+              static_cast<unsigned long long>(block_size));
+}
+
+void MetricAggregator::add(const trace::IoRecord& record) {
+  if (!record.valid()) {
+    ++invalid_total_;
+    return;
+  }
+  ++records_total_;
+  blocks_total_ += record.blocks;
+  if (record.failed()) ++failed_total_;
+  if (record.sync()) ++sync_total_;
+  global_.add(record);
+  auto it = per_pid_.find(record.pid);
+  if (it == per_pid_.end()) {
+    it = per_pid_.emplace(record.pid, metrics::SlidingWindowMetrics(window_))
+             .first;
+  }
+  it->second.add(record);
+}
+
+void MetricAggregator::advance(SimTime now) {
+  global_.advance(now);
+  for (auto& [pid, w] : per_pid_) w.advance(now);
+}
+
+std::string MetricAggregator::prometheus_text(
+    const TransportStats& transport) const {
+  std::string out;
+  out.reserve(2048 + per_pid_.size() * 512);
+
+  out += "# HELP bpsio_records_total I/O access records received.\n";
+  out += "# TYPE bpsio_records_total counter\n";
+  out += "bpsio_records_total " + std::to_string(records_total_) + "\n";
+  out += "# HELP bpsio_blocks_total Application-required blocks received (B).\n";
+  out += "# TYPE bpsio_blocks_total counter\n";
+  out += "bpsio_blocks_total " + std::to_string(blocks_total_) + "\n";
+  out += "# HELP bpsio_failed_records_total Records flagged as failed "
+         "accesses (still counted in B).\n";
+  out += "# TYPE bpsio_failed_records_total counter\n";
+  out += "bpsio_failed_records_total " + std::to_string(failed_total_) + "\n";
+  out += "# HELP bpsio_sync_records_total fsync/fdatasync records "
+         "(zero-block, time-only).\n";
+  out += "# TYPE bpsio_sync_records_total counter\n";
+  out += "bpsio_sync_records_total " + std::to_string(sync_total_) + "\n";
+  out += "# HELP bpsio_invalid_records_total Records rejected (end < start).\n";
+  out += "# TYPE bpsio_invalid_records_total counter\n";
+  out += "bpsio_invalid_records_total " + std::to_string(invalid_total_) + "\n";
+
+  out += "# HELP bpsio_clients_connected_total Capture connections accepted.\n";
+  out += "# TYPE bpsio_clients_connected_total counter\n";
+  out += "bpsio_clients_connected_total " +
+         std::to_string(transport.clients_connected_total) + "\n";
+  out += "# HELP bpsio_clients_active Capture connections currently open.\n";
+  out += "# TYPE bpsio_clients_active gauge\n";
+  out += "bpsio_clients_active " + std::to_string(transport.clients_active) +
+         "\n";
+  out += "# HELP bpsio_frames_total Complete record frames decoded.\n";
+  out += "# TYPE bpsio_frames_total counter\n";
+  out += "bpsio_frames_total " + std::to_string(transport.frames_total) + "\n";
+  out += "# HELP bpsio_bad_frames_total Connections dropped on a malformed "
+         "frame.\n";
+  out += "# TYPE bpsio_bad_frames_total counter\n";
+  out += "bpsio_bad_frames_total " + std::to_string(transport.bad_frames_total) +
+         "\n";
+
+  out += "# HELP bpsio_pids_seen Distinct process ids observed.\n";
+  out += "# TYPE bpsio_pids_seen gauge\n";
+  out += "bpsio_pids_seen " + std::to_string(per_pid_.size()) + "\n";
+  out += "# HELP bpsio_window_seconds Sliding-window length.\n";
+  out += "# TYPE bpsio_window_seconds gauge\n";
+  out += "bpsio_window_seconds " + fmt_double(window_.seconds(), 3) + "\n";
+  out += "# HELP bpsio_block_size_bytes Block unit used for bandwidth.\n";
+  out += "# TYPE bpsio_block_size_bytes gauge\n";
+  out += "bpsio_block_size_bytes " +
+         std::to_string(static_cast<unsigned long long>(block_size_)) + "\n";
+
+  out += "# HELP bpsio_window_bps Windowed BPS (blocks per second of busy "
+         "time) per pid; pid=\"all\" is the global stream.\n";
+  out += "# TYPE bpsio_window_bps gauge\n";
+  window_gauges(out, "all", global_, block_size_);
+  for (const auto& [pid, w] : per_pid_) {
+    window_gauges(out, std::to_string(pid), w, block_size_);
+  }
+  return out;
+}
+
+std::string MetricAggregator::csv_snapshot() const {
+  std::string out =
+      "pid,window_records,window_blocks,window_io_s,window_bps,window_iops,"
+      "window_bw_Bps,window_arpt_s\n";
+  csv_row(out, "all", global_, block_size_);
+  for (const auto& [pid, w] : per_pid_) {
+    csv_row(out, std::to_string(pid), w, block_size_);
+  }
+  return out;
+}
+
+}  // namespace bpsio::agent

@@ -1,0 +1,427 @@
+#include "agent/server.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "common/format.hpp"
+#include "common/wallclock.hpp"
+#include "trace/record_source.hpp"
+#include "trace/spill_writer.hpp"
+
+namespace bpsio::agent {
+namespace {
+
+constexpr int kPollIntervalMs = 50;
+constexpr std::size_t kRecvChunk = 64 * 1024;
+
+/// Full blocking send; false on any error. HTTP responses are a few KB to a
+/// local scraper, so a synchronous write is fine (and keeps the loop simple).
+bool send_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t sent = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (sent == 0) return false;
+    data += sent;
+    size -= static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+/// Write `text` to `path` atomically (tmp file + rename) so a concurrent
+/// reader never sees a torn snapshot.
+bool write_file_atomic(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool wrote =
+      std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  const bool flushed = std::fclose(f) == 0;
+  if (!wrote || !flushed) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+}  // namespace
+
+AgentServer::AgentServer(AgentOptions options)
+    : options_(std::move(options)),
+      aggregator_(options_.window, options_.block_size) {}
+
+AgentServer::~AgentServer() {
+  for (CaptureConn& conn : conns_) {
+    if (conn.fd >= 0) ::close(conn.fd);
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(options_.socket_path.c_str());
+  }
+  if (http_fd_ >= 0) ::close(http_fd_);
+}
+
+Status AgentServer::start() {
+  if (options_.socket_path.empty()) {
+    return Error{Errc::invalid_argument, "agent: socket path is required"};
+  }
+  if (!options_.drain_path.empty() && options_.spool_dir.empty()) {
+    return Error{Errc::invalid_argument,
+                 "agent: --drain requires a spool directory"};
+  }
+  if (!options_.spool_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options_.spool_dir, ec);
+    if (ec) {
+      return Error{Errc::io_error,
+                   "agent: cannot create spool dir " + options_.spool_dir};
+    }
+  }
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof addr.sun_path) {
+    return Error{Errc::invalid_argument,
+                 "agent: socket path too long for sockaddr_un: " +
+                     options_.socket_path};
+  }
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+  ::unlink(options_.socket_path.c_str());  // stale socket from a dead daemon
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Error{Errc::io_error, "agent: cannot create Unix socket"};
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    return Error{Errc::io_error,
+                 "agent: cannot bind/listen on " + options_.socket_path};
+  }
+
+  if (options_.http_port >= 0) {
+    http_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (http_fd_ < 0) {
+      return Error{Errc::io_error, "agent: cannot create HTTP socket"};
+    }
+    const int one = 1;
+    ::setsockopt(http_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in http_addr{};
+    http_addr.sin_family = AF_INET;
+    http_addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    http_addr.sin_port = htons(static_cast<std::uint16_t>(options_.http_port));
+    if (::bind(http_fd_, reinterpret_cast<const sockaddr*>(&http_addr),
+               sizeof http_addr) != 0 ||
+        ::listen(http_fd_, 16) != 0) {
+      return Error{Errc::io_error,
+                   "agent: cannot bind HTTP port " +
+                       std::to_string(options_.http_port)};
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(http_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
+        0) {
+      return Error{Errc::io_error, "agent: getsockname failed"};
+    }
+    bound_http_port_ = static_cast<int>(ntohs(bound.sin_port));
+    if (!options_.port_file.empty() &&
+        !write_file_atomic(options_.port_file,
+                           std::to_string(bound_http_port_) + "\n")) {
+      return Error{Errc::io_error,
+                   "agent: cannot write port file " + options_.port_file};
+    }
+  }
+
+  last_csv_ns_ = monotonic_ns();
+  started_ = true;
+  return {};
+}
+
+void AgentServer::accept_capture() {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN / transient: nothing more to accept now
+    CaptureConn conn;
+    conn.fd = fd;
+    if (!options_.drain_path.empty()) {
+      char name[32];
+      std::snprintf(name, sizeof name, "conn-%08llu.bpstrace",
+                    static_cast<unsigned long long>(spool_index_++));
+      conn.spool_path = options_.spool_dir;
+      if (!conn.spool_path.empty() && conn.spool_path.back() != '/') {
+        conn.spool_path += '/';
+      }
+      conn.spool_path += name;
+      conn.spool = std::make_unique<trace::SpillWriter>(conn.spool_path);
+      if (!conn.spool->ok()) {
+        // The drain promise is already broken for this connection; better to
+        // refuse it (the client falls back to file spill, losing nothing)
+        // than to silently produce an incomplete drain.
+        std::fprintf(stderr, "bpsio_agentd: cannot open spool %s; refusing "
+                             "capture connection\n",
+                     conn.spool_path.c_str());
+        ::close(fd);
+        continue;
+      }
+    }
+    ++transport_.clients_connected_total;
+    ++transport_.clients_active;
+    conns_.push_back(std::move(conn));
+  }
+}
+
+bool AgentServer::service_capture(CaptureConn& conn) {
+  char buf[kRecvChunk];
+  std::vector<trace::IoRecord> records;
+  for (;;) {
+    const ssize_t n = ::recv(conn.fd, buf, sizeof buf, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close_capture(conn, /*record_loss_ok=*/true);
+      return false;
+    }
+    if (n == 0) {  // orderly EOF from the client's close()
+      close_capture(conn, conn.decoder.pending_bytes() == 0);
+      return false;
+    }
+    records.clear();
+    const Status fed =
+        conn.decoder.feed(buf, static_cast<std::size_t>(n), records);
+    for (const trace::IoRecord& record : records) {
+      aggregator_.add(record);
+      if (conn.spool != nullptr) conn.spool->append(record);
+    }
+    transport_.frames_total +=
+        conn.decoder.frames_decoded() - conn.frames_counted;
+    conn.frames_counted = conn.decoder.frames_decoded();
+    if (!fed.ok()) {
+      ++transport_.bad_frames_total;
+      std::fprintf(stderr, "bpsio_agentd: dropping connection: %s\n",
+                   fed.to_string().c_str());
+      close_capture(conn, /*record_loss_ok=*/true);
+      return false;
+    }
+  }
+  return true;
+}
+
+void AgentServer::close_capture(CaptureConn& conn, bool record_loss_ok) {
+  if (!record_loss_ok) {
+    // A trailing partial frame means the peer died mid-send. Those records
+    // were never acknowledged, so the client (if it lived) re-shipped them
+    // to its spill file — the daemon just notes the torn tail.
+    std::fprintf(stderr,
+                 "bpsio_agentd: connection closed mid-frame (%zu bytes "
+                 "discarded; client re-ships unacknowledged buffers)\n",
+                 conn.decoder.pending_bytes());
+  }
+  if (conn.spool != nullptr) {
+    const Status closed = conn.spool->close();
+    if (!closed.ok()) {
+      std::fprintf(stderr, "bpsio_agentd: spool close failed: %s\n",
+                   closed.to_string().c_str());
+    }
+    conn.spool.reset();
+    drained_spools_.push_back(conn.spool_path);
+  }
+  ::close(conn.fd);
+  conn.fd = -1;
+  --transport_.clients_active;
+}
+
+std::string AgentServer::http_response() {
+  aggregator_.advance(SimTime(monotonic_ns()));
+  return aggregator_.prometheus_text(transport_);
+}
+
+void AgentServer::serve_http(int fd) {
+  // Local scraper, tiny request: block (with a timeout) until the request
+  // line arrives, answer, close.
+  timeval tv{};
+  tv.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  std::string request;
+  char buf[2048];
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.size() < 16 * 1024) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+
+  std::string body;
+  const char* status_line = "HTTP/1.0 200 OK\r\n";
+  const char* content_type = "text/plain; version=0.0.4; charset=utf-8";
+  if (request.rfind("GET /metrics", 0) == 0 || request.rfind("GET / ", 0) == 0) {
+    body = http_response();
+  } else if (request.rfind("GET /healthz", 0) == 0) {
+    body = "ok\n";
+  } else {
+    status_line = "HTTP/1.0 404 Not Found\r\n";
+    body = "only /metrics and /healthz live here\n";
+  }
+  std::string response = status_line;
+  response += "Content-Type: ";
+  response += content_type;
+  response += "\r\nContent-Length: " + std::to_string(body.size()) +
+              "\r\nConnection: close\r\n\r\n";
+  response += body;
+  (void)send_all(fd, response.data(), response.size());
+  ::close(fd);
+}
+
+void AgentServer::accept_http() {
+  for (;;) {
+    const int fd = ::accept4(http_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) return;
+    serve_http(fd);
+  }
+}
+
+void AgentServer::write_csv_snapshot() {
+  aggregator_.advance(SimTime(monotonic_ns()));
+  if (!write_file_atomic(options_.csv_path, aggregator_.csv_snapshot())) {
+    std::fprintf(stderr, "bpsio_agentd: cannot write CSV snapshot %s\n",
+                 options_.csv_path.c_str());
+  }
+}
+
+Status AgentServer::run() {
+  BPSIO_CHECK(started_, "AgentServer::run() before start()");
+  std::vector<pollfd> fds;
+  for (;;) {
+    if (options_.stop != nullptr &&
+        options_.stop->load(std::memory_order_relaxed)) {
+      break;
+    }
+    if (options_.expect_clients > 0 &&
+        transport_.clients_connected_total >= options_.expect_clients &&
+        transport_.clients_active == 0) {
+      break;
+    }
+
+    fds.clear();
+    fds.push_back({listen_fd_, POLLIN, 0});
+    if (http_fd_ >= 0) fds.push_back({http_fd_, POLLIN, 0});
+    for (const CaptureConn& conn : conns_) {
+      fds.push_back({conn.fd, POLLIN, 0});
+    }
+    const int ready = ::poll(fds.data(), fds.size(), kPollIntervalMs);
+    if (ready < 0 && errno != EINTR) {
+      return Error{Errc::io_error, "agent: poll failed"};
+    }
+
+    std::size_t at = 0;
+    // accept_capture() can append to conns_, but fds only has entries for
+    // the connections it was built from — bound the revents scan by that
+    // count or the new connection would read past the end of fds.
+    const std::size_t polled_conns = conns_.size();
+    if ((fds[at++].revents & POLLIN) != 0) accept_capture();
+    if (http_fd_ >= 0 && (fds[at++].revents & POLLIN) != 0) accept_http();
+    for (std::size_t i = 0; i < polled_conns;) {
+      const short revents = fds[at + i].revents;
+      if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0 &&
+          !service_capture(conns_[i])) {
+        // service_capture closed the connection: drop it. fds indexes shift
+        // with it, so re-enter poll rather than reusing stale revents.
+        conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+      ++i;
+    }
+
+    if (!options_.csv_path.empty()) {
+      const std::int64_t now = monotonic_ns();
+      if (now - last_csv_ns_ >= options_.csv_interval.ns()) {
+        write_csv_snapshot();
+        last_csv_ns_ = now;
+      }
+    }
+  }
+
+  // Shutdown: stop accepting, flush every open connection's spool. Records
+  // still in flight on a connection are the client's problem by contract (a
+  // frame is delivered only when fully received).
+  while (!conns_.empty()) {
+    (void)service_capture(conns_.back());  // drain what already arrived
+    if (!conns_.empty() && conns_.back().fd >= 0) {
+      close_capture(conns_.back(), conns_.back().decoder.pending_bytes() == 0);
+    }
+    if (!conns_.empty()) conns_.pop_back();
+  }
+  ::close(listen_fd_);
+  ::unlink(options_.socket_path.c_str());
+  listen_fd_ = -1;
+  if (!options_.csv_path.empty()) write_csv_snapshot();
+
+  if (!options_.drain_path.empty()) return drain();
+  return {};
+}
+
+Status AgentServer::drain() {
+  // Per-connection spools are each one capture thread's start-ordered
+  // stream; k-way merge them exactly the way bpsio_report merges per-thread
+  // spill files (keep timestamps, keep pids) and write one sorted v2 trace.
+  std::vector<std::unique_ptr<trace::RecordSource>> children;
+  children.reserve(drained_spools_.size());
+  std::sort(drained_spools_.begin(), drained_spools_.end());
+  for (const std::string& path : drained_spools_) {
+    auto source = std::make_unique<trace::SpilledTraceSource>(path);
+    if (!source->status().ok()) {
+      return Error{Errc::io_error, "agent: drain cannot read spool " + path +
+                                       ": " + source->status().to_string()};
+    }
+    children.push_back(std::move(source));
+  }
+  trace::MergeOptions merge;
+  merge.alignment = trace::TimeAlignment::keep;
+  merge.pid_stride = 0;  // captured records carry real, distinct pids
+  trace::MergedSource merged(std::move(children), merge);
+
+  trace::SpillWriter out(options_.drain_path);
+  if (!out.ok()) {
+    return Error{Errc::io_error,
+                 "agent: cannot open drain file " + options_.drain_path};
+  }
+  for (;;) {
+    const std::span<const trace::IoRecord> chunk = merged.next_chunk();
+    if (chunk.empty()) break;
+    for (const trace::IoRecord& record : chunk) out.append(record);
+  }
+  if (!merged.status().ok()) {
+    return Error{Errc::io_error,
+                 "agent: drain merge failed: " + merged.status().to_string()};
+  }
+  const Status closed = out.close();
+  if (!closed.ok()) {
+    return Error{Errc::io_error,
+                 "agent: drain close failed: " + closed.to_string()};
+  }
+  for (const std::string& path : drained_spools_) {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+  }
+  std::error_code ec;
+  std::filesystem::remove(options_.spool_dir, ec);  // only when now empty
+  return {};
+}
+
+}  // namespace bpsio::agent

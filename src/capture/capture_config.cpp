@@ -60,7 +60,14 @@ CaptureConfig parse_capture_config(const EnvLookup& env,
                                    std::vector<std::string>* warnings) {
   CaptureConfig config;
   config.dir = get(env, "BPSIO_CAPTURE_DIR");
-  config.enabled = !config.dir.empty();
+  config.socket_path = get(env, "BPSIO_CAPTURE_SOCKET");
+  config.enabled = !config.dir.empty() || !config.socket_path.empty();
+  if (!config.socket_path.empty() && config.dir.empty()) {
+    warn(warnings,
+         "BPSIO_CAPTURE_SOCKET is set without BPSIO_CAPTURE_DIR: if the "
+         "daemon is unreachable, records will be dropped (no spill "
+         "fallback directory)");
+  }
 
   if (const std::string raw = get(env, "BPSIO_CAPTURE_BLOCK_SIZE");
       !raw.empty()) {

@@ -6,9 +6,20 @@
 // LD_PRELOAD library does is controlled by BPSIO_CAPTURE_* variables:
 //
 //   BPSIO_CAPTURE_DIR             output directory for per-process traces.
-//                                 Capture is enabled iff this is set and
-//                                 non-empty — preloading the library without
-//                                 it is a pure passthrough.
+//                                 Capture is enabled iff this or
+//                                 BPSIO_CAPTURE_SOCKET is set and non-empty —
+//                                 preloading the library without either is a
+//                                 pure passthrough.
+//   BPSIO_CAPTURE_SOCKET          path of a bpsio_agentd Unix-domain socket.
+//                                 When set, buffers ship to the live daemon
+//                                 as length-prefixed frames (trace/frame.hpp)
+//                                 instead of spilling to files. If the daemon
+//                                 is unreachable (or dies mid-run), capture
+//                                 falls back to file spill in
+//                                 BPSIO_CAPTURE_DIR — and when no DIR is set
+//                                 either, records are dropped with one
+//                                 warning. The never-abort policy holds in
+//                                 every case.
 //   BPSIO_CAPTURE_BLOCK_SIZE      block unit for B (default 512, the paper's
 //                                 unit; accepts 4K-style suffixes). Records
 //                                 store ceil(requested_bytes / block_size),
@@ -50,6 +61,7 @@ namespace bpsio::capture {
 struct CaptureConfig {
   bool enabled = false;
   std::string dir;
+  std::string socket_path;  ///< live-shipping target; empty = file spill only
   Bytes block_size = kDefaultBlockSize;
   std::size_t buffer_records = 4096;
   bool capture_all_fds = false;

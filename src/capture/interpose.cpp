@@ -43,9 +43,9 @@
 #include <vector>
 
 #include "capture/capture_config.hpp"
+#include "capture/record_shipper.hpp"
 #include "common/wallclock.hpp"
 #include "trace/io_record.hpp"
-#include "trace/spill_writer.hpp"
 
 namespace bpsio::capture {
 namespace {
@@ -68,7 +68,6 @@ struct Runtime {
 
 std::atomic<Runtime*> g_runtime{nullptr};
 std::atomic<std::uint32_t> g_pid{0};
-std::atomic<bool> g_warned_writer{false};
 
 /// Which fds were opened through the interposed open/openat family (and not
 /// by the capture machinery itself). Indexed by fd; fds beyond the table are
@@ -98,11 +97,12 @@ std::uint32_t cached_pid() {
 }
 
 /// Per-thread capture state: the lock-free record buffer plus the thread's
-/// own SpillWriter. No other thread ever touches an instance.
+/// own transport (socket shipping with spill fallback — record_shipper.hpp).
+/// No other thread ever touches an instance.
 struct ThreadCapture {
   std::vector<trace::IoRecord> buffer;
-  trace::SpillWriter* writer = nullptr;
-  bool disabled = false;  ///< writer failed or already closed: drop records
+  RecordShipper* shipper = nullptr;
+  bool disabled = false;  ///< transport failed or already closed: drop records
 
   ThreadCapture();
 
@@ -124,62 +124,46 @@ struct ThreadCapture {
     }
   }
 
-  /// Spill the buffer and checkpoint the header. Caller holds the
-  /// reentrancy guard. On any writer failure, capture for this thread
-  /// degrades to a silent drop (one process-wide stderr warning).
+  /// Ship the buffer through the thread's transport. Caller holds the
+  /// reentrancy guard. On transport failure, capture for this thread
+  /// degrades to a silent drop (the shipper warns once per process).
   void flush(const CaptureConfig& cfg) {
     if (disabled || buffer.empty()) {
       buffer.clear();
       return;
     }
-    if (writer == nullptr) {
-      const std::string path =
-          capture_trace_path(cfg, cached_pid(),
-                             static_cast<std::uint32_t>(::gettid()),
-                             realtime_ns());
-      writer = new trace::SpillWriter(path, cfg.buffer_records);
-      if (!writer->ok()) {
-        fail("cannot open trace file in BPSIO_CAPTURE_DIR");
-        return;
-      }
+    if (shipper == nullptr) {
+      shipper = new RecordShipper(cfg, cached_pid(),
+                                  static_cast<std::uint32_t>(::gettid()));
     }
-    for (const trace::IoRecord& record : buffer) writer->append(record);
-    if (!writer->checkpoint().ok()) {
-      fail("trace spill failed");
-      return;
-    }
+    if (!shipper->ship(buffer)) disabled = true;
     buffer.clear();
   }
 
   void flush_and_close() {
     Runtime* runtime = g_runtime.load(std::memory_order_acquire);
     if (runtime != nullptr) flush(runtime->cfg);
-    if (writer != nullptr) {
-      (void)writer->close();
-      delete writer;
-      writer = nullptr;
+    if (shipper != nullptr) {
+      shipper->close();
+      delete shipper;
+      shipper = nullptr;
     }
     disabled = true;  // records arriving after close have nowhere to go
   }
 
-  /// Fork child: the inherited writer (and its fd offset) belongs to the
-  /// parent — abandon it without closing, drop buffered records (the fork
-  /// prepare handler flushed them on the parent side), start fresh. The
-  /// leaked SpillWriter object is one small allocation per fork.
+  /// Fork child: the inherited transport belongs to the parent — the socket
+  /// reference is dropped and an inherited spill writer (with the parent's
+  /// file offset) abandoned un-closed. Buffered records were flushed on the
+  /// parent side by the fork prepare handler; the child starts fresh with a
+  /// transport carrying its own pid.
   void abandon_after_fork() {
     buffer.clear();
-    writer = nullptr;
-    disabled = false;
-  }
-
-  void fail(const char* what) {
-    if (!g_warned_writer.exchange(true)) {
-      std::fprintf(stderr, "bpsio-capture: %s; capture disabled\n", what);
+    if (shipper != nullptr) {
+      shipper->abandon_after_fork();
+      delete shipper;
+      shipper = nullptr;
     }
-    delete writer;
-    writer = nullptr;
-    disabled = true;
-    buffer.clear();
+    disabled = false;
   }
 };
 

@@ -107,16 +107,6 @@ SweepResult run_sweep(const std::vector<RunSpec>& specs,
   return result;
 }
 
-SweepResult run_sweep(const std::vector<RunSpec>& specs, std::uint32_t repeats,
-                      std::uint64_t base_seed,
-                      metrics::OverlapAlgorithm algo) {
-  SweepOptions options;
-  options.repeats = repeats;
-  options.base_seed = base_seed;
-  options.algo = algo;
-  return run_sweep(specs, options);
-}
-
 const CcStability* SweepResult::stability_of(metrics::MetricKind kind) const {
   for (const auto& st : stability) {
     if (st.kind == kind) return &st;

@@ -77,13 +77,11 @@ struct SweepOptions {
 
 /// Run every spec `repeats` times (seeds base_seed..base_seed+repeats-1),
 /// average pointwise, and correlate metric values against execution time.
+/// This is the only run_sweep: the old positional (specs, repeats, seed)
+/// convenience overload was removed (the bpsio-lint `legacy-run-sweep` rule
+/// keeps call sites off it) — default-constructed SweepOptions carries the
+/// same defaults it had.
 SweepResult run_sweep(const std::vector<RunSpec>& specs,
-                      const SweepOptions& options);
-
-/// Back-compat convenience overload (serial).
-[[deprecated("use the SweepOptions overload")]] SweepResult run_sweep(
-    const std::vector<RunSpec>& specs, std::uint32_t repeats = 5,
-    std::uint64_t base_seed = 42,
-    metrics::OverlapAlgorithm algo = metrics::OverlapAlgorithm::merged);
+                      const SweepOptions& options = {});
 
 }  // namespace bpsio::core

@@ -1,7 +1,10 @@
 #include "metrics/online.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <limits>
 
+#include "common/check.hpp"
 #include "common/log.hpp"
 
 namespace bpsio::metrics {
@@ -43,6 +46,116 @@ double OnlineBpsCounter::bps(SimTime now) const {
 }
 
 void OnlineBpsCounter::reset() { *this = OnlineBpsCounter{}; }
+
+SlidingWindowMetrics::SlidingWindowMetrics(SimDuration window)
+    : window_(window) {
+  BPSIO_CHECK(window.ns() > 0, "sliding window length must be positive");
+}
+
+std::int64_t SlidingWindowMetrics::window_start_ns() const {
+  // Saturating: with now near the epoch (captured traces start at boot
+  // monotonic 0 or huge monotonic values; synthetic tests at small ints),
+  // now - W must not wrap below INT64_MIN.
+  const std::int64_t now_ns = now_.ns();
+  const std::int64_t min_ns = std::numeric_limits<std::int64_t>::min();
+  if (now_ns < min_ns + window_.ns()) return min_ns;
+  return now_ns - window_.ns();
+}
+
+void SlidingWindowMetrics::add(const trace::IoRecord& record) {
+  if (!record.valid()) return;  // end < start: never corrupt the union
+  if (!any_ || record.end_ns > now_.ns()) now_ = SimTime(record.end_ns);
+  any_ = true;
+  const std::int64_t ws = window_start_ns();
+  if (record.end_ns <= ws) {
+    evict();  // a late record older than the window changes nothing
+    return;
+  }
+  live_.push(Live{record.end_ns, record.blocks,
+                  record.end_ns - record.start_ns});
+  ++count_;
+  blocks_ += record.blocks;
+  response_sum_ns_ += record.end_ns - record.start_ns;
+  const std::int64_t clipped_start = std::max(record.start_ns, ws);
+  if (record.end_ns > clipped_start) {
+    insert_interval(clipped_start, record.end_ns);
+  }
+  evict();
+}
+
+void SlidingWindowMetrics::advance(SimTime now) {
+  if (!any_ || now.ns() <= now_.ns()) return;
+  now_ = now;
+  evict();
+}
+
+void SlidingWindowMetrics::insert_interval(std::int64_t start_ns,
+                                           std::int64_t end_ns) {
+  // Merge [start, end) into the disjoint set; absorb every interval it
+  // overlaps or touches, keeping busy_ns_ the exact total measure.
+  auto it = merged_.upper_bound(start_ns);
+  if (it != merged_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= start_ns) it = prev;
+  }
+  while (it != merged_.end() && it->first <= end_ns) {
+    start_ns = std::min(start_ns, it->first);
+    end_ns = std::max(end_ns, it->second);
+    busy_ns_ -= it->second - it->first;
+    it = merged_.erase(it);
+  }
+  merged_.emplace(start_ns, end_ns);
+  busy_ns_ += end_ns - start_ns;
+}
+
+void SlidingWindowMetrics::evict() {
+  const std::int64_t ws = window_start_ns();
+  while (!live_.empty() && live_.top().end_ns <= ws) {
+    const Live& gone = live_.top();
+    --count_;
+    blocks_ -= gone.record_blocks;
+    response_sum_ns_ -= gone.response_ns;
+    live_.pop();
+  }
+  // Clip the merged union at the window's left edge.
+  while (!merged_.empty()) {
+    auto first = merged_.begin();
+    if (first->second <= ws) {
+      busy_ns_ -= first->second - first->first;
+      merged_.erase(first);
+      continue;
+    }
+    if (first->first < ws) {
+      const std::int64_t end_ns = first->second;
+      busy_ns_ -= ws - first->first;
+      merged_.erase(first);
+      merged_.emplace(ws, end_ns);
+    }
+    break;
+  }
+}
+
+double SlidingWindowMetrics::bps() const {
+  if (busy_ns_ <= 0) return 0.0;
+  return static_cast<double>(blocks_) / SimDuration(busy_ns_).seconds();
+}
+
+double SlidingWindowMetrics::iops() const {
+  return static_cast<double>(count_) / window_.seconds();
+}
+
+double SlidingWindowMetrics::arpt_s() const {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(response_sum_ns_) / 1e9 /
+         static_cast<double>(count_);
+}
+
+double SlidingWindowMetrics::bandwidth_bps(Bytes block_size) const {
+  return static_cast<double>(blocks_to_bytes(blocks_, block_size)) /
+         window_.seconds();
+}
+
+void SlidingWindowMetrics::reset() { *this = SlidingWindowMetrics(window_); }
 
 std::string OnlineBpsCounter::to_string(SimTime now) const {
   char buf[160];

@@ -15,9 +15,14 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <queue>
 #include <string>
+#include <vector>
 
 #include "common/sim_time.hpp"
+#include "common/units.hpp"
+#include "trace/io_record.hpp"
 
 namespace bpsio::metrics {
 
@@ -59,6 +64,93 @@ class OnlineBpsCounter {
   std::uint64_t started_ = 0;
   std::uint64_t finished_ = 0;
   std::uint64_t unmatched_finishes_ = 0;
+};
+
+/// Sliding-window online metrics — the live counterpart of the post-mortem
+/// pipeline, built for the aggregation daemon (bpsio_agentd).
+///
+/// Maintains B, T, IOPS, BW, and ARPT over the trailing window
+/// (now - W, now], where `now` is stream time: the largest access end seen
+/// (advance() can push it further). T is an exact integer interval-union
+/// measure, maintained incrementally:
+///
+///  * a start-keyed map of disjoint merged busy intervals, clipped on the
+///    left as the window slides (union-then-clamp equals clamp-then-union,
+///    so clipping the merged set is exact);
+///  * a min-heap of records by end time for B/ARPT expiry — a record
+///    belongs to the window while its end lies inside it (end > now - W),
+///    and contributes its full block count while it does (the paper clamps
+///    time to a window, never blocks — the same rule TimelineConsumer and
+///    col_time() apply).
+///
+/// Unlike the batch pipeline, add() accepts records in ANY arrival order —
+/// the daemon interleaves frames from many capture clients — and the result
+/// is order-independent: the window differential test feeds shuffled
+/// permutations and compares against overlap_time_paper/overlap_time_windowed
+/// on the same window. State is O(live records in window).
+class SlidingWindowMetrics {
+ public:
+  explicit SlidingWindowMetrics(SimDuration window);
+
+  /// Ingest one access record (any arrival order). Advances `now` to the
+  /// record's end when it is the latest seen. Records entirely older than
+  /// the window are ignored.
+  void add(const trace::IoRecord& record);
+
+  /// Slide the window forward to `now` (no-op when now <= current now):
+  /// evicts expired records and clips the busy-interval union. add() calls
+  /// this implicitly; a live exporter calls it before rendering so the
+  /// window keeps sliding while traffic is idle.
+  void advance(SimTime now);
+
+  SimTime now() const { return now_; }
+  SimDuration window() const { return window_; }
+  /// Left edge of the window, now - W (records with end > this are live).
+  std::int64_t window_start_ns() const;
+
+  /// True once any record has been ingested.
+  bool any() const { return any_; }
+  /// Records currently in the window.
+  std::uint64_t accesses() const { return count_; }
+  /// B over the window (full block counts of live records).
+  std::uint64_t blocks() const { return blocks_; }
+  /// T over the window: exact union of busy intervals clamped to it.
+  SimDuration io_time() const { return SimDuration(busy_ns_); }
+
+  double bps() const;             ///< B / T over the window; 0 when T = 0
+  double iops() const;            ///< accesses / window length
+  double arpt_s() const;          ///< mean response time of live records
+  /// Application bytes per second over the window length.
+  double bandwidth_bps(Bytes block_size = kDefaultBlockSize) const;
+
+  /// Drop all state (window length is kept).
+  void reset();
+
+ private:
+  struct Live {
+    std::int64_t end_ns;
+    std::uint64_t record_blocks;
+    std::int64_t response_ns;
+  };
+  struct LiveLater {
+    bool operator()(const Live& a, const Live& b) const {
+      return a.end_ns > b.end_ns;  // min-heap on end time
+    }
+  };
+
+  void insert_interval(std::int64_t start_ns, std::int64_t end_ns);
+  void evict();
+
+  SimDuration window_;
+  SimTime now_{};
+  bool any_ = false;
+  /// Disjoint merged busy intervals, start -> end, all inside the window.
+  std::map<std::int64_t, std::int64_t> merged_;
+  std::int64_t busy_ns_ = 0;  ///< total measure of merged_
+  std::priority_queue<Live, std::vector<Live>, LiveLater> live_;
+  std::uint64_t count_ = 0;
+  std::uint64_t blocks_ = 0;
+  std::int64_t response_sum_ns_ = 0;
 };
 
 }  // namespace bpsio::metrics

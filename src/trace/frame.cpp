@@ -1,0 +1,56 @@
+#include "trace/frame.hpp"
+
+#include <cstring>
+
+namespace bpsio::trace {
+
+void encode_frame(std::span<const IoRecord> records, std::vector<char>& out) {
+  FrameHeader header;
+  header.record_count = static_cast<std::uint32_t>(records.size());
+  const std::size_t payload = records.size() * sizeof(IoRecord);
+  const std::size_t at = out.size();
+  out.resize(at + sizeof header + payload);
+  std::memcpy(out.data() + at, &header, sizeof header);
+  if (payload > 0) {
+    std::memcpy(out.data() + at + sizeof header, records.data(), payload);
+  }
+}
+
+Status FrameDecoder::feed(const char* data, std::size_t n,
+                          std::vector<IoRecord>& out) {
+  if (!status_.ok()) return status_;
+  buf_.insert(buf_.end(), data, data + n);
+  std::size_t at = 0;
+  while (buf_.size() - at >= sizeof(FrameHeader)) {
+    FrameHeader header;
+    std::memcpy(&header, buf_.data() + at, sizeof header);
+    if (header.magic != kFrameMagic) {
+      status_ = Error{Errc::invalid_argument,
+                      "bad frame magic (corrupt or foreign stream)"};
+      buf_.clear();
+      return status_;
+    }
+    if (header.record_count > kMaxFrameRecords) {
+      status_ = Error{Errc::invalid_argument,
+                      "frame claims " + std::to_string(header.record_count) +
+                          " records (max " + std::to_string(kMaxFrameRecords) +
+                          "); rejecting stream"};
+      buf_.clear();
+      return status_;
+    }
+    const std::size_t payload = header.record_count * sizeof(IoRecord);
+    if (buf_.size() - at < sizeof header + payload) break;  // incomplete
+    const std::size_t old = out.size();
+    out.resize(old + header.record_count);
+    if (payload > 0) {
+      std::memcpy(out.data() + old, buf_.data() + at + sizeof header, payload);
+    }
+    at += sizeof header + payload;
+    ++frames_;
+  }
+  buf_.erase(buf_.begin(),
+             buf_.begin() + static_cast<std::ptrdiff_t>(at));
+  return status_;
+}
+
+}  // namespace bpsio::trace

@@ -1,0 +1,84 @@
+// Wire framing for live record shipping — the transport format between the
+// LD_PRELOAD capture clients and the bpsio_agentd aggregation daemon.
+//
+// A connection carries a sequence of length-prefixed frames over a byte
+// stream (Unix-domain socket). Each frame is an 8-byte header followed by
+// `record_count` raw v2 IoRecords — the same 32-byte wire records the
+// .bpstrace container stores, so the capture client ships its spill buffer
+// verbatim and the daemon's drain file is byte-equal to what a direct file
+// spill would have written:
+//
+//   +----------------+---------------+------------------------------+
+//   | magic (u32)    | count (u32)   | count * 32-byte IoRecord     |
+//   +----------------+---------------+------------------------------+
+//
+// Framing contract:
+//  * A frame is processed only when fully received. A connection that dies
+//    mid-frame loses only that frame's records ON THE DAEMON SIDE — the
+//    client treats a failed send as "frame not delivered" and falls back to
+//    file spill for the same buffer, so records are never lost and never
+//    double-counted (at most one of the two transports carries each buffer).
+//  * Records within one connection are in nondecreasing (start, end) order
+//    (each capture client connection is one thread's stream, which is
+//    start-ordered by construction) — the same ordering contract per-thread
+//    spill files satisfy, which is what lets the daemon k-way merge
+//    per-connection spools without sorting.
+//  * All fields little-endian host order, like the .bpstrace header (the
+//    capture subsystem is same-machine by definition: the socket is a Unix
+//    domain socket).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.hpp"
+#include "trace/io_record.hpp"
+
+namespace bpsio::trace {
+
+inline constexpr std::uint32_t kFrameMagic = 0x42505346;  // "BPSF"
+
+/// Upper bound on records per frame: rejects garbage length prefixes before
+/// they turn into multi-gigabyte buffer reservations. Capture clients ship
+/// one spill buffer per frame (default 4096 records), far below this.
+inline constexpr std::uint32_t kMaxFrameRecords = 1u << 20;
+
+struct FrameHeader {
+  std::uint32_t magic = kFrameMagic;
+  std::uint32_t record_count = 0;
+};
+static_assert(sizeof(FrameHeader) == 8, "frame header is part of the format");
+
+/// Append one encoded frame (header + raw records) to `out`. Encoding a
+/// frame with more than kMaxFrameRecords records is a caller bug — split
+/// the batch first; encode_frame clamps nothing and the decoder would
+/// reject it.
+void encode_frame(std::span<const IoRecord> records, std::vector<char>& out);
+
+/// Incremental frame decoder for one connection's byte stream. Feed bytes
+/// as they arrive; complete frames append their records to the caller's
+/// vector. Tolerates arbitrary fragmentation (one byte at a time works).
+/// A malformed header (bad magic, oversized count) poisons the decoder:
+/// status() reports the error and further bytes are ignored.
+class FrameDecoder {
+ public:
+  /// Consume `n` bytes, appending the records of every completed frame to
+  /// `out`. Returns the decoder status (also available via status()).
+  Status feed(const char* data, std::size_t n, std::vector<IoRecord>& out);
+
+  Status status() const { return status_; }
+  /// Complete frames decoded so far.
+  std::uint64_t frames_decoded() const { return frames_; }
+  /// Bytes of an incomplete trailing frame currently buffered. A clean
+  /// end-of-stream has 0 pending bytes; anything else means the peer died
+  /// mid-frame (those records were never acknowledged as delivered).
+  std::size_t pending_bytes() const { return buf_.size(); }
+
+ private:
+  std::vector<char> buf_;
+  Status status_;
+  std::uint64_t frames_ = 0;
+};
+
+}  // namespace bpsio::trace

@@ -1,0 +1,137 @@
+// Wire framing (trace/frame.hpp): encode/decode round trips, arbitrary
+// fragmentation, and malformed-header rejection. The framing contract backs
+// the live capture path's no-loss/no-dup guarantee, so the decoder must be
+// exact about frame boundaries.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "trace/frame.hpp"
+#include "trace/io_record.hpp"
+
+namespace bpsio::trace {
+namespace {
+
+std::vector<IoRecord> sample_records(int n, std::uint32_t pid = 7) {
+  std::vector<IoRecord> records;
+  for (int i = 0; i < n; ++i) {
+    records.push_back(make_record(pid, 128, SimTime(i * 1000),
+                                  SimTime(i * 1000 + 500)));
+  }
+  return records;
+}
+
+TEST(Frame, RoundTripsOneFrame) {
+  const std::vector<IoRecord> records = sample_records(5);
+  std::vector<char> wire;
+  encode_frame(records, wire);
+  EXPECT_EQ(wire.size(), sizeof(FrameHeader) + 5 * sizeof(IoRecord));
+
+  FrameDecoder decoder;
+  std::vector<IoRecord> out;
+  ASSERT_TRUE(decoder.feed(wire.data(), wire.size(), out).ok());
+  EXPECT_EQ(out, records);
+  EXPECT_EQ(decoder.frames_decoded(), 1u);
+  EXPECT_EQ(decoder.pending_bytes(), 0u);
+}
+
+TEST(Frame, EmptyFrameIsValid) {
+  // A capture thread may flush an empty buffer at close; zero records is a
+  // legal frame, not a protocol error.
+  std::vector<char> wire;
+  encode_frame(std::vector<IoRecord>{}, wire);
+  FrameDecoder decoder;
+  std::vector<IoRecord> out;
+  ASSERT_TRUE(decoder.feed(wire.data(), wire.size(), out).ok());
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(decoder.frames_decoded(), 1u);
+}
+
+TEST(Frame, ToleratesByteAtATimeDelivery) {
+  // SOCK_STREAM guarantees nothing about read boundaries: the decoder must
+  // reassemble frames from any fragmentation, including one byte at a time.
+  const std::vector<IoRecord> first = sample_records(3, 1);
+  const std::vector<IoRecord> second = sample_records(2, 2);
+  std::vector<char> wire;
+  encode_frame(first, wire);
+  encode_frame(second, wire);
+
+  FrameDecoder decoder;
+  std::vector<IoRecord> out;
+  for (const char byte : wire) {
+    ASSERT_TRUE(decoder.feed(&byte, 1, out).ok());
+  }
+  EXPECT_EQ(decoder.frames_decoded(), 2u);
+  EXPECT_EQ(decoder.pending_bytes(), 0u);
+  std::vector<IoRecord> expected = first;
+  expected.insert(expected.end(), second.begin(), second.end());
+  EXPECT_EQ(out, expected);
+}
+
+TEST(Frame, ReportsPartialTrailingFrame) {
+  // A peer that dies mid-frame leaves pending bytes — the signal the daemon
+  // uses to tell a torn tail from a clean end-of-stream.
+  std::vector<char> wire;
+  encode_frame(sample_records(4), wire);
+  FrameDecoder decoder;
+  std::vector<IoRecord> out;
+  ASSERT_TRUE(decoder.feed(wire.data(), wire.size() - 7, out).ok());
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(decoder.frames_decoded(), 0u);
+  EXPECT_GT(decoder.pending_bytes(), 0u);
+  // The remainder completes the frame.
+  ASSERT_TRUE(decoder.feed(wire.data() + wire.size() - 7, 7, out).ok());
+  EXPECT_EQ(out.size(), 4u);
+  EXPECT_EQ(decoder.pending_bytes(), 0u);
+}
+
+TEST(Frame, RejectsBadMagic) {
+  std::vector<char> wire;
+  encode_frame(sample_records(1), wire);
+  wire[0] = 'X';
+  FrameDecoder decoder;
+  std::vector<IoRecord> out;
+  EXPECT_FALSE(decoder.feed(wire.data(), wire.size(), out).ok());
+  EXPECT_TRUE(out.empty());
+  EXPECT_FALSE(decoder.status().ok());
+  // A poisoned decoder stays poisoned: further bytes are ignored.
+  std::vector<char> good;
+  encode_frame(sample_records(1), good);
+  EXPECT_FALSE(decoder.feed(good.data(), good.size(), out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Frame, RejectsOversizedCount) {
+  FrameHeader header;
+  header.record_count = kMaxFrameRecords + 1;
+  char raw[sizeof header];
+  std::memcpy(raw, &header, sizeof header);
+  FrameDecoder decoder;
+  std::vector<IoRecord> out;
+  EXPECT_FALSE(decoder.feed(raw, sizeof raw, out).ok());
+  EXPECT_FALSE(decoder.status().ok());
+}
+
+TEST(Frame, InterleavedFramesKeepPerConnectionOrder) {
+  // Two decoders model two client connections: each sees its own ordered
+  // stream regardless of how the daemon interleaves service between them.
+  std::vector<char> wire_a;
+  std::vector<char> wire_b;
+  encode_frame(sample_records(2, 1), wire_a);
+  encode_frame(sample_records(2, 2), wire_b);
+
+  FrameDecoder a, b;
+  std::vector<IoRecord> out_a, out_b;
+  const std::size_t half_a = wire_a.size() / 2;
+  const std::size_t half_b = wire_b.size() / 2;
+  ASSERT_TRUE(a.feed(wire_a.data(), half_a, out_a).ok());
+  ASSERT_TRUE(b.feed(wire_b.data(), half_b, out_b).ok());
+  ASSERT_TRUE(a.feed(wire_a.data() + half_a, wire_a.size() - half_a, out_a).ok());
+  ASSERT_TRUE(b.feed(wire_b.data() + half_b, wire_b.size() - half_b, out_b).ok());
+  EXPECT_EQ(out_a, sample_records(2, 1));
+  EXPECT_EQ(out_b, sample_records(2, 2));
+}
+
+}  // namespace
+}  // namespace bpsio::trace

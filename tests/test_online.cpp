@@ -6,9 +6,11 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "core/testbed.hpp"
 #include "metrics/calculators.hpp"
 #include "metrics/online.hpp"
+#include "metrics/overlap.hpp"
 #include "workload/iozone.hpp"
 #include "workload/process.hpp"
 
@@ -234,6 +236,154 @@ TEST(OnlineBps, ListIoAndCollectivePathsFeedTheCounter) {
                       [&](fs::IoOutcome) {});
   env.sim->run();
   EXPECT_EQ(online.accesses_finished(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// SlidingWindowMetrics — the live daemon's windowed counters. Ground truth
+// is the batch pipeline: clamp every record's interval to the window and
+// union it with overlap_time_paper / overlap_time_windowed.
+// ---------------------------------------------------------------------------
+
+/// Batch ground truth over `records` for the window (ws, now]: time clamped
+/// to the window, blocks never clamped (a record is live while end > ws —
+/// the same rule TimelineConsumer and col_time apply).
+struct WindowTruth {
+  std::uint64_t count = 0;
+  std::uint64_t record_blocks = 0;
+  std::int64_t busy_ns = 0;
+};
+
+WindowTruth window_truth(const std::vector<trace::IoRecord>& records,
+                         std::int64_t ws, std::int64_t now) {
+  WindowTruth truth;
+  std::vector<TimeInterval> col_time;
+  for (const trace::IoRecord& r : records) {
+    if (r.end_ns <= ws || r.end_ns > now) continue;  // expired or future
+    ++truth.count;
+    truth.record_blocks += r.blocks;
+    col_time.push_back({r.start_ns, r.end_ns});
+  }
+  truth.busy_ns = overlap_time_windowed(col_time, ws, now).ns();
+  // The paper algorithm on pre-clamped intervals must agree.
+  for (TimeInterval& iv : col_time) iv.start_ns = std::max(iv.start_ns, ws);
+  EXPECT_EQ(truth.busy_ns, overlap_time_paper(col_time).ns());
+  return truth;
+}
+
+std::vector<trace::IoRecord> random_records(std::uint64_t seed, int n,
+                                            std::int64_t span_ns) {
+  Rng rng(seed);
+  std::vector<trace::IoRecord> records;
+  records.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const std::int64_t start =
+        static_cast<std::int64_t>(rng.next() % static_cast<std::uint64_t>(span_ns));
+    const std::int64_t len =
+        static_cast<std::int64_t>(rng.next() % 5'000'000ULL);  // up to 5 ms
+    records.push_back(trace::make_record(
+        1000 + static_cast<std::uint32_t>(i % 3), 1 + rng.next() % 128,
+        SimTime(start), SimTime(start + len)));
+  }
+  return records;
+}
+
+TEST(SlidingWindow, MatchesBatchUnionOnRandomStreams) {
+  const SimDuration window = SimDuration::from_ms(50);
+  for (const std::uint64_t seed : {1ULL, 7ULL, 99ULL}) {
+    const std::vector<trace::IoRecord> records =
+        random_records(seed, 400, 200'000'000);  // 200 ms span, 50 ms window
+    SlidingWindowMetrics live(window);
+    for (const trace::IoRecord& r : records) live.add(r);
+
+    const WindowTruth truth =
+        window_truth(records, live.window_start_ns(), live.now().ns());
+    EXPECT_EQ(live.accesses(), truth.count) << "seed " << seed;
+    EXPECT_EQ(live.blocks(), truth.record_blocks) << "seed " << seed;
+    EXPECT_EQ(live.io_time().ns(), truth.busy_ns) << "seed " << seed;
+  }
+}
+
+TEST(SlidingWindow, OrderIndependentIngest) {
+  // The daemon interleaves frames from many clients: any permutation of the
+  // same record multiset must land on identical window state.
+  const SimDuration window = SimDuration::from_ms(30);
+  std::vector<trace::IoRecord> records = random_records(1234, 250, 100'000'000);
+
+  SlidingWindowMetrics ordered(window);
+  std::vector<trace::IoRecord> sorted = records;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const trace::IoRecord& a, const trace::IoRecord& b) {
+              return a.start_ns < b.start_ns;
+            });  // bpsio-lint: allow(iorecord-sort) test fixture ordering
+  for (const trace::IoRecord& r : sorted) ordered.add(r);
+
+  Rng rng(77);
+  for (int round = 0; round < 3; ++round) {
+    std::shuffle(records.begin(), records.end(), rng);
+    SlidingWindowMetrics shuffled(window);
+    for (const trace::IoRecord& r : records) shuffled.add(r);
+    EXPECT_EQ(shuffled.accesses(), ordered.accesses());
+    EXPECT_EQ(shuffled.blocks(), ordered.blocks());
+    EXPECT_EQ(shuffled.io_time().ns(), ordered.io_time().ns());
+    EXPECT_EQ(shuffled.now().ns(), ordered.now().ns());
+    EXPECT_DOUBLE_EQ(shuffled.bps(), ordered.bps());
+    EXPECT_DOUBLE_EQ(shuffled.arpt_s(), ordered.arpt_s());
+  }
+}
+
+TEST(SlidingWindow, EvictsAsTheWindowSlides) {
+  SlidingWindowMetrics live(SimDuration::from_ms(10));
+  live.add(trace::make_record(1, 100, SimTime(0), SimTime(2'000'000)));
+  EXPECT_EQ(live.accesses(), 1u);
+  EXPECT_EQ(live.blocks(), 100u);
+  EXPECT_EQ(live.io_time().ns(), 2'000'000);
+
+  // A later record slides the window; the first stays live while its end
+  // is inside (end > now - W), full block count either way.
+  live.add(trace::make_record(1, 50, SimTime(9'000'000), SimTime(11'000'000)));
+  EXPECT_EQ(live.accesses(), 2u);
+  EXPECT_EQ(live.blocks(), 150u);
+  // Window is (1ms, 11ms]: first interval contributes (1ms, 2ms].
+  EXPECT_EQ(live.io_time().ns(), 1'000'000 + 2'000'000);
+
+  // advance() alone (idle traffic) expires the first record.
+  live.advance(SimTime(12'100'000));
+  EXPECT_EQ(live.accesses(), 1u);
+  EXPECT_EQ(live.blocks(), 50u);
+  // Window is (2.1ms, 12.1ms]: only the second interval remains.
+  EXPECT_EQ(live.io_time().ns(), 2'000'000);
+
+  // Far future: everything expires; counters drain to zero.
+  live.advance(SimTime(1'000'000'000));
+  EXPECT_EQ(live.accesses(), 0u);
+  EXPECT_EQ(live.blocks(), 0u);
+  EXPECT_EQ(live.io_time().ns(), 0);
+  EXPECT_EQ(live.bps(), 0.0);
+}
+
+TEST(SlidingWindow, FullyExpiredRecordsAreIgnored) {
+  SlidingWindowMetrics live(SimDuration::from_ms(1));
+  live.add(trace::make_record(1, 10, SimTime(100'000'000), SimTime(101'000'000)));
+  const std::uint64_t before = live.accesses();
+  // Ancient record: end far behind the window start. Must not resurrect.
+  live.add(trace::make_record(2, 999, SimTime(0), SimTime(1'000)));
+  EXPECT_EQ(live.accesses(), before);
+  EXPECT_EQ(live.blocks(), 10u);
+  // now must never move backwards either.
+  EXPECT_EQ(live.now().ns(), 101'000'000);
+}
+
+TEST(SlidingWindow, RatesUseWindowAndBusyTime) {
+  const SimDuration window = SimDuration::from_ms(100);
+  SlidingWindowMetrics live(window);
+  // Two disjoint 10ms accesses, 64 blocks each.
+  live.add(trace::make_record(1, 64, SimTime(0), SimTime(10'000'000)));
+  live.add(trace::make_record(1, 64, SimTime(20'000'000), SimTime(30'000'000)));
+  EXPECT_DOUBLE_EQ(live.io_time().seconds(), 0.020);
+  EXPECT_DOUBLE_EQ(live.bps(), 128.0 / 0.020);            // B / T
+  EXPECT_DOUBLE_EQ(live.iops(), 2.0 / window.seconds());  // per window
+  EXPECT_DOUBLE_EQ(live.arpt_s(), 0.010);
+  EXPECT_DOUBLE_EQ(live.bandwidth_bps(512), 128.0 * 512.0 / window.seconds());
 }
 
 }  // namespace

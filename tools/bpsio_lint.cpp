@@ -24,6 +24,10 @@
 //                   trace/ — materializing the full record vector caps
 //                   analyzable traces at RAM; metric code pulls bounded
 //                   chunks from a trace::RecordSource instead.
+//   legacy-run-sweep
+//                   calls to the removed positional run_sweep(specs,
+//                   repeats, seed) overload — sweeps configure through
+//                   core::SweepOptions.
 //
 // Escape hatch: `// bpsio-lint: allow(rule)` on the offending line or on a
 // comment-only line directly above it. Every allow must carry a
@@ -32,12 +36,18 @@
 // Usage:
 //   bpsio_lint --root <dir>     lint all .cpp/.hpp under <dir>
 //   bpsio_lint <files...>       lint specific files
+//   bpsio_lint --threads=N      fan the scan out over N workers (0 = all
+//                               cores); output is order-stable either way
 //   bpsio_lint --self-test      prove every rule fires and is suppressible
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <thread>
+
+#include "cli.hpp"
 #include <map>
 #include <set>
 #include <sstream>
@@ -434,6 +444,37 @@ void rule_records_materialize(const SourceFile& src,
   }
 }
 
+// API contract: the positional run_sweep(specs, repeats, seed) overload was
+// removed in favor of run_sweep(specs, SweepOptions) — the positional form
+// silently reorders meaning when a parameter is added. This guard keeps the
+// deleted overload from creeping back in call sites (a numeric second
+// argument can only be the legacy shape).
+void rule_legacy_run_sweep(const SourceFile& src, std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < src.code.size(); ++i) {
+    for (std::size_t at :
+         find_calls(src.code[i], "run_sweep", /*require_paren=*/true)) {
+      (void)at;
+      const std::string stmt = statement_at(src, i);
+      const std::size_t open = stmt.find("run_sweep");
+      const std::size_t paren = stmt.find('(', open);
+      if (paren == std::string::npos) continue;
+      const std::size_t comma = stmt.find(',', paren);
+      if (comma == std::string::npos) continue;  // single-argument call
+      std::size_t arg = comma + 1;
+      while (arg < stmt.size() && stmt[arg] == ' ') ++arg;
+      const bool numeric_second =
+          arg < stmt.size() &&
+          std::isdigit(static_cast<unsigned char>(stmt[arg]));
+      if (numeric_second || stmt.find("uint32_t repeats") != std::string::npos) {
+        add_finding(src, out, i, "legacy-run-sweep",
+                    "positional run_sweep(specs, repeats, seed) was removed; "
+                    "pass a core::SweepOptions (core/experiment.hpp)");
+        break;
+      }
+    }
+  }
+}
+
 const std::map<std::string, RuleFn>& all_rules() {
   static const std::map<std::string, RuleFn> rules = {
       {"iorecord-sort", rule_iorecord_sort},
@@ -442,6 +483,7 @@ const std::map<std::string, RuleFn>& all_rules() {
       {"bare-assert", rule_bare_assert},
       {"mutable-global", rule_mutable_global},
       {"records-materialize", rule_records_materialize},
+      {"legacy-run-sweep", rule_legacy_run_sweep},
   };
   return rules;
 }
@@ -475,18 +517,46 @@ std::vector<std::string> collect_files(const std::string& root) {
   return files;
 }
 
-int lint_paths(const std::vector<std::string>& files) {
+/// Lint every file, fanned out over `threads` workers. Output is
+/// deterministic regardless of thread count: per-file results land in
+/// order-indexed slots and print in input order once all workers join.
+int lint_paths(const std::vector<std::string>& files, std::size_t threads) {
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw > 0 ? hw : 1;
+  }
+  threads = std::min(threads, files.size() > 0 ? files.size() : std::size_t{1});
+
+  std::vector<std::vector<Finding>> findings(files.size());
+  std::vector<bool> unreadable(files.size(), false);
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= files.size()) return;
+      std::ifstream in(files[i], std::ios::binary);
+      if (!in) {
+        unreadable[i] = true;  // each worker owns its own slots: no race
+        continue;
+      }
+      std::stringstream buf;
+      buf << in.rdbuf();
+      findings[i] = lint_source(load_source(files[i], buf.str()));
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads > 0 ? threads - 1 : 0);
+  for (std::size_t t = 1; t < threads; ++t) pool.emplace_back(worker);
+  worker();
+  for (std::thread& t : pool) t.join();
+
   std::size_t total = 0;
-  for (const std::string& path : files) {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
-      std::fprintf(stderr, "bpsio-lint: cannot open %s\n", path.c_str());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (unreadable[i]) {
+      std::fprintf(stderr, "bpsio-lint: cannot open %s\n", files[i].c_str());
       return 2;
     }
-    std::stringstream buf;
-    buf << in.rdbuf();
-    const SourceFile src = load_source(path, buf.str());
-    for (const Finding& f : lint_source(src)) {
+    for (const Finding& f : findings[i]) {
       std::printf("%s:%zu: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
                   f.detail.c_str());
       ++total;
@@ -551,6 +621,11 @@ const SelfCase kSelfCases[] = {
      "  const std::uint64_t n = acc.record_count();\n"
      "  std::vector<IoRecord> records;\n"
      "}\n"},
+    {"legacy-run-sweep", "src/core/study.cpp",
+     "auto r = run_sweep(specs, 5, 42);\n",
+     "core::SweepOptions opt;\n"
+     "auto r = run_sweep(specs, opt);\n"
+     "auto s = run_sweep(specs);\n"},
 };
 
 int self_test() {
@@ -646,19 +721,38 @@ int self_test() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::vector<std::string> args(argv + 1, argv + argc);
-  if (args.empty()) {
-    std::fprintf(stderr,
-                 "usage: bpsio_lint --root <dir> | --self-test | <files...>\n");
+  bool run_self_test = false;
+  std::string root;
+  long long threads = 0;
+  bpsio::cli::ArgParser parser(
+      "bpsio_lint",
+      "Repo-specific static checks for the BPS metric pipeline\n"
+      "(see docs/STATIC_ANALYSIS.md).");
+  parser.positionals("[<files...>]");
+  parser.add_flag("--self-test", &run_self_test,
+                  "prove every rule fires and is suppressible");
+  parser.add_string("--root", &root, "DIR", "lint all .cpp/.hpp under DIR");
+  parser.add_int("--threads", &threads, 0, 4096, "N",
+                 "worker threads (0 = all cores; output order is "
+                 "thread-count independent)");
+
+  std::vector<std::string> files;
+  switch (parser.parse(argc, argv, files)) {
+    case bpsio::cli::ArgParser::Outcome::ok:
+      break;
+    case bpsio::cli::ArgParser::Outcome::help:
+      return 0;
+    case bpsio::cli::ArgParser::Outcome::error:
+      return 2;
+  }
+  if (run_self_test) return self_test();
+  if (!root.empty()) {
+    const std::vector<std::string> found = collect_files(root);
+    files.insert(files.end(), found.begin(), found.end());
+  }
+  if (files.empty()) {
+    std::fputs(parser.usage().c_str(), stderr);
     return 2;
   }
-  if (args[0] == "--self-test") return self_test();
-  if (args[0] == "--root") {
-    if (args.size() != 2) {
-      std::fprintf(stderr, "usage: bpsio_lint --root <dir>\n");
-      return 2;
-    }
-    return lint_paths(collect_files(args[1]));
-  }
-  return lint_paths(args);
+  return lint_paths(files, static_cast<std::size_t>(threads));
 }

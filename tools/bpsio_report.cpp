@@ -27,7 +27,9 @@
 //     --pid-stride=N      remap pids per source file (default 0: captured
 //                         traces carry real, already-distinct pids)
 //     --per-pid           per-process table
-//     --timeline=MS      windowed BPS timeline with MS-millisecond windows
+//     --window=MS         windowed BPS timeline with MS-millisecond windows
+//                         (--timeline=MS is the older spelling, kept as an
+//                         alias)
 //     --csv               machine-readable single-row output
 //
 // Memory stays O(chunk * files): everything is SpilledTraceSource ->
@@ -45,6 +47,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "cli.hpp"
 #include "common/config.hpp"
 #include "common/format.hpp"
 #include "common/result.hpp"
@@ -68,54 +71,59 @@ struct Options {
   bool csv = false;
 };
 
-int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s <trace-file-or-dir>... [--block-size=BYTES]\n"
-               "       [--exec-time=SECS] [--align] [--pid-stride=N]\n"
-               "       [--per-pid] [--timeline=MS] [--csv]\n",
-               argv0);
-  return 2;
-}
-
-bool parse_args(int argc, char** argv, Options& opt) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto value = [&](const char* prefix) -> const char* {
-      const std::size_t n = std::strlen(prefix);
-      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
-    };
-    if (const char* bs = value("--block-size=")) {
-      const auto parsed = Config::parse_bytes(bs);
-      if (!parsed || *parsed == 0) return false;
-      opt.block_size = *parsed;
-    } else if (const char* et = value("--exec-time=")) {
-      char* end = nullptr;
-      const double secs = std::strtod(et, &end);
-      if (end == nullptr || *end != '\0' || secs <= 0) return false;
-      opt.exec_time_s = secs;
-    } else if (const char* ps = value("--pid-stride=")) {
-      char* end = nullptr;
-      const long stride = std::strtol(ps, &end, 10);
-      if (end == nullptr || *end != '\0' || stride < 0) return false;
-      opt.pid_stride = static_cast<std::uint32_t>(stride);
-    } else if (const char* tl = value("--timeline=")) {
-      char* end = nullptr;
-      const double ms = std::strtod(tl, &end);
-      if (end == nullptr || *end != '\0' || ms <= 0) return false;
-      opt.timeline_ms = ms;
-    } else if (arg == "--align") {
-      opt.align = true;
-    } else if (arg == "--per-pid") {
-      opt.per_pid = true;
-    } else if (arg == "--csv") {
-      opt.csv = true;
-    } else if (!arg.empty() && arg[0] == '-') {
-      return false;
-    } else {
-      opt.inputs.push_back(arg);
-    }
-  }
-  return !opt.inputs.empty();
+/// Builds the shared-parser option table over `opt`. Returns the parser so
+/// main() can report usage.
+cli::ArgParser make_parser(Options& opt) {
+  cli::ArgParser parser("bpsio_report",
+                        "BPS analysis of captured .bpstrace files.");
+  parser.positionals("<trace-file-or-dir>...");
+  parser.add_value("--block-size", "BYTES",
+                   "block unit the traces were captured with (default 512)",
+                   [&opt](const std::string& v) {
+                     const auto parsed = Config::parse_bytes(v);
+                     if (!parsed || *parsed == 0) return false;
+                     opt.block_size = *parsed;
+                     return true;
+                   });
+  parser.add_value("--exec-time", "SECS",
+                   "period for IOPS/BW (default: the trace span)",
+                   [&opt](const std::string& v) {
+                     char* end = nullptr;
+                     const double secs = std::strtod(v.c_str(), &end);
+                     if (end == nullptr || *end != '\0' || secs <= 0) {
+                       return false;
+                     }
+                     opt.exec_time_s = secs;
+                     return true;
+                   });
+  parser.add_value("--pid-stride", "N",
+                   "remap pids per source file (default 0: keep real pids)",
+                   [&opt](const std::string& v) {
+                     char* end = nullptr;
+                     const long stride = std::strtol(v.c_str(), &end, 10);
+                     if (end == nullptr || *end != '\0' || stride < 0) {
+                       return false;
+                     }
+                     opt.pid_stride = static_cast<std::uint32_t>(stride);
+                     return true;
+                   });
+  const auto set_window = [&opt](const std::string& v) {
+    char* end = nullptr;
+    const double ms = std::strtod(v.c_str(), &end);
+    if (end == nullptr || *end != '\0' || ms <= 0) return false;
+    opt.timeline_ms = ms;
+    return true;
+  };
+  parser.add_value("--window", "MS",
+                   "windowed BPS timeline with MS-millisecond windows",
+                   set_window);
+  parser.add_value("--timeline", "MS", "alias of --window (older spelling)",
+                   set_window);
+  parser.add_flag("--align", &opt.align,
+                  "align each trace's start to t=0 (different clocks)");
+  parser.add_flag("--per-pid", &opt.per_pid, "per-process table");
+  parser.add_flag("--csv", &opt.csv, "machine-readable single-row output");
+  return parser;
 }
 
 /// Expand each input: directories contribute every *.bpstrace inside them
@@ -358,6 +366,18 @@ int run_report(const Options& opt) {
 
 int main(int argc, char** argv) {
   bpsio::Options opt;
-  if (!bpsio::parse_args(argc, argv, opt)) return bpsio::usage(argv[0]);
+  bpsio::cli::ArgParser parser = bpsio::make_parser(opt);
+  switch (parser.parse(argc, argv, opt.inputs)) {
+    case bpsio::cli::ArgParser::Outcome::ok:
+      break;
+    case bpsio::cli::ArgParser::Outcome::help:
+      return 0;
+    case bpsio::cli::ArgParser::Outcome::error:
+      return 2;
+  }
+  if (opt.inputs.empty()) {
+    std::fputs(parser.usage().c_str(), stderr);
+    return 2;
+  }
   return bpsio::run_report(opt);
 }

@@ -14,7 +14,9 @@
 //
 // tests/test_capture_e2e.cpp and the CI capture-smoke job assert exactly
 // that. Deliberately no bpsio library dependencies — the traced program
-// stands in for an arbitrary third-party application.
+// stands in for an arbitrary third-party application (cli.hpp is
+// standard-library-only, so argument parsing still matches the other
+// tools).
 #include <fcntl.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -25,6 +27,8 @@
 #include <cstring>
 #include <string>
 #include <vector>
+
+#include "cli.hpp"
 
 namespace {
 
@@ -64,16 +68,29 @@ int run_child(const std::string& dir, int index, long writes, long bytes) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2 || argc > 5) {
-    std::fprintf(stderr,
-                 "usage: capture_smoke <dir> [procs=4] [writes=200] "
-                 "[bytes=65536]\n");
+  bpsio::cli::ArgParser parser(
+      "capture_smoke",
+      "Known-pattern POSIX writer for exercising libbpsio_capture.so:\n"
+      "forks <procs> children, each writing <writes> x <bytes> to "
+      "<dir>/data.<i>.");
+  parser.positionals("<dir> [procs=4] [writes=200] [bytes=65536]");
+  std::vector<std::string> args;
+  switch (parser.parse(argc, argv, args)) {
+    case bpsio::cli::ArgParser::Outcome::ok:
+      break;
+    case bpsio::cli::ArgParser::Outcome::help:
+      return 0;
+    case bpsio::cli::ArgParser::Outcome::error:
+      return 2;
+  }
+  if (args.empty() || args.size() > 4) {
+    std::fputs(parser.usage().c_str(), stderr);
     return 2;
   }
-  const std::string dir = argv[1];
-  const long procs = argc > 2 ? std::strtol(argv[2], nullptr, 10) : 4;
-  const long writes = argc > 3 ? std::strtol(argv[3], nullptr, 10) : 200;
-  const long bytes = argc > 4 ? std::strtol(argv[4], nullptr, 10) : 65536;
+  const std::string dir = args[0];
+  const long procs = args.size() > 1 ? std::strtol(args[1].c_str(), nullptr, 10) : 4;
+  const long writes = args.size() > 2 ? std::strtol(args[2].c_str(), nullptr, 10) : 200;
+  const long bytes = args.size() > 3 ? std::strtol(args[3].c_str(), nullptr, 10) : 65536;
   if (procs < 1 || writes < 1 || bytes < 1) {
     std::fprintf(stderr, "capture_smoke: all counts must be >= 1\n");
     return 2;
