@@ -1,0 +1,137 @@
+// Shared CLI scaffolding for the harness-based bench binaries.
+//
+// Every BENCH_*.json-emitting bench fronts the same flags with the same
+// spellings and defaults:
+//
+//   --profile=smoke|full     sample counts + CI target + workload size tier
+//   --records=N              workload size override (0 = profile default)
+//   --seed=S                 RNG seed (always printed — a reported number
+//                            must be reproducible from its JSON record)
+//   --samples-min/--samples-max/--target-ci/--confidence
+//                            harness controls (0 = profile default)
+//   --json                   write BENCH_<name>.json to the cwd
+//   --json-dir=DIR           write it to DIR (implies --json)
+//   --simulate-slowdown=F    scale measured durations (CI gate self-check)
+//   --csv                    per-sample CSV on stdout after the summary
+//   --threads=N              registered only by benches with a parallel path
+//
+// Built on tools/cli.hpp so `--help`, `--name=value`, and error reporting
+// match every other bpsio binary.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "tools/cli.hpp"
+
+namespace bpsio::bench {
+
+struct CommonBenchArgs {
+  std::string profile = "smoke";
+  long long records = 0;  ///< 0 = profile default
+  long long seed = 42;
+  long long threads = 1;
+  long long samples_min = 0;
+  long long samples_max = 0;
+  double target_ci = 0;
+  double confidence = 0.95;
+  double simulate_slowdown = 1.0;
+  bool json = false;
+  std::string json_dir;
+  bool csv = false;
+};
+
+inline void register_common_flags(cli::ArgParser& parser, CommonBenchArgs* a,
+                                  bool with_threads) {
+  parser.add_value("--profile", "smoke|full",
+                   "workload + sampling tier (default smoke)",
+                   [a](const std::string& v) {
+                     if (v != "smoke" && v != "full") return false;
+                     a->profile = v;
+                     return true;
+                   });
+  parser.add_int("--records", &a->records, 0, 1'000'000'000, "N",
+                 "workload size override (0 = profile default)");
+  parser.add_int("--seed", &a->seed, 0, INT64_MAX, "S",
+                 "RNG seed for the synthetic workload (default 42)");
+  if (with_threads) {
+    parser.add_int("--threads", &a->threads, 1, 1024, "N",
+                   "worker threads for the parallel variant (default 4)");
+  }
+  parser.add_int("--samples-min", &a->samples_min, 4, 100000, "N",
+                 "samples before the first CI check (0 = profile default)");
+  parser.add_int("--samples-max", &a->samples_max, 4, 100000, "N",
+                 "sample cap for the adaptive loop (0 = profile default)");
+  parser.add_positive_double("--target-ci", &a->target_ci, "FRAC",
+                             "stop when CI half-width <= FRAC * mean "
+                             "(0 = profile default)");
+  parser.add_positive_double("--confidence", &a->confidence, "LEVEL",
+                             "CI confidence level (default 0.95)");
+  parser.add_positive_double("--simulate-slowdown", &a->simulate_slowdown,
+                             "FACTOR",
+                             "scale measured durations by FACTOR "
+                             "(CI gate self-check; default 1)");
+  parser.add_flag("--json", &a->json, "write BENCH_<name>.json to the cwd");
+  parser.add_string("--json-dir", &a->json_dir, "DIR",
+                    "write BENCH_<name>.json into DIR (implies --json)");
+  parser.add_flag("--csv", &a->csv, "per-sample CSV after the summary line");
+}
+
+/// Harness configuration for `name` from the parsed args, profile defaults
+/// filled in for anything left at 0.
+inline HarnessConfig make_harness_config(const std::string& name,
+                                         const CommonBenchArgs& a) {
+  const bool smoke = a.profile == "smoke";
+  HarnessConfig cfg;
+  cfg.name = name;
+  cfg.min_samples = a.samples_min > 0 ? static_cast<std::size_t>(a.samples_min)
+                                      : (smoke ? 8 : 15);
+  cfg.max_samples = a.samples_max > 0 ? static_cast<std::size_t>(a.samples_max)
+                                      : (smoke ? 60 : 300);
+  cfg.target_rel_half_width = a.target_ci > 0 ? a.target_ci
+                                              : (smoke ? 0.10 : 0.03);
+  if (cfg.max_samples < cfg.min_samples) cfg.max_samples = cfg.min_samples;
+  cfg.confidence = a.confidence;
+  cfg.simulate_slowdown = a.simulate_slowdown;
+  cfg.seed = static_cast<std::uint64_t>(a.seed);
+  cfg.threads = static_cast<int>(a.threads);
+  return cfg;
+}
+
+/// Workload size: explicit --records, else the profile tier.
+inline std::uint64_t resolve_records(const CommonBenchArgs& a,
+                                     std::uint64_t smoke_default,
+                                     std::uint64_t full_default) {
+  if (a.records > 0) return static_cast<std::uint64_t>(a.records);
+  return a.profile == "smoke" ? smoke_default : full_default;
+}
+
+/// Print the summary (and CSV when asked), write the JSON when asked.
+/// Returns 0, or 1 when the JSON write failed.
+inline int report_result(const CommonBenchArgs& args, const HarnessConfig& cfg,
+                         const BenchResult& result,
+                         std::map<std::string, std::string> extra) {
+  BenchRecord record = result.to_record(cfg, std::move(extra));
+  std::printf("%s\n", summary_line(record).c_str());
+  if (args.csv) {
+    std::printf("sample,%s\n", record.unit.c_str());
+    for (std::size_t i = 0; i < record.samples_raw.size(); ++i) {
+      std::printf("%zu,%.17g\n", i, record.samples_raw[i]);
+    }
+  }
+  if (args.json || !args.json_dir.empty()) {
+    const Status written = write_bench_record(args.json_dir, record);
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s: %s\n", cfg.name.c_str(),
+                   written.error().message.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace bpsio::bench

@@ -5,10 +5,13 @@
 // Figure 2 shows how the overlapped time T is measured for four requests.
 // This bench builds those exact record sets and prints every metric.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "common/format.hpp"
 #include "metrics/calculators.hpp"
 #include "metrics/overlap.hpp"
+#include "tools/cli.hpp"
 #include "trace/trace_collector.hpp"
 
 using namespace bpsio;
@@ -33,7 +36,24 @@ void print_case(const char* label, const metrics::MetricSample& s) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Fixed record sets straight from the paper — no knobs, but --help and
+  // unknown-flag rejection must behave like every other bpsio binary.
+  cli::ArgParser parser(argv[0] != nullptr ? argv[0] : "bench_fig1_concepts",
+                        "Reproduce the paper's Figure 1/2 motivating examples "
+                        "numerically (fixed workload, no options).");
+  std::vector<std::string> positionals;
+  switch (parser.parse(argc, argv, positionals)) {
+    case cli::ArgParser::Outcome::help: return 0;
+    case cli::ArgParser::Outcome::error: return 2;
+    case cli::ArgParser::Outcome::ok: break;
+  }
+  if (!positionals.empty()) {
+    std::fprintf(stderr, "%s: unexpected operand '%s'\n%s", argv[0],
+                 positionals.front().c_str(), parser.usage().c_str());
+    return 2;
+  }
+
   using trace::make_record;
   const std::uint64_t S = 8;            // request size in 512 B blocks (4 KiB)
   const Bytes S_bytes = S * 512;

@@ -1,0 +1,90 @@
+// Harness bench: FrameDecoder throughput — the daemon's ingest hot path.
+//
+// Pre-encodes the workload once (N records split into spill-buffer-sized
+// BPSF frames, the exact shape record_shipper puts on the wire), then each
+// sample decodes the whole byte stream through a fresh FrameDecoder in
+// socket-read-sized chunks. Emits BENCH_frame_decode.json; throughput is
+// records/sec through the decoder.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_cli.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "trace/frame.hpp"
+#include "trace/io_record.hpp"
+
+using namespace bpsio;
+
+namespace {
+
+constexpr std::size_t kRecordsPerFrame = 4096;  // SpillWriter batch default
+constexpr std::size_t kReadChunk = 64 * 1024;   // typical socket read size
+
+std::vector<char> encode_workload(std::uint64_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<trace::IoRecord> frame;
+  frame.reserve(kRecordsPerFrame);
+  std::vector<char> wire;
+  wire.reserve(n * sizeof(trace::IoRecord) + (n / kRecordsPerFrame + 1) * 8);
+  std::int64_t t = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    t += static_cast<std::int64_t>(rng.uniform_u64(1000));
+    const auto len = static_cast<std::int64_t>(rng.uniform_u64(5000)) + 1;
+    frame.push_back(trace::make_record(static_cast<std::uint32_t>(i % 16 + 1),
+                                       rng.uniform_u64(64) + 1, SimTime(t),
+                                       SimTime(t + len)));
+    if (frame.size() == kRecordsPerFrame) {
+      trace::encode_frame(frame, wire);
+      frame.clear();
+    }
+  }
+  if (!frame.empty()) trace::encode_frame(frame, wire);
+  return wire;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::CommonBenchArgs args;
+  cli::ArgParser parser("bench_frame_decode",
+                        "FrameDecoder ingest throughput over a pre-encoded "
+                        "BPSF byte stream, with a statistical harness.");
+  bench::register_common_flags(parser, &args, /*with_threads=*/false);
+  std::vector<std::string> positionals;
+  switch (parser.parse(argc, argv, positionals)) {
+    case cli::ArgParser::Outcome::help: return 0;
+    case cli::ArgParser::Outcome::error: return 2;
+    case cli::ArgParser::Outcome::ok: break;
+  }
+
+  const std::uint64_t n = bench::resolve_records(args, 200'000, 4'000'000);
+  const auto wire = encode_workload(n, static_cast<std::uint64_t>(args.seed));
+  std::printf("=== frame decode: %llu records, %.1f MiB on the wire, "
+              "seed=%llu ===\n",
+              static_cast<unsigned long long>(n),
+              static_cast<double>(wire.size()) / (1024.0 * 1024.0),
+              static_cast<unsigned long long>(args.seed));
+
+  const auto cfg = bench::make_harness_config("frame_decode", args);
+  const bench::BenchHarness harness(cfg);
+  std::vector<trace::IoRecord> decoded;
+  decoded.reserve(n);
+  const auto result = harness.run([&] {
+    decoded.clear();
+    trace::FrameDecoder decoder;
+    for (std::size_t off = 0; off < wire.size(); off += kReadChunk) {
+      const std::size_t len = std::min(kReadChunk, wire.size() - off);
+      (void)decoder.feed(wire.data() + off, len, decoded);
+    }
+    BPSIO_CHECK(decoder.status().ok() && decoded.size() == n,
+                "decode mismatch: %zu of %llu records", decoded.size(),
+                static_cast<unsigned long long>(n));
+    return static_cast<double>(decoded.size());
+  });
+  return bench::report_result(args, cfg, result,
+                              {{"records", std::to_string(n)},
+                               {"read_chunk", std::to_string(kReadChunk)},
+                               {"profile", args.profile}});
+}

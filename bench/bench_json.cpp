@@ -1,0 +1,470 @@
+#include "bench/bench_json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <variant>
+
+namespace bpsio::bench {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Writer. Doubles are printed with %.17g so a write/parse round trip is
+// value-exact; strings in our schema are identifiers/paths, escaped anyway.
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string num(double v) {
+  // JSON has no Infinity/NaN; an unconverged interval can legitimately be
+  // infinite, so encode those as very-large-magnitude sentinels.
+  if (std::isnan(v)) return "0";
+  if (std::isinf(v)) return v > 0 ? "1e308" : "-1e308";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+// ---------------------------------------------------------------------------
+// Parser: a small recursive-descent JSON reader covering the full grammar
+// (objects, arrays, strings, numbers, true/false/null) so field order and
+// unknown extra keys never matter.
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      v = nullptr;
+
+  bool is_object() const { return std::holds_alternative<JsonObject>(v); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(v); }
+  bool is_string() const { return std::holds_alternative<std::string>(v); }
+  bool is_number() const { return std::holds_alternative<double>(v); }
+  bool is_bool() const { return std::holds_alternative<bool>(v); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> parse() {
+    auto value = parse_value();
+    if (!value.ok()) return value;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return fail("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Error fail(const std::string& why) const {
+    return Error{Errc::invalid_argument,
+                 "JSON parse error at offset " + std::to_string(pos_) + ": " +
+                     why};
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      auto s = parse_string();
+      if (!s.ok()) return s.error();
+      return JsonValue{*std::move(s)};
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return JsonValue{true};
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return JsonValue{false};
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return JsonValue{nullptr};
+    }
+    return parse_number();
+  }
+
+  Result<JsonValue> parse_object() {
+    ++pos_;  // '{'
+    JsonObject obj;
+    skip_ws();
+    if (eat('}')) return JsonValue{std::move(obj)};
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return fail("expected object key");
+      }
+      auto key = parse_string();
+      if (!key.ok()) return key.error();
+      if (!eat(':')) return fail("expected ':' after object key");
+      auto value = parse_value();
+      if (!value.ok()) return value;
+      obj[*std::move(key)] = *std::move(value);
+      if (eat(',')) continue;
+      if (eat('}')) return JsonValue{std::move(obj)};
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  Result<JsonValue> parse_array() {
+    ++pos_;  // '['
+    JsonArray arr;
+    skip_ws();
+    if (eat(']')) return JsonValue{std::move(arr)};
+    while (true) {
+      auto value = parse_value();
+      if (!value.ok()) return value;
+      arr.push_back(*std::move(value));
+      if (eat(',')) continue;
+      if (eat(']')) return JsonValue{std::move(arr)};
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  Result<std::string> parse_string() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("bad hex digit in \\u escape");
+          }
+          // Schema strings are ASCII; keep it simple outside the BMP-ASCII
+          // range by emitting UTF-8 for completeness.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          }
+          break;
+        }
+        default:
+          return fail("unknown escape sequence");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  Result<JsonValue> parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected a value");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return fail("malformed number");
+    return JsonValue{parsed};
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// Field extraction helpers: every required key either yields its value or a
+// named error.
+
+Result<double> need_number(const JsonObject& obj, const std::string& key) {
+  const auto it = obj.find(key);
+  if (it == obj.end() || !it->second.is_number()) {
+    return Error{Errc::invalid_argument, "missing numeric field '" + key + "'"};
+  }
+  return std::get<double>(it->second.v);
+}
+
+Result<std::string> need_string(const JsonObject& obj, const std::string& key) {
+  const auto it = obj.find(key);
+  if (it == obj.end() || !it->second.is_string()) {
+    return Error{Errc::invalid_argument, "missing string field '" + key + "'"};
+  }
+  return std::get<std::string>(it->second.v);
+}
+
+Result<bool> need_bool(const JsonObject& obj, const std::string& key) {
+  const auto it = obj.find(key);
+  if (it == obj.end() || !it->second.is_bool()) {
+    return Error{Errc::invalid_argument, "missing boolean field '" + key + "'"};
+  }
+  return std::get<bool>(it->second.v);
+}
+
+}  // namespace
+
+std::string to_json(const BenchRecord& r) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"schema_version\": " << r.schema_version << ",\n";
+  out << "  \"name\": \"" << escape(r.name) << "\",\n";
+  out << "  \"unit\": \"" << escape(r.unit) << "\",\n";
+  out << "  \"git_sha\": \"" << escape(r.git_sha) << "\",\n";
+  out << "  \"seed\": " << r.seed << ",\n";
+  out << "  \"threads\": " << r.threads << ",\n";
+  out << "  \"confidence\": " << num(r.confidence) << ",\n";
+  out << "  \"target_rel_half_width\": " << num(r.target_rel_half_width)
+      << ",\n";
+  out << "  \"converged\": " << (r.converged ? "true" : "false") << ",\n";
+  out << "  \"samples_collected\": " << r.samples_collected << ",\n";
+  out << "  \"warmup_discarded\": " << r.warmup_discarded << ",\n";
+  out << "  \"samples_used\": " << r.samples_used << ",\n";
+  out << "  \"mean\": " << num(r.mean) << ",\n";
+  out << "  \"stddev\": " << num(r.stddev) << ",\n";
+  out << "  \"ci_lo\": " << num(r.ci_lo) << ",\n";
+  out << "  \"ci_hi\": " << num(r.ci_hi) << ",\n";
+  out << "  \"rel_half_width\": " << num(r.rel_half_width) << ",\n";
+  out << "  \"lag1_autocorr\": " << num(r.lag1_autocorr) << ",\n";
+  out << "  \"ess\": " << num(r.ess) << ",\n";
+  out << "  \"config\": {";
+  bool first = true;
+  for (const auto& [key, value] : r.config) {
+    out << (first ? "\n" : ",\n") << "    \"" << escape(key) << "\": \""
+        << escape(value) << "\"";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n";
+  out << "  \"samples_raw\": [";
+  first = true;
+  for (const double s : r.samples_raw) {
+    out << (first ? "" : ", ") << num(s);
+    first = false;
+  }
+  out << "]\n";
+  out << "}\n";
+  return out.str();
+}
+
+Result<BenchRecord> parse_bench_json(const std::string& text) {
+  JsonParser parser(text);
+  auto doc = parser.parse();
+  if (!doc.ok()) return doc.error();
+  if (!doc->is_object()) {
+    return Error{Errc::invalid_argument, "bench record must be a JSON object"};
+  }
+  const auto& obj = std::get<JsonObject>(doc->v);
+
+  auto version = need_number(obj, "schema_version");
+  if (!version.ok()) return version.error();
+  if (static_cast<int>(*version) != kBenchSchemaVersion) {
+    return Error{Errc::unsupported,
+                 "unknown bench schema_version " +
+                     std::to_string(static_cast<int>(*version)) +
+                     " (this build understands " +
+                     std::to_string(kBenchSchemaVersion) + ")"};
+  }
+
+  BenchRecord r;
+  r.schema_version = static_cast<int>(*version);
+
+  auto name = need_string(obj, "name");
+  if (!name.ok()) return name.error();
+  r.name = *name;
+  auto unit = need_string(obj, "unit");
+  if (!unit.ok()) return unit.error();
+  r.unit = *unit;
+  auto sha = need_string(obj, "git_sha");
+  if (!sha.ok()) return sha.error();
+  r.git_sha = *sha;
+
+  auto converged = need_bool(obj, "converged");
+  if (!converged.ok()) return converged.error();
+  r.converged = *converged;
+
+  const struct {
+    const char* key;
+    double* target;
+  } doubles[] = {
+      {"confidence", &r.confidence},
+      {"target_rel_half_width", &r.target_rel_half_width},
+      {"mean", &r.mean},
+      {"stddev", &r.stddev},
+      {"ci_lo", &r.ci_lo},
+      {"ci_hi", &r.ci_hi},
+      {"rel_half_width", &r.rel_half_width},
+      {"lag1_autocorr", &r.lag1_autocorr},
+      {"ess", &r.ess},
+  };
+  for (const auto& field : doubles) {
+    auto value = need_number(obj, field.key);
+    if (!value.ok()) return value.error();
+    *field.target = *value;
+  }
+
+  const struct {
+    const char* key;
+    std::uint64_t* target;
+  } counts[] = {
+      {"seed", &r.seed},
+      {"samples_collected", &r.samples_collected},
+      {"warmup_discarded", &r.warmup_discarded},
+      {"samples_used", &r.samples_used},
+  };
+  for (const auto& field : counts) {
+    auto value = need_number(obj, field.key);
+    if (!value.ok()) return value.error();
+    *field.target = static_cast<std::uint64_t>(*value);
+  }
+  auto threads = need_number(obj, "threads");
+  if (!threads.ok()) return threads.error();
+  r.threads = static_cast<int>(*threads);
+
+  if (const auto it = obj.find("config");
+      it != obj.end() && it->second.is_object()) {
+    for (const auto& [key, value] : std::get<JsonObject>(it->second.v)) {
+      if (value.is_string()) r.config[key] = std::get<std::string>(value.v);
+    }
+  }
+  if (const auto it = obj.find("samples_raw");
+      it != obj.end() && it->second.is_array()) {
+    for (const auto& value : std::get<JsonArray>(it->second.v)) {
+      if (value.is_number()) r.samples_raw.push_back(std::get<double>(value.v));
+    }
+  }
+  return r;
+}
+
+std::string bench_file_name(const std::string& name) {
+  return "BENCH_" + name + ".json";
+}
+
+Status write_bench_record(const std::string& dir, const BenchRecord& record) {
+  namespace fs = std::filesystem;
+  fs::path path = dir.empty() ? fs::path(".") : fs::path(dir);
+  std::error_code ec;
+  fs::create_directories(path, ec);  // best-effort; open failure reports below
+  path /= bench_file_name(record.name);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Error{Errc::io_error, "cannot open " + path.string() + " for write"};
+  }
+  out << to_json(record);
+  out.flush();
+  if (!out) {
+    return Error{Errc::io_error, "short write to " + path.string()};
+  }
+  return {};
+}
+
+Result<std::map<std::string, BenchRecord>> load_bench_records(
+    const std::string& path) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  std::error_code ec;
+  if (fs::is_directory(path, ec)) {
+    for (const auto& entry : fs::directory_iterator(path, ec)) {
+      const std::string file = entry.path().filename().string();
+      if (file.starts_with("BENCH_") && file.ends_with(".json")) {
+        files.push_back(entry.path());
+      }
+    }
+    if (ec) {
+      return Error{Errc::io_error, path + ": " + ec.message()};
+    }
+  } else if (fs::exists(path, ec)) {
+    files.emplace_back(path);
+  } else {
+    return Error{Errc::not_found, path + ": no such file or directory"};
+  }
+
+  std::map<std::string, BenchRecord> records;
+  for (const auto& file : files) {
+    std::ifstream in(file);
+    if (!in) {
+      return Error{Errc::io_error, "cannot read " + file.string()};
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    auto record = parse_bench_json(text.str());
+    if (!record.ok()) {
+      return Error{record.error().code,
+                   file.string() + ": " + record.error().message};
+    }
+    records[record->name] = *std::move(record);
+  }
+  return records;
+}
+
+}  // namespace bpsio::bench

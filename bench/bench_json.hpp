@@ -1,0 +1,86 @@
+// BENCH_*.json — the machine-readable trajectory record every harness-based
+// bench emits, and the minimal JSON support needed to write and read it.
+//
+// One file per (bench, configuration) run, named BENCH_<name>.json, so a
+// directory of them is a snapshot of the repo's performance at one commit
+// and a series of directories is a trajectory. The schema is versioned:
+// bpsio_benchdiff refuses records whose schema_version it does not know
+// rather than comparing misread fields.
+//
+// Schema v1 (all keys present in every record):
+//   schema_version        int     1
+//   name                  string  bench identity, e.g. "overlap_union_serial"
+//   unit                  string  what `mean` counts, e.g. "records_per_sec"
+//   git_sha               string  from $BPSIO_GIT_SHA / $GITHUB_SHA, else "unknown"
+//   seed                  int     RNG seed the workload was generated from
+//   threads               int     worker threads (1 = serial)
+//   confidence            double  nominal CI level, e.g. 0.95
+//   target_rel_half_width double  the adaptive-stop goal
+//   converged             bool    CI target met before the sample cap
+//   samples_collected     int     timings taken, including warm-up
+//   warmup_discarded      int     leading samples trimmed by the changepoint
+//   samples_used          int     samples behind the interval
+//   mean, stddev          double  over the post-warm-up throughput samples
+//   ci_lo, ci_hi          double  autocorrelation-corrected Student-t CI
+//   rel_half_width        double  half-width / mean (achieved, not target)
+//   lag1_autocorr         double  serial correlation of the kept samples
+//   ess                   double  effective sample size
+//   config                object  flat string map of bench-specific knobs
+//   samples_raw           array   the kept throughput samples themselves
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace bpsio::bench {
+
+inline constexpr int kBenchSchemaVersion = 1;
+
+struct BenchRecord {
+  int schema_version = kBenchSchemaVersion;
+  std::string name;
+  std::string unit = "records_per_sec";
+  std::string git_sha = "unknown";
+  std::uint64_t seed = 0;
+  int threads = 1;
+  double confidence = 0.95;
+  double target_rel_half_width = 0.05;
+  bool converged = false;
+  std::uint64_t samples_collected = 0;
+  std::uint64_t warmup_discarded = 0;
+  std::uint64_t samples_used = 0;
+  double mean = 0;
+  double stddev = 0;
+  double ci_lo = 0;
+  double ci_hi = 0;
+  double rel_half_width = 0;
+  double lag1_autocorr = 0;
+  double ess = 0;
+  std::map<std::string, std::string> config;
+  std::vector<double> samples_raw;
+};
+
+/// Serialize to the schema above (deterministic key order, 2-space indent).
+std::string to_json(const BenchRecord& record);
+
+/// Parse a BENCH_*.json document. Rejects unknown schema versions, missing
+/// required fields, and malformed JSON with a descriptive error.
+Result<BenchRecord> parse_bench_json(const std::string& text);
+
+/// Canonical file name for a record: "BENCH_<name>.json".
+std::string bench_file_name(const std::string& name);
+
+/// Write `record` to <dir>/BENCH_<name>.json (dir "" or "." = cwd).
+Status write_bench_record(const std::string& dir, const BenchRecord& record);
+
+/// Load every BENCH_*.json under `path` (a file or a directory), keyed by
+/// bench name. A file that fails to parse fails the whole load — a corrupt
+/// trajectory point must be noticed, not skipped.
+Result<std::map<std::string, BenchRecord>> load_bench_records(
+    const std::string& path);
+
+}  // namespace bpsio::bench

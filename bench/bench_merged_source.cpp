@@ -1,0 +1,99 @@
+// Harness bench: k-way MergedSource streaming merge — the drain/report hot
+// path that combines per-thread capture spools into one ordered stream.
+//
+// Pre-generates K sorted per-source record vectors once; each sample wraps
+// them in zero-copy VectorSource views, k-way merges through MergedSource,
+// and pulls the stream dry. Emits BENCH_merged_source.json; throughput is
+// merged records/sec.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_cli.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "trace/io_record.hpp"
+#include "trace/merge.hpp"
+#include "trace/record_source.hpp"
+
+using namespace bpsio;
+
+namespace {
+
+std::vector<std::vector<trace::IoRecord>> sorted_sources(std::uint64_t total,
+                                                         std::size_t k,
+                                                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<trace::IoRecord>> sources(k);
+  const std::uint64_t per_source = total / k;
+  for (std::size_t s = 0; s < k; ++s) {
+    auto& records = sources[s];
+    records.reserve(per_source);
+    std::int64_t t = static_cast<std::int64_t>(rng.uniform_u64(1000));
+    for (std::uint64_t i = 0; i < per_source; ++i) {
+      t += static_cast<std::int64_t>(rng.uniform_u64(800));
+      const auto len = static_cast<std::int64_t>(rng.uniform_u64(4000)) + 1;
+      records.push_back(trace::make_record(static_cast<std::uint32_t>(s + 1),
+                                           rng.uniform_u64(32) + 1, SimTime(t),
+                                           SimTime(t + len)));
+    }
+  }
+  return sources;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::CommonBenchArgs args;
+  long long k_sources = 8;
+  cli::ArgParser parser("bench_merged_source",
+                        "k-way MergedSource streaming-merge throughput over "
+                        "sorted in-memory sources, with a statistical "
+                        "harness.");
+  bench::register_common_flags(parser, &args, /*with_threads=*/false);
+  parser.add_int("--sources", &k_sources, 2, 256, "K",
+                 "number of per-source streams to merge (default 8)");
+  std::vector<std::string> positionals;
+  switch (parser.parse(argc, argv, positionals)) {
+    case cli::ArgParser::Outcome::help: return 0;
+    case cli::ArgParser::Outcome::error: return 2;
+    case cli::ArgParser::Outcome::ok: break;
+  }
+
+  const std::uint64_t n = bench::resolve_records(args, 200'000, 4'000'000);
+  const auto k = static_cast<std::size_t>(k_sources);
+  const auto sources =
+      sorted_sources(n, k, static_cast<std::uint64_t>(args.seed));
+  std::uint64_t total = 0;
+  for (const auto& source : sources) total += source.size();
+  std::printf("=== merged source: %llu records across %zu sorted streams, "
+              "seed=%llu ===\n",
+              static_cast<unsigned long long>(total), k,
+              static_cast<unsigned long long>(args.seed));
+
+  const auto cfg = bench::make_harness_config("merged_source", args);
+  const bench::BenchHarness harness(cfg);
+  const auto result = harness.run([&] {
+    std::vector<std::unique_ptr<trace::RecordSource>> children;
+    children.reserve(k);
+    for (const auto& source : sources) {
+      children.push_back(std::make_unique<trace::VectorSource>(
+          trace::VectorSource::view(source)));
+    }
+    trace::MergedSource merged(std::move(children));
+    std::uint64_t pulled = 0;
+    for (auto chunk = merged.next_chunk(); !chunk.empty();
+         chunk = merged.next_chunk()) {
+      pulled += chunk.size();
+    }
+    BPSIO_CHECK(merged.status().ok() && pulled == total,
+                "merge mismatch: %llu of %llu records",
+                static_cast<unsigned long long>(pulled),
+                static_cast<unsigned long long>(total));
+    return static_cast<double>(pulled);
+  });
+  return bench::report_result(args, cfg, result,
+                              {{"records", std::to_string(total)},
+                               {"sources", std::to_string(k)},
+                               {"profile", args.profile}});
+}

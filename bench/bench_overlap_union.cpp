@@ -1,0 +1,85 @@
+// Harness bench: interval-union overlap time (the Step-3 hot path), serial
+// sort-and-merge and the sharded parallel engine.
+//
+// Emits BENCH_overlap_union_serial.json always and
+// BENCH_overlap_union_parallel.json when --threads > 1 (default 4). The
+// per-op work is overlap_time_merged / overlap_time_parallel over a fresh
+// copy of the same seeded random interval set; throughput is intervals/sec.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_cli.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "metrics/overlap.hpp"
+#include "trace/io_record.hpp"
+
+using namespace bpsio;
+
+namespace {
+
+std::vector<trace::TimeInterval> random_intervals(std::uint64_t n,
+                                                  std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<trace::TimeInterval> out;
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto start = static_cast<std::int64_t>(rng.uniform_u64(1'000'000'000));
+    const auto len = static_cast<std::int64_t>(rng.uniform_u64(10'000'000));
+    out.push_back({start, start + len});
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::CommonBenchArgs args;
+  args.threads = 4;
+  cli::ArgParser parser("bench_overlap_union",
+                        "Throughput of the interval-union overlap algorithms "
+                        "(serial + parallel) with a statistical harness.");
+  bench::register_common_flags(parser, &args, /*with_threads=*/true);
+  std::vector<std::string> positionals;
+  switch (parser.parse(argc, argv, positionals)) {
+    case cli::ArgParser::Outcome::help: return 0;
+    case cli::ArgParser::Outcome::error: return 2;
+    case cli::ArgParser::Outcome::ok: break;
+  }
+
+  const std::uint64_t n = bench::resolve_records(args, 100'000, 2'000'000);
+  const auto intervals =
+      random_intervals(n, static_cast<std::uint64_t>(args.seed));
+  std::printf("=== overlap union: %llu intervals, seed=%llu ===\n",
+              static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(args.seed));
+
+  const std::map<std::string, std::string> extra = {
+      {"records", std::to_string(n)}, {"profile", args.profile}};
+  int rc = 0;
+
+  {
+    auto cfg = bench::make_harness_config("overlap_union_serial", args);
+    cfg.threads = 1;
+    const bench::BenchHarness harness(cfg);
+    const auto result = harness.run([&] {
+      auto copy = intervals;
+      const auto t = metrics::overlap_time_merged(std::move(copy));
+      return t.ns() >= 0 ? static_cast<double>(n) : 0.0;
+    });
+    rc |= bench::report_result(args, cfg, result, extra);
+  }
+
+  if (args.threads > 1) {
+    ThreadPool pool(static_cast<std::size_t>(args.threads));
+    const auto cfg = bench::make_harness_config("overlap_union_parallel", args);
+    const bench::BenchHarness harness(cfg);
+    const auto result = harness.run([&] {
+      auto copy = intervals;
+      const auto t = metrics::overlap_time_parallel(std::move(copy), pool);
+      return t.ns() >= 0 ? static_cast<double>(n) : 0.0;
+    });
+    rc |= bench::report_result(args, cfg, result, extra);
+  }
+  return rc;
+}

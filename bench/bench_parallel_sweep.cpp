@@ -11,14 +11,16 @@
 //                        [--threads=8]   # max pool width; sweeps 1,2,4..max
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <string>
 #include <vector>
 
-#include "common/config.hpp"
 #include "common/format.hpp"
 #include "common/thread_pool.hpp"
 #include "core/experiment.hpp"
 #include "core/figures.hpp"
+#include "tools/cli.hpp"
 
 using namespace bpsio;
 
@@ -48,16 +50,44 @@ bool samples_identical(const std::vector<metrics::MetricSample>& a,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Config cfg = Config::from_args(argc - 1, argv + 1);
+  double scale = 1.0;
+  long long repeats = 3;
+  long long seed = 42;
+  long long threads = 8;
+
+  cli::ArgParser parser("bench_parallel_sweep",
+                        "Time the fig9 sweep at growing pool widths and "
+                        "verify every width reproduces the serial metrics "
+                        "bit-for-bit.");
+  parser.add_positive_double("--scale", &scale, "FACTOR",
+                             "workload size multiplier (default 1.0)");
+  parser.add_int("--repeats", &repeats, 1, 1000, "N",
+                 "seeds averaged per sweep point (default 3)");
+  parser.add_int("--seed", &seed, 0, INT64_MAX, "S",
+                 "base RNG seed (default 42)");
+  parser.add_int("--threads", &threads, 0, 1024, "N",
+                 "max pool width, sweeps 1,2,4..max; 0 = all cores "
+                 "(default 8)");
+  std::vector<std::string> positionals;
+  switch (parser.parse(argc, argv, positionals)) {
+    case cli::ArgParser::Outcome::help: return 0;
+    case cli::ArgParser::Outcome::error: return 2;
+    case cli::ArgParser::Outcome::ok: break;
+  }
+
   core::figures::FigureDefaults d;
-  d.scale = cfg.get_double("scale", 1.0);
-  d.repeats = static_cast<std::uint32_t>(cfg.get_int("repeats", 3));
-  d.base_seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
-  const std::size_t max_threads = resolve_threads(cfg, "threads", 8);
+  d.scale = scale;
+  d.repeats = static_cast<std::uint32_t>(repeats);
+  d.base_seed = static_cast<std::uint64_t>(seed);
+  const std::size_t max_threads = threads <= 0
+                                      ? ThreadPool::hardware_threads()
+                                      : static_cast<std::size_t>(threads);
 
   const auto specs = core::figures::fig9_concurrency_pure(d);
-  std::printf("=== concurrent sweep runner: fig9, %zu points x %u repeats ===\n",
-              specs.size(), d.repeats);
+  std::printf("=== concurrent sweep runner: fig9, %zu points x %u repeats "
+              "(seed=%llu) ===\n",
+              specs.size(), d.repeats,
+              static_cast<unsigned long long>(d.base_seed));
   std::printf("hardware threads: %zu\n\n", ThreadPool::hardware_threads());
 
   core::SweepOptions base;

@@ -19,14 +19,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
-#include "common/config.hpp"
 #include "metrics/calculators.hpp"
 #include "metrics/pipeline.hpp"
 #include "trace/record_source.hpp"
 #include "trace/serialize.hpp"
 #include "trace/spill_writer.hpp"
 #include "trace/trace_collector.hpp"
+#include "tools/cli.hpp"
 
 using namespace bpsio;
 
@@ -66,11 +67,25 @@ bool identical(const metrics::MetricSample& a, const metrics::MetricSample& b,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Config cfg = Config::from_args(argc - 1, argv + 1);
-  const auto records =
-      static_cast<std::uint64_t>(cfg.get_int("records", 4'096'000));
-  const auto chunk = static_cast<std::size_t>(
-      cfg.get_int("chunk", static_cast<std::int64_t>(trace::kDefaultSourceChunk)));
+  long long records_arg = 4'096'000;
+  long long chunk_arg = static_cast<long long>(trace::kDefaultSourceChunk);
+
+  cli::ArgParser parser("bench_trace_stream",
+                        "Peak-RSS check: streaming vs materialized metric "
+                        "computation over a spilled trace must be "
+                        "bit-identical at O(chunk) memory.");
+  parser.add_int("--records", &records_arg, 1, 1'000'000'000, "N",
+                 "trace length in records (default 4096000)");
+  parser.add_int("--chunk", &chunk_arg, 1, 1'000'000'000, "N",
+                 "streaming chunk size in records (default 16384)");
+  std::vector<std::string> positionals;
+  switch (parser.parse(argc, argv, positionals)) {
+    case cli::ArgParser::Outcome::help: return 0;
+    case cli::ArgParser::Outcome::error: return 2;
+    case cli::ArgParser::Outcome::ok: break;
+  }
+  const auto records = static_cast<std::uint64_t>(records_arg);
+  const auto chunk = static_cast<std::size_t>(chunk_arg);
   const Bytes moved = records * 4 * kKiB;
   const SimDuration exec = SimDuration(static_cast<std::int64_t>(records) * 60);
   const std::string path = "/tmp/bpsio_bench_trace_stream.bpstrace";

@@ -1,0 +1,80 @@
+// Harness bench: SlidingWindowMetrics ingest — the live daemon's per-record
+// hot path (incremental windowed interval-union + expiry heap).
+//
+// Pre-generates a shuffled-arrival record stream once (the daemon sees
+// frames from many clients interleaved, so arrival order is adversarial by
+// design); each sample ingests the whole stream into a fresh
+// SlidingWindowMetrics. Emits BENCH_window_ingest.json; throughput is
+// ingested records/sec.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_cli.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "metrics/online.hpp"
+#include "trace/io_record.hpp"
+
+using namespace bpsio;
+
+namespace {
+
+std::vector<trace::IoRecord> shuffled_stream(std::uint64_t n,
+                                             std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<trace::IoRecord> records;
+  records.reserve(n);
+  std::int64_t t = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    t += static_cast<std::int64_t>(rng.uniform_u64(500));
+    const auto len = static_cast<std::int64_t>(rng.uniform_u64(20'000)) + 1;
+    records.push_back(trace::make_record(static_cast<std::uint32_t>(i % 32 + 1),
+                                         rng.uniform_u64(64) + 1, SimTime(t),
+                                         SimTime(t + len)));
+  }
+  std::shuffle(records.begin(), records.end(), rng);
+  return records;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::CommonBenchArgs args;
+  double window_ms = 10.0;
+  cli::ArgParser parser("bench_window_ingest",
+                        "SlidingWindowMetrics ingest throughput over a "
+                        "shuffled-arrival record stream, with a statistical "
+                        "harness.");
+  bench::register_common_flags(parser, &args, /*with_threads=*/false);
+  parser.add_positive_double("--window", &window_ms, "MS",
+                             "sliding window length in milliseconds "
+                             "(default 10)");
+  std::vector<std::string> positionals;
+  switch (parser.parse(argc, argv, positionals)) {
+    case cli::ArgParser::Outcome::help: return 0;
+    case cli::ArgParser::Outcome::error: return 2;
+    case cli::ArgParser::Outcome::ok: break;
+  }
+
+  const std::uint64_t n = bench::resolve_records(args, 100'000, 2'000'000);
+  const auto records = shuffled_stream(n, static_cast<std::uint64_t>(args.seed));
+  const SimDuration window = SimDuration::from_ms(window_ms);
+  std::printf("=== window ingest: %llu shuffled records, window=%.1f ms, "
+              "seed=%llu ===\n",
+              static_cast<unsigned long long>(n), window_ms,
+              static_cast<unsigned long long>(args.seed));
+
+  const auto cfg = bench::make_harness_config("window_ingest", args);
+  const bench::BenchHarness harness(cfg);
+  const auto result = harness.run([&] {
+    metrics::SlidingWindowMetrics live(window);
+    for (const auto& record : records) live.add(record);
+    BPSIO_CHECK(live.any(), "ingest produced no live window state");
+    return static_cast<double>(records.size());
+  });
+  return bench::report_result(args, cfg, result,
+                              {{"records", std::to_string(n)},
+                               {"window_ms", std::to_string(window_ms)},
+                               {"profile", args.profile}});
+}

@@ -1,0 +1,62 @@
+#include "bench/benchdiff.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace bpsio::bench {
+
+std::string verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::no_change: return "no-change";
+    case Verdict::improvement: return "improvement";
+    case Verdict::regression: return "REGRESSION";
+    case Verdict::incomparable: return "incomparable";
+  }
+  return "?";
+}
+
+DiffResult compare_records(const BenchRecord& baseline,
+                           const BenchRecord& current,
+                           const DiffOptions& options) {
+  DiffResult r;
+  if (baseline.name != current.name || baseline.unit != current.unit) {
+    r.verdict = Verdict::incomparable;
+    r.detail = "name/unit mismatch: " + baseline.name + "[" + baseline.unit +
+               "] vs " + current.name + "[" + current.unit + "]";
+    return r;
+  }
+  if (baseline.mean <= 0 || baseline.samples_used < 2 ||
+      current.samples_used < 2) {
+    r.verdict = Verdict::incomparable;
+    r.detail = "too little data to compare (need >= 2 samples and a "
+               "positive baseline mean)";
+    return r;
+  }
+
+  r.ratio = current.mean / baseline.mean;
+  // ESS, not raw n: a strongly autocorrelated run carries less evidence
+  // than its sample count suggests, and the test must know that.
+  r.welch = stats::welch_t_test(
+      baseline.mean, baseline.stddev * baseline.stddev, baseline.ess,
+      current.mean, current.stddev * current.stddev, current.ess);
+
+  const bool significant = r.welch.p_two_sided < options.alpha;
+  const bool material = std::fabs(r.ratio - 1.0) >= options.min_effect;
+  if (significant && material) {
+    r.verdict = r.ratio < 1.0 ? Verdict::regression : Verdict::improvement;
+  } else {
+    r.verdict = Verdict::no_change;
+  }
+
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "%+.1f%% (ratio %.3f, t=%.2f, df=%.1f, p=%.2g%s%s)",
+                (r.ratio - 1.0) * 100.0, r.ratio, r.welch.t, r.welch.df,
+                r.welch.p_two_sided,
+                significant ? "" : ", not significant",
+                material ? "" : ", below min-effect");
+  r.detail = buf;
+  return r;
+}
+
+}  // namespace bpsio::bench

@@ -1,0 +1,47 @@
+// Statistical comparison of two BENCH_*.json records — the engine behind
+// tools/bpsio_benchdiff and the CI perf-regression gate.
+//
+// A "regression" here is a *statistically significant* slowdown that is also
+// *practically* large: Welch's unequal-variance t-test (fed the effective
+// sample sizes, so autocorrelated runs don't fake significance) must reject
+// equality at `alpha`, AND the mean must have moved by more than
+// `min_effect` relative — a 0.5% drop with tiny variance is significant but
+// not actionable, and failing CI on it would teach everyone to ignore the
+// gate. Both knobs are configurable on the CLI.
+#pragma once
+
+#include <string>
+
+#include "bench/bench_json.hpp"
+#include "stats/inference.hpp"
+
+namespace bpsio::bench {
+
+enum class Verdict {
+  no_change,     ///< no significant + material difference either way
+  improvement,   ///< current significantly and materially faster
+  regression,    ///< current significantly and materially slower
+  incomparable,  ///< different unit/name — the numbers mean different things
+};
+
+std::string verdict_name(Verdict v);
+
+struct DiffOptions {
+  double alpha = 0.01;       ///< significance level for Welch's test
+  double min_effect = 0.05;  ///< minimum relative mean change to act on
+};
+
+struct DiffResult {
+  Verdict verdict = Verdict::no_change;
+  stats::WelchResult welch;  ///< t, df, two-sided p
+  double ratio = 1.0;        ///< current mean / baseline mean
+  std::string detail;        ///< human-readable one-liner
+};
+
+/// Compare one bench's baseline record against its current record. Assumes
+/// higher mean = better (every harness bench reports throughput).
+DiffResult compare_records(const BenchRecord& baseline,
+                           const BenchRecord& current,
+                           const DiffOptions& options = {});
+
+}  // namespace bpsio::bench

@@ -1,7 +1,13 @@
 // Shared main() for the per-figure reproduction harnesses.
 //
 // Usage of every bench_figN binary:
-//   bench_figN [--scale=1.0] [--repeats=3] [--seed=42] [--csv]
+//   bench_figN [--scale=1.0] [--repeats=3] [--seed=42] [--threads=1]
+//              [--csv] [--markdown]
+//
+// All flags parse through the shared tools/cli.hpp ArgParser, so --help,
+// `--name value` / `--name=value`, and error reporting behave exactly like
+// every other bpsio binary. The seed is always printed: any number a bench
+// reports must be reproducible from its own output.
 //
 // Each prints the sweep's per-point metric values (the data behind the
 // paper's detail figures) and the normalized correlation-coefficient table
@@ -9,17 +15,19 @@
 // integration tests do the asserting; benches are for eyeballs and logs.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <vector>
 
-#include "common/config.hpp"
 #include "common/format.hpp"
 #include "common/thread_pool.hpp"
 #include "core/experiment.hpp"
 #include "core/figures.hpp"
 #include "core/report.hpp"
+#include "tools/cli.hpp"
 
 namespace bpsio::bench {
 
@@ -27,23 +35,69 @@ struct FigureBenchResult {
   core::SweepResult sweep;
 };
 
+struct FigureArgs {
+  core::figures::FigureDefaults defaults;
+  bool csv = false;
+  bool markdown = false;
+};
+
+/// Parse the standard figure-bench flags once per process (exits on --help
+/// and on bad usage, like every bpsio tool).
+inline const FigureArgs& figure_args(int argc, char** argv) {
+  static const FigureArgs parsed = [&] {
+    FigureArgs args;
+    double scale = 1.0;
+    long long repeats = 3;
+    long long seed = 42;
+    long long threads = 1;
+
+    cli::ArgParser parser(argv[0] != nullptr ? argv[0] : "bench_figure",
+                          "Reproduce one of the paper's figure sweeps and "
+                          "print the metric samples + normalized-CC report.");
+    parser.add_positive_double("--scale", &scale, "FACTOR",
+                               "workload size multiplier (default 1.0)");
+    parser.add_int("--repeats", &repeats, 1, 1000, "N",
+                   "seeds averaged per sweep point (default 3)");
+    parser.add_int("--seed", &seed, 0, INT64_MAX, "S",
+                   "base RNG seed (default 42)");
+    parser.add_int("--threads", &threads, 0, 1024, "N",
+                   "sweep worker threads; 0 = all cores (default 1)");
+    parser.add_flag("--csv", &args.csv, "per-point samples as CSV only");
+    parser.add_flag("--markdown", &args.markdown,
+                    "full report as markdown instead of tables");
+
+    std::vector<std::string> positionals;
+    switch (parser.parse(argc, argv, positionals)) {
+      case cli::ArgParser::Outcome::help: std::exit(0);
+      case cli::ArgParser::Outcome::error: std::exit(2);
+      case cli::ArgParser::Outcome::ok: break;
+    }
+    if (!positionals.empty()) {
+      std::fprintf(stderr, "%s: unexpected operand '%s'\n%s", argv[0],
+                   positionals.front().c_str(), parser.usage().c_str());
+      std::exit(2);
+    }
+    args.defaults.scale = scale;
+    args.defaults.repeats = static_cast<std::uint32_t>(repeats);
+    args.defaults.base_seed = static_cast<std::uint64_t>(seed);
+    args.defaults.threads = threads <= 0 ? ThreadPool::hardware_threads()
+                                         : static_cast<std::size_t>(threads);
+    return args;
+  }();
+  return parsed;
+}
+
 inline core::figures::FigureDefaults defaults_from_args(int argc,
                                                         char** argv) {
-  const Config cfg = Config::from_args(argc - 1, argv + 1);
-  core::figures::FigureDefaults d;
-  d.scale = cfg.get_double("scale", 1.0);
-  d.repeats = static_cast<std::uint32_t>(cfg.get_int("repeats", 3));
-  d.base_seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
-  d.threads = resolve_threads(cfg);  // --threads=N, --threads=0 -> all cores
-  return d;
+  return figure_args(argc, argv).defaults;
 }
 
 inline bool markdown_requested(int argc, char** argv) {
-  return Config::from_args(argc - 1, argv + 1).get_bool("markdown", false);
+  return figure_args(argc, argv).markdown;
 }
 
 inline bool csv_requested(int argc, char** argv) {
-  return Config::from_args(argc - 1, argv + 1).get_bool("csv", false);
+  return figure_args(argc, argv).csv;
 }
 
 /// The sweep's per-point samples as CSV (for plotting scripts).

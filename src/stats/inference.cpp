@@ -1,0 +1,236 @@
+#include "stats/inference.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace bpsio::stats {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Regularized incomplete beta function I_x(a, b) via the standard continued
+// fraction (modified Lentz), using the symmetry that keeps the fraction in
+// its fast-converging region.
+double betacf(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-14;
+  constexpr double kTiny = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+double incomplete_beta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front = std::lgamma(a + b) - std::lgamma(a) -
+                          std::lgamma(b) + a * std::log(x) +
+                          b * std::log1p(-x);
+  const double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * betacf(a, b, x) / a;
+  }
+  return 1.0 - front * betacf(b, a, 1.0 - x) / b;
+}
+
+}  // namespace
+
+double student_t_cdf(double t, double df) {
+  BPSIO_CHECK(df > 0, "student_t_cdf needs df > 0");
+  if (std::isnan(t)) return std::numeric_limits<double>::quiet_NaN();
+  if (std::isinf(t)) return t > 0 ? 1.0 : 0.0;
+  // P(T <= t) = 1 - I_{df/(df+t^2)}(df/2, 1/2) / 2 for t >= 0.
+  const double x = df / (df + t * t);
+  const double tail = 0.5 * incomplete_beta(0.5 * df, 0.5, x);
+  return t >= 0 ? 1.0 - tail : tail;
+}
+
+double student_t_quantile(double p, double df) {
+  BPSIO_CHECK(df > 0, "student_t_quantile needs df > 0");
+  BPSIO_CHECK(p > 0 && p < 1, "student_t_quantile needs p in (0,1)");
+  if (p == 0.5) return 0.0;
+  // Symmetric: solve for the upper half only.
+  if (p < 0.5) return -student_t_quantile(1.0 - p, df);
+
+  // Bracket [0, hi] by doubling, then bisect. The CDF is smooth and strictly
+  // increasing; 80 bisections pin the root far below double precision of
+  // any realistic critical value.
+  double hi = 1.0;
+  while (student_t_cdf(hi, df) < p && hi < 1e12) hi *= 2.0;
+  double lo = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (student_t_cdf(mid, df) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo <= 1e-12 * std::max(1.0, hi)) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double lag1_autocorrelation(std::span<const double> x) {
+  const std::size_t n = x.size();
+  if (n < 3) return 0.0;
+  double mean = 0.0;
+  for (const double v : x) mean += v;
+  mean /= static_cast<double>(n);
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = x[i] - mean;
+    den += d * d;
+    if (i + 1 < n) num += d * (x[i + 1] - mean);
+  }
+  if (den <= 0.0) return 0.0;
+  return num / den;
+}
+
+double effective_sample_size(std::size_t n, double lag1) {
+  if (n == 0) return 0.0;
+  const double r = std::clamp(lag1, 0.0, 0.99);
+  const double ess = static_cast<double>(n) * (1.0 - r) / (1.0 + r);
+  return std::clamp(ess, std::min(2.0, static_cast<double>(n)),
+                    static_cast<double>(n));
+}
+
+double Estimate::rel_half_width() const {
+  if (count < 2 || mean == 0.0) return kInf;
+  return ci_half_width / std::fabs(mean);
+}
+
+Estimate estimate(std::span<const double> x, double confidence) {
+  BPSIO_CHECK(confidence > 0 && confidence < 1,
+              "confidence must be in (0,1)");
+  Estimate est;
+  est.count = x.size();
+  est.confidence = confidence;
+  if (x.empty()) {
+    est.ci_lo = -kInf;
+    est.ci_hi = kInf;
+    est.ci_half_width = kInf;
+    return est;
+  }
+  double mean = 0.0;
+  for (const double v : x) mean += v;
+  mean /= static_cast<double>(x.size());
+  est.mean = mean;
+  if (x.size() < 2) {
+    est.ci_lo = -kInf;
+    est.ci_hi = kInf;
+    est.ci_half_width = kInf;
+    return est;
+  }
+  double m2 = 0.0;
+  for (const double v : x) m2 += (v - mean) * (v - mean);
+  est.stddev = std::sqrt(m2 / static_cast<double>(x.size() - 1));
+  est.lag1 = lag1_autocorrelation(x);
+  est.ess = effective_sample_size(x.size(), est.lag1);
+  const double q = 1.0 - (1.0 - confidence) / 2.0;
+  const double tcrit = student_t_quantile(q, est.ess - 1.0);
+  est.ci_half_width = tcrit * est.stddev / std::sqrt(est.ess);
+  est.ci_lo = mean - est.ci_half_width;
+  est.ci_hi = mean + est.ci_half_width;
+  return est;
+}
+
+std::size_t detect_warmup(std::span<const double> x, double max_fraction) {
+  const std::size_t n = x.size();
+  if (n < 8) return 0;
+  const auto max_cut = static_cast<std::size_t>(
+      std::floor(static_cast<double>(n) * std::clamp(max_fraction, 0.0, 0.9)));
+  if (max_cut < 1) return 0;
+
+  // Prefix sums of x and x^2 make every split's two-segment SSE O(1).
+  std::vector<double> sum(n + 1, 0.0);
+  std::vector<double> sumsq(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    sum[i + 1] = sum[i] + x[i];
+    sumsq[i + 1] = sumsq[i] + x[i] * x[i];
+  }
+  const auto segment_sse = [&](std::size_t lo, std::size_t hi) {
+    // SSE of x[lo, hi) around its own mean.
+    const double cnt = static_cast<double>(hi - lo);
+    const double s = sum[hi] - sum[lo];
+    const double sq = sumsq[hi] - sumsq[lo];
+    return std::max(0.0, sq - s * s / cnt);
+  };
+  const double sse_total = segment_sse(0, n);
+  if (sse_total <= 0.0) return 0;  // constant series: nothing to trim
+
+  std::size_t best_k = 0;
+  double best_split = sse_total;
+  for (std::size_t k = 1; k <= max_cut; ++k) {
+    const double split = segment_sse(0, k) + segment_sse(k, n);
+    if (split < best_split) {
+      best_split = split;
+      best_k = k;
+    }
+  }
+  // Fraction of the total variation the two-mean model explains. A genuine
+  // warm-up step dominates the series' SSE; noise alone cannot.
+  const double explained = 1.0 - best_split / sse_total;
+  constexpr double kExplainedThreshold = 0.25;
+  return explained >= kExplainedThreshold ? best_k : 0;
+}
+
+WelchResult welch_t_test(double mean_a, double var_a, double n_a,
+                         double mean_b, double var_b, double n_b) {
+  WelchResult r;
+  if (n_a < 2 || n_b < 2) {
+    // Too little data to test anything: report "no evidence".
+    r.p_two_sided = 1.0;
+    return r;
+  }
+  const double se_a = var_a / n_a;
+  const double se_b = var_b / n_b;
+  const double se2 = se_a + se_b;
+  if (se2 <= 0.0) {
+    // Both samples exactly constant: equal means are indistinguishable,
+    // different means are unambiguously different.
+    r.t = mean_a == mean_b ? 0.0 : (mean_b > mean_a ? kInf : -kInf);
+    r.df = n_a + n_b - 2.0;
+    r.p_two_sided = mean_a == mean_b ? 1.0 : 0.0;
+    return r;
+  }
+  r.t = (mean_b - mean_a) / std::sqrt(se2);
+  r.df = se2 * se2 /
+         (se_a * se_a / (n_a - 1.0) + se_b * se_b / (n_b - 1.0));
+  r.p_two_sided = 2.0 * (1.0 - student_t_cdf(std::fabs(r.t), r.df));
+  r.p_two_sided = std::clamp(r.p_two_sided, 0.0, 1.0);
+  return r;
+}
+
+}  // namespace bpsio::stats

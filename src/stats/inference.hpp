@@ -1,0 +1,85 @@
+// Statistical inference for benchmark timings — the machinery that turns a
+// series of noisy, possibly autocorrelated samples into a defensible
+// "mean ± half-width at 95%" statement.
+//
+// Benchmark samples are rarely i.i.d.: consecutive iterations share cache
+// state, frequency-scaling epochs, and page-cache contents, so the naive
+// t-interval (which assumes independence) is too narrow and overstates
+// confidence. Following the pilot-bench methodology, we correct for serial
+// correlation by shrinking the sample count to an *effective* sample size
+// derived from the lag-1 autocorrelation before forming the Student-t
+// interval. Warm-up transients are handled separately: a changepoint-on-means
+// scan locates the knee of a step-shaped series so the harness can discard
+// the pre-steady-state prefix instead of averaging over it.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace bpsio::stats {
+
+/// CDF of Student's t distribution with `df` degrees of freedom (df > 0).
+double student_t_cdf(double t, double df);
+
+/// Inverse CDF (quantile) of Student's t: the x with CDF(x) = p, p in (0,1).
+/// The two-sided critical value for confidence c is
+/// student_t_quantile(1 - (1-c)/2, df).
+double student_t_quantile(double p, double df);
+
+/// Lag-1 sample autocorrelation r1 = sum((x_i-m)(x_{i+1}-m)) / sum((x_i-m)^2).
+/// 0 for fewer than 3 samples or a constant series.
+double lag1_autocorrelation(std::span<const double> x);
+
+/// Effective sample size under an AR(1) noise model:
+/// ESS = n * (1 - r1) / (1 + r1), with r1 clamped to [0, 0.99] — negative
+/// autocorrelation could honestly *raise* ESS above n, but we forfeit that
+/// gain so the interval is never narrower than the i.i.d. one.
+/// Clamped below to 2 so a t-interval (df = ESS - 1 >= 1) always exists.
+double effective_sample_size(std::size_t n, double lag1);
+
+/// Autocorrelation-corrected summary of a sample: Student-t confidence
+/// interval with ESS standing in for n.
+struct Estimate {
+  std::size_t count = 0;       ///< samples summarized
+  double mean = 0;
+  double stddev = 0;           ///< sample standard deviation (n-1)
+  double lag1 = 0;             ///< lag-1 autocorrelation of the input
+  double ess = 0;              ///< effective sample size
+  double confidence = 0;       ///< nominal level, e.g. 0.95
+  double ci_lo = 0;
+  double ci_hi = 0;
+  double ci_half_width = 0;    ///< t_{q,ess-1} * stddev / sqrt(ess)
+
+  /// Half-width relative to |mean|; infinity when the mean is 0 or the
+  /// sample is too small to form an interval.
+  double rel_half_width() const;
+};
+
+/// Summarize `x` at the given confidence level. Fewer than 2 samples yields
+/// an infinite-width interval (nothing can be claimed from one timing).
+Estimate estimate(std::span<const double> x, double confidence = 0.95);
+
+/// Changepoint-on-means warm-up detector: returns the number of leading
+/// samples to discard (0 when the series looks steady from the start).
+///
+/// Scans split points k in [1, n*max_fraction] for the one whose two-segment
+/// mean fit removes the largest share of the total sum of squared errors;
+/// the prefix is declared a warm-up transient only when that share exceeds
+/// a fixed threshold (25%), which pure i.i.d. noise essentially never
+/// reaches but any material step (slow cold-cache iterations, JIT-like
+/// first-touch effects) does. Needs at least 8 samples.
+std::size_t detect_warmup(std::span<const double> x,
+                          double max_fraction = 0.5);
+
+/// Welch's unequal-variance t-test from summary statistics. `n_a`/`n_b` may
+/// be non-integral (pass the effective sample sizes for autocorrelated
+/// benchmark data). Two-sided p-value.
+struct WelchResult {
+  double t = 0;            ///< test statistic (b - a direction)
+  double df = 0;           ///< Welch–Satterthwaite degrees of freedom
+  double p_two_sided = 1;  ///< probability of |t| this large under H0
+};
+WelchResult welch_t_test(double mean_a, double var_a, double n_a,
+                         double mean_b, double var_b, double n_b);
+
+}  // namespace bpsio::stats

@@ -1,0 +1,349 @@
+// Tests for the statistical benchmark harness with a fully scripted fake
+// clock (no real timing anywhere): warm-up trimming on a step-function
+// timing series, adaptive stop at the target CI width, slowdown simulation,
+// the BENCH_*.json round trip, and bpsio_benchdiff verdicts on crafted
+// regression / no-change / improvement pairs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.hpp"
+#include "bench/benchdiff.hpp"
+#include "bench/harness.hpp"
+
+namespace bpsio::bench {
+namespace {
+
+// Scripted monotonic clock: sample i takes duration_for(i) nanoseconds.
+// The harness reads the clock exactly twice per sample (t0 before the op,
+// t1 after), which the call counter verifies.
+struct FakeClock {
+  std::function<std::int64_t(std::size_t)> duration_for;
+  std::int64_t now = 0;
+  std::size_t sample = 0;
+  std::size_t calls = 0;
+  bool in_sample = false;
+};
+
+BenchHarness::ClockFn scripted(const std::shared_ptr<FakeClock>& clock) {
+  return [clock]() -> std::int64_t {
+    ++clock->calls;
+    if (!clock->in_sample) {
+      clock->in_sample = true;
+      return clock->now;
+    }
+    clock->in_sample = false;
+    clock->now += clock->duration_for(clock->sample++);
+    return clock->now;
+  };
+}
+
+HarnessConfig small_config() {
+  HarnessConfig cfg;
+  cfg.name = "fake";
+  cfg.min_samples = 8;
+  cfg.max_samples = 50;
+  cfg.target_rel_half_width = 0.05;
+  return cfg;
+}
+
+TEST(BenchHarness, ConstantDurationsConvergeAtMinSamples) {
+  auto clock = std::make_shared<FakeClock>();
+  clock->duration_for = [](std::size_t) { return 1000; };  // 1 us per sample
+  const BenchHarness harness(small_config(), scripted(clock));
+  const BenchResult result = harness.run([] { return 100.0; });
+
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.samples_collected, 8u);
+  EXPECT_EQ(result.warmup_discarded, 0u);
+  // 100 units / 1000 ns = 1e8 units/sec, exactly, every sample.
+  EXPECT_DOUBLE_EQ(result.est.mean, 1e8);
+  EXPECT_DOUBLE_EQ(result.est.ci_half_width, 0.0);
+}
+
+TEST(BenchHarness, ClockIsReadExactlyTwicePerSample) {
+  auto clock = std::make_shared<FakeClock>();
+  clock->duration_for = [](std::size_t) { return 500; };
+  const BenchHarness harness(small_config(), scripted(clock));
+  const BenchResult result = harness.run([] { return 1.0; });
+  EXPECT_EQ(clock->calls, 2 * result.samples_collected);
+}
+
+TEST(BenchHarness, StepFunctionWarmupIsDetectedAndTrimmed) {
+  // First 10 samples run at half speed (cold caches), the rest steady.
+  auto clock = std::make_shared<FakeClock>();
+  clock->duration_for = [](std::size_t i) { return i < 10 ? 2000 : 1000; };
+  HarnessConfig cfg = small_config();
+  cfg.min_samples = 40;
+  const BenchHarness harness(cfg, scripted(clock));
+  const BenchResult result = harness.run([] { return 100.0; });
+
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.warmup_discarded, 10u);
+  // The estimate must describe the steady state only, untouched by the
+  // slow prefix: 100 / 1000 ns = 1e8.
+  EXPECT_DOUBLE_EQ(result.est.mean, 1e8);
+  EXPECT_EQ(result.est.count, result.samples_collected - 10);
+}
+
+TEST(BenchHarness, KeepsSamplingUntilTheTargetWidthIsMet) {
+  // Durations jitter ±2% around 1000 ns: the CI half-width shrinks like
+  // 1/sqrt(n), so the run cannot converge at min_samples but must converge
+  // well before the cap.
+  auto clock = std::make_shared<FakeClock>();
+  clock->duration_for = [](std::size_t i) {
+    return i % 2 == 0 ? std::int64_t{980} : std::int64_t{1020};
+  };
+  HarnessConfig cfg = small_config();
+  cfg.target_rel_half_width = 0.01;
+  const BenchHarness harness(cfg, scripted(clock));
+  const BenchResult result = harness.run([] { return 100.0; });
+
+  EXPECT_TRUE(result.converged);
+  EXPECT_GT(result.samples_collected, cfg.min_samples);
+  EXPECT_LT(result.samples_collected, cfg.max_samples);
+}
+
+TEST(BenchHarness, NonConvergenceStopsAtMaxSamples) {
+  // Alternating 8x swings never tighten to a 0.1% interval.
+  auto clock = std::make_shared<FakeClock>();
+  clock->duration_for = [](std::size_t i) {
+    return i % 2 == 0 ? std::int64_t{1000} : std::int64_t{8000};
+  };
+  HarnessConfig cfg = small_config();
+  cfg.max_samples = 20;
+  cfg.target_rel_half_width = 0.001;
+  const BenchHarness harness(cfg, scripted(clock));
+  const BenchResult result = harness.run([] { return 100.0; });
+
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.samples_collected, 20u);
+}
+
+TEST(BenchHarness, SimulateSlowdownScalesTheMean) {
+  const auto run_with = [](double slowdown) {
+    auto clock = std::make_shared<FakeClock>();
+    clock->duration_for = [](std::size_t) { return 1000; };
+    HarnessConfig cfg = small_config();
+    cfg.simulate_slowdown = slowdown;
+    return BenchHarness(cfg, scripted(clock)).run([] { return 100.0; });
+  };
+  const double honest = run_with(1.0).est.mean;
+  const double slowed = run_with(2.0).est.mean;
+  EXPECT_DOUBLE_EQ(slowed, honest / 2.0);
+}
+
+TEST(BenchHarness, NonPositiveElapsedIsClampedToOneNanosecond) {
+  auto clock = std::make_shared<FakeClock>();
+  clock->duration_for = [](std::size_t) { return 0; };
+  const BenchHarness harness(small_config(), scripted(clock));
+  const BenchResult result = harness.run([] { return 5.0; });
+  EXPECT_DOUBLE_EQ(result.est.mean, 5e9);  // 5 units / 1 ns
+}
+
+TEST(BenchHarness, ToRecordFillsTheSchema) {
+  auto clock = std::make_shared<FakeClock>();
+  clock->duration_for = [](std::size_t i) { return i < 10 ? 2000 : 1000; };
+  HarnessConfig cfg = small_config();
+  cfg.min_samples = 40;
+  cfg.seed = 1234;
+  cfg.threads = 3;
+  cfg.simulate_slowdown = 2.0;
+  const BenchResult result =
+      BenchHarness(cfg, scripted(clock)).run([] { return 100.0; });
+  const BenchRecord rec = result.to_record(cfg, {{"records", "100"}});
+
+  EXPECT_EQ(rec.schema_version, kBenchSchemaVersion);
+  EXPECT_EQ(rec.name, "fake");
+  EXPECT_EQ(rec.unit, "records_per_sec");
+  EXPECT_EQ(rec.seed, 1234u);
+  EXPECT_EQ(rec.threads, 3);
+  EXPECT_TRUE(rec.converged);
+  EXPECT_EQ(rec.samples_collected, result.samples_collected);
+  EXPECT_EQ(rec.warmup_discarded, result.warmup_discarded);
+  EXPECT_EQ(rec.samples_used, rec.samples_collected - rec.warmup_discarded);
+  EXPECT_DOUBLE_EQ(rec.mean, result.est.mean);
+  EXPECT_EQ(rec.samples_raw.size(), rec.samples_used);
+  EXPECT_EQ(rec.config.at("records"), "100");
+  // A simulated slowdown must be visible in the record, not hidden.
+  EXPECT_EQ(rec.config.at("simulate_slowdown"), "2");
+}
+
+// ---------------------------------------------------------------------------
+// BENCH_*.json serialization.
+
+BenchRecord sample_record(const std::string& name, double mean, double stddev,
+                          std::uint64_t n) {
+  BenchRecord r;
+  r.name = name;
+  r.git_sha = "abc123";
+  r.seed = 99;
+  r.threads = 2;
+  r.converged = true;
+  r.samples_collected = n + 3;
+  r.warmup_discarded = 3;
+  r.samples_used = n;
+  r.mean = mean;
+  r.stddev = stddev;
+  r.ci_lo = mean - stddev;
+  r.ci_hi = mean + stddev;
+  r.rel_half_width = stddev / mean;
+  r.lag1_autocorr = 0.1;
+  r.ess = static_cast<double>(n);
+  r.config = {{"records", "20000"}, {"window_ms", "10"}};
+  r.samples_raw = {mean - stddev, mean, mean + stddev};
+  return r;
+}
+
+TEST(BenchJson, RoundTripPreservesEveryField) {
+  const BenchRecord orig = sample_record("overlap_union_serial", 1.5e8, 3e6, 24);
+  const auto parsed = parse_bench_json(to_json(orig));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  const BenchRecord& r = parsed.value();
+
+  EXPECT_EQ(r.schema_version, orig.schema_version);
+  EXPECT_EQ(r.name, orig.name);
+  EXPECT_EQ(r.unit, orig.unit);
+  EXPECT_EQ(r.git_sha, orig.git_sha);
+  EXPECT_EQ(r.seed, orig.seed);
+  EXPECT_EQ(r.threads, orig.threads);
+  EXPECT_DOUBLE_EQ(r.confidence, orig.confidence);
+  EXPECT_DOUBLE_EQ(r.target_rel_half_width, orig.target_rel_half_width);
+  EXPECT_EQ(r.converged, orig.converged);
+  EXPECT_EQ(r.samples_collected, orig.samples_collected);
+  EXPECT_EQ(r.warmup_discarded, orig.warmup_discarded);
+  EXPECT_EQ(r.samples_used, orig.samples_used);
+  EXPECT_DOUBLE_EQ(r.mean, orig.mean);
+  EXPECT_DOUBLE_EQ(r.stddev, orig.stddev);
+  EXPECT_DOUBLE_EQ(r.ci_lo, orig.ci_lo);
+  EXPECT_DOUBLE_EQ(r.ci_hi, orig.ci_hi);
+  EXPECT_DOUBLE_EQ(r.rel_half_width, orig.rel_half_width);
+  EXPECT_DOUBLE_EQ(r.lag1_autocorr, orig.lag1_autocorr);
+  EXPECT_DOUBLE_EQ(r.ess, orig.ess);
+  EXPECT_EQ(r.config, orig.config);
+  ASSERT_EQ(r.samples_raw.size(), orig.samples_raw.size());
+  for (std::size_t i = 0; i < r.samples_raw.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r.samples_raw[i], orig.samples_raw[i]);
+  }
+}
+
+TEST(BenchJson, RejectsUnknownSchemaVersion) {
+  BenchRecord rec = sample_record("x", 1.0, 0.1, 8);
+  rec.schema_version = 99;
+  EXPECT_FALSE(parse_bench_json(to_json(rec)).ok());
+}
+
+TEST(BenchJson, RejectsMalformedAndIncompleteDocuments) {
+  EXPECT_FALSE(parse_bench_json("").ok());
+  EXPECT_FALSE(parse_bench_json("{").ok());
+  EXPECT_FALSE(parse_bench_json("[1, 2]").ok());
+  EXPECT_FALSE(parse_bench_json("{}").ok());  // every field missing
+  EXPECT_FALSE(parse_bench_json(R"({"schema_version": 1})").ok());
+}
+
+TEST(BenchJson, FileNameIsCanonical) {
+  EXPECT_EQ(bench_file_name("frame_decode"), "BENCH_frame_decode.json");
+}
+
+TEST(BenchJson, WriteAndLoadDirectoryRoundTrip) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "bench_json_rt").string();
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(write_bench_record(dir, sample_record("alpha", 2e8, 1e6, 16)).ok());
+  ASSERT_TRUE(write_bench_record(dir, sample_record("beta", 3e8, 2e6, 12)).ok());
+
+  const auto loaded = load_bench_records(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().to_string();
+  ASSERT_EQ(loaded.value().size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded.value().at("alpha").mean, 2e8);
+  EXPECT_DOUBLE_EQ(loaded.value().at("beta").mean, 3e8);
+
+  // A single-file path loads just that record.
+  const auto single = load_bench_records(
+      (std::filesystem::path(dir) / bench_file_name("alpha")).string());
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(single.value().size(), 1u);
+  EXPECT_EQ(single.value().count("alpha"), 1u);
+
+  EXPECT_FALSE(load_bench_records(dir + "/does_not_exist").ok());
+}
+
+// ---------------------------------------------------------------------------
+// benchdiff verdicts on crafted pairs.
+
+TEST(BenchDiff, TwoXSlowdownIsARegression) {
+  const auto base = sample_record("merge", 2.0e8, 4e6, 30);
+  const auto cur = sample_record("merge", 1.0e8, 4e6, 30);
+  const DiffResult d = compare_records(base, cur);
+  EXPECT_EQ(d.verdict, Verdict::regression);
+  EXPECT_NEAR(d.ratio, 0.5, 1e-12);
+  EXPECT_LT(d.welch.p_two_sided, 0.01);
+}
+
+TEST(BenchDiff, IdenticalRunsAreNoChange) {
+  const auto base = sample_record("merge", 2.0e8, 4e6, 30);
+  const DiffResult d = compare_records(base, base);
+  EXPECT_EQ(d.verdict, Verdict::no_change);
+  EXPECT_DOUBLE_EQ(d.ratio, 1.0);
+}
+
+TEST(BenchDiff, NoisyOverlapIsNoChange) {
+  // 2% apart with wide spread: not statistically distinguishable.
+  const auto base = sample_record("merge", 1.00e8, 2e7, 10);
+  const auto cur = sample_record("merge", 0.98e8, 2e7, 10);
+  EXPECT_EQ(compare_records(base, cur).verdict, Verdict::no_change);
+}
+
+TEST(BenchDiff, SignificantButImmaterialIsNoChange) {
+  // 1% drop with near-zero variance: Welch rejects equality, but the move
+  // is below min_effect and must not fail CI.
+  const auto base = sample_record("merge", 1.00e8, 1e3, 30);
+  const auto cur = sample_record("merge", 0.99e8, 1e3, 30);
+  const DiffResult d = compare_records(base, cur);
+  EXPECT_LT(d.welch.p_two_sided, 0.01);
+  EXPECT_EQ(d.verdict, Verdict::no_change);
+}
+
+TEST(BenchDiff, SpeedupIsAnImprovement) {
+  const auto base = sample_record("merge", 1.0e8, 4e6, 30);
+  const auto cur = sample_record("merge", 1.5e8, 4e6, 30);
+  EXPECT_EQ(compare_records(base, cur).verdict, Verdict::improvement);
+}
+
+TEST(BenchDiff, MismatchedBenchesAreIncomparable) {
+  const auto base = sample_record("merge", 1.0e8, 4e6, 30);
+  auto renamed = base;
+  renamed.name = "decode";
+  EXPECT_EQ(compare_records(base, renamed).verdict, Verdict::incomparable);
+
+  auto reunited = base;
+  reunited.unit = "bytes_per_sec";
+  EXPECT_EQ(compare_records(base, reunited).verdict, Verdict::incomparable);
+}
+
+TEST(BenchDiff, TooFewSamplesAreIncomparable) {
+  const auto base = sample_record("merge", 1.0e8, 4e6, 30);
+  auto thin = sample_record("merge", 0.5e8, 4e6, 30);
+  thin.samples_used = 1;
+  EXPECT_EQ(compare_records(base, thin).verdict, Verdict::incomparable);
+}
+
+TEST(BenchDiff, AutocorrelationWeakensTheEvidence) {
+  // Same means and spreads; the only difference is the current run's ESS.
+  // With full ESS the 8% drop is significant; with ESS collapsed to 3 the
+  // same numbers must not clear the bar.
+  const auto base = sample_record("merge", 1.00e8, 3e6, 40);
+  auto cur = sample_record("merge", 0.92e8, 3e6, 40);
+  EXPECT_EQ(compare_records(base, cur).verdict, Verdict::regression);
+  cur.ess = 3.0;
+  EXPECT_EQ(compare_records(base, cur).verdict, Verdict::no_change);
+}
+
+}  // namespace
+}  // namespace bpsio::bench

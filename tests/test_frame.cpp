@@ -4,9 +4,11 @@
 // exact about frame boundaries.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "trace/frame.hpp"
 #include "trace/io_record.hpp"
 
@@ -67,6 +69,54 @@ TEST(Frame, ToleratesByteAtATimeDelivery) {
   std::vector<IoRecord> expected = first;
   expected.insert(expected.end(), second.begin(), second.end());
   EXPECT_EQ(out, expected);
+}
+
+TEST(Frame, FragmentationPropertyOnShuffledFrameSizes) {
+  // Property-style sweep: a stream of frames with shuffled record counts
+  // (empty frames included), delivered once a byte at a time and once in
+  // random-sized chunks. Any fragmentation must yield the identical record
+  // sequence and exact frame count.
+  for (const std::uint64_t seed : {11ULL, 42ULL, 2026ULL}) {
+    Rng rng(seed);
+    std::vector<std::size_t> counts = {0, 1, 2, 3, 5, 8, 13, 21, 0, 34};
+    std::shuffle(counts.begin(), counts.end(), rng);
+
+    std::vector<char> wire;
+    std::vector<IoRecord> expected;
+    std::uint32_t pid = 1;
+    for (const std::size_t count : counts) {
+      const std::vector<IoRecord> frame =
+          sample_records(static_cast<int>(count), pid++);
+      encode_frame(frame, wire);
+      expected.insert(expected.end(), frame.begin(), frame.end());
+    }
+
+    {
+      FrameDecoder decoder;
+      std::vector<IoRecord> out;
+      for (const char byte : wire) {
+        ASSERT_TRUE(decoder.feed(&byte, 1, out).ok());
+      }
+      EXPECT_EQ(decoder.frames_decoded(), counts.size()) << "seed " << seed;
+      EXPECT_EQ(decoder.pending_bytes(), 0u);
+      EXPECT_EQ(out, expected) << "seed " << seed;
+    }
+
+    {
+      FrameDecoder decoder;
+      std::vector<IoRecord> out;
+      std::size_t offset = 0;
+      while (offset < wire.size()) {
+        const std::size_t chunk =
+            std::min<std::size_t>(1 + rng.next() % 97, wire.size() - offset);
+        ASSERT_TRUE(decoder.feed(wire.data() + offset, chunk, out).ok());
+        offset += chunk;
+      }
+      EXPECT_EQ(decoder.frames_decoded(), counts.size()) << "seed " << seed;
+      EXPECT_EQ(decoder.pending_bytes(), 0u);
+      EXPECT_EQ(out, expected) << "seed " << seed;
+    }
+  }
 }
 
 TEST(Frame, ReportsPartialTrailingFrame) {

@@ -1,0 +1,308 @@
+// Differential tests for the benchmark-inference statistics: closed-form
+// results on deterministic sequences (constant, alternating, AR(1) with a
+// known coefficient), textbook critical values for the Student-t quantile,
+// Welch's test against hand-computed values, and a property test that CI
+// coverage on i.i.d. synthetic data hits the nominal level.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "stats/inference.hpp"
+
+namespace bpsio::stats {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Student-t distribution.
+
+TEST(StudentT, CdfAtZeroIsHalf) {
+  for (const double df : {1.0, 2.0, 5.0, 30.0, 1000.0}) {
+    EXPECT_DOUBLE_EQ(student_t_cdf(0.0, df), 0.5) << "df=" << df;
+  }
+}
+
+TEST(StudentT, CdfIsSymmetric) {
+  for (const double df : {1.0, 3.0, 12.0, 100.0}) {
+    for (const double t : {0.5, 1.0, 2.0, 5.0}) {
+      EXPECT_NEAR(student_t_cdf(t, df) + student_t_cdf(-t, df), 1.0, 1e-12)
+          << "df=" << df << " t=" << t;
+    }
+  }
+}
+
+TEST(StudentT, Df1IsCauchy) {
+  // With df=1 the t distribution is standard Cauchy:
+  // CDF(t) = 1/2 + atan(t)/pi.
+  for (const double t : {-3.0, -1.0, 0.5, 2.0, 10.0}) {
+    EXPECT_NEAR(student_t_cdf(t, 1.0), 0.5 + std::atan(t) / M_PI, 1e-10);
+  }
+}
+
+TEST(StudentT, QuantileMatchesTextbookCriticalValues) {
+  // Two-sided 95% critical values t_{0.975, df} from standard tables.
+  const struct {
+    double df;
+    double expected;
+  } table[] = {
+      {1, 12.7062}, {2, 4.3027},  {5, 2.5706},
+      {10, 2.2281}, {30, 2.0423}, {120, 1.9799},
+  };
+  for (const auto& row : table) {
+    EXPECT_NEAR(student_t_quantile(0.975, row.df), row.expected, 2e-4)
+        << "df=" << row.df;
+  }
+  // Large df converges on the normal quantile 1.95996.
+  EXPECT_NEAR(student_t_quantile(0.975, 1e6), 1.95996, 1e-3);
+}
+
+TEST(StudentT, QuantileInvertsCdf) {
+  for (const double df : {2.0, 7.0, 29.5}) {
+    for (const double p : {0.6, 0.9, 0.975, 0.995}) {
+      const double q = student_t_quantile(p, df);
+      EXPECT_NEAR(student_t_cdf(q, df), p, 1e-9) << "df=" << df << " p=" << p;
+      EXPECT_NEAR(student_t_quantile(1.0 - p, df), -q, 1e-8);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lag-1 autocorrelation on deterministic sequences.
+
+TEST(Autocorrelation, ConstantSeriesIsZero) {
+  const std::vector<double> x(50, 7.5);
+  EXPECT_DOUBLE_EQ(lag1_autocorrelation(x), 0.0);
+}
+
+TEST(Autocorrelation, TooShortIsZero) {
+  EXPECT_DOUBLE_EQ(lag1_autocorrelation(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(lag1_autocorrelation(std::vector<double>{1.0, 2.0}), 0.0);
+}
+
+TEST(Autocorrelation, AlternatingSeriesClosedForm) {
+  // x = +1,-1,+1,... with even n has mean 0; every adjacent product is -1,
+  // so r1 = -(n-1)/n exactly.
+  for (const std::size_t n : {10u, 100u}) {
+    std::vector<double> x(n);
+    for (std::size_t i = 0; i < n; ++i) x[i] = (i % 2 == 0) ? 1.0 : -1.0;
+    EXPECT_NEAR(lag1_autocorrelation(x),
+                -(static_cast<double>(n) - 1.0) / static_cast<double>(n),
+                1e-12)
+        << "n=" << n;
+  }
+}
+
+TEST(Autocorrelation, LinearRampIsStronglyPositive) {
+  std::vector<double> x(200);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<double>(i);
+  EXPECT_GT(lag1_autocorrelation(x), 0.95);
+}
+
+TEST(Autocorrelation, Ar1RecoversTheCoefficient) {
+  // x_{t+1} = phi * x_t + eps: the population lag-1 autocorrelation is phi.
+  for (const double phi : {0.3, 0.6, 0.9}) {
+    Rng rng(1234);
+    std::vector<double> x;
+    x.reserve(20000);
+    double value = 0.0;
+    for (int i = 0; i < 21000; ++i) {
+      value = phi * value + rng.normal(0.0, 1.0);
+      if (i >= 1000) x.push_back(value);  // drop the burn-in
+    }
+    EXPECT_NEAR(lag1_autocorrelation(x), phi, 0.03) << "phi=" << phi;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Effective sample size.
+
+TEST(EffectiveSampleSize, IidKeepsN) {
+  EXPECT_DOUBLE_EQ(effective_sample_size(100, 0.0), 100.0);
+}
+
+TEST(EffectiveSampleSize, Ar1ClosedForm) {
+  // ESS = n (1 - r) / (1 + r).
+  EXPECT_NEAR(effective_sample_size(100, 0.5), 100.0 / 3.0, 1e-12);
+  EXPECT_NEAR(effective_sample_size(300, 0.9), 300.0 * 0.1 / 1.9, 1e-12);
+}
+
+TEST(EffectiveSampleSize, NegativeCorrelationGainIsForfeited) {
+  // Alternating samples carry *more* information than i.i.d., but the
+  // conservative clamp keeps ESS at n so intervals never narrow.
+  EXPECT_DOUBLE_EQ(effective_sample_size(100, -0.8), 100.0);
+}
+
+TEST(EffectiveSampleSize, ClampedToAtLeastTwo) {
+  // r is capped at 0.99; with n=1000 the formula value survives the floor.
+  EXPECT_NEAR(effective_sample_size(1000, 0.99), 1000.0 * 0.01 / 1.99, 1e-9);
+  // With n=100 the formula gives 0.5 — floored to 2 so a CI still exists.
+  EXPECT_DOUBLE_EQ(effective_sample_size(100, 0.999), 2.0);
+  EXPECT_GE(effective_sample_size(4, 0.99), 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// estimate(): CI against a hand-computed t-interval.
+
+TEST(Estimate, MatchesHandComputedTIntervalOnIidData) {
+  // Sample 4,6,4,6,...: mean 5, sample sd sqrt(8/7), n=8. r1 is negative
+  // (alternating), so the conservative clamp keeps ess = n and the interval
+  // is the classic t-interval: 5 ± t_{0.975,7} * sd / sqrt(8).
+  const std::vector<double> x = {4, 6, 4, 6, 4, 6, 4, 6};
+  const auto est = estimate(x, 0.95);
+  EXPECT_EQ(est.count, 8u);
+  EXPECT_DOUBLE_EQ(est.mean, 5.0);
+  EXPECT_NEAR(est.stddev, std::sqrt(8.0 / 7.0), 1e-12);
+  EXPECT_LT(est.lag1, 0.0);
+  EXPECT_DOUBLE_EQ(est.ess, 8.0);
+  const double expected_hw = 2.3646 * std::sqrt(8.0 / 7.0) / std::sqrt(8.0);
+  EXPECT_NEAR(est.ci_half_width, expected_hw, 1e-3);
+  EXPECT_NEAR(est.ci_lo, 5.0 - expected_hw, 1e-3);
+  EXPECT_NEAR(est.ci_hi, 5.0 + expected_hw, 1e-3);
+}
+
+TEST(Estimate, AutocorrelatedDataWidensTheInterval) {
+  Rng rng(7);
+  std::vector<double> iid, ar1;
+  double value = 0.0;
+  for (int i = 0; i < 400; ++i) {
+    iid.push_back(rng.normal(100.0, 5.0));
+    value = 0.8 * value + rng.normal(0.0, 1.0);
+    ar1.push_back(100.0 + 5.0 * value);
+  }
+  const auto est_iid = estimate(iid, 0.95);
+  const auto est_ar1 = estimate(ar1, 0.95);
+  EXPECT_LT(est_iid.lag1, 0.2);
+  EXPECT_GT(est_ar1.lag1, 0.6);
+  EXPECT_LT(est_ar1.ess, est_ar1.count / 2.0);
+  // Same nominal scale, but the AR(1) series must admit less precision.
+  EXPECT_GT(est_ar1.ci_half_width, est_iid.ci_half_width);
+}
+
+TEST(Estimate, DegenerateSamples) {
+  EXPECT_TRUE(std::isinf(estimate(std::vector<double>{}).ci_half_width));
+  const auto one = estimate(std::vector<double>{3.0});
+  EXPECT_DOUBLE_EQ(one.mean, 3.0);
+  EXPECT_TRUE(std::isinf(one.ci_half_width));
+  EXPECT_TRUE(std::isinf(one.rel_half_width()));
+  const auto constant = estimate(std::vector<double>(20, 4.0));
+  EXPECT_DOUBLE_EQ(constant.ci_half_width, 0.0);
+  EXPECT_DOUBLE_EQ(constant.rel_half_width(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// CI coverage property: on i.i.d. data the 95% interval must contain the
+// true mean about 95% of the time. 400 deterministic trials; binomial sd is
+// ~1.1%, so [90%, 99%] is a > 4-sigma acceptance band.
+
+TEST(Estimate, CoverageHitsTheNominalLevelOnIidData) {
+  Rng rng(2024);
+  const double true_mean = 50.0;
+  int covered = 0;
+  const int trials = 400;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<double> x;
+    x.reserve(40);
+    for (int i = 0; i < 40; ++i) x.push_back(rng.normal(true_mean, 8.0));
+    const auto est = estimate(x, 0.95);
+    if (est.ci_lo <= true_mean && true_mean <= est.ci_hi) ++covered;
+  }
+  const double coverage = static_cast<double>(covered) / trials;
+  EXPECT_GE(coverage, 0.90);
+  EXPECT_LE(coverage, 0.99);
+}
+
+// ---------------------------------------------------------------------------
+// Warm-up changepoint detection.
+
+TEST(DetectWarmup, ConstantSeriesHasNoWarmup) {
+  EXPECT_EQ(detect_warmup(std::vector<double>(50, 3.0)), 0u);
+}
+
+TEST(DetectWarmup, FindsTheExactStepIndex) {
+  // 10 slow samples at 100, then 90 steady at 200: the changepoint is 10.
+  std::vector<double> x(100, 200.0);
+  for (int i = 0; i < 10; ++i) x[i] = 100.0;
+  EXPECT_EQ(detect_warmup(x), 10u);
+}
+
+TEST(DetectWarmup, FindsANoisyStep) {
+  Rng rng(99);
+  std::vector<double> x;
+  for (int i = 0; i < 12; ++i) x.push_back(rng.normal(100.0, 3.0));
+  for (int i = 0; i < 60; ++i) x.push_back(rng.normal(160.0, 3.0));
+  const std::size_t cut = detect_warmup(x);
+  EXPECT_GE(cut, 10u);
+  EXPECT_LE(cut, 14u);
+}
+
+TEST(DetectWarmup, PureNoiseIsNotTrimmed) {
+  Rng rng(17);
+  std::vector<double> x;
+  for (int i = 0; i < 80; ++i) x.push_back(rng.normal(100.0, 10.0));
+  EXPECT_EQ(detect_warmup(x), 0u);
+}
+
+TEST(DetectWarmup, CutIsCappedByTheSearchFraction) {
+  // Step at 60% of the series: beyond the 50% search range, so the detector
+  // can trim at most half of it now. Once the adaptive loop has collected
+  // enough steady samples that the true changepoint falls inside the range,
+  // the whole transient is cut.
+  std::vector<double> x(100, 100.0);
+  for (int i = 60; i < 100; ++i) x[i] = 200.0;
+  EXPECT_LE(detect_warmup(x, 0.5), 50u);
+
+  std::vector<double> longer = x;
+  longer.resize(160, 200.0);  // now 60 slow + 100 steady
+  EXPECT_EQ(detect_warmup(longer, 0.5), 60u);
+}
+
+TEST(DetectWarmup, ShortSeriesAreLeftAlone) {
+  std::vector<double> x = {1, 100, 100, 100, 100, 100, 100};
+  EXPECT_EQ(detect_warmup(x), 0u);  // n < 8
+}
+
+// ---------------------------------------------------------------------------
+// Welch's t-test.
+
+TEST(Welch, IdenticalSummariesAreNotSignificant) {
+  const auto r = welch_t_test(100.0, 4.0, 30.0, 100.0, 4.0, 30.0);
+  EXPECT_DOUBLE_EQ(r.t, 0.0);
+  EXPECT_DOUBLE_EQ(r.p_two_sided, 1.0);
+}
+
+TEST(Welch, HandComputedExample) {
+  // a: mean 20, var 4, n 10; b: mean 22, var 9, n 12.
+  // se^2 = 4/10 + 9/12 = 1.15, t = 2 / sqrt(1.15) = 1.86501...
+  // df = 1.15^2 / (0.4^2/9 + 0.75^2/11) = 1.3225 / 0.0689137 = 19.1906...
+  const auto r = welch_t_test(20.0, 4.0, 10.0, 22.0, 9.0, 12.0);
+  EXPECT_NEAR(r.t, 1.86501, 1e-4);
+  EXPECT_NEAR(r.df, 19.1906, 1e-3);
+  EXPECT_NEAR(r.p_two_sided, 0.0775, 2e-3);  // not significant at 0.05
+}
+
+TEST(Welch, LargeSeparationIsSignificant) {
+  const auto r = welch_t_test(100.0, 25.0, 30.0, 50.0, 25.0, 30.0);
+  EXPECT_LT(r.p_two_sided, 1e-6);
+  EXPECT_LT(r.t, 0.0);  // b slower than a
+}
+
+TEST(Welch, DirectionIsBMinusA) {
+  EXPECT_GT(welch_t_test(10.0, 1.0, 20.0, 12.0, 1.0, 20.0).t, 0.0);
+  EXPECT_LT(welch_t_test(12.0, 1.0, 20.0, 10.0, 1.0, 20.0).t, 0.0);
+}
+
+TEST(Welch, ZeroVarianceEdgeCases) {
+  EXPECT_DOUBLE_EQ(welch_t_test(5.0, 0.0, 10.0, 5.0, 0.0, 10.0).p_two_sided,
+                   1.0);
+  EXPECT_DOUBLE_EQ(welch_t_test(5.0, 0.0, 10.0, 6.0, 0.0, 10.0).p_two_sided,
+                   0.0);
+}
+
+TEST(Welch, TooFewSamplesReportsNoEvidence) {
+  EXPECT_DOUBLE_EQ(welch_t_test(5.0, 1.0, 1.0, 50.0, 1.0, 30.0).p_two_sided,
+                   1.0);
+}
+
+}  // namespace
+}  // namespace bpsio::stats

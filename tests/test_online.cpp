@@ -361,6 +361,45 @@ TEST(SlidingWindow, EvictsAsTheWindowSlides) {
   EXPECT_EQ(live.bps(), 0.0);
 }
 
+TEST(SlidingWindow, BoundaryTimestampEviction) {
+  // The window is half-open from the left, (now - W, now]: a record whose
+  // end lands *exactly* on now - W is expired, one ending a single
+  // nanosecond later is still live.
+  const SimDuration window = SimDuration::from_ms(10);
+
+  {
+    SlidingWindowMetrics live(window);
+    live.add(trace::make_record(1, 7, SimTime(1'000'000), SimTime(2'000'000)));
+    live.advance(SimTime(12'000'000));  // window start == record end exactly
+    EXPECT_EQ(live.accesses(), 0u);
+    EXPECT_EQ(live.blocks(), 0u);
+    EXPECT_EQ(live.io_time().ns(), 0);
+  }
+  {
+    SlidingWindowMetrics live(window);
+    live.add(trace::make_record(1, 7, SimTime(1'000'000), SimTime(2'000'001)));
+    live.advance(SimTime(12'000'000));  // record end == window start + 1 ns
+    EXPECT_EQ(live.accesses(), 1u);
+    EXPECT_EQ(live.blocks(), 7u);
+    // Only the final nanosecond of the access is inside the window.
+    EXPECT_EQ(live.io_time().ns(), 1);
+    live.advance(SimTime(12'000'001));  // one more ns and it expires
+    EXPECT_EQ(live.accesses(), 0u);
+    EXPECT_EQ(live.io_time().ns(), 0);
+  }
+  {
+    // Ingest-driven boundary: a new record whose arrival slides the window
+    // start to exactly the old record's end evicts it within the same add().
+    SlidingWindowMetrics live(window);
+    live.add(trace::make_record(1, 3, SimTime(0), SimTime(5'000'000)));
+    live.add(
+        trace::make_record(2, 4, SimTime(14'000'000), SimTime(15'000'000)));
+    EXPECT_EQ(live.accesses(), 1u);
+    EXPECT_EQ(live.blocks(), 4u);
+    EXPECT_EQ(live.io_time().ns(), 1'000'000);
+  }
+}
+
 TEST(SlidingWindow, FullyExpiredRecordsAreIgnored) {
   SlidingWindowMetrics live(SimDuration::from_ms(1));
   live.add(trace::make_record(1, 10, SimTime(100'000'000), SimTime(101'000'000)));

@@ -1,0 +1,109 @@
+// bpsio_benchdiff — the perf-regression gate over BENCH_*.json records.
+//
+//   bpsio_benchdiff <baseline> <current> [--alpha=0.01] [--min-effect=0.05]
+//                   [--csv]
+//
+// <baseline> and <current> are each a BENCH_*.json file or a directory of
+// them. Benches are matched by record name; each pair is compared with
+// Welch's t-test over (mean, stddev, effective sample size) and classified
+// as no-change / improvement / REGRESSION (see bench/benchdiff.hpp for the
+// significance + minimum-effect rule).
+//
+// Exit status: 0 when no regression was found, 1 on any regression, 2 on
+// usage/parse errors. Benches present on only one side are reported but do
+// not fail the gate (a new bench has no baseline yet; a deleted one has no
+// current) — regressions are about code getting slower, not about the
+// bench set changing.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/benchdiff.hpp"
+#include "bench/bench_json.hpp"
+#include "common/format.hpp"
+#include "tools/cli.hpp"
+
+using namespace bpsio;
+
+int main(int argc, char** argv) {
+  bench::DiffOptions options;
+  bool csv = false;
+
+  cli::ArgParser parser(
+      "bpsio_benchdiff",
+      "Compare two BENCH_*.json snapshots and flag statistically "
+      "significant performance regressions.");
+  parser.positionals("<baseline-file-or-dir> <current-file-or-dir>");
+  parser.add_positive_double("--alpha", &options.alpha, "P",
+                             "significance level for Welch's t-test "
+                             "(default 0.01)");
+  parser.add_positive_double("--min-effect", &options.min_effect, "FRAC",
+                             "minimum relative mean change to act on "
+                             "(default 0.05 = 5%)");
+  parser.add_flag("--csv", &csv, "machine-readable CSV instead of the table");
+
+  std::vector<std::string> positionals;
+  switch (parser.parse(argc, argv, positionals)) {
+    case cli::ArgParser::Outcome::help: return 0;
+    case cli::ArgParser::Outcome::error: return 2;
+    case cli::ArgParser::Outcome::ok: break;
+  }
+  if (positionals.size() != 2) {
+    std::fprintf(stderr, "bpsio_benchdiff: need exactly two operands\n%s",
+                 parser.usage().c_str());
+    return 2;
+  }
+
+  auto baseline = bench::load_bench_records(positionals[0]);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "bpsio_benchdiff: baseline: %s\n",
+                 baseline.error().message.c_str());
+    return 2;
+  }
+  auto current = bench::load_bench_records(positionals[1]);
+  if (!current.ok()) {
+    std::fprintf(stderr, "bpsio_benchdiff: current: %s\n",
+                 current.error().message.c_str());
+    return 2;
+  }
+  if (baseline->empty() || current->empty()) {
+    std::fprintf(stderr, "bpsio_benchdiff: no BENCH_*.json records in %s\n",
+                 baseline->empty() ? positionals[0].c_str()
+                                   : positionals[1].c_str());
+    return 2;
+  }
+
+  TextTable table({"bench", "baseline", "current", "change", "verdict",
+                   "detail"});
+  int regressions = 0;
+  for (const auto& [name, base] : *baseline) {
+    const auto cur = current->find(name);
+    if (cur == current->end()) {
+      table.add_row({name, fmt_double(base.mean, 3), "-", "-", "missing",
+                     "no current record"});
+      continue;
+    }
+    const auto diff = bench::compare_records(base, cur->second, options);
+    if (diff.verdict == bench::Verdict::regression) ++regressions;
+    table.add_row({name, fmt_double(base.mean, 3),
+                   fmt_double(cur->second.mean, 3),
+                   fmt_double((diff.ratio - 1.0) * 100.0, 1) + "%",
+                   bench::verdict_name(diff.verdict), diff.detail});
+  }
+  for (const auto& [name, cur] : *current) {
+    if (!baseline->contains(name)) {
+      table.add_row({name, "-", fmt_double(cur.mean, 3), "-", "new",
+                     "no baseline record"});
+    }
+  }
+
+  std::printf("%s", csv ? table.to_csv().c_str() : table.to_string().c_str());
+  if (regressions > 0) {
+    std::fprintf(stderr,
+                 "bpsio_benchdiff: %d regression%s (alpha=%g, min-effect=%g)\n",
+                 regressions, regressions == 1 ? "" : "s", options.alpha,
+                 options.min_effect);
+    return 1;
+  }
+  return 0;
+}
