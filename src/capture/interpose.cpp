@@ -116,12 +116,13 @@ struct ThreadCapture {
 
   void append(const trace::IoRecord& record, const CaptureConfig& cfg) {
     if (disabled) return;
+    // The guard covers buffer growth, not just the flush: reserve/push_back
+    // may hit the allocator, and any syscall the allocator issues is capture
+    // bookkeeping that must not be recorded (or recurse into append).
+    ReentrancyGuard guard;
     if (buffer.capacity() == 0) buffer.reserve(cfg.buffer_records);
     buffer.push_back(record);
-    if (buffer.size() >= cfg.buffer_records) {
-      ReentrancyGuard guard;
-      flush(cfg);
-    }
+    if (buffer.size() >= cfg.buffer_records) flush(cfg);
   }
 
   /// Ship the buffer through the thread's transport. Caller holds the
@@ -314,7 +315,9 @@ int open(const char* path, int flags, ...) {
     return -1;
   }
   const int fd = fn(path, flags, mode);
+  const int saved_errno = errno;
   cap::note_open(fd);
+  errno = saved_errno;
   return fd;
 }
 
@@ -333,7 +336,9 @@ int open64(const char* path, int flags, ...) {
     return -1;
   }
   const int fd = fn(path, flags, mode);
+  const int saved_errno = errno;
   cap::note_open(fd);
+  errno = saved_errno;
   return fd;
 }
 
@@ -352,7 +357,9 @@ int openat(int dirfd, const char* path, int flags, ...) {
     return -1;
   }
   const int fd = fn(dirfd, path, flags, mode);
+  const int saved_errno = errno;
   cap::note_open(fd);
+  errno = saved_errno;
   return fd;
 }
 
@@ -371,7 +378,9 @@ int openat64(int dirfd, const char* path, int flags, ...) {
     return -1;
   }
   const int fd = fn(dirfd, path, flags, mode);
+  const int saved_errno = errno;
   cap::note_open(fd);
+  errno = saved_errno;
   return fd;
 }
 
@@ -396,8 +405,10 @@ ssize_t read(int fd, void* buf, size_t count) {
   if (count == 0 || !cap::should_record(fd)) return fn(fd, buf, count);
   const std::int64_t start = bpsio::monotonic_ns();
   const ssize_t ret = fn(fd, buf, count);
+  const int saved_errno = errno;
   cap::record_io(bpsio::trace::IoOpKind::read, count, ret, start,
                  bpsio::monotonic_ns());
+  errno = saved_errno;
   return ret;
 }
 
@@ -411,8 +422,10 @@ ssize_t write(int fd, const void* buf, size_t count) {
   if (count == 0 || !cap::should_record(fd)) return fn(fd, buf, count);
   const std::int64_t start = bpsio::monotonic_ns();
   const ssize_t ret = fn(fd, buf, count);
+  const int saved_errno = errno;
   cap::record_io(bpsio::trace::IoOpKind::write, count, ret, start,
                  bpsio::monotonic_ns());
+  errno = saved_errno;
   return ret;
 }
 
@@ -426,8 +439,10 @@ ssize_t pread(int fd, void* buf, size_t count, off_t offset) {
   if (count == 0 || !cap::should_record(fd)) return fn(fd, buf, count, offset);
   const std::int64_t start = bpsio::monotonic_ns();
   const ssize_t ret = fn(fd, buf, count, offset);
+  const int saved_errno = errno;
   cap::record_io(bpsio::trace::IoOpKind::read, count, ret, start,
                  bpsio::monotonic_ns());
+  errno = saved_errno;
   return ret;
 }
 
@@ -441,8 +456,10 @@ ssize_t pwrite(int fd, const void* buf, size_t count, off_t offset) {
   if (count == 0 || !cap::should_record(fd)) return fn(fd, buf, count, offset);
   const std::int64_t start = bpsio::monotonic_ns();
   const ssize_t ret = fn(fd, buf, count, offset);
+  const int saved_errno = errno;
   cap::record_io(bpsio::trace::IoOpKind::write, count, ret, start,
                  bpsio::monotonic_ns());
+  errno = saved_errno;
   return ret;
 }
 
@@ -456,8 +473,10 @@ ssize_t pread64(int fd, void* buf, size_t count, off64_t offset) {
   if (count == 0 || !cap::should_record(fd)) return fn(fd, buf, count, offset);
   const std::int64_t start = bpsio::monotonic_ns();
   const ssize_t ret = fn(fd, buf, count, offset);
+  const int saved_errno = errno;
   cap::record_io(bpsio::trace::IoOpKind::read, count, ret, start,
                  bpsio::monotonic_ns());
+  errno = saved_errno;
   return ret;
 }
 
@@ -471,8 +490,10 @@ ssize_t pwrite64(int fd, const void* buf, size_t count, off64_t offset) {
   if (count == 0 || !cap::should_record(fd)) return fn(fd, buf, count, offset);
   const std::int64_t start = bpsio::monotonic_ns();
   const ssize_t ret = fn(fd, buf, count, offset);
+  const int saved_errno = errno;
   cap::record_io(bpsio::trace::IoOpKind::write, count, ret, start,
                  bpsio::monotonic_ns());
+  errno = saved_errno;
   return ret;
 }
 
@@ -489,8 +510,10 @@ int fsync(int fd) {
   if (!record) return fn(fd);
   const std::int64_t start = bpsio::monotonic_ns();
   const int ret = fn(fd);
+  const int saved_errno = errno;
   cap::record_io(bpsio::trace::IoOpKind::write, 0, ret, start,
                  bpsio::monotonic_ns(), /*is_sync=*/true);
+  errno = saved_errno;
   return ret;
 }
 
@@ -507,8 +530,10 @@ int fdatasync(int fd) {
   if (!record) return fn(fd);
   const std::int64_t start = bpsio::monotonic_ns();
   const int ret = fn(fd);
+  const int saved_errno = errno;
   cap::record_io(bpsio::trace::IoOpKind::write, 0, ret, start,
                  bpsio::monotonic_ns(), /*is_sync=*/true);
+  errno = saved_errno;
   return ret;
 }
 

@@ -2,9 +2,21 @@
 //
 // std::mutex carries no thread-safety attributes, so clang's capability
 // analysis cannot see it. These thin wrappers add the annotations (zero
-// overhead: every method is an inline forward to the std primitive) so that
-// GUARDED_BY fields in ThreadPool, the log sink, and TraceCollector are
-// machine-checked instead of comment-checked.
+// overhead in release builds: every method is an inline forward to the std
+// primitive) so that GUARDED_BY fields in ThreadPool, the log sink, and
+// TraceCollector are machine-checked instead of comment-checked.
+//
+// In Debug and sanitizer builds (BPSIO_LOCK_ORDER_CHECKING below) the
+// wrappers additionally feed a runtime lock-order detector (mutex.cpp): a
+// thread-local stack of held Mutexes maintains a process-global acquisition
+// order graph, and the first acquisition that inverts an order the process
+// has already established trips BPSIO_CHECK — on the inconsistent ordering
+// itself, whether or not this particular run interleaves into the deadlock.
+// This is the dynamic complement of bpsio_analyze's static lock-cycle check
+// (tools/bpsio_analyze.cpp, docs/STATIC_ANALYSIS.md): the analyzer sees
+// orders it can prove from MutexLock nesting at compile time, the detector
+// sees whatever actually runs, including orders threaded through data it
+// cannot model.
 #pragma once
 
 #include <condition_variable>
@@ -12,7 +24,51 @@
 
 #include "common/thread_annotations.hpp"
 
+// On by default in Debug; sanitizer jobs define BPSIO_SANITIZE_BUILD (top
+// CMakeLists) so TSan/ASan/UBSan runs keep the detector even though they
+// build RelWithDebInfo.
+#if !defined(NDEBUG) || defined(BPSIO_SANITIZE_BUILD)
+#define BPSIO_LOCK_ORDER_CHECKING 1
+#else
+#define BPSIO_LOCK_ORDER_CHECKING 0
+#endif
+
 namespace bpsio {
+
+/// Runtime lock-order detector hooks. The implementations (mutex.cpp) are
+/// always compiled and linked so tests build in every configuration, but
+/// Mutex only calls them when BPSIO_LOCK_ORDER_CHECKING is on.
+namespace lock_order {
+
+/// Called with a one-line description on the first inverted (or recursive)
+/// acquisition. The default handler is BPSIO_CHECK(false, ...): log + abort.
+using ViolationHandler = void (*)(const char* message);
+
+/// Installs `handler` and returns the previous one (tests swap in a counter;
+/// pass the returned value back to restore). nullptr restores the default.
+ViolationHandler set_violation_handler(ViolationHandler handler);
+
+/// Clears the global order graph and the calling thread's held-lock stack.
+void reset_for_testing();
+
+/// Check + record an impending blocking acquisition of `mu`. Called before
+/// the underlying lock so an inconsistent order is reported even when the
+/// interleaving would deadlock rather than proceed.
+void note_acquire(const void* mu);
+
+/// Record a successful try_lock of `mu`. Deliberately neither checked nor
+/// edge-recorded: try_lock cannot deadlock, and opportunistic grabs (e.g.
+/// shutdown paths) would otherwise poison the order graph.
+void note_acquired_try(const void* mu);
+
+/// Record the release of `mu` (any acquisition kind).
+void note_release(const void* mu);
+
+/// Purge `mu` from the order graph. Called from ~Mutex so a later Mutex
+/// reusing the same address does not inherit stale edges.
+void forget(const void* mu);
+
+}  // namespace lock_order
 
 class BPSIO_CAPABILITY("mutex") Mutex {
  public:
@@ -20,9 +76,27 @@ class BPSIO_CAPABILITY("mutex") Mutex {
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
+#if BPSIO_LOCK_ORDER_CHECKING
+  ~Mutex() { lock_order::forget(this); }
+
+  void lock() BPSIO_ACQUIRE() {
+    lock_order::note_acquire(this);
+    mu_.lock();
+  }
+  void unlock() BPSIO_RELEASE() {
+    mu_.unlock();
+    lock_order::note_release(this);
+  }
+  bool try_lock() BPSIO_TRY_ACQUIRE(true) {
+    const bool acquired = mu_.try_lock();
+    if (acquired) lock_order::note_acquired_try(this);
+    return acquired;
+  }
+#else
   void lock() BPSIO_ACQUIRE() { mu_.lock(); }
   void unlock() BPSIO_RELEASE() { mu_.unlock(); }
   bool try_lock() BPSIO_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+#endif
 
  private:
   friend class CondVar;

@@ -261,6 +261,29 @@ TEST(CaptureE2E, EmptyCaptureReportsZero) {
   std::filesystem::remove_all(trace_dir);
 }
 
+TEST(CaptureE2E, ErrnoProbeUnderPreload) {
+  const auto paths = binaries();
+  if (!paths) GTEST_SKIP() << "capture binaries not in environment";
+
+  // The interposer's errno contract, checked from the host's side: with
+  // capture active (so every wrapper runs its full record path), successful
+  // calls must not clobber a planted errno and failing calls must surface
+  // exactly the real syscall's errno. Guards the saved_errno bookkeeping in
+  // src/capture/interpose.cpp (also enforced statically by bpsio_analyze).
+  const std::string trace_dir = make_temp_dir("errno_traces");
+  const std::string data_dir = make_temp_dir("errno_data");
+  int exit_code = 0;
+  const std::string out = run_and_read(
+      "BPSIO_CAPTURE_DIR='" + trace_dir + "' LD_PRELOAD='" + paths->lib +
+          "' '" + paths->smoke + "' --errno-probe '" + data_dir + "' 2>&1",
+      &exit_code);
+  EXPECT_EQ(exit_code, 0) << out;
+  EXPECT_NE(out.find("errno-probe: ok"), std::string::npos) << out;
+
+  std::filesystem::remove_all(trace_dir);
+  std::filesystem::remove_all(data_dir);
+}
+
 TEST(CaptureE2E, PreloadWithoutCaptureDirIsPassthrough) {
   const auto paths = binaries();
   if (!paths) GTEST_SKIP() << "capture binaries not in environment";

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstddef>
 #include <cstring>
 #include <vector>
 
@@ -161,6 +162,65 @@ TEST(Frame, RejectsOversizedCount) {
   std::vector<IoRecord> out;
   EXPECT_FALSE(decoder.feed(raw, sizeof raw, out).ok());
   EXPECT_FALSE(decoder.status().ok());
+}
+
+TEST(Frame, MutationAndTruncationNeverCrashTheDecoder) {
+  // Adversarial property sweep: a valid multi-frame wire image, randomly
+  // truncated and with random bytes flipped, delivered in random chunks.
+  // The decoder's contract under hostile input is narrow but absolute —
+  // never crash, never over-read, and either keep decoding (corruption in
+  // record payloads is invisible to framing) or poison and stay poisoned.
+  std::vector<char> wire;
+  std::uint32_t pid = 1;
+  for (const int count : {3, 0, 8, 1, 5}) {
+    encode_frame(sample_records(count, pid++), wire);
+  }
+
+  for (const std::uint64_t seed : {7ULL, 99ULL, 31337ULL}) {
+    Rng rng(seed);
+    for (int trial = 0; trial < 200; ++trial) {
+      std::vector<char> image(
+          wire.begin(),
+          wire.begin() + static_cast<std::ptrdiff_t>(
+                             rng.next() % (wire.size() + 1)));
+      const std::size_t flips = rng.next() % 5;
+      for (std::size_t i = 0; i < flips && !image.empty(); ++i) {
+        image[rng.next() % image.size()] ^=
+            static_cast<char>(1 + rng.next() % 255);
+      }
+
+      FrameDecoder decoder;
+      std::vector<IoRecord> out;
+      bool poisoned = false;
+      std::size_t offset = 0;
+      while (offset < image.size()) {
+        const std::size_t chunk =
+            std::min<std::size_t>(1 + rng.next() % 64, image.size() - offset);
+        if (!decoder.feed(image.data() + offset, chunk, out).ok()) {
+          poisoned = true;
+          break;
+        }
+        offset += chunk;
+      }
+
+      if (poisoned) {
+        // Poisoned stays poisoned: even pristine bytes are refused and no
+        // further records appear.
+        EXPECT_FALSE(decoder.status().ok()) << "seed " << seed;
+        const std::size_t decoded_before = out.size();
+        std::vector<char> good;
+        encode_frame(sample_records(2, 99), good);
+        EXPECT_FALSE(decoder.feed(good.data(), good.size(), out).ok());
+        EXPECT_EQ(out.size(), decoded_before) << "seed " << seed;
+      } else {
+        // Whatever decoded came from actual wire bytes — a mutated header
+        // must never make the decoder fabricate records out of thin air.
+        EXPECT_LE(out.size() * sizeof(IoRecord), image.size())
+            << "seed " << seed << " trial " << trial;
+        EXPECT_TRUE(decoder.status().ok());
+      }
+    }
+  }
 }
 
 TEST(Frame, InterleavedFramesKeepPerConnectionOrder) {

@@ -28,6 +28,11 @@
 //                   calls to the removed positional run_sweep(specs,
 //                   repeats, seed) overload — sweeps configure through
 //                   core::SweepOptions.
+//   unchecked-syscall
+//                   discarded return values of read/write/pread/pwrite/
+//                   ftruncate/fsync/fdatasync — a short or failed syscall
+//                   that nobody noticed silently corrupts a trace file or
+//                   drops records.
 //
 // Escape hatch: `// bpsio-lint: allow(rule)` on the offending line or on a
 // comment-only line directly above it. Every allow must carry a
@@ -48,6 +53,7 @@
 #include <thread>
 
 #include "cli.hpp"
+#include "source_model.hpp"
 #include <map>
 #include <set>
 #include <sstream>
@@ -56,6 +62,16 @@
 
 namespace {
 
+// The comment/string-stripped token substrate is shared with bpsio_analyze
+// (tools/source_model.hpp); only the rules live here.
+using bpsio::srcmodel::SourceFile;
+using bpsio::srcmodel::collect_files;
+using bpsio::srcmodel::find_calls;
+using bpsio::srcmodel::ident_char;
+using bpsio::srcmodel::is_allowed;
+using bpsio::srcmodel::path_contains;
+using bpsio::srcmodel::statement_at;
+
 struct Finding {
   std::string file;
   std::size_t line = 0;  // 1-based
@@ -63,166 +79,8 @@ struct Finding {
   std::string detail;
 };
 
-// ---------------------------------------------------------------------------
-// Source preprocessing
-// ---------------------------------------------------------------------------
-
-struct SourceFile {
-  std::string path;
-  std::vector<std::string> raw;             // original lines
-  std::vector<std::string> code;            // comments/strings blanked
-  std::vector<std::set<std::string>> allow; // per-line allowed rules
-  std::vector<bool> comment_only;           // line is blank/comment-only
-};
-
-// Blank out comments, string and char literals so the rules only ever match
-// real code tokens. Replaced characters become spaces, preserving columns.
-std::vector<std::string> strip_code(const std::vector<std::string>& lines) {
-  std::vector<std::string> out;
-  out.reserve(lines.size());
-  bool in_block_comment = false;
-  for (const std::string& line : lines) {
-    std::string code(line.size(), ' ');
-    for (std::size_t i = 0; i < line.size();) {
-      if (in_block_comment) {
-        if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
-          in_block_comment = false;
-          i += 2;
-        } else {
-          ++i;
-        }
-        continue;
-      }
-      if (line[i] == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
-      if (line[i] == '/' && i + 1 < line.size() && line[i + 1] == '*') {
-        in_block_comment = true;
-        i += 2;
-        continue;
-      }
-      if (line[i] == '"' || line[i] == '\'') {
-        const char quote = line[i];
-        code[i] = quote;
-        ++i;
-        while (i < line.size()) {
-          if (line[i] == '\\') {
-            i += 2;
-            continue;
-          }
-          if (line[i] == quote) {
-            code[i] = quote;
-            ++i;
-            break;
-          }
-          ++i;
-        }
-        continue;
-      }
-      code[i] = line[i];
-      ++i;
-    }
-    out.push_back(std::move(code));
-  }
-  return out;
-}
-
-// Parse `bpsio-lint: allow(rule1, rule2)` from a raw line's comment.
-std::set<std::string> parse_allow(const std::string& raw) {
-  std::set<std::string> rules;
-  const std::string tag = "bpsio-lint: allow(";
-  const std::size_t at = raw.find(tag);
-  if (at == std::string::npos) return rules;
-  const std::size_t open = at + tag.size();
-  const std::size_t close = raw.find(')', open);
-  if (close == std::string::npos) return rules;
-  std::string inside = raw.substr(open, close - open);
-  std::stringstream ss(inside);
-  std::string rule;
-  while (std::getline(ss, rule, ',')) {
-    rule.erase(0, rule.find_first_not_of(" \t"));
-    rule.erase(rule.find_last_not_of(" \t") + 1);
-    if (!rule.empty()) rules.insert(rule);
-  }
-  return rules;
-}
-
 SourceFile load_source(std::string path, const std::string& content) {
-  SourceFile src;
-  src.path = std::move(path);
-  std::stringstream ss(content);
-  std::string line;
-  while (std::getline(ss, line)) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    src.raw.push_back(line);
-  }
-  src.code = strip_code(src.raw);
-  src.allow.resize(src.raw.size());
-  src.comment_only.resize(src.raw.size());
-  for (std::size_t i = 0; i < src.raw.size(); ++i) {
-    src.allow[i] = parse_allow(src.raw[i]);
-    const std::string& code = src.code[i];
-    src.comment_only[i] =
-        code.find_first_not_of(" \t") == std::string::npos &&
-        src.raw[i].find_first_not_of(" \t") != std::string::npos;
-  }
-  return src;
-}
-
-// A finding at `line` (0-based) is suppressed by an allow on the same line or
-// on a comment-only line directly above.
-bool is_allowed(const SourceFile& src, std::size_t line,
-                const std::string& rule) {
-  if (line < src.allow.size() && src.allow[line].count(rule)) return true;
-  if (line > 0 && src.comment_only[line - 1] &&
-      src.allow[line - 1].count(rule)) {
-    return true;
-  }
-  return false;
-}
-
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-// Find `token` in `code` as a whole identifier (not part of a longer one,
-// not a member access like `.token` / `->token`). Qualified uses
-// (`std::token`) DO match — that is how std entropy/clock names appear.
-std::vector<std::size_t> find_calls(const std::string& code,
-                                    const std::string& token,
-                                    bool require_paren) {
-  std::vector<std::size_t> hits;
-  std::size_t at = 0;
-  while ((at = code.find(token, at)) != std::string::npos) {
-    const std::size_t end = at + token.size();
-    const bool left_ok =
-        (at == 0 || (!ident_char(code[at - 1]) && code[at - 1] != '.' &&
-                     !(code[at - 1] == '>' && at >= 2 && code[at - 2] == '-')));
-    bool right_ok = end >= code.size() || !ident_char(code[end]);
-    if (right_ok && require_paren) {
-      std::size_t j = end;
-      while (j < code.size() && code[j] == ' ') ++j;
-      right_ok = j < code.size() && code[j] == '(';
-    }
-    if (left_ok && right_ok) hits.push_back(at);
-    at = end;
-  }
-  return hits;
-}
-
-// Gather the statement starting at `line` up to the first ';' (joining up to
-// `max_lines` following lines) — used to inspect a whole sort call.
-std::string statement_at(const SourceFile& src, std::size_t line,
-                         std::size_t max_lines = 8) {
-  std::string stmt;
-  for (std::size_t i = line; i < src.code.size() && i < line + max_lines; ++i) {
-    stmt += src.code[i];
-    stmt += ' ';
-    if (src.code[i].find(';') != std::string::npos) break;
-  }
-  return stmt;
-}
-
-bool path_contains(const std::string& path, const std::string& piece) {
-  return path.find(piece) != std::string::npos;
+  return bpsio::srcmodel::load_source(std::move(path), content, "bpsio-lint");
 }
 
 // ---------------------------------------------------------------------------
@@ -475,6 +333,56 @@ void rule_legacy_run_sweep(const SourceFile& src, std::vector<Finding>& out) {
   }
 }
 
+// Durability contract (capture subsystem, DESIGN.md §9): a discarded
+// read/write/fsync result hides short transfers and failures — a spill file
+// silently truncates, a trace silently drops records. Only calls whose
+// result is discarded as a bare expression-statement are flagged; assigning,
+// testing, or explicitly `(void)`-casting the result all pass, as do stream
+// member calls like `out.write(...)`.
+void rule_unchecked_syscall(const SourceFile& src, std::vector<Finding>& out) {
+  const char* probes[] = {"read",   "write",     "pread",     "pwrite",
+                          "pread64", "pwrite64", "ftruncate", "fsync",
+                          "fdatasync"};
+  for (std::size_t i = 0; i < src.code.size(); ++i) {
+    const std::string& code = src.code[i];
+    for (const char* probe : probes) {
+      bool flagged = false;
+      for (std::size_t at : find_calls(code, probe, /*require_paren=*/true)) {
+        // Walk left past an optional `::` qualifier.
+        std::size_t p = at;
+        while (p > 0 && code[p - 1] == ' ') --p;
+        if (p >= 2 && code[p - 1] == ':' && code[p - 2] == ':') p -= 2;
+        while (p > 0 && code[p - 1] == ' ') --p;
+        // The call discards its result only when it begins a statement: the
+        // previous code character (possibly on an earlier line) must close a
+        // statement or open a block.
+        char before = '\0';
+        if (p > 0) {
+          before = code[p - 1];
+        } else {
+          for (std::size_t j = i; j-- > 0;) {
+            const std::size_t last = src.code[j].find_last_not_of(" \t");
+            if (last != std::string::npos) {
+              before = src.code[j][last];
+              break;
+            }
+          }
+        }
+        if (before != '\0' && before != ';' && before != '{' && before != '}') {
+          continue;
+        }
+        add_finding(src, out, i, "unchecked-syscall",
+                    std::string("discarded result of ") + probe +
+                        "(): a short or failed call goes unnoticed — check "
+                        "it, or cast to (void) with a justification");
+        flagged = true;
+        break;
+      }
+      if (flagged) break;
+    }
+  }
+}
+
 const std::map<std::string, RuleFn>& all_rules() {
   static const std::map<std::string, RuleFn> rules = {
       {"iorecord-sort", rule_iorecord_sort},
@@ -484,6 +392,7 @@ const std::map<std::string, RuleFn>& all_rules() {
       {"mutable-global", rule_mutable_global},
       {"records-materialize", rule_records_materialize},
       {"legacy-run-sweep", rule_legacy_run_sweep},
+      {"unchecked-syscall", rule_unchecked_syscall},
   };
   return rules;
 }
@@ -502,20 +411,6 @@ std::vector<Finding> lint_source(const SourceFile& src) {
 // ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
-
-std::vector<std::string> collect_files(const std::string& root) {
-  std::vector<std::string> files;
-  for (const auto& entry :
-       std::filesystem::recursive_directory_iterator(root)) {
-    if (!entry.is_regular_file()) continue;
-    const std::string ext = entry.path().extension().string();
-    if (ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc") {
-      files.push_back(entry.path().generic_string());
-    }
-  }
-  std::sort(files.begin(), files.end());
-  return files;
-}
 
 /// Lint every file, fanned out over `threads` workers. Output is
 /// deterministic regardless of thread count: per-file results land in
@@ -626,6 +521,19 @@ const SelfCase kSelfCases[] = {
      "core::SweepOptions opt;\n"
      "auto r = run_sweep(specs, opt);\n"
      "auto s = run_sweep(specs);\n"},
+    {"unchecked-syscall", "src/trace/spill_writer.cpp",
+     "void f(int fd, const char* p, size_t n) {\n"
+     "  ::write(fd, p, n);\n"
+     "}\n",
+     // Checked, assigned, or (void)-cast results are all fine, as are
+     // stream member calls and function *definitions* named like syscalls.
+     "ssize_t write_all(int fd, const char* p, size_t n) {\n"
+     "  const ssize_t ret = ::write(fd, p, n);\n"
+     "  if (fsync(fd) != 0) return -1;\n"
+     "  (void)ftruncate(fd, 0);\n"
+     "  out.write(p, n);\n"
+     "  return ret;\n"
+     "}\n"},
 };
 
 int self_test() {

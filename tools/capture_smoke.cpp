@@ -2,6 +2,7 @@
 // exercising libbpsio_capture.so end to end.
 //
 //   capture_smoke <dir> [procs=4] [writes=200] [bytes=65536]
+//   capture_smoke --errno-probe <dir>
 //
 // Forks <procs> children; each opens <dir>/data.<i>, issues <writes>
 // write() calls of <bytes> bytes, fsync()s, and closes. Run it under the
@@ -65,6 +66,109 @@ int run_child(const std::string& dir, int index, long writes, long bytes) {
   return ::close(fd) == 0 ? 0 : 1;
 }
 
+/// --errno-probe: regression check for the interposer's errno contract
+/// (src/capture/interpose.cpp "Preserve errno" ground rule, enforced
+/// statically by bpsio_analyze's errno-preservation check). Run under the
+/// preload with capture enabled, every interposed call below goes through
+/// the full record path; successful calls must leave a planted sentinel
+/// errno untouched, and failing calls must surface exactly the real
+/// syscall's errno.
+int run_errno_probe(const std::string& dir) {
+  // EXDEV: a real errno value no call in this probe can legitimately set.
+  const int sentinel = EXDEV;
+  int failures = 0;
+  const auto expect_errno = [&failures](int want, const char* what) {
+    if (errno != want) {
+      std::fprintf(stderr, "errno-probe: %s: errno=%d want %d\n", what, errno,
+                   want);
+      ++failures;
+    }
+  };
+
+  char buf[4096];
+  std::memset(buf, 'e', sizeof buf);
+  const std::string rw_path = dir + "/errno-probe.dat";
+  errno = sentinel;
+  const int fd = ::open(rw_path.c_str(), O_CREAT | O_RDWR | O_TRUNC, 0644);
+  if (fd < 0) {
+    std::fprintf(stderr, "errno-probe: open %s: %s\n", rw_path.c_str(),
+                 std::strerror(errno));
+    return 1;
+  }
+  expect_errno(sentinel, "successful open clobbered errno");
+
+  errno = sentinel;
+  if (::write(fd, buf, sizeof buf) != static_cast<ssize_t>(sizeof buf)) {
+    std::fprintf(stderr, "errno-probe: write failed unexpectedly\n");
+    ++failures;
+  }
+  expect_errno(sentinel, "successful write clobbered errno");
+
+  errno = sentinel;
+  if (::pwrite(fd, buf, sizeof buf, 0) != static_cast<ssize_t>(sizeof buf)) {
+    std::fprintf(stderr, "errno-probe: pwrite failed unexpectedly\n");
+    ++failures;
+  }
+  expect_errno(sentinel, "successful pwrite clobbered errno");
+
+  errno = sentinel;
+  if (::pread(fd, buf, sizeof buf, 0) != static_cast<ssize_t>(sizeof buf)) {
+    std::fprintf(stderr, "errno-probe: pread failed unexpectedly\n");
+    ++failures;
+  }
+  expect_errno(sentinel, "successful pread clobbered errno");
+
+  errno = sentinel;
+  if (::fsync(fd) != 0) {
+    std::fprintf(stderr, "errno-probe: fsync failed unexpectedly\n");
+    ++failures;
+  }
+  expect_errno(sentinel, "successful fsync clobbered errno");
+
+  // Failing calls: the host must observe exactly the real syscall's errno.
+  // read() on a write-only fd and write() on a read-only fd are EBADF.
+  const std::string wr_path = dir + "/errno-probe.wr";
+  const int wfd = ::open(wr_path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (wfd < 0) {
+    std::fprintf(stderr, "errno-probe: open %s: %s\n", wr_path.c_str(),
+                 std::strerror(errno));
+    return 1;
+  }
+  errno = 0;
+  if (::read(wfd, buf, sizeof buf) != -1) {
+    std::fprintf(stderr, "errno-probe: read on O_WRONLY fd succeeded\n");
+    ++failures;
+  }
+  expect_errno(EBADF, "failed read did not surface EBADF");
+
+  const int rfd = ::open(rw_path.c_str(), O_RDONLY);
+  if (rfd < 0) {
+    std::fprintf(stderr, "errno-probe: reopen %s: %s\n", rw_path.c_str(),
+                 std::strerror(errno));
+    return 1;
+  }
+  errno = 0;
+  if (::write(rfd, buf, sizeof buf) != -1) {
+    std::fprintf(stderr, "errno-probe: write on O_RDONLY fd succeeded\n");
+    ++failures;
+  }
+  expect_errno(EBADF, "failed write did not surface EBADF");
+
+  errno = sentinel;
+  if (::close(rfd) != 0 || ::close(wfd) != 0 || ::close(fd) != 0) {
+    std::fprintf(stderr, "errno-probe: close failed unexpectedly\n");
+    ++failures;
+  }
+  expect_errno(sentinel, "successful close clobbered errno");
+
+  if (failures > 0) {
+    std::fprintf(stderr, "errno-probe: %d failure(s)\n", failures);
+    return 1;
+  }
+  std::puts("errno-probe: ok");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -74,6 +178,10 @@ int main(int argc, char** argv) {
       "forks <procs> children, each writing <writes> x <bytes> to "
       "<dir>/data.<i>.");
   parser.positionals("<dir> [procs=4] [writes=200] [bytes=65536]");
+  bool errno_probe = false;
+  parser.add_flag("--errno-probe", &errno_probe,
+                  "run the errno-preservation probe in <dir> instead of the "
+                  "known-pattern writer");
   std::vector<std::string> args;
   switch (parser.parse(argc, argv, args)) {
     case bpsio::cli::ArgParser::Outcome::ok:
@@ -86,6 +194,13 @@ int main(int argc, char** argv) {
   if (args.empty() || args.size() > 4) {
     std::fputs(parser.usage().c_str(), stderr);
     return 2;
+  }
+  if (errno_probe) {
+    if (args.size() != 1) {
+      std::fputs(parser.usage().c_str(), stderr);
+      return 2;
+    }
+    return run_errno_probe(args[0]);
   }
   const std::string dir = args[0];
   const long procs = args.size() > 1 ? std::strtol(args[1].c_str(), nullptr, 10) : 4;

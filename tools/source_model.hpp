@@ -1,0 +1,202 @@
+// Shared source-token substrate for the repo's static checkers
+// (tools/bpsio_lint.cpp, tools/bpsio_analyze.cpp).
+//
+// Both tools scan C++ by lightweight tokenization rather than a real
+// frontend: comments, string literals, and char literals are blanked to
+// spaces (columns preserved) so that no rule or call-graph edge can ever be
+// triggered by text inside a comment or a string. Each tool layers its own
+// matching on top of this common model; the suppression mechanism
+// (`// <tag>: allow(rule, ...)` on the offending line or a comment-only
+// line directly above) is shared, with the tag parameterized so lint and
+// analyzer suppressions stay independent.
+#pragma once
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace bpsio::srcmodel {
+
+struct SourceFile {
+  std::string path;
+  std::vector<std::string> raw;              // original lines
+  std::vector<std::string> code;             // comments/strings blanked
+  std::vector<std::set<std::string>> allow;  // per-line allowed rules
+  std::vector<bool> comment_only;            // line is blank/comment-only
+};
+
+/// Blank out comments, string and char literals so matching only ever sees
+/// real code tokens. Replaced characters become spaces, preserving columns;
+/// the quote characters themselves are kept as markers.
+inline std::vector<std::string> strip_code(
+    const std::vector<std::string>& lines) {
+  std::vector<std::string> out;
+  out.reserve(lines.size());
+  bool in_block_comment = false;
+  for (const std::string& line : lines) {
+    std::string code(line.size(), ' ');
+    for (std::size_t i = 0; i < line.size();) {
+      if (in_block_comment) {
+        if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+          in_block_comment = false;
+          i += 2;
+        } else {
+          ++i;
+        }
+        continue;
+      }
+      if (line[i] == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+      if (line[i] == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+        in_block_comment = true;
+        i += 2;
+        continue;
+      }
+      if (line[i] == '"' || line[i] == '\'') {
+        const char quote = line[i];
+        code[i] = quote;
+        ++i;
+        while (i < line.size()) {
+          if (line[i] == '\\') {
+            i += 2;
+            continue;
+          }
+          if (line[i] == quote) {
+            code[i] = quote;
+            ++i;
+            break;
+          }
+          ++i;
+        }
+        continue;
+      }
+      code[i] = line[i];
+      ++i;
+    }
+    out.push_back(std::move(code));
+  }
+  return out;
+}
+
+/// Parse `<tag>: allow(rule1, rule2)` from a raw line's comment text.
+inline std::set<std::string> parse_allow(const std::string& raw,
+                                         const std::string& tag) {
+  std::set<std::string> rules;
+  const std::string marker = tag + ": allow(";
+  const std::size_t at = raw.find(marker);
+  if (at == std::string::npos) return rules;
+  const std::size_t open = at + marker.size();
+  const std::size_t close = raw.find(')', open);
+  if (close == std::string::npos) return rules;
+  std::string inside = raw.substr(open, close - open);
+  std::stringstream ss(inside);
+  std::string rule;
+  while (std::getline(ss, rule, ',')) {
+    rule.erase(0, rule.find_first_not_of(" \t"));
+    rule.erase(rule.find_last_not_of(" \t") + 1);
+    if (!rule.empty()) rules.insert(rule);
+  }
+  return rules;
+}
+
+inline SourceFile load_source(std::string path, const std::string& content,
+                              const std::string& allow_tag) {
+  SourceFile src;
+  src.path = std::move(path);
+  std::stringstream ss(content);
+  std::string line;
+  while (std::getline(ss, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    src.raw.push_back(line);
+  }
+  src.code = strip_code(src.raw);
+  src.allow.resize(src.raw.size());
+  src.comment_only.resize(src.raw.size());
+  for (std::size_t i = 0; i < src.raw.size(); ++i) {
+    src.allow[i] = parse_allow(src.raw[i], allow_tag);
+    const std::string& code = src.code[i];
+    src.comment_only[i] =
+        code.find_first_not_of(" \t") == std::string::npos &&
+        src.raw[i].find_first_not_of(" \t") != std::string::npos;
+  }
+  return src;
+}
+
+/// A finding at `line` (0-based) is suppressed by an allow on the same line
+/// or on a comment-only line directly above.
+inline bool is_allowed(const SourceFile& src, std::size_t line,
+                       const std::string& rule) {
+  if (line < src.allow.size() && src.allow[line].count(rule)) return true;
+  if (line > 0 && src.comment_only[line - 1] &&
+      src.allow[line - 1].count(rule)) {
+    return true;
+  }
+  return false;
+}
+
+inline bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Find `token` in `code` as a whole identifier (not part of a longer one,
+/// not a member access like `.token` / `->token`). Qualified uses
+/// (`std::token`) DO match — that is how std entropy/clock names appear.
+inline std::vector<std::size_t> find_calls(const std::string& code,
+                                           const std::string& token,
+                                           bool require_paren) {
+  std::vector<std::size_t> hits;
+  std::size_t at = 0;
+  while ((at = code.find(token, at)) != std::string::npos) {
+    const std::size_t end = at + token.size();
+    const bool left_ok =
+        (at == 0 || (!ident_char(code[at - 1]) && code[at - 1] != '.' &&
+                     !(code[at - 1] == '>' && at >= 2 && code[at - 2] == '-')));
+    bool right_ok = end >= code.size() || !ident_char(code[end]);
+    if (right_ok && require_paren) {
+      std::size_t j = end;
+      while (j < code.size() && code[j] == ' ') ++j;
+      right_ok = j < code.size() && code[j] == '(';
+    }
+    if (left_ok && right_ok) hits.push_back(at);
+    at = end;
+  }
+  return hits;
+}
+
+/// Gather the statement starting at `line` up to the first ';' (joining up
+/// to `max_lines` following lines) — used to inspect a whole call.
+inline std::string statement_at(const SourceFile& src, std::size_t line,
+                                std::size_t max_lines = 8) {
+  std::string stmt;
+  for (std::size_t i = line; i < src.code.size() && i < line + max_lines;
+       ++i) {
+    stmt += src.code[i];
+    stmt += ' ';
+    if (src.code[i].find(';') != std::string::npos) break;
+  }
+  return stmt;
+}
+
+inline bool path_contains(const std::string& path, const std::string& piece) {
+  return path.find(piece) != std::string::npos;
+}
+
+/// All C++ sources under `root`, sorted for deterministic output.
+inline std::vector<std::string> collect_files(const std::string& root) {
+  std::vector<std::string> files;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc") {
+      files.push_back(entry.path().generic_string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace bpsio::srcmodel
