@@ -69,19 +69,22 @@ int main(int argc, char** argv) {
 
   const auto cfg = bench::make_harness_config("frame_decode", args);
   const bench::BenchHarness harness(cfg);
-  std::vector<trace::IoRecord> decoded;
-  decoded.reserve(n);
   const auto result = harness.run([&] {
-    decoded.clear();
+    std::uint64_t decoded = 0;
     trace::FrameDecoder decoder;
+    const trace::FrameDecoder::FrameSink sink =
+        [&decoded](std::span<const trace::IoRecord> frame) {
+          decoded += frame.size();
+        };
     for (std::size_t off = 0; off < wire.size(); off += kReadChunk) {
       const std::size_t len = std::min(kReadChunk, wire.size() - off);
-      (void)decoder.feed(wire.data() + off, len, decoded);
+      (void)decoder.feed(wire.data() + off, len, sink);
     }
-    BPSIO_CHECK(decoder.status().ok() && decoded.size() == n,
-                "decode mismatch: %zu of %llu records", decoded.size(),
+    BPSIO_CHECK(decoder.status().ok() && decoded == n,
+                "decode mismatch: %llu of %llu records",
+                static_cast<unsigned long long>(decoded),
                 static_cast<unsigned long long>(n));
-    return static_cast<double>(decoded.size());
+    return static_cast<double>(decoded);
   });
   return bench::report_result(args, cfg, result,
                               {{"records", std::to_string(n)},

@@ -59,6 +59,40 @@ void MetricAggregator::add(const trace::IoRecord& record) {
   it->second.add(record);
 }
 
+void MetricAggregator::add(std::span<const trace::IoRecord> records) {
+  std::size_t i = 0;
+  while (i < records.size()) {
+    const std::uint32_t pid = records[i].pid;
+    std::size_t j = i + 1;
+    while (j < records.size() && records[j].pid == pid) ++j;
+    const auto run = records.subspan(i, j - i);
+    bool any_valid = false;
+    for (const trace::IoRecord& r : run) {
+      if (!r.valid()) {
+        ++invalid_total_;
+        continue;
+      }
+      any_valid = true;
+      ++records_total_;
+      blocks_total_ += r.blocks;
+      if (r.failed()) ++failed_total_;
+      if (r.sync()) ++sync_total_;
+    }
+    if (any_valid) {
+      // A run of only invalid records must not conjure a per-pid window —
+      // the per-record path never sees such a pid either.
+      global_.add(run);
+      auto it = per_pid_.find(pid);
+      if (it == per_pid_.end()) {
+        it = per_pid_.emplace(pid, metrics::SlidingWindowMetrics(window_))
+                 .first;
+      }
+      it->second.add(run);
+    }
+    i = j;
+  }
+}
+
 void MetricAggregator::advance(SimTime now) {
   global_.advance(now);
   for (auto& [pid, w] : per_pid_) w.advance(now);

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <string>
 
 #include "common/sim_time.hpp"
@@ -47,6 +48,14 @@ class MetricAggregator {
   /// (end < start) are counted in invalid_total() and otherwise ignored —
   /// a live daemon must not die on one malformed producer.
   void add(const trace::IoRecord& record);
+
+  /// Batch ingest of one frame's records — same final state as add()-ing
+  /// each in turn. A capture client batches per thread, so a frame is
+  /// usually one pid's ordered burst: the span is grouped into maximal
+  /// same-pid runs, each run costing one per-pid window lookup instead of
+  /// one per record, and the windows take whole runs through their own
+  /// span-batch add().
+  void add(std::span<const trace::IoRecord> records);
 
   /// Slide every window forward to `now` (monotonic ns). No-op for windows
   /// already past it.

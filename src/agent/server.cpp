@@ -16,6 +16,7 @@
 
 #include "common/format.hpp"
 #include "common/wallclock.hpp"
+#include "trace/mapped_source.hpp"
 #include "trace/record_source.hpp"
 #include "trace/spill_writer.hpp"
 
@@ -186,7 +187,14 @@ void AgentServer::accept_capture() {
 
 bool AgentServer::service_capture(CaptureConn& conn) {
   char buf[kRecvChunk];
-  std::vector<trace::IoRecord> records;
+  // Each completed frame reaches the aggregator and the spool as one span
+  // over the recv buffer (or the decoder's scratch for split frames) — the
+  // only per-record copy left on this path is the spool's batch fill.
+  const trace::FrameDecoder::FrameSink sink =
+      [this, &conn](std::span<const trace::IoRecord> frame) {
+        aggregator_.add(frame);
+        if (conn.spool != nullptr) conn.spool->append(frame);
+      };
   for (;;) {
     const ssize_t n = ::recv(conn.fd, buf, sizeof buf, 0);
     if (n < 0) {
@@ -199,13 +207,8 @@ bool AgentServer::service_capture(CaptureConn& conn) {
       close_capture(conn, conn.decoder.pending_bytes() == 0);
       return false;
     }
-    records.clear();
     const Status fed =
-        conn.decoder.feed(buf, static_cast<std::size_t>(n), records);
-    for (const trace::IoRecord& record : records) {
-      aggregator_.add(record);
-      if (conn.spool != nullptr) conn.spool->append(record);
-    }
+        conn.decoder.feed(buf, static_cast<std::size_t>(n), sink);
     transport_.frames_total +=
         conn.decoder.frames_decoded() - conn.frames_counted;
     conn.frames_counted = conn.decoder.frames_decoded();
@@ -384,7 +387,7 @@ Status AgentServer::drain() {
   children.reserve(drained_spools_.size());
   std::sort(drained_spools_.begin(), drained_spools_.end());
   for (const std::string& path : drained_spools_) {
-    auto source = std::make_unique<trace::SpilledTraceSource>(path);
+    auto source = trace::open_trace_source(path);
     if (!source->status().ok()) {
       return Error{Errc::io_error, "agent: drain cannot read spool " + path +
                                        ": " + source->status().to_string()};
@@ -404,7 +407,7 @@ Status AgentServer::drain() {
   for (;;) {
     const std::span<const trace::IoRecord> chunk = merged.next_chunk();
     if (chunk.empty()) break;
-    for (const trace::IoRecord& record : chunk) out.append(record);
+    out.append(chunk);
   }
   if (!merged.status().ok()) {
     return Error{Errc::io_error,

@@ -83,6 +83,59 @@ void SlidingWindowMetrics::add(const trace::IoRecord& record) {
   evict();
 }
 
+void SlidingWindowMetrics::add(std::span<const trace::IoRecord> records) {
+  // The window state is a function of the record multiset (the shuffled
+  // differential tests prove order-independence), so a batch may advance
+  // `now` once, accumulate, union once, and evict once — equivalent to the
+  // per-record loop, minus all the intermediate searches.
+  std::int64_t max_end = std::numeric_limits<std::int64_t>::min();
+  for (const trace::IoRecord& r : records) {
+    if (r.valid() && r.end_ns > max_end) max_end = r.end_ns;
+  }
+  if (max_end == std::numeric_limits<std::int64_t>::min()) return;
+  if (!any_ || max_end > now_.ns()) now_ = SimTime(max_end);
+  any_ = true;
+  const std::int64_t ws = window_start_ns();
+
+  batch_.clear();
+  bool sorted = true;
+  std::int64_t prev_start = std::numeric_limits<std::int64_t>::min();
+  for (const trace::IoRecord& r : records) {
+    if (!r.valid() || r.end_ns <= ws) continue;
+    live_.push(Live{r.end_ns, r.blocks, r.end_ns - r.start_ns});
+    ++count_;
+    blocks_ += r.blocks;
+    response_sum_ns_ += r.end_ns - r.start_ns;
+    const std::int64_t clipped_start = std::max(r.start_ns, ws);
+    if (r.end_ns > clipped_start) {
+      if (clipped_start < prev_start) sorted = false;
+      prev_start = clipped_start;
+      batch_.push_back(BusyInterval{clipped_start, r.end_ns});
+    }
+  }
+  if (!batch_.empty()) {
+    if (!sorted) {
+      std::sort(batch_.begin(), batch_.end(),
+                [](const BusyInterval& a, const BusyInterval& b) {
+                  return a.start_ns < b.start_ns;
+                });
+    }
+    // Coalesce overlapping/touching neighbours in place: a start-ordered
+    // frame collapses to a handful of disjoint runs.
+    std::size_t w = 0;
+    for (std::size_t i = 1; i < batch_.size(); ++i) {
+      if (batch_[i].start_ns <= batch_[w].end_ns) {
+        batch_[w].end_ns = std::max(batch_[w].end_ns, batch_[i].end_ns);
+      } else {
+        batch_[++w] = batch_[i];
+      }
+    }
+    batch_.resize(w + 1);
+    insert_runs();
+  }
+  evict();
+}
+
 void SlidingWindowMetrics::advance(SimTime now) {
   if (!any_ || now.ns() <= now_.ns()) return;
   now_ = now;
@@ -93,19 +146,76 @@ void SlidingWindowMetrics::insert_interval(std::int64_t start_ns,
                                            std::int64_t end_ns) {
   // Merge [start, end) into the disjoint set; absorb every interval it
   // overlaps or touches, keeping busy_ns_ the exact total measure.
-  auto it = merged_.upper_bound(start_ns);
-  if (it != merged_.begin()) {
-    auto prev = std::prev(it);
-    if (prev->second >= start_ns) it = prev;
+  auto it = std::lower_bound(merged_.begin(), merged_.end(), start_ns,
+                             [](const BusyInterval& iv, std::int64_t v) {
+                               return iv.end_ns < v;
+                             });
+  auto last = it;
+  while (last != merged_.end() && last->start_ns <= end_ns) {
+    start_ns = std::min(start_ns, last->start_ns);
+    end_ns = std::max(end_ns, last->end_ns);
+    busy_ns_ -= last->end_ns - last->start_ns;
+    ++last;
   }
-  while (it != merged_.end() && it->first <= end_ns) {
-    start_ns = std::min(start_ns, it->first);
-    end_ns = std::max(end_ns, it->second);
-    busy_ns_ -= it->second - it->first;
-    it = merged_.erase(it);
+  if (it == last) {
+    merged_.insert(it, BusyInterval{start_ns, end_ns});
+  } else {
+    it->start_ns = start_ns;
+    it->end_ns = end_ns;
+    merged_.erase(it + 1, last);
   }
-  merged_.emplace(start_ns, end_ns);
   busy_ns_ += end_ns - start_ns;
+}
+
+void SlidingWindowMetrics::insert_runs() {
+  // Hinted batched union: binary-search the slice of merged_ that the batch
+  // can touch, two-pointer union both sorted lists into a scratch, splice
+  // the result back. Everything before/after the slice is untouched.
+  const auto lo = std::lower_bound(merged_.begin(), merged_.end(),
+                                   batch_.front().start_ns,
+                                   [](const BusyInterval& iv, std::int64_t v) {
+                                     return iv.end_ns < v;
+                                   });
+  const auto hi = std::upper_bound(lo, merged_.end(), batch_.back().end_ns,
+                                   [](std::int64_t v, const BusyInterval& iv) {
+                                     return v < iv.start_ns;
+                                   });
+  std::int64_t removed = 0;
+  for (auto it = lo; it != hi; ++it) removed += it->end_ns - it->start_ns;
+
+  union_out_.clear();
+  const auto push = [this](const BusyInterval& iv) {
+    if (!union_out_.empty() && iv.start_ns <= union_out_.back().end_ns) {
+      union_out_.back().end_ns =
+          std::max(union_out_.back().end_ns, iv.end_ns);
+    } else {
+      union_out_.push_back(iv);
+    }
+  };
+  auto a = lo;
+  std::size_t b = 0;
+  while (a != hi || b < batch_.size()) {
+    if (b >= batch_.size() ||
+        (a != hi && a->start_ns <= batch_[b].start_ns)) {
+      push(*a++);
+    } else {
+      push(batch_[b++]);
+    }
+  }
+  std::int64_t added = 0;
+  for (const BusyInterval& iv : union_out_) added += iv.end_ns - iv.start_ns;
+  busy_ns_ += added - removed;
+
+  const auto lo_idx = static_cast<std::size_t>(lo - merged_.begin());
+  const auto hi_idx = static_cast<std::size_t>(hi - merged_.begin());
+  if (union_out_.size() == hi_idx - lo_idx) {
+    std::copy(union_out_.begin(), union_out_.end(),
+              merged_.begin() + static_cast<std::ptrdiff_t>(lo_idx));
+  } else {
+    merged_.erase(lo, hi);
+    merged_.insert(merged_.begin() + static_cast<std::ptrdiff_t>(lo_idx),
+                   union_out_.begin(), union_out_.end());
+  }
 }
 
 void SlidingWindowMetrics::evict() {
@@ -117,21 +227,20 @@ void SlidingWindowMetrics::evict() {
     response_sum_ns_ -= gone.response_ns;
     live_.pop();
   }
-  // Clip the merged union at the window's left edge.
-  while (!merged_.empty()) {
-    auto first = merged_.begin();
-    if (first->second <= ws) {
-      busy_ns_ -= first->second - first->first;
-      merged_.erase(first);
-      continue;
-    }
-    if (first->first < ws) {
-      const std::int64_t end_ns = first->second;
-      busy_ns_ -= ws - first->first;
-      merged_.erase(first);
-      merged_.emplace(ws, end_ns);
-    }
-    break;
+  // Clip the merged union at the window's left edge: drop fully-expired
+  // intervals in one erase, clamp the straddler in place.
+  std::size_t drop = 0;
+  while (drop < merged_.size() && merged_[drop].end_ns <= ws) {
+    busy_ns_ -= merged_[drop].end_ns - merged_[drop].start_ns;
+    ++drop;
+  }
+  if (drop > 0) {
+    merged_.erase(merged_.begin(),
+                  merged_.begin() + static_cast<std::ptrdiff_t>(drop));
+  }
+  if (!merged_.empty() && merged_.front().start_ns < ws) {
+    busy_ns_ -= ws - merged_.front().start_ns;
+    merged_.front().start_ns = ws;
   }
 }
 

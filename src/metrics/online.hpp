@@ -15,8 +15,8 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <queue>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -74,9 +74,11 @@ class OnlineBpsCounter {
 /// (advance() can push it further). T is an exact integer interval-union
 /// measure, maintained incrementally:
 ///
-///  * a start-keyed map of disjoint merged busy intervals, clipped on the
-///    left as the window slides (union-then-clamp equals clamp-then-union,
-///    so clipping the merged set is exact);
+///  * a flat sorted vector of disjoint merged busy intervals, clipped on
+///    the left as the window slides (union-then-clamp equals clamp-then-
+///    union, so clipping the merged set is exact); flat because the live
+///    union is small and cache-dense — and the span-batch add() unions a
+///    whole ordered frame into it with one hinted splice;
 ///  * a min-heap of records by end time for B/ARPT expiry — a record
 ///    belongs to the window while its end lies inside it (end > now - W),
 ///    and contributes its full block count while it does (the paper clamps
@@ -96,6 +98,15 @@ class SlidingWindowMetrics {
   /// record's end when it is the latest seen. Records entirely older than
   /// the window are ignored.
   void add(const trace::IoRecord& record);
+
+  /// Batch ingest: final state is identical to add()-ing each record in
+  /// turn (the window state is a function of the record multiset — the
+  /// order-independence the differential tests prove). Exploits the
+  /// per-connection ordering contract — a frame sorted by start time unions
+  /// into the interval store with one local merge and one hinted splice
+  /// instead of a search per record — but stays correct (just slower) on
+  /// unsorted input.
+  void add(std::span<const trace::IoRecord> records);
 
   /// Slide the window forward to `now` (no-op when now <= current now):
   /// evicts expired records and clips the busy-interval union. add() calls
@@ -137,16 +148,26 @@ class SlidingWindowMetrics {
       return a.end_ns > b.end_ns;  // min-heap on end time
     }
   };
+  struct BusyInterval {
+    std::int64_t start_ns;
+    std::int64_t end_ns;
+  };
 
   void insert_interval(std::int64_t start_ns, std::int64_t end_ns);
+  /// Union `batch_` (sorted, disjoint, non-touching) into `merged_` with
+  /// one splice over the affected slice.
+  void insert_runs();
   void evict();
 
   SimDuration window_;
   SimTime now_{};
   bool any_ = false;
-  /// Disjoint merged busy intervals, start -> end, all inside the window.
-  std::map<std::int64_t, std::int64_t> merged_;
+  /// Disjoint, non-touching merged busy intervals sorted by start (hence
+  /// also by end), all inside the window.
+  std::vector<BusyInterval> merged_;
   std::int64_t busy_ns_ = 0;  ///< total measure of merged_
+  std::vector<BusyInterval> batch_;      ///< scratch: one add(span)'s runs
+  std::vector<BusyInterval> union_out_;  ///< scratch: spliced union slice
   std::priority_queue<Live, std::vector<Live>, LiveLater> live_;
   std::uint64_t count_ = 0;
   std::uint64_t blocks_ = 0;

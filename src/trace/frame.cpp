@@ -16,40 +16,88 @@ void encode_frame(std::span<const IoRecord> records, std::vector<char>& out) {
   }
 }
 
+bool FrameDecoder::validate(const FrameHeader& header) {
+  if (header.magic != kFrameMagic) {
+    status_ = Error{Errc::invalid_argument,
+                    "bad frame magic (corrupt or foreign stream)"};
+    buf_.clear();
+    return false;
+  }
+  if (header.record_count > kMaxFrameRecords) {
+    status_ = Error{Errc::invalid_argument,
+                    "frame claims " + std::to_string(header.record_count) +
+                        " records (max " + std::to_string(kMaxFrameRecords) +
+                        "); rejecting stream"};
+    buf_.clear();
+    return false;
+  }
+  return true;
+}
+
+void FrameDecoder::emit(const char* payload, std::uint32_t count,
+                        const FrameSink& sink) {
+  if (reinterpret_cast<std::uintptr_t>(payload) % alignof(IoRecord) == 0) {
+    sink({reinterpret_cast<const IoRecord*>(payload), count});
+    return;
+  }
+  // Misaligned payload (the 8-byte header keeps in-place frames aligned, but
+  // a caller may feed from an offset buffer): one aligned copy, then a span
+  // over the scratch.
+  scratch_.resize(count);
+  std::memcpy(scratch_.data(), payload, std::size_t{count} * sizeof(IoRecord));
+  sink({scratch_.data(), scratch_.size()});
+}
+
 Status FrameDecoder::feed(const char* data, std::size_t n,
-                          std::vector<IoRecord>& out) {
+                          const FrameSink& sink) {
   if (!status_.ok()) return status_;
-  buf_.insert(buf_.end(), data, data + n);
   std::size_t at = 0;
-  while (buf_.size() - at >= sizeof(FrameHeader)) {
+
+  // Stage 1: a frame left split across feeds — finish buffering it and emit
+  // from the (aligned) internal buffer.
+  if (!buf_.empty()) {
+    if (buf_.size() < sizeof(FrameHeader)) {
+      const std::size_t take = std::min(sizeof(FrameHeader) - buf_.size(), n);
+      buf_.insert(buf_.end(), data, data + take);
+      at += take;
+      if (buf_.size() < sizeof(FrameHeader)) return status_;
+    }
     FrameHeader header;
-    std::memcpy(&header, buf_.data() + at, sizeof header);
-    if (header.magic != kFrameMagic) {
-      status_ = Error{Errc::invalid_argument,
-                      "bad frame magic (corrupt or foreign stream)"};
-      buf_.clear();
-      return status_;
+    std::memcpy(&header, buf_.data(), sizeof header);
+    if (!validate(header)) return status_;
+    const std::size_t frame_size =
+        sizeof header + std::size_t{header.record_count} * sizeof(IoRecord);
+    if (buf_.size() < frame_size) {
+      const std::size_t take = std::min(frame_size - buf_.size(), n - at);
+      buf_.insert(buf_.end(), data + at, data + at + take);
+      at += take;
+      if (buf_.size() < frame_size) return status_;
     }
-    if (header.record_count > kMaxFrameRecords) {
-      status_ = Error{Errc::invalid_argument,
-                      "frame claims " + std::to_string(header.record_count) +
-                          " records (max " + std::to_string(kMaxFrameRecords) +
-                          "); rejecting stream"};
-      buf_.clear();
-      return status_;
+    ++frames_;
+    if (header.record_count > 0) {
+      emit(buf_.data() + sizeof header, header.record_count, sink);
     }
-    const std::size_t payload = header.record_count * sizeof(IoRecord);
-    if (buf_.size() - at < sizeof header + payload) break;  // incomplete
-    const std::size_t old = out.size();
-    out.resize(old + header.record_count);
-    if (payload > 0) {
-      std::memcpy(out.data() + old, buf_.data() + at + sizeof header, payload);
+    buf_.clear();
+  }
+
+  // Stage 2: frames lying wholly inside `data` — emitted without entering
+  // the internal buffer at all (zero copy when the payload is aligned).
+  while (n - at >= sizeof(FrameHeader)) {
+    FrameHeader header;
+    std::memcpy(&header, data + at, sizeof header);
+    if (!validate(header)) return status_;
+    const std::size_t payload =
+        std::size_t{header.record_count} * sizeof(IoRecord);
+    if (n - at < sizeof header + payload) break;  // incomplete tail
+    ++frames_;
+    if (header.record_count > 0) {
+      emit(data + at + sizeof header, header.record_count, sink);
     }
     at += sizeof header + payload;
-    ++frames_;
   }
-  buf_.erase(buf_.begin(),
-             buf_.begin() + static_cast<std::ptrdiff_t>(at));
+
+  // Stage 3: stash the partial tail for the next feed.
+  buf_.insert(buf_.end(), data + at, data + n);
   return status_;
 }
 

@@ -29,6 +29,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -57,15 +58,27 @@ static_assert(sizeof(FrameHeader) == 8, "frame header is part of the format");
 void encode_frame(std::span<const IoRecord> records, std::vector<char>& out);
 
 /// Incremental frame decoder for one connection's byte stream. Feed bytes
-/// as they arrive; complete frames append their records to the caller's
-/// vector. Tolerates arbitrary fragmentation (one byte at a time works).
+/// as they arrive; each completed frame's records reach the caller as one
+/// span. Tolerates arbitrary fragmentation (one byte at a time works).
 /// A malformed header (bad magic, oversized count) poisons the decoder:
 /// status() reports the error and further bytes are ignored.
+///
+/// Zero-copy contract (DESIGN.md §13): for a frame lying wholly inside the
+/// fed buffer with its payload 8-byte aligned, the span aliases that buffer
+/// directly — no copy between the socket read and the metric accumulators.
+/// Otherwise (frame split across feeds, or misaligned payload) the records
+/// are assembled once into an aligned internal scratch. Either way the span
+/// is valid ONLY for the duration of the sink call; a sink that needs the
+/// records later must copy them.
 class FrameDecoder {
  public:
-  /// Consume `n` bytes, appending the records of every completed frame to
-  /// `out`. Returns the decoder status (also available via status()).
-  Status feed(const char* data, std::size_t n, std::vector<IoRecord>& out);
+  /// Receives one completed frame's records. Not invoked for empty frames
+  /// (they advance frames_decoded() but carry nothing).
+  using FrameSink = std::function<void(std::span<const IoRecord>)>;
+
+  /// Consume `n` bytes, invoking `sink` once per completed frame. Returns
+  /// the decoder status (also available via status()).
+  Status feed(const char* data, std::size_t n, const FrameSink& sink);
 
   Status status() const { return status_; }
   /// Complete frames decoded so far.
@@ -76,7 +89,11 @@ class FrameDecoder {
   std::size_t pending_bytes() const { return buf_.size(); }
 
  private:
-  std::vector<char> buf_;
+  bool validate(const FrameHeader& header);
+  void emit(const char* payload, std::uint32_t count, const FrameSink& sink);
+
+  std::vector<char> buf_;        ///< partial trailing frame bytes
+  std::vector<IoRecord> scratch_;  ///< aligned copy target for split frames
   Status status_;
   std::uint64_t frames_ = 0;
 };

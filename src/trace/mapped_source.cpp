@@ -1,0 +1,120 @@
+#include "trace/mapped_source.hpp"
+
+#include <algorithm>
+#include <type_traits>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define BPSIO_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define BPSIO_HAS_MMAP 0
+#endif
+
+namespace bpsio::trace {
+
+// The zero-copy contract rests on the wire layout being a plain array of
+// PODs behind a header that keeps the payload 8-aligned. Check all three at
+// compile time; any change to IoRecord or TraceHeader that breaks them must
+// be a conscious format revision, not a silent misalignment.
+static_assert(std::is_trivially_copyable_v<IoRecord>,
+              "mmap streaming reinterprets file bytes as IoRecord");
+static_assert(sizeof(IoRecord) == 32, "paper wire format is 32-byte records");
+static_assert(sizeof(TraceHeader) % alignof(IoRecord) == 0,
+              "record payload must start aligned for in-place spans");
+
+MappedTraceSource::MappedTraceSource(std::string path,
+                                     std::size_t chunk_records)
+    : path_(std::move(path)), chunk_(chunk_records ? chunk_records : 1) {
+#if BPSIO_HAS_MMAP
+  const int fd = ::open(path_.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    status_ = Status{Errc::not_found, "cannot open " + path_};
+    env_failed_ = true;
+    return;
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    status_ = Status{Errc::io_error, "cannot stat " + path_};
+    env_failed_ = true;
+    ::close(fd);
+    return;
+  }
+  const auto file_size = static_cast<std::size_t>(st.st_size);
+  if (file_size == 0) {
+    // mmap of length 0 is EINVAL; the file is simply too short to hold a
+    // header — report it exactly as the stream reader would.
+    status_ = Status{parse_trace_header(nullptr, 0).error()};
+    ::close(fd);
+    return;
+  }
+  map_ = ::mmap(nullptr, file_size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (map_ == MAP_FAILED) {
+    map_ = nullptr;
+    status_ = Status{Errc::io_error, "cannot mmap " + path_};
+    env_failed_ = true;
+    return;
+  }
+  map_len_ = file_size;
+  ::madvise(map_, map_len_, MADV_SEQUENTIAL);
+
+  const auto parsed =
+      parse_trace_header(static_cast<const char*>(map_), map_len_);
+  if (!parsed.ok()) {
+    status_ = Status{parsed.error()};
+    return;
+  }
+  header_ = *parsed;
+  records_ = reinterpret_cast<const IoRecord*>(static_cast<const char*>(map_) +
+                                               sizeof(TraceHeader));
+  available_ = (map_len_ - sizeof(TraceHeader)) / sizeof(IoRecord);
+  remaining_ = header_.record_count;
+#else
+  status_ = Status{Errc::unsupported, "mmap is unavailable on this platform"};
+  env_failed_ = true;
+#endif
+}
+
+MappedTraceSource::~MappedTraceSource() {
+#if BPSIO_HAS_MMAP
+  if (map_ != nullptr) ::munmap(map_, map_len_);
+#endif
+}
+
+std::span<const IoRecord> MappedTraceSource::next_chunk() {
+  if (!status_.ok() || remaining_ == 0) return {};
+  const auto take =
+      static_cast<std::size_t>(std::min<std::uint64_t>(remaining_, chunk_));
+  if (delivered_ + take > available_) {
+    // Same wording AND granularity as SpilledTraceSource: a chunk that
+    // cannot be filled whole delivers nothing and fails the source, and the
+    // "found" count is the complete records physically present.
+    status_ = Status{Errc::io_error,
+                     "trace truncated: header claims " +
+                         std::to_string(header_.record_count) +
+                         " records, found " + std::to_string(available_)};
+    remaining_ = 0;
+    return {};
+  }
+  const std::span<const IoRecord> out{records_ + delivered_, take};
+  delivered_ += take;
+  remaining_ -= take;
+  return out;
+}
+
+std::optional<std::uint64_t> MappedTraceSource::size_hint() const {
+  if (!status_.ok()) return std::nullopt;
+  return header_.record_count;
+}
+
+std::unique_ptr<RecordSource> open_trace_source(const std::string& path,
+                                                std::size_t chunk_records) {
+  auto mapped = std::make_unique<MappedTraceSource>(path, chunk_records);
+  if (mapped->status().ok() || !mapped->environment_failed()) return mapped;
+  return std::make_unique<SpilledTraceSource>(path, chunk_records);
+}
+
+}  // namespace bpsio::trace

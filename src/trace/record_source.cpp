@@ -162,30 +162,81 @@ bool MergedSource::refill(Child& child) {
       child.shift = -chunk.front().start_ns;
     }
   }
-  child.buf.assign(chunk.begin(), chunk.end());
-  for (IoRecord& r : child.buf) {
-    if (options_.pid_stride > 0) {
-      r.pid = (child.index + 1) * options_.pid_stride + r.pid;
+  if (options_.pid_stride > 0 || child.shift != 0) {
+    child.buf.assign(chunk.begin(), chunk.end());
+    for (IoRecord& r : child.buf) {
+      if (options_.pid_stride > 0) {
+        r.pid = (child.index + 1) * options_.pid_stride + r.pid;
+      }
+      r.start_ns += child.shift;
+      r.end_ns += child.shift;
     }
-    r.start_ns += child.shift;
-    r.end_ns += child.shift;
+    child.view = child.buf;
+  } else {
+    // No transform: serve the child's span directly (for an mmap child this
+    // is a window straight over the file mapping — zero copies so far).
+    child.view = chunk;
   }
   child.pos = 0;
   return true;
 }
 
+bool MergedSource::precedes(const IoRecord& a, std::uint32_t ia,
+                            const IoRecord& b, std::uint32_t ib) {
+  if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+  if (a.end_ns != b.end_ns) return a.end_ns < b.end_ns;
+  return ia < ib;
+}
+
 std::span<const IoRecord> MergedSource::next_chunk() {
+  // Fast path: when the best child's ENTIRE remaining chunk precedes every
+  // other child's head, the merge would copy it out record by record only to
+  // reproduce it verbatim — pass the span through instead. This is the
+  // single-source case always, and the common case for drains whose spools
+  // barely interleave.
+  Child* best = nullptr;
+  bool sole_live = true;
+  for (Child& c : children_) {
+    if (c.pos >= c.view.size() && !refill(c)) continue;
+    if (best == nullptr) {
+      best = &c;
+      continue;
+    }
+    sole_live = false;
+    if (precedes(c.view[c.pos], c.index, best->view[best->pos], best->index)) {
+      best = &c;
+    }
+  }
+  if (best == nullptr) return {};  // all children exhausted (or failed)
+  bool wholesale = sole_live;
+  if (!sole_live) {
+    const IoRecord& last = best->view.back();
+    wholesale = true;
+    for (const Child& c : children_) {
+      if (&c == best || c.pos >= c.view.size()) continue;
+      if (!precedes(last, best->index, c.view[c.pos], c.index)) {
+        wholesale = false;
+        break;
+      }
+    }
+  }
+  if (wholesale) {
+    const auto pass = best->view.subspan(best->pos);
+    best->pos = best->view.size();
+    return pass;
+  }
+
   out_.clear();
   while (out_.size() < chunk_) {
-    Child* best = nullptr;
+    best = nullptr;
     for (Child& c : children_) {
-      if (c.pos >= c.buf.size() && !refill(c)) continue;
+      if (c.pos >= c.view.size() && !refill(c)) continue;
       if (best == nullptr) {
         best = &c;
         continue;
       }
-      const IoRecord& a = c.buf[c.pos];
-      const IoRecord& b = best->buf[best->pos];
+      const IoRecord& a = c.view[c.pos];
+      const IoRecord& b = best->view[best->pos];
       // Strict less, children scanned in index order: lower child index wins
       // ties — the exact tiebreak of merge_traces_parallel's k-way stage.
       if (a.start_ns < b.start_ns ||
@@ -193,8 +244,8 @@ std::span<const IoRecord> MergedSource::next_chunk() {
         best = &c;
       }
     }
-    if (best == nullptr) break;  // all children exhausted (or failed)
-    out_.push_back(best->buf[best->pos++]);
+    if (best == nullptr) break;
+    out_.push_back(best->view[best->pos++]);
   }
   return {out_.data(), out_.size()};
 }

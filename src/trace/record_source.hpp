@@ -146,7 +146,11 @@ class MergedSource final : public RecordSource {
  private:
   struct Child {
     std::unique_ptr<RecordSource> src;
-    std::vector<IoRecord> buf;  // current chunk, shift/remap applied
+    std::vector<IoRecord> buf;  // transform scratch (shift/remap applied)
+    /// Current chunk. Aliases the child source's span directly when no
+    /// transform applies (zero copy), `buf` otherwise; valid until the
+    /// child's next refill.
+    std::span<const IoRecord> view;
     std::size_t pos = 0;
     std::int64_t shift = 0;
     std::uint32_t index = 0;
@@ -155,6 +159,10 @@ class MergedSource final : public RecordSource {
   };
 
   bool refill(Child& child);
+  /// True when record `a` of child `ia` merges strictly before record `b`
+  /// of child `ib` — (start, end) order, full ties to the lower index.
+  static bool precedes(const IoRecord& a, std::uint32_t ia, const IoRecord& b,
+                       std::uint32_t ib);
 
   std::vector<Child> children_;
   MergeOptions options_;
@@ -173,7 +181,13 @@ class FilteredSource final : public RecordSource {
   FilteredSource(RecordSource& inner, RecordFilter filter);
 
   std::span<const IoRecord> next_chunk() override;
-  std::optional<std::uint64_t> size_hint() const override { return std::nullopt; }
+  /// Forwards the inner source's hint, which is an UPPER bound here: the
+  /// filter can only drop records. That is exactly what the contract allows
+  /// (reserve with it, never terminate on it), and it lets downstream
+  /// reserve() calls keep working through a filter.
+  std::optional<std::uint64_t> size_hint() const override {
+    return inner_->size_hint();
+  }
   Status status() const override { return inner_->status(); }
 
  private:

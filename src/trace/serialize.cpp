@@ -27,14 +27,14 @@ Result<std::size_t> save_binary(const std::string& path,
   return write_binary(out, records);
 }
 
-Result<TraceHeader> read_trace_header(std::istream& in) {
-  TraceHeader header;
-  in.read(reinterpret_cast<char*>(&header), sizeof header);
-  if (in.gcount() != static_cast<std::streamsize>(sizeof header)) {
+Result<TraceHeader> parse_trace_header(const char* data, std::size_t size) {
+  if (size < sizeof(TraceHeader)) {
     return Error{Errc::invalid_argument,
-                 "truncated trace header (" + std::to_string(in.gcount()) +
-                     " of " + std::to_string(sizeof header) + " bytes)"};
+                 "truncated trace header (" + std::to_string(size) + " of " +
+                     std::to_string(sizeof(TraceHeader)) + " bytes)"};
   }
+  TraceHeader header;
+  std::memcpy(&header, data, sizeof header);
   if (header.magic != kTraceMagic) {
     return Error{Errc::invalid_argument, "bad trace magic"};
   }
@@ -52,6 +52,12 @@ Result<TraceHeader> read_trace_header(std::istream& in) {
                      std::to_string(sizeof(IoRecord)) + " bytes)"};
   }
   return header;
+}
+
+Result<TraceHeader> read_trace_header(std::istream& in) {
+  char raw[sizeof(TraceHeader)];
+  in.read(raw, sizeof raw);
+  return parse_trace_header(raw, static_cast<std::size_t>(in.gcount()));
 }
 
 Result<std::vector<IoRecord>> read_binary(std::istream& in) {

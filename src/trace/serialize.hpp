@@ -38,10 +38,15 @@ Result<std::size_t> write_binary(std::ostream& out,
 Result<std::size_t> save_binary(const std::string& path,
                                 const std::vector<IoRecord>& records);
 
+/// Validate a v2 header from raw bytes (`size` is how many are available).
+/// This is THE header check: read_trace_header() funnels stream reads
+/// through it and MappedTraceSource applies it to the mapping, so every
+/// reader rejects the same corruptions (short header, bad magic, wrong
+/// version, non-32-byte records) with byte-identical messages.
+Result<TraceHeader> parse_trace_header(const char* data, std::size_t size);
+
 /// Read and validate a v2 header from `in`. Shared by read_binary() and the
-/// streaming SpilledTraceSource so both paths reject the same corruptions
-/// (short header, bad magic, wrong version, non-32-byte records) with the
-/// same messages.
+/// streaming SpilledTraceSource.
 Result<TraceHeader> read_trace_header(std::istream& in);
 
 /// Read a binary trace. Fails on bad magic/version or truncation.

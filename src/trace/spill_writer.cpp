@@ -1,5 +1,7 @@
 #include "trace/spill_writer.hpp"
 
+#include <algorithm>
+
 #include "trace/serialize.hpp"
 
 namespace bpsio::trace {
@@ -22,6 +24,21 @@ SpillWriter::~SpillWriter() { (void)close(); }
 void SpillWriter::append(const IoRecord& record) {
   batch_.push_back(record);
   if (batch_.size() >= batch_limit_) (void)flush();
+}
+
+void SpillWriter::append(std::span<const IoRecord> records) {
+  while (!records.empty()) {
+    // A failed flush leaves the batch full (same as the per-record path);
+    // take everything then so the loop still terminates.
+    const std::size_t take =
+        batch_.size() < batch_limit_
+            ? std::min(batch_limit_ - batch_.size(), records.size())
+            : records.size();
+    batch_.insert(batch_.end(), records.begin(),
+                  records.begin() + static_cast<std::ptrdiff_t>(take));
+    records = records.subspan(take);
+    if (batch_.size() >= batch_limit_) (void)flush();
+  }
 }
 
 Status SpillWriter::flush() {

@@ -18,11 +18,13 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "agent/aggregator.hpp"
+#include "common/rng.hpp"
 #include "agent/server.hpp"
 #include "trace/frame.hpp"
 #include "trace/serialize.hpp"
@@ -123,6 +125,67 @@ TEST(Aggregator, CsvSnapshotHasHeaderAndOneRowPerPid) {
             0u);
   // header + "all" + pid 3
   EXPECT_EQ(static_cast<int>(std::count(csv.begin(), csv.end(), '\n')), 3);
+}
+
+TEST(Aggregator, SpanBatchMatchesPerRecordIngest) {
+  // The daemon now feeds whole decoded frames through add(span); that path
+  // must land on exactly the state the historical per-record loop produced —
+  // counters, per-pid windows, and both exposition formats.
+  Rng rng(99);
+  std::vector<IoRecord> records;
+  std::int64_t t = 0;
+  for (int i = 0; i < 240; ++i) {
+    t += static_cast<std::int64_t>(rng.uniform_u64(3000));
+    const auto len = static_cast<std::int64_t>(rng.uniform_u64(4000)) + 1;
+    const auto pid = static_cast<std::uint32_t>(rng.uniform_u64(5) + 1);
+    std::uint8_t flags = trace::kIoOk;
+    if (rng.uniform_u64(8) == 0) flags = trace::kIoFailed;
+    if (rng.uniform_u64(8) == 1) flags = trace::kIoSync;
+    IoRecord r = make_record(pid, rng.uniform_u64(32) + 1, SimTime(t),
+                             SimTime(t + len), trace::IoOpKind::read, flags);
+    if (rng.uniform_u64(12) == 0) std::swap(r.start_ns, r.end_ns);  // invalid
+    records.push_back(r);
+  }
+
+  MetricAggregator scalar = make_aggregator();
+  for (const IoRecord& r : records) scalar.add(r);
+
+  MetricAggregator batched = make_aggregator();
+  std::span<const IoRecord> rest(records);
+  Rng slicer(7);
+  while (!rest.empty()) {
+    const std::size_t take =
+        std::min<std::size_t>(slicer.uniform_u64(31) + 1, rest.size());
+    batched.add(rest.subspan(0, take));
+    rest = rest.subspan(take);
+  }
+
+  EXPECT_EQ(batched.records_total(), scalar.records_total());
+  EXPECT_EQ(batched.blocks_total(), scalar.blocks_total());
+  EXPECT_EQ(batched.failed_total(), scalar.failed_total());
+  EXPECT_EQ(batched.sync_total(), scalar.sync_total());
+  EXPECT_EQ(batched.invalid_total(), scalar.invalid_total());
+  EXPECT_EQ(batched.pids_seen(), scalar.pids_seen());
+  EXPECT_EQ(batched.csv_snapshot(), scalar.csv_snapshot());
+  const TransportStats transport;
+  EXPECT_EQ(batched.prometheus_text(transport),
+            scalar.prometheus_text(transport));
+}
+
+TEST(Aggregator, AllInvalidSpanCountsButCreatesNoWindows) {
+  // A frame of nothing but invalid records must be counted and otherwise
+  // ignored — in particular it must not conjure per-pid windows the
+  // per-record path never created.
+  MetricAggregator agg = make_aggregator();
+  std::vector<IoRecord> bad;
+  for (int i = 0; i < 4; ++i) {
+    bad.push_back(make_record(42, 8, SimTime(5000), SimTime(1000)));
+  }
+  agg.add(std::span<const IoRecord>(bad));
+  EXPECT_EQ(agg.invalid_total(), 4u);
+  EXPECT_EQ(agg.records_total(), 0u);
+  EXPECT_EQ(agg.pids_seen(), 0u);
+  EXPECT_FALSE(agg.global().any());
 }
 
 // ---------------------------------------------------------------------------

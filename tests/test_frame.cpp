@@ -25,6 +25,16 @@ std::vector<IoRecord> sample_records(int n, std::uint32_t pid = 7) {
   return records;
 }
 
+/// Adapter keeping the old vector-API assertion shape: collect every
+/// emitted frame span into `out`. The spans are only valid inside the sink,
+/// which is exactly why the collector copies.
+Status feed_collect(FrameDecoder& decoder, const char* data, std::size_t n,
+                    std::vector<IoRecord>& out) {
+  return decoder.feed(data, n, [&out](std::span<const IoRecord> frame) {
+    out.insert(out.end(), frame.begin(), frame.end());
+  });
+}
+
 TEST(Frame, RoundTripsOneFrame) {
   const std::vector<IoRecord> records = sample_records(5);
   std::vector<char> wire;
@@ -33,7 +43,7 @@ TEST(Frame, RoundTripsOneFrame) {
 
   FrameDecoder decoder;
   std::vector<IoRecord> out;
-  ASSERT_TRUE(decoder.feed(wire.data(), wire.size(), out).ok());
+  ASSERT_TRUE(feed_collect(decoder, wire.data(), wire.size(), out).ok());
   EXPECT_EQ(out, records);
   EXPECT_EQ(decoder.frames_decoded(), 1u);
   EXPECT_EQ(decoder.pending_bytes(), 0u);
@@ -46,7 +56,7 @@ TEST(Frame, EmptyFrameIsValid) {
   encode_frame(std::vector<IoRecord>{}, wire);
   FrameDecoder decoder;
   std::vector<IoRecord> out;
-  ASSERT_TRUE(decoder.feed(wire.data(), wire.size(), out).ok());
+  ASSERT_TRUE(feed_collect(decoder, wire.data(), wire.size(), out).ok());
   EXPECT_TRUE(out.empty());
   EXPECT_EQ(decoder.frames_decoded(), 1u);
 }
@@ -63,7 +73,7 @@ TEST(Frame, ToleratesByteAtATimeDelivery) {
   FrameDecoder decoder;
   std::vector<IoRecord> out;
   for (const char byte : wire) {
-    ASSERT_TRUE(decoder.feed(&byte, 1, out).ok());
+    ASSERT_TRUE(feed_collect(decoder, &byte, 1, out).ok());
   }
   EXPECT_EQ(decoder.frames_decoded(), 2u);
   EXPECT_EQ(decoder.pending_bytes(), 0u);
@@ -96,7 +106,7 @@ TEST(Frame, FragmentationPropertyOnShuffledFrameSizes) {
       FrameDecoder decoder;
       std::vector<IoRecord> out;
       for (const char byte : wire) {
-        ASSERT_TRUE(decoder.feed(&byte, 1, out).ok());
+        ASSERT_TRUE(feed_collect(decoder, &byte, 1, out).ok());
       }
       EXPECT_EQ(decoder.frames_decoded(), counts.size()) << "seed " << seed;
       EXPECT_EQ(decoder.pending_bytes(), 0u);
@@ -110,7 +120,7 @@ TEST(Frame, FragmentationPropertyOnShuffledFrameSizes) {
       while (offset < wire.size()) {
         const std::size_t chunk =
             std::min<std::size_t>(1 + rng.next() % 97, wire.size() - offset);
-        ASSERT_TRUE(decoder.feed(wire.data() + offset, chunk, out).ok());
+        ASSERT_TRUE(feed_collect(decoder, wire.data() + offset, chunk, out).ok());
         offset += chunk;
       }
       EXPECT_EQ(decoder.frames_decoded(), counts.size()) << "seed " << seed;
@@ -127,12 +137,12 @@ TEST(Frame, ReportsPartialTrailingFrame) {
   encode_frame(sample_records(4), wire);
   FrameDecoder decoder;
   std::vector<IoRecord> out;
-  ASSERT_TRUE(decoder.feed(wire.data(), wire.size() - 7, out).ok());
+  ASSERT_TRUE(feed_collect(decoder, wire.data(), wire.size() - 7, out).ok());
   EXPECT_TRUE(out.empty());
   EXPECT_EQ(decoder.frames_decoded(), 0u);
   EXPECT_GT(decoder.pending_bytes(), 0u);
   // The remainder completes the frame.
-  ASSERT_TRUE(decoder.feed(wire.data() + wire.size() - 7, 7, out).ok());
+  ASSERT_TRUE(feed_collect(decoder, wire.data() + wire.size() - 7, 7, out).ok());
   EXPECT_EQ(out.size(), 4u);
   EXPECT_EQ(decoder.pending_bytes(), 0u);
 }
@@ -143,13 +153,13 @@ TEST(Frame, RejectsBadMagic) {
   wire[0] = 'X';
   FrameDecoder decoder;
   std::vector<IoRecord> out;
-  EXPECT_FALSE(decoder.feed(wire.data(), wire.size(), out).ok());
+  EXPECT_FALSE(feed_collect(decoder, wire.data(), wire.size(), out).ok());
   EXPECT_TRUE(out.empty());
   EXPECT_FALSE(decoder.status().ok());
   // A poisoned decoder stays poisoned: further bytes are ignored.
   std::vector<char> good;
   encode_frame(sample_records(1), good);
-  EXPECT_FALSE(decoder.feed(good.data(), good.size(), out).ok());
+  EXPECT_FALSE(feed_collect(decoder, good.data(), good.size(), out).ok());
   EXPECT_TRUE(out.empty());
 }
 
@@ -160,7 +170,7 @@ TEST(Frame, RejectsOversizedCount) {
   std::memcpy(raw, &header, sizeof header);
   FrameDecoder decoder;
   std::vector<IoRecord> out;
-  EXPECT_FALSE(decoder.feed(raw, sizeof raw, out).ok());
+  EXPECT_FALSE(feed_collect(decoder, raw, sizeof raw, out).ok());
   EXPECT_FALSE(decoder.status().ok());
 }
 
@@ -196,7 +206,7 @@ TEST(Frame, MutationAndTruncationNeverCrashTheDecoder) {
       while (offset < image.size()) {
         const std::size_t chunk =
             std::min<std::size_t>(1 + rng.next() % 64, image.size() - offset);
-        if (!decoder.feed(image.data() + offset, chunk, out).ok()) {
+        if (!feed_collect(decoder, image.data() + offset, chunk, out).ok()) {
           poisoned = true;
           break;
         }
@@ -210,7 +220,7 @@ TEST(Frame, MutationAndTruncationNeverCrashTheDecoder) {
         const std::size_t decoded_before = out.size();
         std::vector<char> good;
         encode_frame(sample_records(2, 99), good);
-        EXPECT_FALSE(decoder.feed(good.data(), good.size(), out).ok());
+        EXPECT_FALSE(feed_collect(decoder, good.data(), good.size(), out).ok());
         EXPECT_EQ(out.size(), decoded_before) << "seed " << seed;
       } else {
         // Whatever decoded came from actual wire bytes — a mutated header
@@ -221,6 +231,96 @@ TEST(Frame, MutationAndTruncationNeverCrashTheDecoder) {
       }
     }
   }
+}
+
+TEST(Frame, EmitsZeroCopySpansOverAlignedInput) {
+  // A frame lying wholly inside the fed buffer with an 8-aligned payload
+  // must reach the sink as a window over that very buffer — no copy.
+  const std::vector<IoRecord> records = sample_records(6);
+  std::vector<char> wire;
+  encode_frame(records, wire);
+  ASSERT_EQ(reinterpret_cast<std::uintptr_t>(wire.data() + sizeof(FrameHeader)) %
+                alignof(IoRecord),
+            0u);
+
+  FrameDecoder decoder;
+  const IoRecord* seen = nullptr;
+  std::size_t seen_count = 0;
+  ASSERT_TRUE(decoder
+                  .feed(wire.data(), wire.size(),
+                        [&](std::span<const IoRecord> frame) {
+                          seen = frame.data();
+                          seen_count = frame.size();
+                        })
+                  .ok());
+  EXPECT_EQ(seen_count, records.size());
+  EXPECT_EQ(reinterpret_cast<const char*>(seen),
+            wire.data() + sizeof(FrameHeader));
+}
+
+TEST(Frame, MisalignedPayloadDecodesThroughAlignedScratch) {
+  // Feeding from an odd offset makes the in-place reinterpret illegal; the
+  // decoder must fall back to its aligned scratch and still emit the exact
+  // records.
+  const std::vector<IoRecord> records = sample_records(4);
+  std::vector<char> wire;
+  encode_frame(records, wire);
+  std::vector<char> shifted(wire.size() + 1);
+  std::memcpy(shifted.data() + 1, wire.data(), wire.size());
+
+  FrameDecoder decoder;
+  std::vector<IoRecord> out;
+  const char* payload_at = shifted.data() + 1 + sizeof(FrameHeader);
+  bool aliased = false;
+  ASSERT_TRUE(decoder
+                  .feed(shifted.data() + 1, wire.size(),
+                        [&](std::span<const IoRecord> frame) {
+                          aliased = reinterpret_cast<const char*>(
+                                        frame.data()) == payload_at;
+                          out.insert(out.end(), frame.begin(), frame.end());
+                        })
+                  .ok());
+  EXPECT_EQ(out, records);
+  if (reinterpret_cast<std::uintptr_t>(payload_at) % alignof(IoRecord) != 0) {
+    EXPECT_FALSE(aliased);
+  }
+}
+
+TEST(Frame, SplitFramesEmitFromInternalBufferNotTheInput) {
+  // A frame split across feeds cannot alias either input fragment; the
+  // decoder reassembles it internally and the records must still be exact.
+  const std::vector<IoRecord> records = sample_records(5);
+  std::vector<char> wire;
+  encode_frame(records, wire);
+  const std::size_t cut = wire.size() / 2;
+
+  FrameDecoder decoder;
+  std::vector<IoRecord> out;
+  const FrameDecoder::FrameSink sink = [&](std::span<const IoRecord> frame) {
+    EXPECT_TRUE(reinterpret_cast<const char*>(frame.data()) < wire.data() ||
+                reinterpret_cast<const char*>(frame.data()) >=
+                    wire.data() + wire.size());
+    out.insert(out.end(), frame.begin(), frame.end());
+  };
+  ASSERT_TRUE(decoder.feed(wire.data(), cut, sink).ok());
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(decoder.feed(wire.data() + cut, wire.size() - cut, sink).ok());
+  EXPECT_EQ(out, records);
+  EXPECT_EQ(decoder.pending_bytes(), 0u);
+}
+
+TEST(Frame, EmptyFramesNeverInvokeTheSink) {
+  std::vector<char> wire;
+  encode_frame(std::vector<IoRecord>{}, wire);
+  encode_frame(std::vector<IoRecord>{}, wire);
+  FrameDecoder decoder;
+  std::size_t calls = 0;
+  ASSERT_TRUE(decoder
+                  .feed(wire.data(), wire.size(),
+                        [&](std::span<const IoRecord>) { ++calls; })
+                  .ok());
+  EXPECT_EQ(calls, 0u);
+  EXPECT_EQ(decoder.frames_decoded(), 2u);
 }
 
 TEST(Frame, InterleavedFramesKeepPerConnectionOrder) {
@@ -235,10 +335,10 @@ TEST(Frame, InterleavedFramesKeepPerConnectionOrder) {
   std::vector<IoRecord> out_a, out_b;
   const std::size_t half_a = wire_a.size() / 2;
   const std::size_t half_b = wire_b.size() / 2;
-  ASSERT_TRUE(a.feed(wire_a.data(), half_a, out_a).ok());
-  ASSERT_TRUE(b.feed(wire_b.data(), half_b, out_b).ok());
-  ASSERT_TRUE(a.feed(wire_a.data() + half_a, wire_a.size() - half_a, out_a).ok());
-  ASSERT_TRUE(b.feed(wire_b.data() + half_b, wire_b.size() - half_b, out_b).ok());
+  ASSERT_TRUE(feed_collect(a, wire_a.data(), half_a, out_a).ok());
+  ASSERT_TRUE(feed_collect(b, wire_b.data(), half_b, out_b).ok());
+  ASSERT_TRUE(feed_collect(a, wire_a.data() + half_a, wire_a.size() - half_a, out_a).ok());
+  ASSERT_TRUE(feed_collect(b, wire_b.data() + half_b, wire_b.size() - half_b, out_b).ok());
   EXPECT_EQ(out_a, sample_records(2, 1));
   EXPECT_EQ(out_b, sample_records(2, 2));
 }

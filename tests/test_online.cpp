@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <span>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -329,6 +330,78 @@ TEST(SlidingWindow, OrderIndependentIngest) {
     EXPECT_DOUBLE_EQ(shuffled.bps(), ordered.bps());
     EXPECT_DOUBLE_EQ(shuffled.arpt_s(), ordered.arpt_s());
   }
+}
+
+TEST(SlidingWindow, SpanBatchMatchesPerRecordIngest) {
+  // The batched add(span) must land on the identical window state as the
+  // per-record loop — whether the spans arrive as ordered frames (the
+  // per-connection contract, fast path) or as arbitrary unsorted slices
+  // (the correctness fallback).
+  const SimDuration window = SimDuration::from_ms(40);
+  for (const std::uint64_t seed : {3ULL, 21ULL, 555ULL}) {
+    std::vector<trace::IoRecord> records =
+        random_records(seed, 300, 150'000'000);
+
+    SlidingWindowMetrics per_record(window);
+    for (const trace::IoRecord& r : records) per_record.add(r);
+
+    for (const bool sort_frames : {true, false}) {
+      std::vector<trace::IoRecord> feed = records;
+      SlidingWindowMetrics batched(window);
+      Rng rng(seed ^ 0xF00D);
+      std::size_t at = 0;
+      while (at < feed.size()) {
+        const std::size_t len =
+            std::min<std::size_t>(1 + rng.next() % 37, feed.size() - at);
+        const std::span<const trace::IoRecord> frame{feed.data() + at, len};
+        if (sort_frames) {
+          std::sort(feed.begin() + static_cast<std::ptrdiff_t>(at),
+                    feed.begin() + static_cast<std::ptrdiff_t>(at + len),
+                    [](const trace::IoRecord& a, const trace::IoRecord& b) {
+                      return a.start_ns < b.start_ns;
+                    });  // bpsio-lint: allow(iorecord-sort) test fixture ordering
+        }
+        batched.add(frame);
+        at += len;
+      }
+      EXPECT_EQ(batched.accesses(), per_record.accesses())
+          << "seed " << seed << " sorted " << sort_frames;
+      EXPECT_EQ(batched.blocks(), per_record.blocks())
+          << "seed " << seed << " sorted " << sort_frames;
+      EXPECT_EQ(batched.io_time().ns(), per_record.io_time().ns())
+          << "seed " << seed << " sorted " << sort_frames;
+      EXPECT_EQ(batched.now().ns(), per_record.now().ns());
+      EXPECT_DOUBLE_EQ(batched.bps(), per_record.bps());
+      EXPECT_DOUBLE_EQ(batched.arpt_s(), per_record.arpt_s());
+    }
+  }
+}
+
+TEST(SlidingWindow, SpanBatchSkipsInvalidAndExpiredRecords) {
+  const SimDuration window = SimDuration::from_ms(1);
+  SlidingWindowMetrics per_record(window);
+  SlidingWindowMetrics batched(window);
+  std::vector<trace::IoRecord> frame;
+  frame.push_back(trace::make_record(1, 5, SimTime(10'000'000),
+                                     SimTime(11'000'000)));
+  // Invalid: end < start — must be ignored, not corrupt the union.
+  frame.push_back(trace::make_record(1, 9, SimTime(5'000), SimTime(1'000)));
+  // Entirely older than the window once the first record set now.
+  frame.push_back(trace::make_record(1, 7, SimTime(0), SimTime(100)));
+  for (const trace::IoRecord& r : frame) per_record.add(r);
+  batched.add(std::span<const trace::IoRecord>(frame));
+  EXPECT_EQ(batched.accesses(), per_record.accesses());
+  EXPECT_EQ(batched.blocks(), per_record.blocks());
+  EXPECT_EQ(batched.io_time().ns(), per_record.io_time().ns());
+  EXPECT_EQ(batched.now().ns(), per_record.now().ns());
+
+  // An all-invalid span must leave the window untouched (not even `now`).
+  SlidingWindowMetrics untouched(window);
+  const trace::IoRecord bad =
+      trace::make_record(2, 3, SimTime(100), SimTime(50));
+  untouched.add(std::span<const trace::IoRecord>(&bad, 1));
+  EXPECT_FALSE(untouched.any());
+  EXPECT_EQ(untouched.accesses(), 0u);
 }
 
 TEST(SlidingWindow, EvictsAsTheWindowSlides) {

@@ -33,6 +33,11 @@
 //                   ftruncate/fsync/fdatasync — a short or failed syscall
 //                   that nobody noticed silently corrupts a trace file or
 //                   drops records.
+//   record-copy-loop
+//                   range-for over an IoRecord span whose whole body is one
+//                   unconditional push_back/add/append of the loop variable —
+//                   every sink on the record path has a bulk span overload;
+//                   copying one record at a time forfeits it.
 //
 // Escape hatch: `// bpsio-lint: allow(rule)` on the offending line or on a
 // comment-only line directly above it. Every allow must carry a
@@ -383,6 +388,87 @@ void rule_unchecked_syscall(const SourceFile& src, std::vector<Finding>& out) {
   }
 }
 
+// Zero-copy contract (DESIGN.md §13): every sink on the record path has a
+// bulk span overload — SpillWriter::append(span), MetricAggregator::add(span),
+// SlidingWindowMetrics::add(span), vector range-insert. A range-for over an
+// IoRecord span whose whole body is one unconditional push_back/add/append of
+// the loop variable re-introduces exactly the per-record cost the span
+// substrate removed; hand the span to the sink instead. Loops that filter,
+// transform, or do anything else per record are untouched.
+void rule_record_copy_loop(const SourceFile& src, std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < src.code.size(); ++i) {
+    const auto keys = find_calls(src.code[i], "for", /*require_paren=*/true);
+    if (keys.empty()) continue;
+    // Join the for-header and its first body statement into one string; the
+    // find_calls hit indexes line i, which is also joined's first segment.
+    std::string joined;
+    for (std::size_t j = i; j < src.code.size() && j < i + 6; ++j) {
+      joined += src.code[j];
+      joined += ' ';
+    }
+    const std::size_t open = joined.find('(', keys.front());
+    if (open == std::string::npos) continue;
+    std::size_t depth = 1;
+    std::size_t close = open + 1;
+    while (close < joined.size() && depth > 0) {
+      if (joined[close] == '(') ++depth;
+      if (joined[close] == ')') --depth;
+      ++close;
+    }
+    if (depth != 0) continue;
+    --close;  // index of the matching ')'
+    const std::string header = joined.substr(open + 1, close - open - 1);
+    // Range-for over records only: `for (const IoRecord& r : span)`.
+    if (header.find("IoRecord") == std::string::npos) continue;
+    if (header.find(';') != std::string::npos) continue;  // classic for
+    const std::size_t colon = header.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        header[colon - 1] == ':' ||
+        (colon + 1 < header.size() && header[colon + 1] == ':')) {
+      continue;
+    }
+    std::size_t ve = colon;
+    while (ve > 0 && header[ve - 1] == ' ') --ve;
+    std::size_t vb = ve;
+    while (vb > 0 && ident_char(header[vb - 1])) --vb;
+    const std::string var = header.substr(vb, ve - vb);
+    if (var.empty()) continue;
+    // The body must be exactly one statement, nothing after it but a
+    // closing brace: `{ sink.push_back(r); }` or the braceless form.
+    std::string body = joined.substr(close + 1);
+    const std::size_t semi = body.find(';');
+    if (semi == std::string::npos) continue;
+    const std::size_t tail = body.find_first_not_of(" }", semi + 1);
+    if (tail != std::string::npos) continue;
+    std::string compact;
+    for (char c : body.substr(0, semi + 1)) {
+      if (c != ' ' && c != '{') compact += c;
+    }
+    for (const char* method : {"push_back", "add", "append", "insert"}) {
+      for (const char* access : {".", "->"}) {
+        const std::string suffix =
+            std::string(access) + method + "(" + var + ");";
+        if (compact.size() <= suffix.size()) continue;
+        if (compact.compare(compact.size() - suffix.size(), suffix.size(),
+                            suffix) != 0) {
+          continue;
+        }
+        // The receiver must be a plain object expression — a '(' in it means
+        // the copy is conditional (`if (...) out.push_back(r);`) or computed,
+        // which this rule leaves alone.
+        const std::string recv =
+            compact.substr(0, compact.size() - suffix.size());
+        if (recv.find('(') != std::string::npos) continue;
+        add_finding(src, out, i, "record-copy-loop",
+                    std::string("per-record ") + method + "(" + var +
+                        ") loop over an IoRecord range; pass the whole span "
+                        "to the sink's bulk overload instead");
+        return;  // one finding per file is enough to fail the scan
+      }
+    }
+  }
+}
+
 const std::map<std::string, RuleFn>& all_rules() {
   static const std::map<std::string, RuleFn> rules = {
       {"iorecord-sort", rule_iorecord_sort},
@@ -393,6 +479,7 @@ const std::map<std::string, RuleFn>& all_rules() {
       {"records-materialize", rule_records_materialize},
       {"legacy-run-sweep", rule_legacy_run_sweep},
       {"unchecked-syscall", rule_unchecked_syscall},
+      {"record-copy-loop", rule_record_copy_loop},
   };
   return rules;
 }
@@ -533,6 +620,21 @@ const SelfCase kSelfCases[] = {
      "  (void)ftruncate(fd, 0);\n"
      "  out.write(p, n);\n"
      "  return ret;\n"
+     "}\n"},
+    {"record-copy-loop", "src/agent/server.cpp",
+     "void f(std::span<const trace::IoRecord> chunk, SpillWriter& out) {\n"
+     "  for (const trace::IoRecord& r : chunk) {\n"
+     "    out.append(r);\n"
+     "  }\n"
+     "}\n",
+     // Bulk hand-off, filtered copies, and per-record work other than a bare
+     // copy are all fine.
+     "void f(std::span<const trace::IoRecord> chunk, SpillWriter& out) {\n"
+     "  out.append(chunk);\n"
+     "  for (const trace::IoRecord& r : chunk) {\n"
+     "    if (r.valid()) kept.push_back(r);\n"
+     "  }\n"
+     "  for (const trace::IoRecord& r : chunk) blocks += r.blocks;\n"
      "}\n"},
 };
 

@@ -32,7 +32,8 @@
 //                         alias)
 //     --csv               machine-readable single-row output
 //
-// Memory stays O(chunk * files): everything is SpilledTraceSource ->
+// Memory stays O(chunk * files): everything is open_trace_source (mmap
+// spans when the platform allows, SpilledTraceSource otherwise) ->
 // MergedSource -> single-pass consumers; no trace is ever materialized.
 #include <algorithm>
 #include <cstdint>
@@ -55,6 +56,7 @@
 #include "common/units.hpp"
 #include "metrics/pipeline.hpp"
 #include "metrics/timeline.hpp"
+#include "trace/mapped_source.hpp"
 #include "trace/record_source.hpp"
 
 namespace bpsio {
@@ -248,7 +250,7 @@ int run_report(const Options& opt) {
   std::vector<std::unique_ptr<trace::RecordSource>> children;
   children.reserve(paths->size());
   for (const std::string& path : *paths) {
-    auto source = std::make_unique<trace::SpilledTraceSource>(path);
+    auto source = trace::open_trace_source(path);
     if (!source->status().ok()) {
       std::fprintf(stderr, "bpsio_report: %s: %s\n", path.c_str(),
                    source->status().to_string().c_str());
