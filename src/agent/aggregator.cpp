@@ -138,6 +138,28 @@ std::string MetricAggregator::prometheus_text(
   out += "bpsio_bad_frames_total " + std::to_string(transport.bad_frames_total) +
          "\n";
 
+  if (transport.forward.enabled) {
+    out += "# HELP bpsio_forward_frames_total Tagged frames shipped to the "
+           "upstream collector.\n";
+    out += "# TYPE bpsio_forward_frames_total counter\n";
+    out += "bpsio_forward_frames_total " +
+           std::to_string(transport.forward.frames_forwarded) + "\n";
+    out += "# HELP bpsio_forward_records_total Records shipped upstream.\n";
+    out += "# TYPE bpsio_forward_records_total counter\n";
+    out += "bpsio_forward_records_total " +
+           std::to_string(transport.forward.records_forwarded) + "\n";
+    out += "# HELP bpsio_forward_spilled_records_total Records diverted to "
+           "the forward spill fallback.\n";
+    out += "# TYPE bpsio_forward_spilled_records_total counter\n";
+    out += "bpsio_forward_spilled_records_total " +
+           std::to_string(transport.forward.records_spilled) + "\n";
+    out += "# HELP bpsio_forward_dropped_records_total Records dropped with "
+           "no upstream and no spill dir.\n";
+    out += "# TYPE bpsio_forward_dropped_records_total counter\n";
+    out += "bpsio_forward_dropped_records_total " +
+           std::to_string(transport.forward.records_dropped) + "\n";
+  }
+
   out += "# HELP bpsio_pids_seen Distinct process ids observed.\n";
   out += "# TYPE bpsio_pids_seen gauge\n";
   out += "bpsio_pids_seen " + std::to_string(per_pid_.size()) + "\n";

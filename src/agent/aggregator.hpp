@@ -24,6 +24,7 @@
 #include <span>
 #include <string>
 
+#include "agent/forward.hpp"
 #include "common/sim_time.hpp"
 #include "common/units.hpp"
 #include "metrics/online.hpp"
@@ -38,6 +39,9 @@ struct TransportStats {
   std::uint64_t clients_active = 0;           ///< currently-open connections
   std::uint64_t frames_total = 0;             ///< complete frames decoded
   std::uint64_t bad_frames_total = 0;         ///< connections killed on a bad frame
+  /// Upstream forwarding figures (agent/forward.hpp); only exported when
+  /// forward.enabled (the daemon was started with --forward).
+  ForwardStats forward;
 };
 
 class MetricAggregator {

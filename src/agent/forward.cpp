@@ -1,0 +1,178 @@
+#include "agent/forward.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+#include "common/net_util.hpp"
+#include "trace/spill_writer.hpp"
+
+namespace bpsio::agent {
+
+ForwardLink::ForwardLink(ForwardOptions options)
+    : options_(std::move(options)) {
+  if (options_.batch == 0) options_.batch = 1;
+  options_.batch = std::min<std::size_t>(options_.batch,
+                                         trace::kMaxFrameRecords);
+  stats_.enabled = true;
+}
+
+ForwardLink::~ForwardLink() { close(); }
+
+Status ForwardLink::connect() {
+  if (!trace::valid_tenant(options_.tenant)) {
+    return Error{Errc::invalid_argument,
+                 "forward: bad tenant id '" + options_.tenant +
+                     "' (want 1-64 chars of [A-Za-z0-9._:-])"};
+  }
+  if (!options_.spill_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options_.spill_dir, ec);
+    if (ec) {
+      return Error{Errc::io_error, "forward: cannot create spill dir " +
+                                       options_.spill_dir};
+    }
+  }
+  fd_ = net::connect_stream(options_.target);
+  if (fd_ < 0) {
+    if (options_.spill_dir.empty()) {
+      return Error{Errc::io_error,
+                   "forward: cannot connect to " + options_.target +
+                       " (and no --forward-spill-dir to fall back to)"};
+    }
+    std::fprintf(stderr,
+                 "bpsio_agentd: cannot connect upstream %s; forwarding "
+                 "falls back to spill files in %s\n",
+                 options_.target.c_str(), options_.spill_dir.c_str());
+    warned_spill_ = true;
+    return {};
+  }
+  encode_buf_.clear();
+  trace::encode_hello(options_.tenant, encode_buf_);
+  if (!net::send_all(fd_, encode_buf_.data(), encode_buf_.size())) {
+    ::close(fd_);
+    fd_ = -1;
+    if (options_.spill_dir.empty()) {
+      return Error{Errc::io_error,
+                   "forward: hello send to " + options_.target + " failed"};
+    }
+    std::fprintf(stderr,
+                 "bpsio_agentd: upstream hello failed; forwarding falls "
+                 "back to spill files in %s\n",
+                 options_.spill_dir.c_str());
+    warned_spill_ = true;
+  }
+  return {};
+}
+
+void ForwardLink::append(std::uint64_t stream_id,
+                         std::span<const trace::IoRecord> records) {
+  Stream& stream = streams_[stream_id];
+  stream.pending.insert(stream.pending.end(), records.begin(), records.end());
+  if (stream.pending.size() >= options_.batch) ship(stream_id, stream);
+}
+
+void ForwardLink::flush_all() {
+  for (auto& [stream_id, stream] : streams_) {
+    if (!stream.pending.empty()) ship(stream_id, stream);
+  }
+}
+
+void ForwardLink::stream_done(std::uint64_t stream_id) {
+  auto it = streams_.find(stream_id);
+  if (it == streams_.end()) return;
+  if (!it->second.pending.empty()) ship(stream_id, it->second);
+  if (it->second.spill != nullptr) {
+    const Status closed = it->second.spill->close();
+    if (!closed.ok()) {
+      std::fprintf(stderr, "bpsio_agentd: forward spill close failed: %s\n",
+                   closed.to_string().c_str());
+    }
+  }
+  streams_.erase(it);
+}
+
+void ForwardLink::close() {
+  // stream_done mutates streams_; collect ids first.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(streams_.size());
+  for (const auto& [stream_id, stream] : streams_) ids.push_back(stream_id);
+  for (const std::uint64_t stream_id : ids) stream_done(stream_id);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void ForwardLink::ship(std::uint64_t stream_id, Stream& stream) {
+  std::span<const trace::IoRecord> rest = stream.pending;
+  while (!rest.empty()) {
+    const std::span<const trace::IoRecord> chunk =
+        rest.first(std::min(rest.size(), options_.batch));
+    if (fd_ >= 0) {
+      encode_buf_.clear();
+      trace::encode_tagged_frame(stream_id, chunk, encode_buf_);
+      if (net::send_all(fd_, encode_buf_.data(), encode_buf_.size())) {
+        ++stats_.frames_forwarded;
+        stats_.records_forwarded += chunk.size();
+        rest = rest.subspan(chunk.size());
+        continue;
+      }
+      // The frame was not delivered (the collector discards a torn tail at
+      // EOF), so this chunk and everything after it take the spill path —
+      // same records, exactly one transport.
+      ::close(fd_);
+      fd_ = -1;
+      if (!warned_spill_ && !options_.spill_dir.empty()) {
+        std::fprintf(stderr,
+                     "bpsio_agentd: upstream send failed; forwarding falls "
+                     "back to spill files in %s\n",
+                     options_.spill_dir.c_str());
+        warned_spill_ = true;
+      }
+    }
+    spill_records(stream_id, stream, rest);
+    break;
+  }
+  stream.pending.clear();
+}
+
+void ForwardLink::spill_records(std::uint64_t stream_id, Stream& stream,
+                                std::span<const trace::IoRecord> records) {
+  if (options_.spill_dir.empty()) {
+    stats_.records_dropped += records.size();
+    if (!warned_drop_) {
+      std::fprintf(stderr,
+                   "bpsio_agentd: upstream unreachable and no "
+                   "--forward-spill-dir; dropping forwarded records (local "
+                   "metrics and drain are unaffected)\n");
+      warned_drop_ = true;
+    }
+    return;
+  }
+  if (stream.spill == nullptr) {
+    char name[48];
+    std::snprintf(name, sizeof name, "fwd-s%020llu.bpstrace",
+                  static_cast<unsigned long long>(stream_id));
+    std::string path = options_.spill_dir;
+    if (!path.empty() && path.back() != '/') path += '/';
+    path += name;
+    stream.spill = std::make_unique<trace::SpillWriter>(path);
+    if (!stream.spill->ok()) {
+      std::fprintf(stderr,
+                   "bpsio_agentd: cannot open forward spill %s; dropping\n",
+                   path.c_str());
+    }
+  }
+  if (stream.spill->ok()) {
+    stream.spill->append(records);
+    stats_.records_spilled += records.size();
+  } else {
+    stats_.records_dropped += records.size();
+  }
+}
+
+}  // namespace bpsio::agent

@@ -1,0 +1,110 @@
+// Upstream shipping for bpsio_agentd (--forward): the link from one agent
+// daemon to the fleet-scale bpsio_collectord tier.
+//
+// Every frame the agent receives from a capture client is re-shipped
+// upstream as a tagged "BPSG" frame whose stream id names the downstream
+// capture connection — so the collector sees each origin stream's records
+// in order under a stable identity and can spool them per (connection,
+// stream) without sorting (the framing contract in trace/frame.hpp).
+//
+// Delivery discipline mirrors capture/record_shipper.hpp, one level up:
+// socket-first, spill-fallback, never both for the same records. Records
+// are batched per stream and shipped as size-capped frames; a failed send
+// means "frame not delivered" (the collector discards a torn tail at EOF),
+// so the undelivered batch — and everything after it — goes to a per-stream
+// spill file in --forward-spill-dir instead. Without a spill dir the link
+// counts the dropped records and warns once: the agent's own metrics,
+// spools, and drain are unaffected either way, forwarding only adds the
+// fleet view.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "trace/frame.hpp"
+#include "trace/io_record.hpp"
+
+namespace bpsio::trace {
+class SpillWriter;  // spill_writer.hpp
+}
+
+namespace bpsio::agent {
+
+struct ForwardOptions {
+  /// Upstream collector: "host:port" dials loopback TCP, anything else is a
+  /// Unix-domain socket path.
+  std::string target;
+  /// Tenant id announced in the hello frame (trace/valid_tenant charset).
+  std::string tenant = "default";
+  /// Directory for per-stream fallback spills when the upstream link fails
+  /// (created if missing). Empty = count drops instead of spilling.
+  std::string spill_dir;
+  /// Records per shipped frame; batches are capped at this size (and at
+  /// trace::kMaxFrameRecords).
+  std::size_t batch = 4096;
+};
+
+struct ForwardStats {
+  bool enabled = false;
+  std::uint64_t frames_forwarded = 0;
+  std::uint64_t records_forwarded = 0;
+  std::uint64_t records_spilled = 0;
+  std::uint64_t records_dropped = 0;
+};
+
+class ForwardLink {
+ public:
+  explicit ForwardLink(ForwardOptions options);
+  ~ForwardLink();
+
+  ForwardLink(const ForwardLink&) = delete;
+  ForwardLink& operator=(const ForwardLink&) = delete;
+
+  /// Dial the upstream and send the hello. A connection failure is fatal
+  /// when no spill dir is configured (the operator asked for a fleet view
+  /// that cannot exist); with a spill dir it degrades to spill-only with a
+  /// warning.
+  Status connect();
+
+  /// Buffer one origin stream's records; ships automatically once the
+  /// stream's pending batch reaches `batch` records.
+  void append(std::uint64_t stream_id, std::span<const trace::IoRecord> records);
+
+  /// Ship every stream's pending records now (poll-round tail call: bounds
+  /// the forwarding latency at one round even when batches are not full).
+  void flush_all();
+
+  /// Flush one stream and forget its state (its capture connection closed).
+  void stream_done(std::uint64_t stream_id);
+
+  /// Flush everything and close the upstream socket in an orderly way (the
+  /// collector sees EOF with no pending bytes).
+  void close();
+
+  const ForwardStats& stats() const { return stats_; }
+
+ private:
+  struct Stream {
+    std::vector<trace::IoRecord> pending;
+    std::unique_ptr<trace::SpillWriter> spill;
+  };
+
+  void ship(std::uint64_t stream_id, Stream& stream);
+  void spill_records(std::uint64_t stream_id, Stream& stream,
+                     std::span<const trace::IoRecord> records);
+
+  ForwardOptions options_;
+  ForwardStats stats_;
+  int fd_ = -1;
+  bool warned_spill_ = false;
+  bool warned_drop_ = false;
+  std::map<std::uint64_t, Stream> streams_;
+  std::vector<char> encode_buf_;
+};
+
+}  // namespace bpsio::agent

@@ -1,10 +1,6 @@
 #include "agent/server.hpp"
 
-#include <netinet/in.h>
-#include <poll.h>
 #include <sys/socket.h>
-#include <sys/time.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -15,9 +11,10 @@
 #include <utility>
 
 #include "common/format.hpp"
+#include "common/net_util.hpp"
+#include "common/poll_loop.hpp"
 #include "common/wallclock.hpp"
-#include "trace/mapped_source.hpp"
-#include "trace/record_source.hpp"
+#include "trace/merge.hpp"
 #include "trace/spill_writer.hpp"
 
 namespace bpsio::agent {
@@ -25,38 +22,6 @@ namespace {
 
 constexpr int kPollIntervalMs = 50;
 constexpr std::size_t kRecvChunk = 64 * 1024;
-
-/// Full blocking send; false on any error. HTTP responses are a few KB to a
-/// local scraper, so a synchronous write is fine (and keeps the loop simple).
-bool send_all(int fd, const char* data, std::size_t size) {
-  while (size > 0) {
-    const ssize_t sent = ::send(fd, data, size, MSG_NOSIGNAL);
-    if (sent < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    if (sent == 0) return false;
-    data += sent;
-    size -= static_cast<std::size_t>(sent);
-  }
-  return true;
-}
-
-/// Write `text` to `path` atomically (tmp file + rename) so a concurrent
-/// reader never sees a torn snapshot.
-bool write_file_atomic(const std::string& path, const std::string& text) {
-  const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) return false;
-  const bool wrote =
-      std::fwrite(text.data(), 1, text.size(), f) == text.size();
-  const bool flushed = std::fclose(f) == 0;
-  if (!wrote || !flushed) {
-    std::remove(tmp.c_str());
-    return false;
-  }
-  return std::rename(tmp.c_str(), path.c_str()) == 0;
-}
 
 }  // namespace
 
@@ -92,58 +57,39 @@ Status AgentServer::start() {
     }
   }
 
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (options_.socket_path.size() >= sizeof addr.sun_path) {
-    return Error{Errc::invalid_argument,
-                 "agent: socket path too long for sockaddr_un: " +
-                     options_.socket_path};
-  }
-  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
-              options_.socket_path.size() + 1);
-  ::unlink(options_.socket_path.c_str());  // stale socket from a dead daemon
-  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  listen_fd_ = net::bind_unix_listener(options_.socket_path, 64);
   if (listen_fd_ < 0) {
-    return Error{Errc::io_error, "agent: cannot create Unix socket"};
-  }
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof addr) != 0 ||
-      ::listen(listen_fd_, 64) != 0) {
     return Error{Errc::io_error,
                  "agent: cannot bind/listen on " + options_.socket_path};
   }
 
   if (options_.http_port >= 0) {
-    http_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    http_fd_ = net::bind_loopback_listener(options_.http_port, 16,
+                                           &bound_http_port_);
     if (http_fd_ < 0) {
-      return Error{Errc::io_error, "agent: cannot create HTTP socket"};
-    }
-    const int one = 1;
-    ::setsockopt(http_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-    sockaddr_in http_addr{};
-    http_addr.sin_family = AF_INET;
-    http_addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    http_addr.sin_port = htons(static_cast<std::uint16_t>(options_.http_port));
-    if (::bind(http_fd_, reinterpret_cast<const sockaddr*>(&http_addr),
-               sizeof http_addr) != 0 ||
-        ::listen(http_fd_, 16) != 0) {
       return Error{Errc::io_error,
                    "agent: cannot bind HTTP port " +
                        std::to_string(options_.http_port)};
     }
-    sockaddr_in bound{};
-    socklen_t len = sizeof bound;
-    if (::getsockname(http_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
-        0) {
-      return Error{Errc::io_error, "agent: getsockname failed"};
-    }
-    bound_http_port_ = static_cast<int>(ntohs(bound.sin_port));
     if (!options_.port_file.empty() &&
-        !write_file_atomic(options_.port_file,
-                           std::to_string(bound_http_port_) + "\n")) {
+        !net::write_file_atomic(options_.port_file,
+                                std::to_string(bound_http_port_) + "\n")) {
       return Error{Errc::io_error,
                    "agent: cannot write port file " + options_.port_file};
     }
+  }
+
+  if (!options_.forward_target.empty()) {
+    ForwardOptions fwd;
+    fwd.target = options_.forward_target;
+    fwd.tenant = options_.forward_tenant;
+    fwd.spill_dir = options_.forward_spill_dir;
+    fwd.batch = options_.forward_batch;
+    forward_ = std::make_unique<ForwardLink>(std::move(fwd));
+    if (const Status connected = forward_->connect(); !connected.ok()) {
+      return connected;
+    }
+    transport_.forward.enabled = true;
   }
 
   last_csv_ns_ = monotonic_ns();
@@ -158,6 +104,7 @@ void AgentServer::accept_capture() {
     if (fd < 0) return;  // EAGAIN / transient: nothing more to accept now
     CaptureConn conn;
     conn.fd = fd;
+    conn.stream_id = ++conn_serial_;
     if (!options_.drain_path.empty()) {
       char name[32];
       std::snprintf(name, sizeof name, "conn-%08llu.bpstrace",
@@ -181,19 +128,22 @@ void AgentServer::accept_capture() {
     }
     ++transport_.clients_connected_total;
     ++transport_.clients_active;
+    conn_fds_.push_back(conn.fd);
     conns_.push_back(std::move(conn));
   }
 }
 
 bool AgentServer::service_capture(CaptureConn& conn) {
   char buf[kRecvChunk];
-  // Each completed frame reaches the aggregator and the spool as one span
-  // over the recv buffer (or the decoder's scratch for split frames) — the
-  // only per-record copy left on this path is the spool's batch fill.
+  // Each completed frame reaches the aggregator, the spool, and the upstream
+  // forward link as one span over the recv buffer (or the decoder's scratch
+  // for split frames) — the only per-record copies left on this path are the
+  // spool's and the forward batch's bulk fills.
   const trace::FrameDecoder::FrameSink sink =
       [this, &conn](std::span<const trace::IoRecord> frame) {
         aggregator_.add(frame);
         if (conn.spool != nullptr) conn.spool->append(frame);
+        if (forward_ != nullptr) forward_->append(conn.stream_id, frame);
       };
   for (;;) {
     const ssize_t n = ::recv(conn.fd, buf, sizeof buf, 0);
@@ -242,66 +192,33 @@ void AgentServer::close_capture(CaptureConn& conn, bool record_loss_ok) {
     conn.spool.reset();
     drained_spools_.push_back(conn.spool_path);
   }
+  if (forward_ != nullptr) forward_->stream_done(conn.stream_id);
   ::close(conn.fd);
   conn.fd = -1;
   --transport_.clients_active;
 }
 
-std::string AgentServer::http_response() {
-  aggregator_.advance(SimTime(monotonic_ns()));
-  return aggregator_.prometheus_text(transport_);
+void AgentServer::sync_forward_stats() {
+  if (forward_ != nullptr) transport_.forward = forward_->stats();
 }
 
-void AgentServer::serve_http(int fd) {
-  // Local scraper, tiny request: block (with a timeout) until the request
-  // line arrives, answer, close.
-  timeval tv{};
-  tv.tv_sec = 2;
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
-  std::string request;
-  char buf[2048];
-  while (request.find("\r\n\r\n") == std::string::npos &&
-         request.size() < 16 * 1024) {
-    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      break;
-    }
-    request.append(buf, static_cast<std::size_t>(n));
-  }
-
-  std::string body;
-  const char* status_line = "HTTP/1.0 200 OK\r\n";
-  const char* content_type = "text/plain; version=0.0.4; charset=utf-8";
-  if (request.rfind("GET /metrics", 0) == 0 || request.rfind("GET / ", 0) == 0) {
-    body = http_response();
-  } else if (request.rfind("GET /healthz", 0) == 0) {
-    body = "ok\n";
-  } else {
-    status_line = "HTTP/1.0 404 Not Found\r\n";
-    body = "only /metrics and /healthz live here\n";
-  }
-  std::string response = status_line;
-  response += "Content-Type: ";
-  response += content_type;
-  response += "\r\nContent-Length: " + std::to_string(body.size()) +
-              "\r\nConnection: close\r\n\r\n";
-  response += body;
-  (void)send_all(fd, response.data(), response.size());
-  ::close(fd);
+std::string AgentServer::http_response() {
+  aggregator_.advance(SimTime(monotonic_ns()));
+  sync_forward_stats();
+  return aggregator_.prometheus_text(transport_);
 }
 
 void AgentServer::accept_http() {
   for (;;) {
     const int fd = ::accept4(http_fd_, nullptr, nullptr, SOCK_CLOEXEC);
     if (fd < 0) return;
-    serve_http(fd);
+    net::serve_plain_http(fd, [this] { return http_response(); });
   }
 }
 
 void AgentServer::write_csv_snapshot() {
   aggregator_.advance(SimTime(monotonic_ns()));
-  if (!write_file_atomic(options_.csv_path, aggregator_.csv_snapshot())) {
+  if (!net::write_file_atomic(options_.csv_path, aggregator_.csv_snapshot())) {
     std::fprintf(stderr, "bpsio_agentd: cannot write CSV snapshot %s\n",
                  options_.csv_path.c_str());
   }
@@ -309,7 +226,9 @@ void AgentServer::write_csv_snapshot() {
 
 Status AgentServer::run() {
   BPSIO_CHECK(started_, "AgentServer::run() before start()");
-  std::vector<pollfd> fds;
+  PollLoop loop;
+  loop.add_listener(listen_fd_, [this] { accept_capture(); });
+  if (http_fd_ >= 0) loop.add_listener(http_fd_, [this] { accept_http(); });
   for (;;) {
     if (options_.stop != nullptr &&
         options_.stop->load(std::memory_order_relaxed)) {
@@ -321,35 +240,21 @@ Status AgentServer::run() {
       break;
     }
 
-    fds.clear();
-    fds.push_back({listen_fd_, POLLIN, 0});
-    if (http_fd_ >= 0) fds.push_back({http_fd_, POLLIN, 0});
-    for (const CaptureConn& conn : conns_) {
-      fds.push_back({conn.fd, POLLIN, 0});
-    }
-    const int ready = ::poll(fds.data(), fds.size(), kPollIntervalMs);
-    if (ready < 0 && errno != EINTR) {
+    const Status polled =
+        loop.round(conn_fds_, kPollIntervalMs, [this](std::size_t i) {
+          if (!service_capture(conns_[i])) {
+            conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(i));
+            conn_fds_.erase(conn_fds_.begin() + static_cast<std::ptrdiff_t>(i));
+            return false;
+          }
+          return true;
+        });
+    if (!polled.ok()) {
       return Error{Errc::io_error, "agent: poll failed"};
     }
-
-    std::size_t at = 0;
-    // accept_capture() can append to conns_, but fds only has entries for
-    // the connections it was built from — bound the revents scan by that
-    // count or the new connection would read past the end of fds.
-    const std::size_t polled_conns = conns_.size();
-    if ((fds[at++].revents & POLLIN) != 0) accept_capture();
-    if (http_fd_ >= 0 && (fds[at++].revents & POLLIN) != 0) accept_http();
-    for (std::size_t i = 0; i < polled_conns;) {
-      const short revents = fds[at + i].revents;
-      if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0 &&
-          !service_capture(conns_[i])) {
-        // service_capture closed the connection: drop it. fds indexes shift
-        // with it, so re-enter poll rather than reusing stale revents.
-        conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(i));
-        break;
-      }
-      ++i;
-    }
+    // Ship partial forward batches at the round tail: forwarding latency is
+    // bounded by one poll interval even under a trickle of records.
+    if (forward_ != nullptr) forward_->flush_all();
 
     if (!options_.csv_path.empty()) {
       const std::int64_t now = monotonic_ns();
@@ -368,11 +273,16 @@ Status AgentServer::run() {
     if (!conns_.empty() && conns_.back().fd >= 0) {
       close_capture(conns_.back(), conns_.back().decoder.pending_bytes() == 0);
     }
-    if (!conns_.empty()) conns_.pop_back();
+    if (!conns_.empty()) {
+      conns_.pop_back();
+      conn_fds_.pop_back();
+    }
   }
   ::close(listen_fd_);
   ::unlink(options_.socket_path.c_str());
   listen_fd_ = -1;
+  if (forward_ != nullptr) forward_->close();
+  sync_forward_stats();
   if (!options_.csv_path.empty()) write_csv_snapshot();
 
   if (!options_.drain_path.empty()) return drain();
@@ -383,40 +293,10 @@ Status AgentServer::drain() {
   // Per-connection spools are each one capture thread's start-ordered
   // stream; k-way merge them exactly the way bpsio_report merges per-thread
   // spill files (keep timestamps, keep pids) and write one sorted v2 trace.
-  std::vector<std::unique_ptr<trace::RecordSource>> children;
-  children.reserve(drained_spools_.size());
-  std::sort(drained_spools_.begin(), drained_spools_.end());
-  for (const std::string& path : drained_spools_) {
-    auto source = trace::open_trace_source(path);
-    if (!source->status().ok()) {
-      return Error{Errc::io_error, "agent: drain cannot read spool " + path +
-                                       ": " + source->status().to_string()};
-    }
-    children.push_back(std::move(source));
-  }
-  trace::MergeOptions merge;
-  merge.alignment = trace::TimeAlignment::keep;
-  merge.pid_stride = 0;  // captured records carry real, distinct pids
-  trace::MergedSource merged(std::move(children), merge);
-
-  trace::SpillWriter out(options_.drain_path);
-  if (!out.ok()) {
-    return Error{Errc::io_error,
-                 "agent: cannot open drain file " + options_.drain_path};
-  }
-  for (;;) {
-    const std::span<const trace::IoRecord> chunk = merged.next_chunk();
-    if (chunk.empty()) break;
-    out.append(chunk);
-  }
-  if (!merged.status().ok()) {
-    return Error{Errc::io_error,
-                 "agent: drain merge failed: " + merged.status().to_string()};
-  }
-  const Status closed = out.close();
-  if (!closed.ok()) {
-    return Error{Errc::io_error,
-                 "agent: drain close failed: " + closed.to_string()};
+  if (const Status merged =
+          trace::merge_trace_files(drained_spools_, options_.drain_path);
+      !merged.ok()) {
+    return Error{Errc::io_error, "agent: drain failed: " + merged.to_string()};
   }
   for (const std::string& path : drained_spools_) {
     std::error_code ec;

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "agent/aggregator.hpp"
+#include "agent/forward.hpp"
 #include "common/result.hpp"
 #include "common/sim_time.hpp"
 #include "common/units.hpp"
@@ -63,6 +64,19 @@ struct AgentOptions {
   /// when drain_path is set; created if missing; spools are deleted after a
   /// successful drain).
   std::string spool_dir;
+
+  /// When non-empty, every received frame is also shipped upstream to a
+  /// bpsio_collectord at this target ("host:port" = loopback TCP, anything
+  /// else = Unix socket path) as tagged frames preserving each capture
+  /// connection's stream identity. See agent/forward.hpp.
+  std::string forward_target;
+  /// Tenant id announced to the collector (trace/valid_tenant charset).
+  std::string forward_tenant = "default";
+  /// Fallback spill directory for the upstream link; empty = drop (counted)
+  /// when the upstream fails.
+  std::string forward_spill_dir;
+  /// Records per upstream frame.
+  std::size_t forward_batch = 4096;
 
   /// Sliding-window length for the live metrics.
   SimDuration window = SimDuration::from_seconds(10);
@@ -111,6 +125,9 @@ class AgentServer {
     std::unique_ptr<trace::SpillWriter> spool;
     std::string spool_path;
     std::uint64_t frames_counted = 0;
+    /// Origin-stream id for upstream forwarding (connection serial; stable
+    /// for the connection's lifetime).
+    std::uint64_t stream_id = 0;
   };
 
   void accept_capture();
@@ -119,21 +136,24 @@ class AgentServer {
   /// been closed.
   bool service_capture(CaptureConn& conn);
   void close_capture(CaptureConn& conn, bool record_loss_ok);
-  void serve_http(int fd);
   std::string http_response();
   void write_csv_snapshot();
+  void sync_forward_stats();
   Status drain();
 
   AgentOptions options_;
   MetricAggregator aggregator_;
   TransportStats transport_;
+  std::unique_ptr<ForwardLink> forward_;
   int listen_fd_ = -1;
   int http_fd_ = -1;
   int bound_http_port_ = -1;
   std::vector<CaptureConn> conns_;
+  std::vector<int> conn_fds_;  ///< index-aligned with conns_
   std::vector<std::string> drained_spools_;
   std::int64_t last_csv_ns_ = 0;
   std::uint64_t spool_index_ = 0;
+  std::uint64_t conn_serial_ = 0;
   bool started_ = false;
 };
 

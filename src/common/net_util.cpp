@@ -1,0 +1,159 @@
+#include "common/net_util.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace bpsio::net {
+
+bool send_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t sent = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (sent == 0) return false;
+    data += sent;
+    size -= static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+bool write_file_atomic(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool wrote =
+      std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  const bool flushed = std::fclose(f) == 0;
+  if (!wrote || !flushed) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+int bind_unix_listener(const std::string& path, int backlog) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof addr.sun_path) return -1;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());  // stale socket from a dead daemon
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, backlog) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int bind_loopback_listener(int port, int backlog, int* bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, backlog) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  if (bound_port != nullptr) *bound_port = static_cast<int>(ntohs(bound.sin_port));
+  return fd;
+}
+
+int connect_stream(const std::string& target) {
+  const std::size_t colon = target.rfind(':');
+  if (colon != std::string::npos && target.find('/') == std::string::npos) {
+    const std::string host = target.substr(0, colon);
+    const long port = std::strtol(target.c_str() + colon + 1, nullptr, 10);
+    if (port <= 0 || port > 65535) return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    const char* host_text = host.empty() ? "127.0.0.1" : host.c_str();
+    if (::inet_pton(AF_INET, host_text, &addr.sin_addr) != 1) return -1;
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) return -1;
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+        0) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (target.empty() || target.size() >= sizeof addr.sun_path) return -1;
+  std::memcpy(addr.sun_path, target.c_str(), target.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void serve_plain_http(int fd,
+                      const std::function<std::string()>& metrics_body) {
+  timeval tv{};
+  tv.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  std::string request;
+  char buf[2048];
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.size() < 16 * 1024) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+
+  std::string body;
+  const char* status_line = "HTTP/1.0 200 OK\r\n";
+  const char* content_type = "text/plain; version=0.0.4; charset=utf-8";
+  if (request.rfind("GET /metrics", 0) == 0 ||
+      request.rfind("GET / ", 0) == 0) {
+    body = metrics_body();
+  } else if (request.rfind("GET /healthz", 0) == 0) {
+    body = "ok\n";
+  } else {
+    status_line = "HTTP/1.0 404 Not Found\r\n";
+    body = "only /metrics and /healthz live here\n";
+  }
+  std::string response = status_line;
+  response += "Content-Type: ";
+  response += content_type;
+  response += "\r\nContent-Length: " + std::to_string(body.size()) +
+              "\r\nConnection: close\r\n\r\n";
+  response += body;
+  (void)send_all(fd, response.data(), response.size());
+  ::close(fd);
+}
+
+}  // namespace bpsio::net

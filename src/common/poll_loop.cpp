@@ -1,0 +1,47 @@
+#include "common/poll_loop.hpp"
+
+#include <cerrno>
+
+namespace bpsio {
+
+void PollLoop::add_listener(int fd, std::function<void()> on_ready) {
+  listeners_.push_back(Listener{fd, std::move(on_ready)});
+}
+
+Status PollLoop::round(std::span<const int> conn_fds, int timeout_ms,
+                       const std::function<bool(std::size_t)>& on_conn) {
+  fds_.clear();
+  for (const Listener& listener : listeners_) {
+    fds_.push_back({listener.fd, POLLIN, 0});
+  }
+  for (const int fd : conn_fds) {
+    fds_.push_back({fd, POLLIN, 0});
+  }
+  const int ready = ::poll(fds_.data(), fds_.size(), timeout_ms);
+  if (ready < 0 && errno != EINTR) {
+    return Error{Errc::io_error, "poll failed"};
+  }
+  if (ready <= 0) return {};
+
+  // Listener callbacks may append to the caller's connection set; fds_ only
+  // has entries for the snapshot `conn_fds` was built from — the scan below
+  // is bounded by that count, or a freshly accepted connection would read
+  // past the end of fds_ (the PR-5 regression test_poll_loop pins).
+  const std::size_t polled_conns = conn_fds.size();
+  for (std::size_t l = 0; l < listeners_.size(); ++l) {
+    if ((fds_[l].revents & POLLIN) != 0) listeners_[l].on_ready();
+  }
+  const std::size_t base = listeners_.size();
+  for (std::size_t i = 0; i < polled_conns; ++i) {
+    const short revents = fds_[base + i].revents;
+    if ((revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+    if (!on_conn(i)) {
+      // The callback removed connection i: every later index shifted, so
+      // the remaining revents are stale. Re-poll next round.
+      break;
+    }
+  }
+  return {};
+}
+
+}  // namespace bpsio

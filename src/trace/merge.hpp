@@ -10,8 +10,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "common/result.hpp"
 #include "common/thread_pool.hpp"
 #include "trace/io_record.hpp"
 
@@ -65,5 +67,15 @@ std::unique_ptr<RecordSource> merged_record_source(
 /// Shift every record by `delta_ns` (e.g. to concatenate phases).
 std::vector<IoRecord> shift_trace(std::vector<IoRecord> records,
                                   std::int64_t delta_ns);
+
+/// K-way merge several on-disk, start-ordered trace files (per-connection
+/// or per-stream spools) into one sorted v2 trace at `out_path` —
+/// TimeAlignment::keep, pid_stride 0, exactly the daemon drain contract:
+/// captured records carry real distinct pids and a shared monotonic clock.
+/// The paths are sorted first so the merge order (and therefore the exact
+/// tie-break order of equal-keyed records) is deterministic. An empty path
+/// list writes a valid empty trace.
+Status merge_trace_files(std::vector<std::string> paths,
+                         const std::string& out_path);
 
 }  // namespace bpsio::trace

@@ -343,5 +343,166 @@ TEST(Frame, InterleavedFramesKeepPerConnectionOrder) {
   EXPECT_EQ(out_b, sample_records(2, 2));
 }
 
+Status feed_tagged(FrameDecoder& decoder, const char* data, std::size_t n,
+                   std::vector<std::pair<std::uint64_t, IoRecord>>& out) {
+  return decoder.feed(
+      data, n,
+      [&out](std::uint64_t stream, std::span<const IoRecord> frame) {
+        for (const IoRecord& r : frame) out.emplace_back(stream, r);
+      });
+}
+
+TEST(Frame, ValidTenantCharset) {
+  EXPECT_TRUE(valid_tenant("web"));
+  EXPECT_TRUE(valid_tenant("team-a.prod:eu_1"));
+  EXPECT_TRUE(valid_tenant(std::string(kMaxTenantLen, 'x')));
+  EXPECT_FALSE(valid_tenant(""));
+  EXPECT_FALSE(valid_tenant(std::string(kMaxTenantLen + 1, 'x')));
+  EXPECT_FALSE(valid_tenant("has space"));
+  EXPECT_FALSE(valid_tenant("slash/y"));
+  EXPECT_FALSE(valid_tenant(std::string_view("nul\0", 4)));
+}
+
+TEST(Frame, HelloAnnouncesTheTenant) {
+  std::vector<char> wire;
+  encode_hello("tenant-a", wire);
+  // The payload is zero-padded so the NEXT frame's header starts 8-aligned —
+  // that keeps data-frame payloads aligned and the zero-copy path alive.
+  EXPECT_EQ(wire.size() % 8, 0u);
+  const std::vector<IoRecord> records = sample_records(3);
+  encode_frame(records, wire);
+
+  FrameDecoder decoder;
+  std::vector<IoRecord> out;
+  EXPECT_TRUE(decoder.tenant().empty());
+  ASSERT_TRUE(feed_collect(decoder, wire.data(), wire.size(), out).ok());
+  EXPECT_EQ(decoder.tenant(), "tenant-a");
+  EXPECT_EQ(out, records);
+  EXPECT_EQ(decoder.frames_decoded(), 1u);  // hellos are not data frames
+  EXPECT_EQ(decoder.pending_bytes(), 0u);
+}
+
+TEST(Frame, HelloKeepsDataPayloadsZeroCopy) {
+  // After a hello, an aligned whole-buffer data frame must still alias the
+  // fed buffer — the padding exists exactly for this.
+  std::vector<char> wire;
+  encode_hello("zc", wire);
+  const std::size_t data_at = wire.size();
+  encode_frame(sample_records(4), wire);
+  ASSERT_EQ(reinterpret_cast<std::uintptr_t>(wire.data() + data_at +
+                                             sizeof(FrameHeader)) %
+                alignof(IoRecord),
+            0u);
+
+  FrameDecoder decoder;
+  const char* seen = nullptr;
+  ASSERT_TRUE(decoder
+                  .feed(wire.data(), wire.size(),
+                        [&](std::span<const IoRecord> frame) {
+                          seen = reinterpret_cast<const char*>(frame.data());
+                        })
+                  .ok());
+  EXPECT_EQ(seen, wire.data() + data_at + sizeof(FrameHeader));
+}
+
+TEST(Frame, TaggedFramesCarryTheirStreamId) {
+  const std::vector<IoRecord> a = sample_records(2, 1);
+  const std::vector<IoRecord> b = sample_records(3, 2);
+  std::vector<char> wire;
+  encode_tagged_frame(7, a, wire);
+  encode_frame(b, wire);  // untagged frames are stream 0
+  encode_tagged_frame(7, a, wire);
+
+  FrameDecoder decoder;
+  std::vector<std::pair<std::uint64_t, IoRecord>> out;
+  ASSERT_TRUE(feed_tagged(decoder, wire.data(), wire.size(), out).ok());
+  ASSERT_EQ(out.size(), a.size() + b.size() + a.size());
+  for (std::size_t i = 0; i < 2; ++i) EXPECT_EQ(out[i].first, 7u);
+  for (std::size_t i = 2; i < 5; ++i) EXPECT_EQ(out[i].first, 0u);
+  for (std::size_t i = 5; i < 7; ++i) EXPECT_EQ(out[i].first, 7u);
+  EXPECT_EQ(decoder.frames_decoded(), 3u);
+}
+
+TEST(Frame, UntaggedSinkDiscardsStreamIdsButKeepsRecords) {
+  // A receiver that treats the connection as one stream (the agent) still
+  // decodes tagged frames — the ids are simply dropped.
+  const std::vector<IoRecord> records = sample_records(4);
+  std::vector<char> wire;
+  encode_tagged_frame(42, records, wire);
+  FrameDecoder decoder;
+  std::vector<IoRecord> out;
+  ASSERT_TRUE(feed_collect(decoder, wire.data(), wire.size(), out).ok());
+  EXPECT_EQ(out, records);
+}
+
+TEST(Frame, HelloAfterDataPoisonsTheStream) {
+  std::vector<char> wire;
+  encode_frame(sample_records(1), wire);
+  encode_hello("late", wire);
+  FrameDecoder decoder;
+  std::vector<IoRecord> out;
+  EXPECT_FALSE(feed_collect(decoder, wire.data(), wire.size(), out).ok());
+  EXPECT_EQ(out.size(), 1u);  // the data frame before the late hello decoded
+  EXPECT_FALSE(decoder.status().ok());
+}
+
+TEST(Frame, SecondHelloPoisonsTheStream) {
+  std::vector<char> wire;
+  encode_hello("one", wire);
+  encode_hello("two", wire);
+  FrameDecoder decoder;
+  std::vector<IoRecord> out;
+  EXPECT_FALSE(feed_collect(decoder, wire.data(), wire.size(), out).ok());
+  EXPECT_EQ(decoder.tenant(), "one");
+  EXPECT_FALSE(decoder.status().ok());
+}
+
+TEST(Frame, MalformedHelloTenantPoisonsTheStream) {
+  // encode_hello refuses bad tenants, so forge the header by hand: a length
+  // beyond kMaxTenantLen and an in-range length with an illegal byte.
+  {
+    std::vector<char> wire(sizeof(FrameHeader));
+    FrameHeader h;
+    h.magic = kHelloMagic;
+    h.record_count = kMaxTenantLen + 1;
+    std::memcpy(wire.data(), &h, sizeof h);
+    FrameDecoder decoder;
+    std::vector<IoRecord> out;
+    EXPECT_FALSE(feed_collect(decoder, wire.data(), wire.size(), out).ok());
+  }
+  {
+    std::vector<char> wire;
+    encode_hello("goodbad", wire);
+    wire[sizeof(FrameHeader) + 4] = ' ';  // illegal tenant byte
+    FrameDecoder decoder;
+    std::vector<IoRecord> out;
+    EXPECT_FALSE(feed_collect(decoder, wire.data(), wire.size(), out).ok());
+    EXPECT_TRUE(decoder.tenant().empty());
+  }
+}
+
+TEST(Frame, HelloAndTaggedSurviveByteAtATimeDelivery) {
+  std::vector<char> wire;
+  encode_hello("frag.tenant", wire);
+  std::vector<std::pair<std::uint64_t, IoRecord>> expected;
+  std::uint64_t stream = 1;
+  for (const int count : {3, 0, 5, 2}) {
+    const std::vector<IoRecord> frame = sample_records(count, 9);
+    encode_tagged_frame(stream, frame, wire);
+    for (const IoRecord& r : frame) expected.emplace_back(stream, r);
+    ++stream;
+  }
+
+  FrameDecoder decoder;
+  std::vector<std::pair<std::uint64_t, IoRecord>> out;
+  for (const char byte : wire) {
+    ASSERT_TRUE(feed_tagged(decoder, &byte, 1, out).ok());
+  }
+  EXPECT_EQ(decoder.tenant(), "frag.tenant");
+  EXPECT_EQ(decoder.frames_decoded(), 4u);
+  EXPECT_EQ(decoder.pending_bytes(), 0u);
+  EXPECT_EQ(out, expected);
+}
+
 }  // namespace
 }  // namespace bpsio::trace

@@ -1,0 +1,143 @@
+// PollLoop (common/poll_loop.hpp) bookkeeping tests. The two cases here pin
+// the exact hazards the helper exists to own: a listener callback growing
+// the connection set mid-round (the PR-5 out-of-bounds regression — under
+// ASan a scan bounded by the live count instead of the poll()-time snapshot
+// reads past the pollfd array), and a connection callback removing its
+// connection mid-scan (later revents are stale; they must be rediscovered
+// by the next round, not serviced through shifted indices).
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "common/poll_loop.hpp"
+
+namespace bpsio {
+namespace {
+
+/// A connected socket pair; `fd` is the end handed to PollLoop, `peer` the
+/// end the test writes to to make `fd` readable.
+struct TestConn {
+  int fd = -1;
+  int peer = -1;
+};
+
+TestConn make_conn() {
+  int sv[2] = {-1, -1};
+  EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  return TestConn{sv[0], sv[1]};
+}
+
+void make_readable(const TestConn& conn) {
+  ASSERT_EQ(::write(conn.peer, "x", 1), 1);
+}
+
+void drain_one(int fd) {
+  char byte;
+  ASSERT_EQ(::read(fd, &byte, 1), 1);
+}
+
+void close_conn(TestConn& conn) {
+  if (conn.fd >= 0) ::close(conn.fd);
+  if (conn.peer >= 0) ::close(conn.peer);
+  conn.fd = conn.peer = -1;
+}
+
+TEST(PollLoop, IdleRoundTimesOutWithoutCallbacks) {
+  TestConn conn = make_conn();  // connected but nothing written: not readable
+  std::vector<int> fds = {conn.fd};
+  PollLoop loop;
+  std::size_t calls = 0;
+  ASSERT_TRUE(loop.round(fds, 0, [&](std::size_t) {
+                    ++calls;
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(calls, 0u);
+  close_conn(conn);
+}
+
+TEST(PollLoop, AcceptMidRoundServicesOnlyTheSnapshot) {
+  // The listener fires first and appends two new READABLE connections to the
+  // caller's set. The round polled only the two original connections, so
+  // only indices 0 and 1 may be serviced this round — touching index 2 or 3
+  // would read revents past the end of the armed pollfd array (the PR-5
+  // regression, ASan-visible). The next round picks the newcomers up.
+  TestConn listener = make_conn();
+  std::vector<TestConn> conns = {make_conn(), make_conn()};
+  make_readable(conns[0]);
+  make_readable(conns[1]);
+  std::vector<int> fds = {conns[0].fd, conns[1].fd};
+
+  PollLoop loop;
+  loop.add_listener(listener.fd, [&] {
+    drain_one(listener.fd);
+    for (int i = 0; i < 2; ++i) {
+      conns.push_back(make_conn());
+      make_readable(conns.back());
+      fds.push_back(conns.back().fd);
+    }
+  });
+  make_readable(listener);
+
+  std::vector<std::size_t> serviced;
+  const auto on_conn = [&](std::size_t i) {
+    serviced.push_back(i);
+    drain_one(fds[i]);
+    return true;
+  };
+  ASSERT_TRUE(loop.round(fds, 1000, on_conn).ok());
+  EXPECT_EQ(serviced, (std::vector<std::size_t>{0, 1}));
+  ASSERT_EQ(fds.size(), 4u);
+
+  serviced.clear();
+  ASSERT_TRUE(loop.round(fds, 1000, on_conn).ok());
+  EXPECT_EQ(serviced, (std::vector<std::size_t>{2, 3}));
+
+  for (TestConn& conn : conns) close_conn(conn);
+  close_conn(listener);
+}
+
+TEST(PollLoop, RemovalMidScanStopsAndRepolls) {
+  // Connection 0's callback closes and removes it, shifting connections 1/2
+  // down to indices 0/1. Their polled revents are now stale, so the scan
+  // must stop at the removal; the readiness is still there, and the next
+  // round services exactly the two survivors at their new indices.
+  std::vector<TestConn> conns = {make_conn(), make_conn(), make_conn()};
+  for (const TestConn& conn : conns) make_readable(conn);
+  std::vector<int> fds = {conns[0].fd, conns[1].fd, conns[2].fd};
+
+  PollLoop loop;
+  std::vector<int> serviced_fds;
+  bool removed = false;
+  const auto on_conn = [&](std::size_t i) {
+    serviced_fds.push_back(fds[i]);
+    if (!removed) {
+      removed = true;
+      close_conn(conns[i]);
+      conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
+      fds.erase(fds.begin() + static_cast<std::ptrdiff_t>(i));
+      return false;
+    }
+    drain_one(fds[i]);
+    return true;
+  };
+
+  const int fd0 = fds[0];
+  const int fd1 = fds[1];
+  const int fd2 = fds[2];
+  ASSERT_TRUE(loop.round(fds, 1000, on_conn).ok());
+  EXPECT_EQ(serviced_fds, (std::vector<int>{fd0}));
+  ASSERT_EQ(fds.size(), 2u);
+
+  serviced_fds.clear();
+  ASSERT_TRUE(loop.round(fds, 1000, on_conn).ok());
+  EXPECT_EQ(serviced_fds, (std::vector<int>{fd1, fd2}));
+
+  for (TestConn& conn : conns) close_conn(conn);
+}
+
+}  // namespace
+}  // namespace bpsio

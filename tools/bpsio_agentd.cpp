@@ -66,6 +66,19 @@ int run_agentd(int argc, char** argv) {
   parser.add_string("--spool-dir", &opt.spool_dir, "DIR",
                     "per-connection spool directory backing --drain "
                     "(default: <drain path>.spool.d)");
+  parser.add_string("--forward", &opt.forward_target, "TARGET",
+                    "ship every received frame upstream to a "
+                    "bpsio_collectord (host:port = loopback TCP, otherwise "
+                    "a Unix socket path)");
+  parser.add_string("--forward-tenant", &opt.forward_tenant, "ID",
+                    "tenant id announced to the collector (default "
+                    "\"default\")");
+  parser.add_string("--forward-spill-dir", &opt.forward_spill_dir, "DIR",
+                    "fallback spill directory when the upstream link fails "
+                    "(default: drop and count)");
+  long long forward_batch = 4096;
+  parser.add_int("--forward-batch", &forward_batch, 1, 1'048'576, "N",
+                 "records per upstream frame (default 4096)");
   parser.add_positive_double("--window", &window_ms, "MS",
                              "sliding-window length for live metrics "
                              "(default 10000)");
@@ -110,6 +123,7 @@ int run_agentd(int argc, char** argv) {
   }
   opt.http_port = static_cast<int>(http_port);
   opt.expect_clients = static_cast<std::uint64_t>(expect_clients);
+  opt.forward_batch = static_cast<std::size_t>(forward_batch);
   opt.window = SimDuration(static_cast<std::int64_t>(window_ms * 1'000'000.0));
   opt.csv_interval =
       SimDuration(static_cast<std::int64_t>(csv_interval_s * 1'000'000'000.0));

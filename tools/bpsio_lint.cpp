@@ -35,9 +35,11 @@
 //                   drops records.
 //   record-copy-loop
 //                   range-for over an IoRecord span whose whole body is one
-//                   unconditional push_back/add/append of the loop variable —
-//                   every sink on the record path has a bulk span overload;
-//                   copying one record at a time forfeits it.
+//                   unconditional push_back/add/append/ship/forward of the
+//                   loop variable — every sink on the record path (spools,
+//                   aggregators, the agent→collector forward link) has a
+//                   bulk span overload; copying one record at a time
+//                   forfeits it.
 //
 // Escape hatch: `// bpsio-lint: allow(rule)` on the offending line or on a
 // comment-only line directly above it. Every allow must carry a
@@ -444,7 +446,8 @@ void rule_record_copy_loop(const SourceFile& src, std::vector<Finding>& out) {
     for (char c : body.substr(0, semi + 1)) {
       if (c != ' ' && c != '{') compact += c;
     }
-    for (const char* method : {"push_back", "add", "append", "insert"}) {
+    for (const char* method :
+         {"push_back", "add", "append", "insert", "ship", "forward"}) {
       for (const char* access : {".", "->"}) {
         const std::string suffix =
             std::string(access) + method + "(" + var + ");";
@@ -635,6 +638,21 @@ const SelfCase kSelfCases[] = {
      "    if (r.valid()) kept.push_back(r);\n"
      "  }\n"
      "  for (const trace::IoRecord& r : chunk) blocks += r.blocks;\n"
+     "}\n"},
+    {"record-copy-loop", "src/collector/server.cpp",
+     // The forwarding path has the same bulk contract: ForwardLink::append
+     // and friends take whole spans, so a one-record-at-a-time ship loop is
+     // the same regression wearing a different method name.
+     "void f(std::span<const trace::IoRecord> frame, ForwardLink& link) {\n"
+     "  for (const trace::IoRecord& r : frame) {\n"
+     "    link.ship(r);\n"
+     "  }\n"
+     "}\n",
+     "void f(std::span<const trace::IoRecord> frame, ForwardLink& link) {\n"
+     "  link.append(stream_id, frame);\n"
+     "  for (const trace::IoRecord& r : frame) {\n"
+     "    if (!r.valid()) link.forward(r);\n"
+     "  }\n"
      "}\n"},
 };
 
