@@ -6,7 +6,7 @@
 // redistributes. BPS keeps ranking by application outcome in both modes.
 #include "figure_bench.hpp"
 #include "core/presets.hpp"
-#include "workload/ior.hpp"
+#include "workload/registry.hpp"
 
 using namespace bpsio;
 
@@ -27,7 +27,7 @@ metrics::MetricSample run_ior(bool collective, std::uint32_t procs,
     cfg.processes = procs;
     cfg.collective = collective;
     cfg.aggregators = collective ? 4 : 0;
-    return std::make_unique<workload::IorWorkload>(cfg);
+    return workload::make_workload(cfg);
   };
   return core::run_once(spec, seed);
 }

@@ -5,7 +5,7 @@
 #include "figure_bench.hpp"
 #include "core/presets.hpp"
 #include "metrics/overlap.hpp"
-#include "workload/ior.hpp"
+#include "workload/registry.hpp"
 
 using namespace bpsio;
 
@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
       cfg.file_size = file;
       cfg.transfer_size = 64 * kKiB;
       cfg.processes = procs;
-      return std::make_unique<workload::IorWorkload>(cfg);
+      return workload::make_workload(cfg);
     };
 
     // Rebuild the testbed and workload to recover the raw trace.

@@ -8,7 +8,7 @@
 // is wasted. Bandwidth credits the waste; BPS tracks the application win.
 #include "figure_bench.hpp"
 #include "core/presets.hpp"
-#include "workload/iozone.hpp"
+#include "workload/registry.hpp"
 
 using namespace bpsio;
 
@@ -35,7 +35,7 @@ metrics::MetricSample run_iozone(bool prefetch, Bytes record, double scale,
       pf.trigger_streak = 2;
       cfg.prefetch = pf;
     }
-    return std::make_unique<workload::IozoneWorkload>(cfg);
+    return workload::make_workload(cfg);
   };
   return core::run_once(spec, seed);
 }

@@ -3,7 +3,7 @@
 // execution time and BPS, invisible to per-component metrics taken alone.
 #include "figure_bench.hpp"
 #include "core/presets.hpp"
-#include "workload/iozone.hpp"
+#include "workload/registry.hpp"
 
 using namespace bpsio;
 
@@ -31,7 +31,7 @@ metrics::MetricSample run_random_readers(device::HddScheduler scheduler,
     wl.size_is_total = false;
     wl.separate_files = false;  // everyone hammers one shared full-range file
     wl.random_count = 256;
-    return std::make_unique<workload::IozoneWorkload>(wl);
+    return workload::make_workload(wl);
   };
   return core::run_once(spec, seed);
 }

@@ -8,7 +8,7 @@
 // higher. BPS ranks configurations exactly as execution time does.
 #include "figure_bench.hpp"
 #include "core/presets.hpp"
-#include "workload/hpio.hpp"
+#include "workload/registry.hpp"
 
 using namespace bpsio;
 
@@ -30,7 +30,7 @@ metrics::MetricSample run_hpio(Bytes spacing, bool sieving, double scale,
     cfg.processes = 4;
     cfg.sieving.enabled = sieving;
     cfg.regions_per_call = 8192;
-    return std::make_unique<workload::HpioWorkload>(cfg);
+    return workload::make_workload(cfg);
   };
   return core::run_once(spec, seed);
 }

@@ -7,7 +7,7 @@
 #include "device/hdd_model.hpp"
 #include "device/io_scheduler.hpp"
 #include "device/raid.hpp"
-#include "workload/iozone.hpp"
+#include "workload/registry.hpp"
 
 using namespace bpsio;
 
@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
           cfg.file_size = file;
           cfg.record_size = 1 * kMiB;
           cfg.processes = 1;
-          return std::make_unique<workload::IozoneWorkload>(cfg);
+          return workload::make_workload(cfg);
         };
         auto local_with = [](core::DeviceFactory factory,
                              const char* label) {

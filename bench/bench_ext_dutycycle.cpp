@@ -9,7 +9,7 @@
 // put: the I/O system did not get slower because the application thinks.
 #include "figure_bench.hpp"
 #include "core/presets.hpp"
-#include "workload/iozone.hpp"
+#include "workload/registry.hpp"
 
 using namespace bpsio;
 
@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
       wl.record_size = 64 * kKiB;
       wl.processes = 1;
       wl.think = SimDuration::from_ms(think_ms);
-      return std::make_unique<workload::IozoneWorkload>(wl);
+      return workload::make_workload(wl);
     };
     const auto s = core::run_once(spec, d.base_seed);
     if (bps0 == 0) bps0 = s.bps;

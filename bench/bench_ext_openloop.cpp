@@ -7,7 +7,7 @@
 // the whole sub-saturation region and only moves when queueing sets in.
 #include "figure_bench.hpp"
 #include "core/presets.hpp"
-#include "workload/openloop.hpp"
+#include "workload/registry.hpp"
 
 using namespace bpsio;
 
@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
       cfg.request_size = 64 * kKiB;
       cfg.request_count = requests;
       cfg.file_size = 64 * kMiB;
-      return std::make_unique<workload::OpenLoopWorkload>(cfg);
+      return workload::make_workload(cfg);
     };
     const auto s = core::run_once(spec, d.base_seed);
     t.add_row({fmt_double(rate, 0), fmt_double(s.iops, 1),

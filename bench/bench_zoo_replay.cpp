@@ -1,0 +1,112 @@
+// Harness bench: the zoo trace round trip — Darshan-text import followed by
+// a closed-loop simulator replay (the `bpsio_zoo import` + `replay` path).
+//
+// Pre-generates one zoo scenario run (dlrm: the record-densest scenario),
+// tiles its trace to the requested record count (time-shifted copies, so
+// the replay's per-pid schedules stay ordered), and exports it to the
+// per-access text form once. Each harness sample then does the full
+// consumer path: parse_darshan over the text, TraceReplayWorkload over the
+// parsed records on a fresh RAM testbed. Self-checks that replay reproduces
+// the source B exactly — the differential-replay invariant — every sample.
+// Emits BENCH_zoo_replay.json; throughput is replayed records/sec.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_cli.hpp"
+#include "common/check.hpp"
+#include "core/testbed.hpp"
+#include "workload/registry.hpp"
+#include "workload/zoo/darshan_import.hpp"
+#include "workload/zoo/zoo.hpp"
+
+using namespace bpsio;
+
+namespace {
+
+core::TestbedConfig ram_local() {
+  core::TestbedConfig cfg;
+  cfg.backend = core::BackendKind::local;
+  cfg.device = pfs::DeviceKind::ram;
+  cfg.ram.capacity = 512 * kMiB;
+  return cfg;
+}
+
+/// One dlrm run's records, tiled with a time shift until >= n records.
+std::vector<trace::IoRecord> tiled_zoo_trace(std::uint64_t n,
+                                             std::uint64_t seed) {
+  workload::zoo::ZooParams params;
+  params.seed = seed;
+  const auto plan = workload::zoo::build_plan("dlrm", params);
+  BPSIO_CHECK(plan.ok(), "dlrm plan must build");
+  core::Testbed testbed(ram_local());
+  const auto run = workload::make_workload(*plan)->run(testbed.env());
+  const std::vector<trace::IoRecord>& base = run.collector.records();
+  BPSIO_CHECK(!base.empty(), "dlrm run must produce records");
+
+  std::int64_t span = 0;
+  for (const trace::IoRecord& r : base) span = std::max(span, r.end_ns);
+  span += 1'000'000;  // 1 ms inter-tile gap
+
+  std::vector<trace::IoRecord> tiled;
+  tiled.reserve(n + base.size());
+  std::int64_t shift = 0;
+  while (tiled.size() < n) {
+    for (const trace::IoRecord& r : base) {
+      trace::IoRecord copy = r;
+      copy.start_ns += shift;
+      copy.end_ns += shift;
+      tiled.push_back(copy);
+    }
+    shift += span;
+  }
+  return tiled;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::CommonBenchArgs args;
+  cli::ArgParser parser("bench_zoo_replay",
+                        "Darshan-text import + closed-loop simulator replay "
+                        "of a tiled zoo (dlrm) trace, with a statistical "
+                        "harness.");
+  bench::register_common_flags(parser, &args, /*with_threads=*/false);
+  std::vector<std::string> positionals;
+  switch (parser.parse(argc, argv, positionals)) {
+    case cli::ArgParser::Outcome::help: return 0;
+    case cli::ArgParser::Outcome::error: return 2;
+    case cli::ArgParser::Outcome::ok: break;
+  }
+
+  const std::uint64_t n = bench::resolve_records(args, 10'000, 100'000);
+  const auto source = tiled_zoo_trace(n, static_cast<std::uint64_t>(args.seed));
+  const std::string text = workload::zoo::export_darshan(source);
+  trace::TraceCollector source_stats;
+  source_stats.gather(source);
+  const std::uint64_t source_blocks = source_stats.total_blocks();
+  std::printf("=== zoo replay: %zu records (dlrm tiled), %zu KiB of text, "
+              "seed=%llu ===\n",
+              source.size(), text.size() / 1024,
+              static_cast<unsigned long long>(args.seed));
+
+  const auto cfg = bench::make_harness_config("zoo_replay", args);
+  const bench::BenchHarness harness(cfg);
+  const auto result = harness.run([&] {
+    const auto parsed = workload::zoo::parse_darshan(text);
+    BPSIO_CHECK(parsed.ok(), "exported zoo trace must re-import");
+    BPSIO_CHECK(parsed->size() == source.size(),
+                "import must preserve the record count");
+    workload::ReplayConfig replay;
+    replay.records = *parsed;
+    replay.mode = workload::ReplayConfig::Mode::closed_loop;
+    core::Testbed testbed(ram_local());
+    const auto run = workload::make_workload(replay)->run(testbed.env());
+    BPSIO_CHECK(run.collector.total_blocks() == source_blocks,
+                "replay must reproduce the source B exactly");
+    return static_cast<double>(run.collector.record_count());
+  });
+  return bench::report_result(args, cfg, result,
+                              {{"records", std::to_string(source.size())},
+                               {"scenario", "dlrm"},
+                               {"profile", args.profile}});
+}

@@ -12,7 +12,7 @@
 #include "core/presets.hpp"
 #include "core/resources.hpp"
 #include "core/testbed.hpp"
-#include "workload/iozone.hpp"
+#include "workload/registry.hpp"
 
 using namespace bpsio;
 
@@ -34,8 +34,8 @@ int main(int argc, char** argv) {
     wl.file_size = total;
     wl.record_size = 16 * kKiB;
     wl.processes = procs;
-    workload::IozoneWorkload workload(wl);
-    const auto run = workload.run(testbed.env());
+    const workload::WorkloadPtr wkl = workload::make_workload(wl);
+    const auto run = wkl->run(testbed.env());
 
     auto usage = core::resource_usage(testbed, run.exec_time);
     std::sort(usage.begin(), usage.end(),
@@ -59,8 +59,8 @@ int main(int argc, char** argv) {
   wl.file_size = total;
   wl.record_size = 16 * kKiB;
   wl.processes = 8;
-  workload::IozoneWorkload workload(wl);
-  const auto run = workload.run(testbed.env());
+  const workload::WorkloadPtr wkl = workload::make_workload(wl);
+  const auto run = wkl->run(testbed.env());
   std::printf("top resources at 8 processes:\n%s\n",
               core::usage_table(core::resource_usage(testbed, run.exec_time),
                                 6)

@@ -11,7 +11,7 @@
 #include "core/experiment.hpp"
 #include "core/presets.hpp"
 #include "metrics/cc_study.hpp"
-#include "workload/ior.hpp"
+#include "workload/registry.hpp"
 
 using namespace bpsio;
 
@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
       wl.file_size = file;
       wl.transfer_size = transfer;
       wl.processes = procs;
-      return std::make_unique<workload::IorWorkload>(wl);
+      return workload::make_workload(wl);
     };
     specs.push_back(std::move(spec));
   }

@@ -10,7 +10,7 @@
 #include "common/format.hpp"
 #include "core/experiment.hpp"
 #include "core/presets.hpp"
-#include "workload/hpio.hpp"
+#include "workload/registry.hpp"
 
 using namespace bpsio;
 
@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
         wl.processes = procs;
         wl.sieving.enabled = sieving;
         wl.regions_per_call = 8192;
-        return std::make_unique<workload::HpioWorkload>(wl);
+        return workload::make_workload(wl);
       };
       const auto s = core::run_once(spec, 42);
       table.add_row({std::to_string(spacing) + "B",

@@ -14,7 +14,7 @@
 #include "core/presets.hpp"
 #include "core/testbed.hpp"
 #include "metrics/timeline.hpp"
-#include "workload/iozone.hpp"
+#include "workload/registry.hpp"
 
 using namespace bpsio;
 
@@ -35,8 +35,8 @@ int main(int argc, char** argv) {
     wl.record_size = 64 * kKiB;
     wl.processes = burst * 2;  // 2, 4, 6 concurrent readers
     wl.path_prefix = "/burst" + std::to_string(burst);
-    workload::IozoneWorkload workload(wl);
-    const auto run = workload.run(testbed.env());
+    const workload::WorkloadPtr wkl = workload::make_workload(wl);
+    const auto run = wkl->run(testbed.env());
     all.gather(run.collector.records());
     // Compute phase: 1 simulated second of no I/O.
     bool tick = false;

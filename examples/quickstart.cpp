@@ -13,7 +13,7 @@
 #include "core/bps_meter.hpp"
 #include "core/presets.hpp"
 #include "core/testbed.hpp"
-#include "workload/iozone.hpp"
+#include "workload/registry.hpp"
 
 using namespace bpsio;
 
@@ -35,8 +35,8 @@ int main(int argc, char** argv) {
   wl.file_size = cfg.get_bytes("file", 256 * kMiB);
   wl.record_size = cfg.get_bytes("record", 64 * kKiB);
   wl.processes = static_cast<std::uint32_t>(cfg.get_int("procs", 4));
-  workload::IozoneWorkload workload(wl);
-  const workload::RunResult run = workload.run(testbed.env());
+  const workload::WorkloadPtr wkl = workload::make_workload(wl);
+  const workload::RunResult run = wkl->run(testbed.env());
 
   // 3. The BPS methodology: gather all processes' records, measure.
   core::BpsMeter meter;

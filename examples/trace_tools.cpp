@@ -22,7 +22,7 @@
 #include "trace/merge.hpp"
 #include "trace/serialize.hpp"
 #include "trace/validate.hpp"
-#include "workload/iozone.hpp"
+#include "workload/registry.hpp"
 
 using namespace bpsio;
 
@@ -36,8 +36,8 @@ int record_trace(const std::string& path, const Config& cfg) {
   wl.file_size = cfg.get_bytes("file", 64 * kMiB);
   wl.record_size = cfg.get_bytes("record", 64 * kKiB);
   wl.processes = procs;
-  workload::IozoneWorkload workload(wl);
-  const auto run = workload.run(testbed.env());
+  const workload::WorkloadPtr wkl = workload::make_workload(wl);
+  const auto run = wkl->run(testbed.env());
 
   const auto written = trace::save_binary(path, run.collector.records());
   if (!written.ok()) {

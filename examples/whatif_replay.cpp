@@ -13,8 +13,7 @@
 #include "core/presets.hpp"
 #include "core/testbed.hpp"
 #include "metrics/calculators.hpp"
-#include "workload/iozone.hpp"
-#include "workload/replay.hpp"
+#include "workload/registry.hpp"
 
 using namespace bpsio;
 
@@ -39,8 +38,8 @@ int main(int argc, char** argv) {
   app.think = SimDuration::from_ms(2.0);  // it computes between reads
 
   core::Testbed current(core::local_hdd_testbed(42));
-  workload::IozoneWorkload workload(app);
-  const auto baseline = workload.run(current.env());
+  const workload::WorkloadPtr wkl = workload::make_workload(app);
+  const auto baseline = wkl->run(current.env());
   std::printf("recorded: %zu accesses, %u procs, exec %.3fs, BPS %.0f on %s\n\n",
               baseline.collector.record_count(), procs,
               baseline.exec_time.seconds(), metrics::bps(baseline.collector),
@@ -62,8 +61,8 @@ int main(int argc, char** argv) {
     workload::ReplayConfig replay_cfg;
     replay_cfg.records = baseline.collector.records();
     replay_cfg.mode = workload::ReplayConfig::Mode::closed_loop;
-    workload::TraceReplayWorkload replay(replay_cfg);
-    const auto run = replay.run(testbed.env());
+    const workload::WorkloadPtr replay = workload::make_workload(replay_cfg);
+    const auto run = replay->run(testbed.env());
     const double exec = run.exec_time.seconds();
     if (exec0 == 0) exec0 = exec;
     t.add_row({candidate.name, fmt_double(exec, 3),

@@ -5,6 +5,7 @@
 //   bpsio/trace.hpp     records, streaming sources, persistence, framing
 //   bpsio/metrics.hpp   the BPS metric pipeline (batch, streaming, online)
 //   bpsio/capture.hpp   real-I/O capture configuration
+//   bpsio/workload.hpp  workload registry, trace replay, application zoo
 //   core/experiment.hpp RunSpec / SweepOptions / run_sweep — simulator
 //                       experiment sweeps (Figures 4-13 of the paper)
 //
@@ -17,4 +18,5 @@
 #include "bpsio/capture.hpp"
 #include "bpsio/metrics.hpp"
 #include "bpsio/trace.hpp"
+#include "bpsio/workload.hpp"
 #include "core/experiment.hpp"

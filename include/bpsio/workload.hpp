@@ -1,0 +1,25 @@
+// Public facade: workload construction and execution.
+//
+// Stable entry points re-exported here:
+//   * workload::Workload / Env / RunResult — the workload abstraction and
+//     what a run hands back            (workload/workload.hpp)
+//   * workload::registry() / make_workload(name, Params) — the string-keyed
+//     workload catalog; THE way to construct workloads (typed
+//     make_workload(Config) overloads included)
+//                                      (workload/registry.hpp)
+//   * workload::ReplayConfig / TraceReplayWorkload — replay recorded traces
+//     on any testbed                   (workload/replay.hpp)
+//   * workload::zoo::scenarios() / build_plan() / ZooPlan / ZooWorkload —
+//     the real-application workload zoo (workload/zoo/zoo.hpp)
+//   * workload::zoo::parse_darshan / load_darshan / export_darshan —
+//     Darshan-style log import/export  (workload/zoo/darshan_import.hpp)
+//
+// See docs/API.md for the stability policy and the deprecation note on
+// direct concrete-workload construction.
+#pragma once
+
+#include "workload/registry.hpp"
+#include "workload/replay.hpp"
+#include "workload/workload.hpp"
+#include "workload/zoo/darshan_import.hpp"
+#include "workload/zoo/zoo.hpp"

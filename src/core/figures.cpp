@@ -4,9 +4,8 @@
 
 #include "common/format.hpp"
 #include "core/presets.hpp"
-#include "workload/hpio.hpp"
-#include "workload/ior.hpp"
-#include "workload/iozone.hpp"
+#include "workload/registry.hpp"
+#include "workload/zoo/zoo.hpp"
 
 namespace bpsio::core::figures {
 
@@ -46,7 +45,7 @@ std::vector<RunSpec> fig4_devices(const FigureDefaults& d) {
     cfg.file_size = file;
     cfg.record_size = record;
     cfg.processes = 1;
-    return std::make_unique<workload::IozoneWorkload>(cfg);
+    return workload::make_workload(cfg);
   };
 
   std::vector<RunSpec> specs;
@@ -88,7 +87,7 @@ std::vector<RunSpec> iosize_sweep(const FigureDefaults& d, bool ssd) {
           cfg.file_size = file;
           cfg.record_size = record;
           cfg.processes = 1;
-          return std::make_unique<workload::IozoneWorkload>(cfg);
+          return workload::make_workload(cfg);
         }});
   }
   return specs;
@@ -134,7 +133,7 @@ std::vector<RunSpec> fig9_concurrency_pure(const FigureDefaults& d) {
           cfg.record_size = record;
           cfg.processes = procs;
           cfg.separate_files = true;
-          return std::make_unique<workload::IozoneWorkload>(cfg);
+          return workload::make_workload(cfg);
         }});
   }
   return specs;
@@ -161,7 +160,7 @@ std::vector<RunSpec> fig11_concurrency_ior(const FigureDefaults& d) {
           cfg.transfer_size = 64 * kKiB;
           cfg.processes = procs;
           cfg.write = false;
-          return std::make_unique<workload::IorWorkload>(cfg);
+          return workload::make_workload(cfg);
         }});
   }
   return specs;
@@ -190,7 +189,29 @@ std::vector<RunSpec> fig12_datasieving(const FigureDefaults& d) {
           cfg.processes = 4;
           cfg.sieving.enabled = true;
           cfg.regions_per_call = 8192;
-          return std::make_unique<workload::HpioWorkload>(cfg);
+          return workload::make_workload(cfg);
+        }});
+  }
+  return specs;
+}
+
+// ---------------------------------------------------------------------------
+// Beyond the paper: the real-application zoo — one run per scenario, all on
+// the local-SSD testbed so rows are comparable, every workload constructed
+// through the string-keyed registry (the canonical external usage).
+// ---------------------------------------------------------------------------
+std::vector<RunSpec> zoo_scenarios(const FigureDefaults& d) {
+  std::vector<RunSpec> specs;
+  for (const workload::zoo::ScenarioInfo& info : workload::zoo::scenarios()) {
+    const std::string name = info.name;
+    const double scale = d.scale;
+    specs.push_back(RunSpec{
+        name, [](std::uint64_t seed) { return local_ssd_testbed(seed); },
+        [name, scale]() -> std::unique_ptr<workload::Workload> {
+          workload::Params params;
+          params.set("scale", std::to_string(scale));
+          return std::move(workload::make_workload("zoo." + name, params))
+              .value();
         }});
   }
   return specs;

@@ -37,6 +37,12 @@ std::vector<RunSpec> fig9_concurrency_pure(const FigureDefaults& d = {});
 std::vector<RunSpec> fig11_concurrency_ior(const FigureDefaults& d = {});
 std::vector<RunSpec> fig12_datasieving(const FigureDefaults& d = {});
 
+/// Beyond the paper: the real-application workload zoo on one testbed —
+/// one run per scenario (DL training, HPC, BigData), every workload built
+/// through the string-keyed registry. `d.scale` maps to the zoo's volume
+/// scale. This is the sweep preset behind `bpsio_zoo sim`'s scenario set.
+std::vector<RunSpec> zoo_scenarios(const FigureDefaults& d = {});
+
 /// Record sizes swept in Set 2 (4 KB .. 8 MB, doubling).
 std::vector<Bytes> set2_record_sizes();
 /// Region spacings swept in Set 4 (8 B .. 4096 B, doubling).

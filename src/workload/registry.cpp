@@ -1,0 +1,277 @@
+#include "workload/registry.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <utility>
+
+#include "trace/serialize.hpp"
+#include "workload/zoo/darshan_import.hpp"
+
+namespace bpsio::workload {
+
+namespace {
+
+/// Reject parameter keys the workload does not understand — a typo'd
+/// `--set recordsize=64K` must fail, not silently run with the default.
+Status check_keys(const Params& params, const std::vector<std::string>& keys) {
+  for (const auto& [key, value] : params.entries()) {
+    (void)value;
+    if (std::find(keys.begin(), keys.end(), key) == keys.end()) {
+      std::string allowed;
+      for (const std::string& k : keys) {
+        if (!allowed.empty()) allowed += ", ";
+        allowed += k;
+      }
+      return Error{Errc::invalid_argument,
+                   "unknown parameter '" + key + "' (allowed: " + allowed +
+                       ")"};
+    }
+  }
+  return {};
+}
+
+Result<IozoneConfig::Mode> parse_iozone_mode(const std::string& name) {
+  using Mode = IozoneConfig::Mode;
+  if (name == "read") return Mode::read;
+  if (name == "write") return Mode::write;
+  if (name == "reread") return Mode::reread;
+  if (name == "rewrite") return Mode::rewrite;
+  if (name == "random_read") return Mode::random_read;
+  if (name == "random_write") return Mode::random_write;
+  if (name == "backward_read") return Mode::backward_read;
+  if (name == "stride_read") return Mode::stride_read;
+  if (name == "mixed") return Mode::mixed;
+  return Error{Errc::invalid_argument, "unknown iozone mode: " + name};
+}
+
+Result<WorkloadPtr> make_iozone(const Params& p) {
+  IozoneConfig cfg;
+  Result<IozoneConfig::Mode> mode =
+      parse_iozone_mode(p.get_string("mode", "read"));
+  if (!mode) return mode.error();
+  cfg.mode = *mode;
+  cfg.file_size = p.get_bytes("file_size", cfg.file_size);
+  cfg.record_size = p.get_bytes("record_size", cfg.record_size);
+  cfg.processes =
+      static_cast<std::uint32_t>(p.get_int("processes", cfg.processes));
+  cfg.size_is_total = p.get_bool("size_is_total", cfg.size_is_total);
+  cfg.separate_files = p.get_bool("separate_files", cfg.separate_files);
+  cfg.random_count = static_cast<std::uint64_t>(
+      p.get_int("random_count", static_cast<std::int64_t>(cfg.random_count)));
+  cfg.stride = p.get_bytes("stride", cfg.stride);
+  cfg.think = SimDuration::from_us(p.get_double("think_us", 0.0));
+  cfg.seed = static_cast<std::uint64_t>(
+      p.get_int("seed", static_cast<std::int64_t>(cfg.seed)));
+  cfg.path_prefix = p.get_string("path", cfg.path_prefix);
+  cfg.access_fraction = p.get_double("access_fraction", cfg.access_fraction);
+  return make_workload(std::move(cfg));
+}
+
+Result<WorkloadPtr> make_ior(const Params& p) {
+  IorConfig cfg;
+  cfg.file_size = p.get_bytes("file_size", cfg.file_size);
+  cfg.transfer_size = p.get_bytes("transfer_size", cfg.transfer_size);
+  cfg.processes =
+      static_cast<std::uint32_t>(p.get_int("processes", cfg.processes));
+  cfg.write = p.get_bool("write", cfg.write);
+  cfg.collective = p.get_bool("collective", cfg.collective);
+  cfg.aggregators =
+      static_cast<std::uint32_t>(p.get_int("aggregators", cfg.aggregators));
+  cfg.think = SimDuration::from_us(p.get_double("think_us", 0.0));
+  cfg.path = p.get_string("path", cfg.path);
+  return make_workload(std::move(cfg));
+}
+
+Result<WorkloadPtr> make_hpio(const Params& p) {
+  HpioConfig cfg;
+  cfg.region_count = static_cast<std::uint64_t>(
+      p.get_int("region_count", static_cast<std::int64_t>(cfg.region_count)));
+  cfg.region_size = p.get_bytes("region_size", cfg.region_size);
+  cfg.region_spacing = p.get_bytes("region_spacing", cfg.region_spacing);
+  cfg.processes =
+      static_cast<std::uint32_t>(p.get_int("processes", cfg.processes));
+  cfg.write = p.get_bool("write", cfg.write);
+  cfg.sieving.enabled = p.get_bool("sieving", cfg.sieving.enabled);
+  cfg.sieving.buffer_size =
+      p.get_bytes("sieve_buffer", cfg.sieving.buffer_size);
+  cfg.regions_per_call = static_cast<std::uint64_t>(p.get_int(
+      "regions_per_call", static_cast<std::int64_t>(cfg.regions_per_call)));
+  cfg.interleaved = p.get_bool("interleaved", cfg.interleaved);
+  cfg.path = p.get_string("path", cfg.path);
+  return make_workload(std::move(cfg));
+}
+
+Result<WorkloadPtr> make_openloop(const Params& p) {
+  OpenLoopConfig cfg;
+  cfg.arrival_rate_hz = p.get_double("rate_hz", cfg.arrival_rate_hz);
+  cfg.request_size = p.get_bytes("request_size", cfg.request_size);
+  cfg.request_count = static_cast<std::uint64_t>(p.get_int(
+      "request_count", static_cast<std::int64_t>(cfg.request_count)));
+  const std::string pattern = p.get_string("pattern", "sequential");
+  if (pattern == "sequential") {
+    cfg.pattern = OpenLoopConfig::Pattern::sequential;
+  } else if (pattern == "random") {
+    cfg.pattern = OpenLoopConfig::Pattern::random;
+  } else {
+    return Error{Errc::invalid_argument,
+                 "unknown openloop pattern: " + pattern};
+  }
+  cfg.file_size = p.get_bytes("file_size", cfg.file_size);
+  cfg.write = p.get_bool("write", cfg.write);
+  cfg.streams = static_cast<std::uint32_t>(p.get_int("streams", cfg.streams));
+  cfg.seed = static_cast<std::uint64_t>(
+      p.get_int("seed", static_cast<std::int64_t>(cfg.seed)));
+  cfg.path_prefix = p.get_string("path", cfg.path_prefix);
+  return make_workload(std::move(cfg));
+}
+
+/// Load a trace for replay: v2 binary (sniffed by magic) or the darshan
+/// text form — so `--set trace=app.bpstrace` and `--set trace=app.log`
+/// both just work.
+Result<std::vector<trace::IoRecord>> load_trace_any(const std::string& path) {
+  std::ifstream probe(path, std::ios::binary);
+  if (!probe) {
+    return Error{Errc::not_found, "cannot open trace: " + path};
+  }
+  std::uint32_t magic = 0;
+  probe.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  probe.close();
+  if (magic == trace::kTraceMagic) return trace::load_binary(path);
+  return zoo::load_darshan(path);
+}
+
+Result<WorkloadPtr> make_replay(const Params& p) {
+  ReplayConfig cfg;
+  const std::string trace_path = p.get_string("trace", "");
+  if (trace_path.empty()) {
+    return Error{Errc::invalid_argument,
+                 "replay needs a trace parameter (binary or darshan log)"};
+  }
+  Result<std::vector<trace::IoRecord>> records = load_trace_any(trace_path);
+  if (!records) return records.error();
+  cfg.records = std::move(*records);
+  const std::string mode = p.get_string("mode", "closed_loop");
+  if (mode == "closed_loop") {
+    cfg.mode = ReplayConfig::Mode::closed_loop;
+  } else if (mode == "open_loop") {
+    cfg.mode = ReplayConfig::Mode::open_loop;
+  } else {
+    return Error{Errc::invalid_argument, "unknown replay mode: " + mode};
+  }
+  cfg.file_size = p.get_bytes("file_size", cfg.file_size);
+  cfg.path_prefix = p.get_string("path", cfg.path_prefix);
+  return make_workload(std::move(cfg));
+}
+
+Result<WorkloadPtr> make_zoo(const std::string& scenario, const Params& p) {
+  zoo::ZooParams zp;
+  zp.scale = p.get_double("scale", zp.scale);
+  zp.processes =
+      static_cast<std::uint32_t>(p.get_int("processes", zp.processes));
+  zp.seed = static_cast<std::uint64_t>(
+      p.get_int("seed", static_cast<std::int64_t>(zp.seed)));
+  zp.think_scale = p.get_double("think_scale", zp.think_scale);
+  Result<zoo::ZooPlan> plan = zoo::build_plan(scenario, zp);
+  if (!plan) return plan.error();
+  return make_workload(std::move(*plan));
+}
+
+}  // namespace
+
+Registry::Registry() {
+  entries_.push_back(
+      {"iozone", "IOzone-like sequential/random/strided benchmark",
+       {"mode", "file_size", "record_size", "processes", "size_is_total",
+        "separate_files", "random_count", "stride", "think_us", "seed",
+        "path", "access_fraction"},
+       make_iozone});
+  entries_.push_back(
+      {"ior", "IOR-like shared-file MPI benchmark",
+       {"file_size", "transfer_size", "processes", "write", "collective",
+        "aggregators", "think_us", "path"},
+       make_ior});
+  entries_.push_back(
+      {"hpio", "Hpio-like noncontiguous regions benchmark",
+       {"region_count", "region_size", "region_spacing", "processes", "write",
+        "sieving", "sieve_buffer", "regions_per_call", "interleaved", "path"},
+       make_hpio});
+  entries_.push_back(
+      {"openloop", "Poisson open-loop load generator",
+       {"rate_hz", "request_size", "request_count", "pattern", "file_size",
+        "write", "streams", "seed", "path"},
+       make_openloop});
+  entries_.push_back(
+      {"replay", "trace replay (v2 binary or darshan-style log)",
+       {"trace", "mode", "file_size", "path"},
+       make_replay});
+  for (const zoo::ScenarioInfo& info : zoo::scenarios()) {
+    const std::string scenario = info.name;
+    entries_.push_back(
+        {"zoo." + scenario,
+         std::string(zoo::scenario_class_name(info.cls)) + ": " + info.summary,
+         {"scale", "processes", "seed", "think_scale"},
+         [scenario](const Params& p) { return make_zoo(scenario, p); }});
+  }
+  names_.reserve(entries_.size());
+  for (const Entry& e : entries_) names_.push_back(e.name);
+}
+
+bool Registry::contains(const std::string& name) const {
+  return find(name) != nullptr;
+}
+
+const Registry::Entry* Registry::find(const std::string& name) const {
+  for (const Entry& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+Result<WorkloadPtr> Registry::make(const std::string& name,
+                                   const Params& params) const {
+  const Entry* entry = find(name);
+  if (entry == nullptr) {
+    std::string known;
+    for (const std::string& n : names_) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    return Error{Errc::not_found,
+                 "unknown workload '" + name + "' (known: " + known + ")"};
+  }
+  if (Status s = check_keys(params, entry->keys); !s) {
+    return Error{s.error().code, name + ": " + s.error().message};
+  }
+  return entry->factory(params);
+}
+
+const Registry& registry() {
+  static const Registry instance;
+  return instance;
+}
+
+Result<WorkloadPtr> make_workload(const std::string& name,
+                                  const Params& params) {
+  return registry().make(name, params);
+}
+
+WorkloadPtr make_workload(IozoneConfig config) {
+  return std::make_unique<IozoneWorkload>(std::move(config));
+}
+WorkloadPtr make_workload(IorConfig config) {
+  return std::make_unique<IorWorkload>(std::move(config));
+}
+WorkloadPtr make_workload(HpioConfig config) {
+  return std::make_unique<HpioWorkload>(std::move(config));
+}
+WorkloadPtr make_workload(OpenLoopConfig config) {
+  return std::make_unique<OpenLoopWorkload>(std::move(config));
+}
+WorkloadPtr make_workload(ReplayConfig config) {
+  return std::make_unique<TraceReplayWorkload>(std::move(config));
+}
+WorkloadPtr make_workload(zoo::ZooPlan plan) {
+  return std::make_unique<zoo::ZooWorkload>(std::move(plan));
+}
+
+}  // namespace bpsio::workload

@@ -1,0 +1,93 @@
+// String-keyed workload registry — THE way to construct workloads.
+//
+// Historically every call site constructed concrete workload classes
+// directly (`IozoneWorkload{cfg}`), which meant tools, sweeps, and examples
+// each hard-coded the catalog. The registry centralizes it:
+//
+//   auto w = workload::make_workload("iozone", params);   // by name
+//   auto w = workload::make_workload(IozoneConfig{...});  // typed
+//   workload::registry().names();                         // discovery
+//
+// Params is the flat k=v Config used across the CLIs (byte suffixes like
+// 64K understood), so `bpsio_sweep --workload=zoo.bert --set scale=0.5`
+// needs no per-workload argument plumbing. Unknown names fail with
+// Errc::not_found, unknown parameter keys with Errc::invalid_argument —
+// typos surface instead of silently using defaults.
+//
+// Direct construction of the concrete classes still compiles (the typed
+// make_workload overloads delegate to it) but is DEPRECATED for callers:
+// see docs/API.md. Everything in-repo goes through this interface.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/result.hpp"
+#include "workload/hpio.hpp"
+#include "workload/ior.hpp"
+#include "workload/iozone.hpp"
+#include "workload/openloop.hpp"
+#include "workload/replay.hpp"
+#include "workload/workload.hpp"
+#include "workload/zoo/zoo.hpp"
+
+namespace bpsio::workload {
+
+using WorkloadPtr = std::unique_ptr<Workload>;
+
+/// Construction parameters: flat string k=v pairs with typed lookups.
+using Params = Config;
+
+/// The immutable catalog of constructible workloads. Built once (all
+/// built-in workloads plus one "zoo.<scenario>" entry per zoo catalog
+/// entry); thereafter read-only, so it is safe to share across threads.
+class Registry {
+ public:
+  struct Entry {
+    std::string name;     ///< registry key ("iozone", "zoo.bert", ...)
+    std::string summary;  ///< one line for CLI listings
+    /// Allowed Params keys, for typo rejection and --help output.
+    std::vector<std::string> keys;
+    std::function<Result<WorkloadPtr>(const Params&)> factory;
+  };
+
+  /// Registered names in catalog order (synthetics first, then zoo).
+  const std::vector<std::string>& names() const { return names_; }
+  bool contains(const std::string& name) const;
+  const Entry* find(const std::string& name) const;
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Construct by name. Errc::not_found for unknown names;
+  /// Errc::invalid_argument for unknown or malformed parameters.
+  Result<WorkloadPtr> make(const std::string& name,
+                           const Params& params = {}) const;
+
+ private:
+  friend const Registry& registry();
+  Registry();
+
+  std::vector<Entry> entries_;
+  std::vector<std::string> names_;
+};
+
+/// The process-wide catalog (immutable after first use).
+const Registry& registry();
+
+/// Shorthand for registry().make(name, params).
+Result<WorkloadPtr> make_workload(const std::string& name,
+                                  const Params& params = {});
+
+// Typed construction for callers that already hold a config struct (tests,
+// benches, sweep builders). These cannot fail and keep full type safety;
+// they are the blessed replacement for `std::make_unique<XWorkload>(cfg)`.
+WorkloadPtr make_workload(IozoneConfig config);
+WorkloadPtr make_workload(IorConfig config);
+WorkloadPtr make_workload(HpioConfig config);
+WorkloadPtr make_workload(OpenLoopConfig config);
+WorkloadPtr make_workload(ReplayConfig config);
+WorkloadPtr make_workload(zoo::ZooPlan plan);
+
+}  // namespace bpsio::workload

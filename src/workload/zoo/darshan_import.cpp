@@ -1,0 +1,211 @@
+#include "workload/zoo/darshan_import.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace bpsio::workload::zoo {
+
+namespace {
+
+struct LineError {
+  std::string what;
+};
+
+void strip_comment_and_trim(std::string& line) {
+  const std::size_t hash = line.find('#');
+  if (hash != std::string::npos) line.resize(hash);
+  while (!line.empty() && (line.back() == ' ' || line.back() == '\t' ||
+                           line.back() == '\r')) {
+    line.pop_back();
+  }
+  std::size_t begin = 0;
+  while (begin < line.size() && (line[begin] == ' ' || line[begin] == '\t')) {
+    ++begin;
+  }
+  if (begin > 0) line.erase(0, begin);
+}
+
+std::vector<std::string> split_fields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::istringstream ls(line);
+  std::string field;
+  while (std::getline(ls, field, ',')) {
+    strip_comment_and_trim(field);
+    fields.push_back(field);
+  }
+  return fields;
+}
+
+Error line_error(std::size_t line_no, const std::string& what) {
+  return Error{Errc::invalid_argument,
+               "darshan log line " + std::to_string(line_no) + ": " + what};
+}
+
+/// access,<rank>,<R|W>,<length_bytes>,<start_ns>,<end_ns>[,<flags>]
+Result<std::vector<trace::IoRecord>> parse_access(
+    const std::vector<std::string>& f, std::size_t line_no,
+    const DarshanOptions& opts) {
+  if (f.size() != 6 && f.size() != 7) {
+    return line_error(line_no, "access form needs 6 or 7 fields");
+  }
+  trace::IoRecord r;
+  try {
+    r.pid = static_cast<std::uint32_t>(std::stoul(f[1])) + 1;  // rank -> pid
+    if (f[2] == "R") {
+      r.op = trace::IoOpKind::read;
+    } else if (f[2] == "W") {
+      r.op = trace::IoOpKind::write;
+    } else {
+      return line_error(line_no, "op must be R or W, got '" + f[2] + "'");
+    }
+    r.blocks = bytes_to_blocks(std::stoull(f[3]), opts.block_size);
+    r.start_ns = std::stoll(f[4]);
+    r.end_ns = std::stoll(f[5]);
+    if (f.size() == 7) r.flags = static_cast<std::uint8_t>(std::stoul(f[6]));
+  } catch (const std::exception&) {
+    return line_error(line_no, "unparsable numeric field");
+  }
+  if (!r.valid()) return line_error(line_no, "end_ns precedes start_ns");
+  return std::vector<trace::IoRecord>{r};
+}
+
+/// Spread `count` accesses totalling `bytes` evenly over [start, end),
+/// remainder bytes on the first access.
+void synthesize(std::vector<trace::IoRecord>& out, std::uint32_t pid,
+                trace::IoOpKind op, std::uint64_t count, std::uint64_t bytes,
+                std::int64_t start, std::int64_t end,
+                const DarshanOptions& opts) {
+  if (count == 0) return;
+  const std::int64_t span = end - start;
+  const std::uint64_t each = bytes / count;
+  const std::uint64_t first = each + bytes % count;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    trace::IoRecord r;
+    r.pid = pid;
+    r.op = op;
+    r.blocks = bytes_to_blocks(i == 0 ? first : each, opts.block_size);
+    r.start_ns = start + span * static_cast<std::int64_t>(i) /
+                             static_cast<std::int64_t>(count);
+    r.end_ns = start + span * static_cast<std::int64_t>(i + 1) /
+                           static_cast<std::int64_t>(count);
+    out.push_back(r);
+  }
+}
+
+/// counters,<rank>,<opens>,<seeks>,<reads>,<writes>,<read_bytes>,
+///          <write_bytes>,<start_ns>,<end_ns>
+Result<std::vector<trace::IoRecord>> parse_counters(
+    const std::vector<std::string>& f, std::size_t line_no,
+    const DarshanOptions& opts) {
+  if (f.size() != 10) {
+    return line_error(line_no, "counters form needs 10 fields");
+  }
+  std::uint32_t pid = 0;
+  std::uint64_t reads = 0, writes = 0, read_bytes = 0, write_bytes = 0;
+  std::int64_t start = 0, end = 0;
+  try {
+    pid = static_cast<std::uint32_t>(std::stoul(f[1])) + 1;  // rank -> pid
+    // f[2] (opens) and f[3] (seeks) are validated as numbers but move no
+    // application data, so they emit no records.
+    (void)std::stoull(f[2]);
+    (void)std::stoull(f[3]);
+    reads = std::stoull(f[4]);
+    writes = std::stoull(f[5]);
+    read_bytes = std::stoull(f[6]);
+    write_bytes = std::stoull(f[7]);
+    start = std::stoll(f[8]);
+    end = std::stoll(f[9]);
+  } catch (const std::exception&) {
+    return line_error(line_no, "unparsable numeric field");
+  }
+  if (end < start) return line_error(line_no, "end_ns precedes start_ns");
+  if (reads == 0 && read_bytes > 0) {
+    return line_error(line_no, "read bytes with zero read count");
+  }
+  if (writes == 0 && write_bytes > 0) {
+    return line_error(line_no, "write bytes with zero write count");
+  }
+  std::vector<trace::IoRecord> out;
+  out.reserve(reads + writes);
+  synthesize(out, pid, trace::IoOpKind::read, reads, read_bytes, start, end,
+             opts);
+  synthesize(out, pid, trace::IoOpKind::write, writes, write_bytes, start, end,
+             opts);
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<trace::IoRecord>> parse_darshan(std::string_view text,
+                                                   const DarshanOptions& opts) {
+  if (opts.block_size == 0) {
+    return Error{Errc::invalid_argument, "darshan import: zero block size"};
+  }
+  std::vector<trace::IoRecord> records;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    strip_comment_and_trim(line);
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = split_fields(line);
+    Result<std::vector<trace::IoRecord>> parsed =
+        fields.empty()
+            ? Result<std::vector<trace::IoRecord>>(
+                  line_error(line_no, "empty entry"))
+        : fields[0] == "access" ? parse_access(fields, line_no, opts)
+        : fields[0] == "counters"
+            ? parse_counters(fields, line_no, opts)
+            : Result<std::vector<trace::IoRecord>>(line_error(
+                  line_no, "unknown entry kind '" + fields[0] + "'"));
+    if (!parsed) return parsed.error();
+    records.insert(records.end(), parsed->begin(), parsed->end());
+  }
+  return records;
+}
+
+Result<std::vector<trace::IoRecord>> load_darshan(const std::string& path,
+                                                  const DarshanOptions& opts) {
+  std::ifstream in(path);
+  if (!in) {
+    return Error{Errc::not_found, "cannot open darshan log: " + path};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_darshan(buf.str(), opts);
+}
+
+std::string export_darshan(const std::vector<trace::IoRecord>& records,
+                           const DarshanOptions& opts) {
+  std::ostringstream out;
+  out << "# bpsio darshan-style log (per-access form)\n"
+      << "# access,<rank>,<R|W>,<length_bytes>,<start_ns>,<end_ns>,<flags>\n";
+  for (const trace::IoRecord& r : records) {
+    const std::uint32_t rank = r.pid > 0 ? r.pid - 1 : 0;
+    out << "access," << rank << ','
+        << (r.op == trace::IoOpKind::write ? 'W' : 'R') << ','
+        << r.blocks * opts.block_size << ',' << r.start_ns << ',' << r.end_ns
+        << ',' << static_cast<unsigned>(r.flags) << '\n';
+  }
+  return out.str();
+}
+
+Status save_darshan(const std::string& path,
+                    const std::vector<trace::IoRecord>& records,
+                    const DarshanOptions& opts) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Error{Errc::io_error, "cannot write darshan log: " + path};
+  }
+  out << export_darshan(records, opts);
+  out.flush();
+  if (!out) {
+    return Error{Errc::io_error, "short write to darshan log: " + path};
+  }
+  return {};
+}
+
+}  // namespace bpsio::workload::zoo

@@ -1,0 +1,67 @@
+// Darshan-style I/O log importer.
+//
+// Darshan (and its DXT extended tracing mode) is the de-facto vehicle for
+// per-job I/O characterization on production HPC systems. This importer
+// accepts a documented plain-text rendering of such logs — the kind of file
+// `darshan-parser` or a site's log pipeline emits — and turns it into v2
+// IoRecord streams so any real application's log can be replayed through
+// TraceReplayWorkload and measured with BPS.
+//
+// Format (CSV, one line per entry; '#' comments and blank lines ignored):
+//
+//   access,<rank>,<R|W>,<length_bytes>,<start_ns>,<end_ns>[,<flags>]
+//       One I/O access (DXT per-access form). `flags` is the optional
+//       IoRecordFlags byte (default 0). Imports to exactly one record with
+//       blocks = ceil(length_bytes / block_size); export writes
+//       length_bytes = blocks * block_size, so export→import round-trips
+//       records bit-identically.
+//
+//   counters,<rank>,<opens>,<seeks>,<reads>,<writes>,
+//            <read_bytes>,<write_bytes>,<start_ns>,<end_ns>
+//       Darshan counter-aggregate form (POSIX_OPENS/SEEKS/READS/WRITES,
+//       BYTES_READ/WRITTEN, F_*_START/END_TIMESTAMP). The importer
+//       synthesizes <reads> + <writes> records for the rank, spread evenly
+//       across [start_ns, end_ns) with the byte totals divided equally
+//       (remainder on the first access). `opens`/`seeks` are accepted for
+//       fidelity to real parser output but move no application data, so
+//       they produce no records.
+//
+// Ranks are 0-based in the log (Darshan convention) and shifted to 1-based
+// pids on import. Records are returned in file order — sort via
+// trace::VectorSource::sorted (or replay, which orders per pid) if needed.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/units.hpp"
+#include "trace/io_record.hpp"
+
+namespace bpsio::workload::zoo {
+
+struct DarshanOptions {
+  /// Block size used to convert byte lengths to record blocks.
+  Bytes block_size = kDefaultBlockSize;
+};
+
+/// Parse log text into records. Fails with Errc::invalid_argument on the
+/// first malformed line (message names the line number).
+Result<std::vector<trace::IoRecord>> parse_darshan(
+    std::string_view text, const DarshanOptions& opts = {});
+
+/// Read and parse a log file. Fails with Errc::not_found if unreadable.
+Result<std::vector<trace::IoRecord>> load_darshan(
+    const std::string& path, const DarshanOptions& opts = {});
+
+/// Render records as per-access lines (the bit-identical round-trip form).
+std::string export_darshan(const std::vector<trace::IoRecord>& records,
+                           const DarshanOptions& opts = {});
+
+/// Write export_darshan() output to a file.
+Status save_darshan(const std::string& path,
+                    const std::vector<trace::IoRecord>& records,
+                    const DarshanOptions& opts = {});
+
+}  // namespace bpsio::workload::zoo

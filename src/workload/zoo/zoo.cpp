@@ -1,0 +1,440 @@
+#include "workload/zoo/zoo.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "workload/process.hpp"
+
+namespace bpsio::workload::zoo {
+
+namespace {
+
+constexpr Bytes kBlock = kDefaultBlockSize;
+
+Bytes align_up(Bytes v) { return (v + kBlock - 1) / kBlock * kBlock; }
+
+/// Scale a base volume, keeping at least one block and block alignment so B
+/// is exact and path-independent.
+Bytes scaled_bytes(double scale, Bytes base) {
+  const double v = scale * static_cast<double>(base);
+  if (v <= static_cast<double>(kBlock)) return kBlock;
+  return align_up(static_cast<Bytes>(v));
+}
+
+AppOp io_op(AppOp::Kind kind, Bytes offset, Bytes size) {
+  AppOp op;
+  op.kind = kind;
+  op.offset = offset;
+  op.size = size;
+  return op;
+}
+
+AppOp compute_op(SimDuration d) {
+  AppOp op;
+  op.kind = AppOp::Kind::compute;
+  op.compute = d;
+  return op;
+}
+
+/// Emit `total` bytes of sequential I/O in `chunk`-byte accesses starting at
+/// `offset`; returns one past the last byte written/read.
+Bytes emit_sequential(std::vector<AppOp>& ops, AppOp::Kind kind, Bytes offset,
+                      Bytes total, Bytes chunk) {
+  BPSIO_DCHECK(chunk > 0, "zoo: zero chunk");
+  Bytes done = 0;
+  while (done < total) {
+    const Bytes size = std::min(chunk, total - done);
+    ops.push_back(io_op(kind, offset + done, size));
+    done += size;
+  }
+  return offset + total;
+}
+
+SimDuration scaled_think(double think_scale, SimDuration base) {
+  return SimDuration(
+      static_cast<std::int64_t>(think_scale * static_cast<double>(base.ns())));
+}
+
+// ---------------------------------------------------------------------------
+// DL training: epoch-structured shuffled sample reads from each worker's
+// dataset shard, a short host-side compute gap per batch, and a checkpoint
+// write burst by worker 0 at every epoch boundary. phases = epochs.
+// ---------------------------------------------------------------------------
+
+struct DlPreset {
+  std::uint32_t workers = 4;
+  std::uint32_t epochs = 2;
+  std::uint64_t samples_per_epoch = 48;  ///< per worker
+  Bytes sample_bytes = 512 * kKiB;
+  Bytes checkpoint_bytes = 8 * kMiB;
+  Bytes checkpoint_chunk = kMiB;
+  SimDuration batch_think = SimDuration::from_us(200);
+  std::uint64_t batch_samples = 8;
+};
+
+ZooPlan dl_plan(const std::string& name, const DlPreset& preset,
+                const ZooParams& params) {
+  ZooPlan plan;
+  plan.name = name;
+  plan.cls = ScenarioClass::dl_training;
+  plan.phases = preset.epochs;
+
+  const std::uint32_t workers =
+      params.processes > 0 ? params.processes : preset.workers;
+  const Bytes sample = scaled_bytes(params.scale, preset.sample_bytes);
+  const Bytes ckpt = scaled_bytes(params.scale, preset.checkpoint_bytes);
+  const Bytes ckpt_chunk = std::min(
+      scaled_bytes(params.scale, preset.checkpoint_chunk), ckpt);
+  const std::uint64_t samples = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             params.scale * static_cast<double>(preset.samples_per_epoch)));
+  const Bytes shard_span = samples * sample;
+  const SimDuration think =
+      scaled_think(params.think_scale, preset.batch_think);
+
+  plan.ops.resize(workers);
+  Rng shuffle_rng(params.seed ^ 0x2f00dULL);
+  for (std::uint32_t w = 0; w < workers; ++w) {
+    std::vector<AppOp>& ops = plan.ops[w];
+    for (std::uint32_t epoch = 0; epoch < preset.epochs; ++epoch) {
+      // The data loader's per-epoch shuffle: every sample in the shard read
+      // exactly once, in a fresh deterministic order — strided, not
+      // sequential, from the device's point of view.
+      std::vector<std::uint64_t> order(samples);
+      std::iota(order.begin(), order.end(), 0);
+      Rng epoch_rng = shuffle_rng.fork();
+      std::shuffle(order.begin(), order.end(), epoch_rng);
+      for (std::uint64_t i = 0; i < samples; ++i) {
+        ops.push_back(io_op(AppOp::Kind::read, order[i] * sample, sample));
+        if (think.ns() > 0 && (i + 1) % preset.batch_samples == 0) {
+          ops.push_back(compute_op(think));
+        }
+      }
+      // Checkpoint burst at the epoch boundary (rank 0 writes the model).
+      if (w == 0) {
+        emit_sequential(ops, AppOp::Kind::write,
+                        shard_span + static_cast<Bytes>(epoch) * ckpt, ckpt,
+                        ckpt_chunk);
+      }
+    }
+  }
+  plan.file_size = shard_span + static_cast<Bytes>(preset.epochs) * ckpt;
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// HPC simulation: every rank reads its input deck, then alternates compute
+// phases with synchronized N-N dump bursts (each rank appends its own dump
+// region). phases = dump steps.
+// ---------------------------------------------------------------------------
+
+struct HpcPreset {
+  std::uint32_t procs = 8;
+  std::uint32_t steps = 4;
+  Bytes input_bytes = 256 * kKiB;
+  Bytes dump_bytes = kMiB;  ///< per rank per step
+  Bytes chunk = 256 * kKiB;
+  SimDuration step_think = SimDuration::from_ms(2);
+};
+
+ZooPlan hpc_plan(const std::string& name, const HpcPreset& preset,
+                 const ZooParams& params) {
+  ZooPlan plan;
+  plan.name = name;
+  plan.cls = ScenarioClass::hpc;
+  plan.phases = preset.steps;
+
+  const std::uint32_t procs =
+      params.processes > 0 ? params.processes : preset.procs;
+  const Bytes input = preset.input_bytes == 0
+                          ? 0
+                          : scaled_bytes(params.scale, preset.input_bytes);
+  const Bytes dump = scaled_bytes(params.scale, preset.dump_bytes);
+  const Bytes chunk = std::min(scaled_bytes(params.scale, preset.chunk), dump);
+  const SimDuration think =
+      scaled_think(params.think_scale, preset.step_think);
+
+  plan.ops.resize(procs);
+  for (std::uint32_t p = 0; p < procs; ++p) {
+    std::vector<AppOp>& ops = plan.ops[p];
+    Bytes offset = 0;
+    if (input > 0) {
+      offset = emit_sequential(ops, AppOp::Kind::read, 0, input,
+                               std::min(chunk, input));
+    }
+    for (std::uint32_t step = 0; step < preset.steps; ++step) {
+      if (think.ns() > 0) ops.push_back(compute_op(think));
+      offset = emit_sequential(ops, AppOp::Kind::write, offset, dump, chunk);
+    }
+  }
+  plan.file_size =
+      input + static_cast<Bytes>(preset.steps) * dump;
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// BigData pipeline (Montage-like mosaic): stage 1 reprojects (read input,
+// write intermediate), stage 2 fits differences (re-read intermediate,
+// write small diff), stage 3 coadds (rank 0 re-reads everything it can see
+// and writes the mosaic). phases = 3 stages.
+// ---------------------------------------------------------------------------
+
+struct BigDataPreset {
+  std::uint32_t procs = 4;
+  Bytes input_bytes = 2 * kMiB;   ///< per rank
+  Bytes diff_bytes = 512 * kKiB;  ///< per rank
+  Bytes mosaic_bytes = 4 * kMiB;  ///< rank 0 only
+  Bytes chunk = 512 * kKiB;
+  SimDuration stage_think = SimDuration::from_ms(1);
+};
+
+ZooPlan bigdata_plan(const std::string& name, const BigDataPreset& preset,
+                     const ZooParams& params) {
+  ZooPlan plan;
+  plan.name = name;
+  plan.cls = ScenarioClass::bigdata;
+  plan.phases = 3;
+
+  const std::uint32_t procs =
+      params.processes > 0 ? params.processes : preset.procs;
+  const Bytes input = scaled_bytes(params.scale, preset.input_bytes);
+  const Bytes diff = scaled_bytes(params.scale, preset.diff_bytes);
+  const Bytes mosaic = scaled_bytes(params.scale, preset.mosaic_bytes);
+  const Bytes chunk = scaled_bytes(params.scale, preset.chunk);
+  const SimDuration think =
+      scaled_think(params.think_scale, preset.stage_think);
+
+  // Per-process file layout: [input][intermediate][diff][mosaic (rank 0)].
+  const Bytes inter_base = input;
+  const Bytes diff_base = inter_base + input;
+  const Bytes mosaic_base = diff_base + diff;
+
+  plan.ops.resize(procs);
+  for (std::uint32_t p = 0; p < procs; ++p) {
+    std::vector<AppOp>& ops = plan.ops[p];
+    // Stage 1 — reproject: read the raw tile, write the reprojected tile.
+    emit_sequential(ops, AppOp::Kind::read, 0, input, std::min(chunk, input));
+    emit_sequential(ops, AppOp::Kind::write, inter_base, input,
+                    std::min(chunk, input));
+    if (think.ns() > 0) ops.push_back(compute_op(think));
+    // Stage 2 — background fit: re-read the intermediate, write the diff.
+    emit_sequential(ops, AppOp::Kind::read, inter_base, input,
+                    std::min(chunk, input));
+    emit_sequential(ops, AppOp::Kind::write, diff_base, diff,
+                    std::min(chunk, diff));
+    if (think.ns() > 0) ops.push_back(compute_op(think));
+    // Stage 3 — coadd: rank 0 re-reads its intermediate once per rank (the
+    // gather) and writes the mosaic; other ranks are done.
+    if (p == 0) {
+      for (std::uint32_t r = 0; r < procs; ++r) {
+        emit_sequential(ops, AppOp::Kind::read, inter_base, input,
+                        std::min(chunk, input));
+      }
+      emit_sequential(ops, AppOp::Kind::write, mosaic_base, mosaic,
+                      std::min(chunk, mosaic));
+    }
+  }
+  plan.file_size = mosaic_base + mosaic;
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// The catalog. Volumes at scale=1.0 are sized to simulate in seconds;
+// bpsio_zoo --scale raises them toward production sizes.
+// ---------------------------------------------------------------------------
+
+ZooPlan build_named_plan(const std::string& name, const ZooParams& params) {
+  if (name == "bert") {
+    DlPreset p;  // large sequence shards, heavyweight checkpoints
+    p.sample_bytes = 512 * kKiB;
+    p.samples_per_epoch = 48;
+    p.checkpoint_bytes = 8 * kMiB;
+    p.batch_think = SimDuration::from_us(200);
+    return dl_plan(name, p, params);
+  }
+  if (name == "resnet50") {
+    DlPreset p;  // many small image reads, modest checkpoints
+    p.sample_bytes = 128 * kKiB;
+    p.samples_per_epoch = 96;
+    p.checkpoint_bytes = 2 * kMiB;
+    p.batch_think = SimDuration::from_us(100);
+    return dl_plan(name, p, params);
+  }
+  if (name == "maskrcnn") {
+    DlPreset p;  // mid-size samples, the largest model checkpoints
+    p.sample_bytes = 256 * kKiB;
+    p.samples_per_epoch = 64;
+    p.checkpoint_bytes = 16 * kMiB;
+    p.batch_think = SimDuration::from_us(300);
+    return dl_plan(name, p, params);
+  }
+  if (name == "dlrm") {
+    DlPreset p;  // embedding-table gathers: small, numerous, shuffled
+    p.sample_bytes = 16 * kKiB;
+    p.samples_per_epoch = 256;
+    p.checkpoint_bytes = kMiB;
+    p.batch_think = SimDuration::from_us(20);
+    p.batch_samples = 32;
+    return dl_plan(name, p, params);
+  }
+  if (name == "lammps") {
+    HpcPreset p;  // periodic atom dumps
+    return hpc_plan(name, p, params);
+  }
+  if (name == "namd") {
+    HpcPreset p;  // frequent small trajectory frames
+    p.steps = 6;
+    p.input_bytes = 512 * kKiB;
+    p.dump_bytes = 512 * kKiB;
+    p.chunk = 128 * kKiB;
+    p.step_think = SimDuration::from_ms(1);
+    return hpc_plan(name, p, params);
+  }
+  if (name == "openfoam") {
+    HpcPreset p;  // few ranks, fat field dumps
+    p.procs = 4;
+    p.steps = 3;
+    p.input_bytes = kMiB;
+    p.dump_bytes = 2 * kMiB;
+    p.chunk = 512 * kKiB;
+    p.step_think = SimDuration::from_ms(4);
+    return hpc_plan(name, p, params);
+  }
+  if (name == "hacc") {
+    HpcPreset p;  // checkpoint-dominated: no input, huge restart dumps
+    p.procs = 4;
+    p.steps = 2;
+    p.input_bytes = 0;
+    p.dump_bytes = 8 * kMiB;
+    p.chunk = kMiB;
+    p.step_think = SimDuration::from_ms(3);
+    return hpc_plan(name, p, params);
+  }
+  if (name == "montage") {
+    BigDataPreset p;
+    return bigdata_plan(name, p, params);
+  }
+  BPSIO_CHECK(false, "build_named_plan: unknown scenario %s", name.c_str());
+  return ZooPlan{};
+}
+
+}  // namespace
+
+std::string_view scenario_class_name(ScenarioClass cls) {
+  switch (cls) {
+    case ScenarioClass::dl_training: return "dl";
+    case ScenarioClass::hpc: return "hpc";
+    case ScenarioClass::bigdata: return "bigdata";
+  }
+  return "unknown";
+}
+
+const std::vector<ScenarioInfo>& scenarios() {
+  static const std::vector<ScenarioInfo> catalog = {
+      {"bert", ScenarioClass::dl_training,
+       "language-model training: 512 KiB sequence shards, 8 MiB checkpoints"},
+      {"resnet50", ScenarioClass::dl_training,
+       "image classification: 128 KiB shuffled sample reads per epoch"},
+      {"maskrcnn", ScenarioClass::dl_training,
+       "detection/segmentation: 256 KiB samples, 16 MiB checkpoints"},
+      {"dlrm", ScenarioClass::dl_training,
+       "recommendation: 16 KiB embedding gathers, many per batch"},
+      {"lammps", ScenarioClass::hpc,
+       "molecular dynamics: compute phases with 1 MiB/rank atom dumps"},
+      {"namd", ScenarioClass::hpc,
+       "molecular dynamics: frequent 512 KiB/rank trajectory frames"},
+      {"openfoam", ScenarioClass::hpc,
+       "CFD: 4 ranks writing 2 MiB field sets every timestep"},
+      {"hacc", ScenarioClass::hpc,
+       "cosmology: checkpoint-dominated 8 MiB/rank restart dumps"},
+      {"montage", ScenarioClass::bigdata,
+       "mosaic pipeline: reproject / background-fit / coadd stages"},
+  };
+  return catalog;
+}
+
+bool is_scenario(const std::string& name) {
+  for (const ScenarioInfo& info : scenarios()) {
+    if (info.name == name) return true;
+  }
+  return false;
+}
+
+Result<ZooPlan> build_plan(const std::string& name, const ZooParams& params) {
+  if (!is_scenario(name)) {
+    return Error{Errc::not_found, "unknown zoo scenario: " + name};
+  }
+  if (params.scale <= 0 || params.think_scale < 0) {
+    return Error{Errc::invalid_argument,
+                 "zoo scale must be > 0 and think_scale >= 0"};
+  }
+  return build_named_plan(name, params);
+}
+
+Bytes ZooPlan::total_io_bytes() const {
+  Bytes total = 0;
+  for (const auto& proc_ops : ops) {
+    for (const AppOp& op : proc_ops) {
+      if (op.kind == AppOp::Kind::read || op.kind == AppOp::Kind::write) {
+        total += op.size;
+      }
+    }
+  }
+  return total;
+}
+
+std::uint64_t ZooPlan::total_blocks(Bytes block_size) const {
+  std::uint64_t blocks = 0;
+  for (const auto& proc_ops : ops) {
+    for (const AppOp& op : proc_ops) {
+      if (op.kind == AppOp::Kind::read || op.kind == AppOp::Kind::write) {
+        blocks += bytes_to_blocks(op.size, block_size);
+      }
+    }
+  }
+  return blocks;
+}
+
+std::uint64_t ZooPlan::io_op_count() const {
+  std::uint64_t count = 0;
+  for (const auto& proc_ops : ops) {
+    for (const AppOp& op : proc_ops) {
+      if (op.kind == AppOp::Kind::read || op.kind == AppOp::Kind::write) {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+RunResult ZooWorkload::run(Env& env) {
+  BPSIO_CHECK(env.sim && !env.nodes.empty(),
+              "workload environment needs a simulator and client nodes");
+  const SimTime t0 = env.sim->now();
+  std::vector<std::unique_ptr<Process>> processes;
+  processes.reserve(plan_.ops.size());
+  for (std::size_t p = 0; p < plan_.ops.size(); ++p) {
+    const std::size_t node = p % env.node_count();
+    auto proc = std::make_unique<Process>(
+        *env.nodes[node], *env.backends[node],
+        static_cast<std::uint32_t>(p + 1), env.block_size);
+    auto handle = proc->io().create(
+        "/zoo/" + plan_.name + "." + std::to_string(p), plan_.file_size);
+    if (!handle) {
+      BPSIO_ERROR("zoo %s: cannot create backing file for process %zu: %s",
+                  plan_.name.c_str(), p, handle.error().to_string().c_str());
+      continue;
+    }
+    proc->set_file(*handle);
+    proc->set_ops(plan_.ops[p]);
+    processes.push_back(std::move(proc));
+  }
+  return run_processes(env, processes, t0);
+}
+
+}  // namespace bpsio::workload::zoo

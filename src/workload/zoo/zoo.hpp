@@ -1,0 +1,116 @@
+// Real-application workload zoo.
+//
+// The paper validates BPS against three synthetic benchmarks (IOzone, IOR,
+// Hpio). The zoo widens that to the application classes whose Darshan logs
+// dominate production I/O studies: deep-learning training (epoch-structured
+// strided sample reads plus checkpoint write bursts), HPC simulation
+// (compute/collective-dump phase alternation), and BigData pipelines
+// (staged read→transform→write stages with barriers).
+//
+// Each scenario compiles to a ZooPlan — concrete per-process AppOp
+// schedules — which is the single source of truth for BOTH execution paths:
+//
+//   * simulator  — ZooWorkload runs the plan through the ordinary
+//     Process/run_processes machinery on any Testbed (sweep presets,
+//     bpsio_zoo sim);
+//   * real I/O   — tools/zoo_driver executes the same plan with plain
+//     POSIX pread/pwrite under libbpsio_capture.so.
+//
+// Because both paths issue exactly the plan's block-aligned accesses, the
+// paper's B (application-required blocks) is identical between them by
+// construction; the zoo-smoke CI job asserts it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/units.hpp"
+#include "workload/access_pattern.hpp"
+#include "workload/workload.hpp"
+
+namespace bpsio::workload::zoo {
+
+/// Application class of a scenario (drives the table grouping and the
+/// temporal signature each model emits).
+enum class ScenarioClass { dl_training, hpc, bigdata };
+
+std::string_view scenario_class_name(ScenarioClass cls);
+
+/// Catalog entry: a runnable real-application model. The registry exposes
+/// each as "zoo.<name>".
+struct ScenarioInfo {
+  std::string name;     ///< "bert", "lammps", "montage", ...
+  ScenarioClass cls = ScenarioClass::dl_training;
+  std::string summary;  ///< one line for `bpsio_zoo list`
+};
+
+/// Knobs shared by every scenario builder.
+struct ZooParams {
+  /// Multiplies all data volumes (1.0 = defaults sized to run in seconds).
+  double scale = 1.0;
+  /// Process count override (0 = the scenario's preset).
+  std::uint32_t processes = 0;
+  /// Seed for the scenario's deterministic shuffles (DL sample order).
+  std::uint64_t seed = 42;
+  /// Scales think/compute gaps (0 disables them — useful for the real-I/O
+  /// driver where simulated compute would just be dead wall-clock time).
+  double think_scale = 1.0;
+};
+
+/// A scenario compiled to concrete per-process operation schedules. Every
+/// read/write op is block-aligned (512-byte multiples), so B is exact and
+/// identical across the simulator and capture paths.
+struct ZooPlan {
+  std::string name;  ///< scenario name ("bert", not "zoo.bert")
+  ScenarioClass cls = ScenarioClass::dl_training;
+  /// Temporal phases the model alternates through (epochs / dump steps /
+  /// pipeline stages) — part of the asserted I/O signature.
+  std::uint32_t phases = 0;
+  /// Per-process backing file span (max offset+size over that process's
+  /// ops). The real-I/O driver sizes and pre-fills each file to this.
+  Bytes file_size = 0;
+  /// ops[p] is process p's schedule (read/write/compute kinds only).
+  std::vector<std::vector<AppOp>> ops;
+
+  std::uint32_t process_count() const {
+    return static_cast<std::uint32_t>(ops.size());
+  }
+  /// Total bytes of application-required I/O (reads + writes, no compute).
+  Bytes total_io_bytes() const;
+  /// B — the blocks both paths must report (ops are block-aligned).
+  std::uint64_t total_blocks(Bytes block_size = kDefaultBlockSize) const;
+  /// Number of I/O accesses (= records both paths must produce).
+  std::uint64_t io_op_count() const;
+};
+
+/// The scenario catalog, in table order (DL, HPC, BigData).
+const std::vector<ScenarioInfo>& scenarios();
+
+/// True when `name` (without the "zoo." prefix) is a known scenario.
+bool is_scenario(const std::string& name);
+
+/// Compile `name` ("bert", ...) into a concrete plan. Fails with
+/// Errc::not_found for unknown scenarios and Errc::invalid_argument for
+/// out-of-range params.
+Result<ZooPlan> build_plan(const std::string& name, const ZooParams& params = {});
+
+/// Runs a ZooPlan through the simulator: one Process per plan entry,
+/// round-robin across the Env's client nodes, separate backing file per
+/// process (created at plan.file_size before the clock starts).
+class ZooWorkload final : public Workload {
+ public:
+  explicit ZooWorkload(ZooPlan plan) : plan_(std::move(plan)) {}
+
+  std::string name() const override { return "zoo." + plan_.name; }
+  RunResult run(Env& env) override;
+
+  const ZooPlan& plan() const { return plan_; }
+
+ private:
+  ZooPlan plan_;
+};
+
+}  // namespace bpsio::workload::zoo

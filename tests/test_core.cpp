@@ -6,7 +6,7 @@
 #include "core/experiment.hpp"
 #include "core/presets.hpp"
 #include "core/testbed.hpp"
-#include "workload/iozone.hpp"
+#include "workload/registry.hpp"
 
 namespace bpsio::core {
 namespace {
@@ -155,7 +155,7 @@ RunSpec tiny_spec(const char* label, std::uint32_t procs) {
     cfg.file_size = 2 * kMiB;
     cfg.record_size = 64 * kKiB;
     cfg.processes = procs;
-    return std::make_unique<workload::IozoneWorkload>(cfg);
+    return workload::make_workload(cfg);
   };
   return spec;
 }

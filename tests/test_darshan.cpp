@@ -1,0 +1,142 @@
+// Darshan-style log importer (src/workload/zoo/darshan_import). The load-
+// bearing property is the bit-identical round trip: export_darshan followed
+// by parse_darshan must reproduce every record byte for byte, so a trace
+// can move through the text form without perturbing B, T, or flags.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "workload/zoo/darshan_import.hpp"
+
+namespace bpsio::workload::zoo {
+namespace {
+
+using trace::IoRecord;
+using trace::make_record;
+
+bool bit_identical(const std::vector<IoRecord>& a,
+                   const std::vector<IoRecord>& b) {
+  if (a.size() != b.size()) return false;
+  return a.empty() ||
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(IoRecord)) == 0;
+}
+
+TEST(Darshan, ExportImportRoundTripsBitIdentically) {
+  const std::vector<IoRecord> records = {
+      make_record(1, 8, SimTime(0), SimTime(1000)),
+      make_record(2, 128, SimTime(500), SimTime(2500),
+                  trace::IoOpKind::write),
+      make_record(1, 1, SimTime(2500), SimTime(2500)),  // zero-duration
+      make_record(3, 64, SimTime(9000), SimTime(12000),
+                  trace::IoOpKind::read, trace::kIoFailed),
+      make_record(3, 64, SimTime(12000), SimTime(15000),
+                  trace::IoOpKind::write,
+                  trace::kIoCollective | trace::kIoSync),
+  };
+  const std::string text = export_darshan(records);
+  const auto parsed = parse_darshan(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_TRUE(bit_identical(records, *parsed));
+
+  // A second trip through the text form is a fixed point.
+  EXPECT_EQ(export_darshan(*parsed), text);
+}
+
+TEST(Darshan, AccessLineFields) {
+  // rank is 0-based in the log, pid 1-based in records; length rounds up
+  // to whole blocks; the flags field is optional.
+  const auto parsed = parse_darshan(
+      "# comment, then a blank line\n"
+      "\n"
+      "access,0,R,4096,100,200\n"
+      "access,3,W,513,200,300,1\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].pid, 1u);
+  EXPECT_EQ((*parsed)[0].op, trace::IoOpKind::read);
+  EXPECT_EQ((*parsed)[0].blocks, 8u);
+  EXPECT_EQ((*parsed)[0].start_ns, 100);
+  EXPECT_EQ((*parsed)[0].end_ns, 200);
+  EXPECT_EQ((*parsed)[1].pid, 4u);
+  EXPECT_EQ((*parsed)[1].op, trace::IoOpKind::write);
+  EXPECT_EQ((*parsed)[1].blocks, 2u);  // ceil(513 / 512)
+  EXPECT_TRUE((*parsed)[1].failed());
+}
+
+TEST(Darshan, BlockSizeOptionControlsConversion) {
+  DarshanOptions opts;
+  opts.block_size = 4096;
+  const auto parsed = parse_darshan("access,0,R,8192,0,10\n", opts);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->front().blocks, 2u);
+}
+
+TEST(Darshan, CounterLineSynthesizesSpreadAccesses) {
+  // 4 reads of 4096 B total and 2 writes of 1536 B total over [0, 600).
+  const auto parsed = parse_darshan(
+      "counters,0,2,7,4,2,4096,1536,0,600\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  ASSERT_EQ(parsed->size(), 6u);
+  std::uint64_t read_blocks = 0, write_blocks = 0;
+  for (const IoRecord& r : *parsed) {
+    EXPECT_EQ(r.pid, 1u);
+    EXPECT_GE(r.start_ns, 0);
+    EXPECT_LE(r.end_ns, 600);
+    EXPECT_TRUE(r.valid());
+    (r.op == trace::IoOpKind::read ? read_blocks : write_blocks) += r.blocks;
+  }
+  EXPECT_EQ(read_blocks, 8u);   // 4096 B / 512, split 1024 B per access
+  EXPECT_EQ(write_blocks, 4u);  // 768 B each -> 2 blocks after ceil, x2
+  // opens/seeks moved no data: no records beyond reads + writes.
+}
+
+TEST(Darshan, MalformedInputNamesTheLine) {
+  const char* cases[] = {
+      "access,0,R,4096,100\n",          // too few fields
+      "access,0,X,4096,100,200\n",      // bad op letter
+      "access,0,R,4096,200,100\n",      // end before start
+      "access,zero,R,4096,100,200\n",   // non-numeric rank
+      "widget,0,R,4096,100,200\n",      // unknown line kind
+      "counters,0,0,0,0,0,4096,0,0,1\n",  // bytes with zero accesses
+  };
+  for (const char* text : cases) {
+    const auto parsed = parse_darshan(text);
+    ASSERT_FALSE(parsed.ok()) << text;
+    EXPECT_EQ(parsed.error().code, Errc::invalid_argument) << text;
+    EXPECT_NE(parsed.error().to_string().find("line 1"), std::string::npos)
+        << parsed.error().to_string();
+  }
+  // The line number counts comments and blanks.
+  const auto later = parse_darshan("# header\n\naccess,bad\n");
+  ASSERT_FALSE(later.ok());
+  EXPECT_NE(later.error().to_string().find("line 3"), std::string::npos);
+}
+
+TEST(Darshan, EmptyAndCommentOnlyLogsParseToNothing) {
+  const auto parsed = parse_darshan("# nothing here\n\n# still nothing\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(Darshan, LoadFailsOnMissingFile) {
+  const auto loaded = load_darshan("/nonexistent/zoo.darshan");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.error().code, Errc::not_found);
+}
+
+TEST(Darshan, SaveThenLoadRoundTrips) {
+  const std::vector<IoRecord> records = {
+      make_record(1, 16, SimTime(0), SimTime(4000)),
+      make_record(2, 16, SimTime(1000), SimTime(5000),
+                  trace::IoOpKind::write),
+  };
+  const std::string path =
+      ::testing::TempDir() + "/test_darshan_roundtrip.log";
+  ASSERT_TRUE(save_darshan(path, records).ok());
+  const auto loaded = load_darshan(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().to_string();
+  EXPECT_TRUE(bit_identical(records, *loaded));
+}
+
+}  // namespace
+}  // namespace bpsio::workload::zoo

@@ -59,6 +59,36 @@ TEST(Facade, CaptureConfigContract) {
   EXPECT_EQ(config.dir, "/tmp/bpsio");
 }
 
+TEST(Facade, WorkloadRegistryConstruction) {
+  // The workload area through <bpsio/workload.hpp> (via the umbrella):
+  // discovery, string-keyed construction, and parameter validation.
+  // (Execution on a Testbed is covered by test_zoo; testbed presets are
+  // deliberately not part of the facade.)
+  EXPECT_TRUE(workload::registry().contains("iozone"));
+  EXPECT_TRUE(workload::registry().contains("zoo.bert"));
+
+  workload::Params params;
+  params.set("file_size", "1M");
+  params.set("record_size", "256K");
+  auto made = workload::make_workload("iozone", params);
+  ASSERT_TRUE(made.ok()) << made.error().to_string();
+  EXPECT_EQ((*made)->name(), "iozone");
+
+  workload::Params typo;
+  typo.set("file_sizee", "1M");
+  EXPECT_FALSE(workload::make_workload("iozone", typo).ok());
+  EXPECT_FALSE(workload::make_workload("no-such-workload", {}).ok());
+}
+
+TEST(Facade, ZooPlanSignature) {
+  // Zoo entry points re-exported by the facade: catalog + plan compilation.
+  EXPECT_FALSE(workload::zoo::scenarios().empty());
+  auto plan = workload::zoo::build_plan("lammps", {});
+  ASSERT_TRUE(plan.ok()) << plan.error().to_string();
+  EXPECT_GT(plan->process_count(), 0u);
+  EXPECT_GT(plan->total_blocks(), 0u);
+}
+
 TEST(Facade, ExperimentSweepOptions) {
   // The simulator sweep API reachable from the umbrella: the SweepOptions
   // overload is the only run_sweep (the legacy positional overload was

@@ -7,7 +7,7 @@
 #include "core/testbed.hpp"
 #include "metrics/calculators.hpp"
 #include "stats/correlation.hpp"
-#include "workload/iozone.hpp"
+#include "workload/registry.hpp"
 
 namespace bpsio {
 namespace {
@@ -37,8 +37,7 @@ workload::RunResult run_reads(core::Testbed& testbed) {
   workload::IozoneConfig cfg;
   cfg.file_size = 8 * kMiB;
   cfg.record_size = 256 * kKiB;
-  workload::IozoneWorkload wl(cfg);
-  return wl.run(testbed.env());
+  return workload::make_workload(cfg)->run(testbed.env());
 }
 
 TEST(FaultInjection, LocalStackFlagsFailedRecords) {
@@ -75,8 +74,8 @@ TEST(FaultInjection, PfsWritesPropagateServerFaults) {
   cfg.mode = workload::IozoneConfig::Mode::write;
   cfg.file_size = 4 * kMiB;
   cfg.record_size = 256 * kKiB;
-  workload::IozoneWorkload wl(cfg);
-  const auto run = wl.run(testbed.env());
+  const auto wl = workload::make_workload(cfg);
+  const auto run = wl->run(testbed.env());
   std::size_t failed = 0;
   for (const auto& r : run.collector.records()) failed += r.failed();
   EXPECT_GT(failed, 0u);

@@ -5,7 +5,7 @@
 #include "core/testbed.hpp"
 #include "device/ram_device.hpp"
 #include "sim/simulator.hpp"
-#include "workload/iozone.hpp"
+#include "workload/registry.hpp"
 
 namespace bpsio::device {
 namespace {
@@ -159,8 +159,8 @@ TEST(IoScheduler, WorksAsTestbedDeviceUnderTheFullStack) {
   workload::IozoneConfig wl;
   wl.file_size = 4 * kMiB;
   wl.record_size = 256 * kKiB;
-  workload::IozoneWorkload workload(wl);
-  const auto run = workload.run(testbed.env());
+  const auto wkl = workload::make_workload(wl);
+  const auto run = wkl->run(testbed.env());
   EXPECT_EQ(blocks_to_bytes(run.collector.total_blocks()), 4u * kMiB);
   ASSERT_NE(sched_ptr, nullptr);
   EXPECT_GT(sched_ptr->scheduler_stats().merges, 0u);

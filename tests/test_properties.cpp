@@ -13,8 +13,7 @@
 #include "core/presets.hpp"
 #include "core/testbed.hpp"
 #include "fs/page_cache.hpp"
-#include "workload/hpio.hpp"
-#include "workload/iozone.hpp"
+#include "workload/registry.hpp"
 
 namespace bpsio {
 namespace {
@@ -68,8 +67,8 @@ TEST_P(BInvariance, StackKnobsNeverChangeB) {
       pf.window = 1 * kMiB;
       wl_variant.prefetch = pf;
     }
-    workload::IozoneWorkload workload(wl_variant);
-    const auto run = workload.run(testbed.env());
+    const auto wkl = workload::make_workload(wl_variant);
+    const auto run = wkl->run(testbed.env());
     const auto b = run.collector.total_blocks();
     ASSERT_GT(b, 0u);
     if (!expected_blocks) {
@@ -101,8 +100,8 @@ TEST_P(SievingInvariance, SievingChangesMovedBytesNotB) {
         core::pvfs_testbed(2, pfs::DeviceKind::ram, cfg.processes, 42));
     auto wl = cfg;
     wl.sieving.enabled = sieving;
-    workload::HpioWorkload workload(wl);
-    const auto run = workload.run(testbed.env());
+    const auto wkl = workload::make_workload(wl);
+    const auto run = wkl->run(testbed.env());
     (sieving ? b_on : b_off) = run.collector.total_blocks();
     (sieving ? moved_on : moved_off) = testbed.bytes_moved();
   }

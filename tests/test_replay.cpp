@@ -3,8 +3,7 @@
 
 #include "core/testbed.hpp"
 #include "metrics/calculators.hpp"
-#include "workload/iozone.hpp"
-#include "workload/replay.hpp"
+#include "workload/registry.hpp"
 
 namespace bpsio::workload {
 namespace {
@@ -31,8 +30,7 @@ std::vector<trace::IoRecord> record_source_trace() {
   cfg.file_size = 8 * kMiB;
   cfg.record_size = 64 * kKiB;
   cfg.processes = 2;
-  IozoneWorkload wl(cfg);
-  return wl.run(testbed.env()).collector.records();
+  return make_workload(cfg)->run(testbed.env()).collector.records();
 }
 
 TEST(Replay, ClosedLoopPreservesAccessStructure) {
@@ -41,8 +39,8 @@ TEST(Replay, ClosedLoopPreservesAccessStructure) {
   ReplayConfig cfg;
   cfg.records = source;
   cfg.mode = ReplayConfig::Mode::closed_loop;
-  TraceReplayWorkload replay(cfg);
-  const auto run = replay.run(testbed.env());
+  const auto replay = make_workload(cfg);
+  const auto run = replay->run(testbed.env());
   EXPECT_EQ(run.collector.record_count(), source.size());
   EXPECT_EQ(run.process_count, 2u);
   // Same B: replay preserves sizes exactly.
@@ -57,9 +55,10 @@ TEST(Replay, ClosedLoopOnSlowerDeviceTakesLonger) {
   cfg.records = source;
   core::Testbed fast(ram_local());
   core::Testbed slow(hdd_local());
-  TraceReplayWorkload r1(cfg), r2(cfg);
-  const auto fast_run = r1.run(fast.env());
-  const auto slow_run = r2.run(slow.env());
+  const auto r1 = make_workload(cfg);
+  const auto r2 = make_workload(cfg);
+  const auto fast_run = r1->run(fast.env());
+  const auto slow_run = r2->run(slow.env());
   EXPECT_GT(slow_run.exec_time.ns(), fast_run.exec_time.ns());
   // ... and BPS on the slower system is lower.
   EXPECT_LT(metrics::bps(slow_run.collector), metrics::bps(fast_run.collector));
@@ -75,8 +74,8 @@ TEST(Replay, ClosedLoopPreservesThinkGaps) {
   core::Testbed testbed(ram_local());
   ReplayConfig cfg;
   cfg.records = records;
-  TraceReplayWorkload replay(cfg);
-  const auto run = replay.run(testbed.env());
+  const auto replay = make_workload(cfg);
+  const auto run = replay->run(testbed.env());
   EXPECT_GT(run.exec_time.seconds(), 1.0);
   // The gap stays idle: T excludes it.
   EXPECT_LT(metrics::overlapped_io_time(run.collector).seconds(), 0.5);
@@ -94,8 +93,8 @@ TEST(Replay, OpenLoopIssuesAtRecordedTimes) {
   ReplayConfig cfg;
   cfg.records = records;
   cfg.mode = ReplayConfig::Mode::open_loop;
-  TraceReplayWorkload replay(cfg);
-  const auto run = replay.run(testbed.env());
+  const auto replay = make_workload(cfg);
+  const auto run = replay->run(testbed.env());
   EXPECT_EQ(run.collector.record_count(), 4u);
   // Offered load spans 0.75 s; on a fast device completion lands just after.
   EXPECT_GE(run.exec_time.seconds(), 0.75);
@@ -112,8 +111,8 @@ TEST(Replay, OpenLoopIssuesAtRecordedTimes) {
 
 TEST(Replay, EmptyTraceYieldsEmptyRun) {
   core::Testbed testbed(ram_local());
-  TraceReplayWorkload replay(ReplayConfig{});
-  const auto run = replay.run(testbed.env());
+  const auto replay = make_workload(ReplayConfig{});
+  const auto run = replay->run(testbed.env());
   EXPECT_EQ(run.process_count, 0u);
   EXPECT_EQ(run.collector.record_count(), 0u);
 }
@@ -126,8 +125,8 @@ TEST(Replay, WritesReplayAsWrites) {
   core::Testbed testbed(ram_local());
   ReplayConfig cfg;
   cfg.records = records;
-  TraceReplayWorkload replay(cfg);
-  const auto run = replay.run(testbed.env());
+  const auto replay = make_workload(cfg);
+  const auto run = replay->run(testbed.env());
   ASSERT_EQ(run.collector.record_count(), 1u);
   EXPECT_EQ(run.collector.records().front().op, trace::IoOpKind::write);
 }

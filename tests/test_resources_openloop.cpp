@@ -5,8 +5,7 @@
 #include "core/resources.hpp"
 #include "core/testbed.hpp"
 #include "metrics/calculators.hpp"
-#include "workload/iozone.hpp"
-#include "workload/openloop.hpp"
+#include "workload/registry.hpp"
 
 namespace bpsio {
 namespace {
@@ -18,8 +17,8 @@ TEST(Resources, LocalRunIsDiskBound) {
   workload::IozoneConfig wl;
   wl.file_size = 32 * kMiB;
   wl.record_size = 256 * kKiB;
-  workload::IozoneWorkload workload(wl);
-  const auto run = workload.run(testbed.env());
+  const auto wkl = workload::make_workload(wl);
+  const auto run = wkl->run(testbed.env());
 
   const auto usage = core::resource_usage(testbed, run.exec_time);
   ASSERT_FALSE(usage.empty());
@@ -39,8 +38,8 @@ TEST(Resources, SaturatedClientNicIsTheFig9Bottleneck) {
   wl.file_size = 64 * kMiB;
   wl.record_size = 16 * kKiB;
   wl.processes = 8;
-  workload::IozoneWorkload workload(wl);
-  const auto run = workload.run(testbed.env());
+  const auto wkl = workload::make_workload(wl);
+  const auto run = wkl->run(testbed.env());
 
   const auto usage = core::resource_usage(testbed, run.exec_time);
   const auto top = core::bottleneck(usage);
@@ -53,8 +52,8 @@ TEST(Resources, EveryUtilizationIsAFraction) {
   workload::IozoneConfig wl;
   wl.file_size = 16 * kMiB;
   wl.processes = 2;
-  workload::IozoneWorkload workload(wl);
-  const auto run = workload.run(testbed.env());
+  const auto wkl = workload::make_workload(wl);
+  const auto run = wkl->run(testbed.env());
   for (const auto& u : core::resource_usage(testbed, run.exec_time)) {
     EXPECT_GE(u.utilization, 0.0) << u.name;
     EXPECT_LE(u.utilization, 1.0 + 1e-9) << u.name;
@@ -72,8 +71,8 @@ TEST(OpenLoop, IssuesTheConfiguredRequestCount) {
   olc.request_count = 500;
   olc.streams = 3;
   olc.file_size = 64 * kMiB;  // 3 backing files must fit the RAM device
-  workload::OpenLoopWorkload wl(olc);
-  const auto run = wl.run(testbed.env());
+  const auto wl = workload::make_workload(olc);
+  const auto run = wl->run(testbed.env());
   EXPECT_EQ(run.collector.record_count(), 500u);
   EXPECT_EQ(run.process_count, 3u);
   EXPECT_EQ(blocks_to_bytes(run.collector.total_blocks()), 500u * 64 * kKiB);
@@ -90,8 +89,8 @@ TEST(OpenLoop, SubSaturationLoadLeavesIdleTime) {
   workload::OpenLoopConfig olc;
   olc.arrival_rate_hz = 20.0;
   olc.request_count = 100;
-  workload::OpenLoopWorkload wl(olc);
-  const auto run = wl.run(testbed.env());
+  const auto wl = workload::make_workload(olc);
+  const auto run = wl->run(testbed.env());
   const double t_union = metrics::overlapped_io_time(run.collector).seconds();
   EXPECT_LT(t_union, 0.2 * run.exec_time.seconds());
   const auto sample = metrics::measure_run(run.collector,
@@ -113,8 +112,8 @@ TEST(OpenLoop, RandomPatternStaysInBounds) {
   olc.request_count = 200;
   olc.pattern = workload::OpenLoopConfig::Pattern::random;
   olc.file_size = 8 * kMiB;
-  workload::OpenLoopWorkload wl(olc);
-  const auto run = wl.run(testbed.env());
+  const auto wl = workload::make_workload(olc);
+  const auto run = wl->run(testbed.env());
   EXPECT_EQ(run.collector.record_count(), 200u);
   for (const auto& r : run.collector.records()) {
     EXPECT_FALSE(r.failed());
@@ -131,8 +130,8 @@ TEST(OpenLoop, DeterministicPerSeed) {
     workload::OpenLoopConfig olc;
     olc.request_count = 100;
     olc.seed = seed;
-    workload::OpenLoopWorkload wl(olc);
-    return wl.run(testbed.env()).exec_time.ns();
+    const auto wl = workload::make_workload(olc);
+    return wl->run(testbed.env()).exec_time.ns();
   };
   EXPECT_EQ(run_once(5), run_once(5));
   EXPECT_NE(run_once(5), run_once(6));

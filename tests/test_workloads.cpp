@@ -8,6 +8,7 @@
 #include "trace/validate.hpp"
 #include "core/testbed.hpp"
 #include "workload/hpio.hpp"
+#include "workload/registry.hpp"
 #include "workload/ior.hpp"
 #include "workload/iozone.hpp"
 
@@ -37,8 +38,8 @@ TEST(Iozone, SingleProcessSequentialRead) {
   IozoneConfig cfg;
   cfg.file_size = 8 * kMiB;
   cfg.record_size = 64 * kKiB;
-  IozoneWorkload wl(cfg);
-  const auto run = wl.run(testbed.env());
+  const auto wl = make_workload(cfg);
+  const auto run = wl->run(testbed.env());
   EXPECT_EQ(run.process_count, 1u);
   EXPECT_EQ(run.collector.record_count(), 128u);
   EXPECT_EQ(blocks_to_bytes(run.collector.total_blocks()), 8u * kMiB);
@@ -53,8 +54,8 @@ TEST(Iozone, ThroughputModeSplitsTotalAcrossProcesses) {
   cfg.record_size = 64 * kKiB;
   cfg.processes = 4;
   cfg.size_is_total = true;
-  IozoneWorkload wl(cfg);
-  const auto run = wl.run(testbed.env());
+  const auto wl = make_workload(cfg);
+  const auto run = wl->run(testbed.env());
   EXPECT_EQ(run.process_count, 4u);
   EXPECT_EQ(run.collector.process_count(), 4u);
   EXPECT_EQ(blocks_to_bytes(run.collector.total_blocks()), 8u * kMiB);
@@ -69,8 +70,8 @@ TEST(Iozone, WriteModeCreatesAndExtends) {
   cfg.mode = IozoneConfig::Mode::write;
   cfg.file_size = 4 * kMiB;
   cfg.record_size = 256 * kKiB;
-  IozoneWorkload wl(cfg);
-  const auto run = wl.run(testbed.env());
+  const auto wl = make_workload(cfg);
+  const auto run = wl->run(testbed.env());
   EXPECT_EQ(run.collector.record_count(), 16u);
   EXPECT_EQ(run.collector.records().front().op, trace::IoOpKind::write);
   EXPECT_GE(testbed.bytes_moved(), 4u * kMiB);
@@ -82,8 +83,8 @@ TEST(Iozone, RereadDoesTwoPasses) {
   cfg.mode = IozoneConfig::Mode::reread;
   cfg.file_size = 2 * kMiB;
   cfg.record_size = 128 * kKiB;
-  IozoneWorkload wl(cfg);
-  const auto run = wl.run(testbed.env());
+  const auto wl = make_workload(cfg);
+  const auto run = wl->run(testbed.env());
   EXPECT_EQ(run.collector.record_count(), 32u);  // 16 + 16
   // Second pass hits the page cache: device traffic < app traffic.
   EXPECT_LT(testbed.bytes_moved(), 4u * kMiB);
@@ -96,8 +97,8 @@ TEST(Iozone, RandomReadStaysInBounds) {
   cfg.file_size = 4 * kMiB;
   cfg.record_size = 64 * kKiB;
   cfg.random_count = 40;
-  IozoneWorkload wl(cfg);
-  const auto run = wl.run(testbed.env());
+  const auto wl = make_workload(cfg);
+  const auto run = wl->run(testbed.env());
   EXPECT_EQ(run.collector.record_count(), 40u);
   for (const auto& r : run.collector.records()) {
     EXPECT_EQ(blocks_to_bytes(r.blocks), 64u * kKiB);
@@ -110,8 +111,8 @@ TEST(Iozone, AccessFractionLimitsScan) {
   cfg.file_size = 8 * kMiB;
   cfg.record_size = 64 * kKiB;
   cfg.access_fraction = 0.25;
-  IozoneWorkload wl(cfg);
-  const auto run = wl.run(testbed.env());
+  const auto wl = make_workload(cfg);
+  const auto run = wl->run(testbed.env());
   EXPECT_EQ(blocks_to_bytes(run.collector.total_blocks()), 2u * kMiB);
 }
 
@@ -120,11 +121,11 @@ TEST(Iozone, ThinkTimeStretchesExecNotIoTime) {
   IozoneConfig cfg;
   cfg.file_size = 1 * kMiB;
   cfg.record_size = 128 * kKiB;
-  IozoneWorkload fast(cfg);
+  const auto fast = make_workload(cfg);
   cfg.think = SimDuration::from_ms(5.0);
-  IozoneWorkload slow(cfg);
-  const auto run_fast = fast.run(a.env());
-  const auto run_slow = slow.run(b.env());
+  const auto slow = make_workload(cfg);
+  const auto run_fast = fast->run(a.env());
+  const auto run_slow = slow->run(b.env());
   EXPECT_GT(run_slow.exec_time.ns(),
             run_fast.exec_time.ns() + 7 * SimDuration::from_ms(5.0).ns());
   // The think gaps are idle I/O time and must not enter T.
@@ -139,8 +140,8 @@ TEST(Ior, SharedFileSegmentsAreDisjoint) {
   cfg.file_size = 8 * kMiB;
   cfg.transfer_size = 64 * kKiB;
   cfg.processes = 4;
-  IorWorkload wl(cfg);
-  const auto run = wl.run(testbed.env());
+  const auto wl = make_workload(cfg);
+  const auto run = wl->run(testbed.env());
   EXPECT_EQ(run.process_count, 4u);
   EXPECT_EQ(run.collector.record_count(), 128u);
   EXPECT_EQ(blocks_to_bytes(run.collector.total_blocks()), 8u * kMiB);
@@ -154,8 +155,8 @@ TEST(Ior, CollectiveModeCompletes) {
   cfg.transfer_size = 256 * kKiB;
   cfg.processes = 2;
   cfg.collective = true;
-  IorWorkload wl(cfg);
-  const auto run = wl.run(testbed.env());
+  const auto wl = make_workload(cfg);
+  const auto run = wl->run(testbed.env());
   EXPECT_EQ(run.collector.record_count(), 8u);
   for (const auto& r : run.collector.records()) {
     EXPECT_TRUE(r.flags & trace::kIoCollective);
@@ -169,8 +170,8 @@ TEST(Ior, WriteMode) {
   cfg.transfer_size = 128 * kKiB;
   cfg.processes = 2;
   cfg.write = true;
-  IorWorkload wl(cfg);
-  const auto run = wl.run(testbed.env());
+  const auto wl = make_workload(cfg);
+  const auto run = wl->run(testbed.env());
   EXPECT_EQ(run.collector.records().front().op, trace::IoOpKind::write);
   EXPECT_EQ(blocks_to_bytes(run.collector.total_blocks()), 2u * kMiB);
 }
@@ -184,8 +185,8 @@ TEST(Hpio, SievingMovesMoreThanRequired) {
   cfg.processes = 4;
   cfg.sieving.enabled = true;
   cfg.regions_per_call = 1024;
-  HpioWorkload wl(cfg);
-  const auto run = wl.run(testbed.env());
+  const auto wl = make_workload(cfg);
+  const auto run = wl->run(testbed.env());
   const Bytes useful = 4096u * 256;
   EXPECT_EQ(blocks_to_bytes(run.collector.total_blocks()), useful);
   EXPECT_GT(testbed.bytes_moved(), 3 * useful);  // holes dominate
@@ -197,6 +198,8 @@ TEST(Hpio, FileSpanMatchesPattern) {
   cfg.region_count = 100;
   cfg.region_size = 256;
   cfg.region_spacing = 44;
+  // file_span() is part of the concrete class's surface, not Workload's, so
+  // this test deliberately exercises the (deprecated) direct constructor.
   HpioWorkload wl(cfg);
   EXPECT_EQ(wl.file_span(), 100u * 300);
 }
@@ -207,8 +210,8 @@ TEST(Iozone, BackwardReadVisitsWholeFileInReverse) {
   cfg.mode = IozoneConfig::Mode::backward_read;
   cfg.file_size = 2 * kMiB;
   cfg.record_size = 256 * kKiB;
-  IozoneWorkload wl(cfg);
-  const auto run = wl.run(testbed.env());
+  const auto wl = make_workload(cfg);
+  const auto run = wl->run(testbed.env());
   EXPECT_EQ(run.collector.record_count(), 8u);
   EXPECT_EQ(blocks_to_bytes(run.collector.total_blocks()), 2u * kMiB);
 }
@@ -225,8 +228,8 @@ TEST(Iozone, BackwardReadSlowerThanForwardOnHdd) {
     cfg.mode = mode;
     cfg.file_size = 16 * kMiB;
     cfg.record_size = 64 * kKiB;
-    IozoneWorkload wl(cfg);
-    return wl.run(testbed.env()).exec_time.seconds();
+    const auto wl = make_workload(cfg);
+    return wl->run(testbed.env()).exec_time.seconds();
   };
   EXPECT_GT(exec_for(IozoneConfig::Mode::backward_read),
             1.5 * exec_for(IozoneConfig::Mode::read));
@@ -239,8 +242,8 @@ TEST(Iozone, StrideReadSkipsGaps) {
   cfg.file_size = 4 * kMiB;
   cfg.record_size = 64 * kKiB;
   cfg.stride = 256 * kKiB;
-  IozoneWorkload wl(cfg);
-  const auto run = wl.run(testbed.env());
+  const auto wl = make_workload(cfg);
+  const auto run = wl->run(testbed.env());
   EXPECT_EQ(run.collector.record_count(), 16u);  // 4 MiB / 256 KiB strides
   EXPECT_EQ(blocks_to_bytes(run.collector.total_blocks()), 1u * kMiB);
 }
@@ -251,8 +254,8 @@ TEST(Iozone, MixedModeAlternatesReadsAndWrites) {
   cfg.mode = IozoneConfig::Mode::mixed;
   cfg.file_size = 2 * kMiB;
   cfg.record_size = 128 * kKiB;
-  IozoneWorkload wl(cfg);
-  const auto run = wl.run(testbed.env());
+  const auto wl = make_workload(cfg);
+  const auto run = wl->run(testbed.env());
   ASSERT_EQ(run.collector.record_count(), 16u);
   std::size_t reads = 0, writes = 0;
   for (const auto& r : run.collector.records()) {
@@ -270,8 +273,8 @@ TEST(Ior, CollectiveWriteCompletes) {
   cfg.processes = 2;
   cfg.collective = true;
   cfg.write = true;
-  IorWorkload wl(cfg);
-  const auto run = wl.run(testbed.env());
+  const auto wl = make_workload(cfg);
+  const auto run = wl->run(testbed.env());
   EXPECT_EQ(run.collector.record_count(), 8u);
   for (const auto& r : run.collector.records()) {
     EXPECT_EQ(r.op, trace::IoOpKind::write);
@@ -287,8 +290,8 @@ TEST(Workloads, DeterministicAcrossRuns) {
     cfg.file_size = 4 * kMiB;
     cfg.transfer_size = 64 * kKiB;
     cfg.processes = 2;
-    IorWorkload wl(cfg);
-    return wl.run(testbed.env()).exec_time.ns();
+    const auto wl = make_workload(cfg);
+    return wl->run(testbed.env()).exec_time.ns();
   };
   EXPECT_EQ(run_once(), run_once());
 }

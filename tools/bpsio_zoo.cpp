@@ -1,0 +1,355 @@
+// bpsio_zoo — the real-application workload zoo, end to end.
+//
+// Subcommands (first positional):
+//   list                     scenario catalog (and all registry workloads)
+//   sim [scenario...]        run scenarios through the simulator and print
+//                            the per-scenario BPS vs IOPS/BW/ARPT
+//                            comparison table (default: every scenario)
+//   plan <scenario>          print a scenario's compiled I/O signature
+//                            (processes, phases, accesses, B, bytes)
+//   import <log>             parse a Darshan-style log; summarize, and with
+//                            --out write a v2 .bpstrace conversion
+//   replay <trace-or-log>    replay a trace (v2 binary or Darshan text)
+//                            through the simulator and print its metric row
+//
+// Options: --testbed=ssd|hdd|pvfs, --servers=N, --scale=F, --processes=N,
+//          --seed=N, --think-scale=F, --block-size=BYTES, --out=PATH, --csv
+//
+// The `sim` CSV table carries B in column 5 ("B"); the zoo-smoke CI job
+// cross-checks that number against an independent `bpsio_report --csv`
+// pass (B in column 5) over traces captured from `zoo_driver` running the
+// same plan under libbpsio_capture.so. Both paths issue the plan's exact
+// block-aligned accesses, so the two B values must be identical.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cli.hpp"
+#include "common/config.hpp"
+#include "common/format.hpp"
+#include "common/units.hpp"
+#include "core/presets.hpp"
+#include "core/testbed.hpp"
+#include "metrics/calculators.hpp"
+#include "trace/serialize.hpp"
+#include "workload/registry.hpp"
+#include "workload/zoo/darshan_import.hpp"
+#include "workload/zoo/zoo.hpp"
+
+namespace bpsio {
+namespace {
+
+namespace zoo = workload::zoo;
+
+struct Options {
+  std::vector<std::string> args;  ///< subcommand + operands
+  std::string testbed = "ssd";
+  long long servers = 4;
+  double scale = 1.0;
+  long long processes = 0;
+  long long seed = 42;
+  double think_scale = 1.0;
+  Bytes block_size = kDefaultBlockSize;
+  std::string out;
+  bool csv = false;
+};
+
+cli::ArgParser make_parser(Options& opt) {
+  cli::ArgParser parser("bpsio_zoo",
+                        "Real-application workload zoo: list scenarios, run "
+                        "them through the simulator, import/replay "
+                        "Darshan-style logs.");
+  parser.positionals("list | sim [scenario...] | plan <scenario> | "
+                     "import <log> | replay <trace-or-log>");
+  parser.add_value("--testbed", "KIND", "ssd (default), hdd, or pvfs",
+                   [&opt](const std::string& v) {
+                     if (v != "ssd" && v != "hdd" && v != "pvfs") return false;
+                     opt.testbed = v;
+                     return true;
+                   });
+  parser.add_int("--servers", &opt.servers, 1, 4096, "N",
+                 "PVFS I/O servers (pvfs testbed; default 4)");
+  parser.add_positive_double("--scale", &opt.scale, "F",
+                             "scenario volume multiplier (default 1.0)");
+  parser.add_int("--processes", &opt.processes, 0, 1 << 20, "N",
+                 "override scenario process count (0 = preset)");
+  parser.add_int("--seed", &opt.seed, 0, INT64_MAX, "N",
+                 "scenario shuffle / testbed seed (default 42)");
+  parser.add_value("--think-scale", "F",
+                   "scale compute gaps; 0 disables them (default 1.0)",
+                   [&opt](const std::string& v) {
+                     char* end = nullptr;
+                     const double parsed = std::strtod(v.c_str(), &end);
+                     if (end == nullptr || *end != '\0' || parsed < 0) {
+                       return false;
+                     }
+                     opt.think_scale = parsed;
+                     return true;
+                   });
+  parser.add_value("--block-size", "BYTES",
+                   "block unit for import/replay (default 512)",
+                   [&opt](const std::string& v) {
+                     const auto parsed = Config::parse_bytes(v);
+                     if (!parsed || *parsed == 0) return false;
+                     opt.block_size = *parsed;
+                     return true;
+                   });
+  parser.add_string("--out", &opt.out, "PATH",
+                    "import: write records as a v2 .bpstrace");
+  parser.add_flag("--csv", &opt.csv, "machine-readable tables");
+  return parser;
+}
+
+core::TestbedConfig testbed_config(const Options& opt,
+                                   std::uint32_t process_count) {
+  const auto seed = static_cast<std::uint64_t>(opt.seed);
+  if (opt.testbed == "hdd") return core::local_hdd_testbed(seed);
+  if (opt.testbed == "pvfs") {
+    return core::pvfs_testbed(static_cast<std::uint32_t>(opt.servers),
+                              pfs::DeviceKind::hdd,
+                              /*clients=*/process_count > 0 ? process_count : 1,
+                              seed);
+  }
+  return core::local_ssd_testbed(seed);
+}
+
+zoo::ZooParams zoo_params(const Options& opt) {
+  zoo::ZooParams zp;
+  zp.scale = opt.scale;
+  zp.processes = static_cast<std::uint32_t>(opt.processes);
+  zp.seed = static_cast<std::uint64_t>(opt.seed);
+  zp.think_scale = opt.think_scale;
+  return zp;
+}
+
+workload::Params registry_params(const Options& opt) {
+  workload::Params p;
+  p.set("scale", fmt_double(opt.scale, 9));
+  p.set("processes", std::to_string(opt.processes));
+  p.set("seed", std::to_string(opt.seed));
+  p.set("think_scale", fmt_double(opt.think_scale, 9));
+  return p;
+}
+
+int run_list(const Options& opt) {
+  TextTable table({"scenario", "class", "procs", "phases", "accesses", "B",
+                   "io_bytes", "summary"});
+  for (const zoo::ScenarioInfo& info : zoo::scenarios()) {
+    const auto plan = zoo::build_plan(info.name, zoo_params(opt));
+    if (!plan.ok()) {
+      std::fprintf(stderr, "bpsio_zoo: %s: %s\n", info.name.c_str(),
+                   plan.error().to_string().c_str());
+      return 2;
+    }
+    table.add_row({info.name, std::string(zoo::scenario_class_name(info.cls)),
+                   std::to_string(plan->process_count()),
+                   std::to_string(plan->phases),
+                   std::to_string(plan->io_op_count()),
+                   std::to_string(plan->total_blocks()),
+                   human_bytes(plan->total_io_bytes()), info.summary});
+  }
+  std::fputs(opt.csv ? table.to_csv().c_str() : table.to_string().c_str(),
+             stdout);
+  if (!opt.csv) {
+    std::printf("\nregistry workloads:");
+    for (const std::string& name : workload::registry().names()) {
+      std::printf(" %s", name.c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int run_plan(const Options& opt) {
+  if (opt.args.size() != 2) {
+    std::fprintf(stderr, "bpsio_zoo: plan needs exactly one scenario\n");
+    return 2;
+  }
+  const auto plan = zoo::build_plan(opt.args[1], zoo_params(opt));
+  if (!plan.ok()) {
+    std::fprintf(stderr, "bpsio_zoo: %s\n", plan.error().to_string().c_str());
+    return 2;
+  }
+  TextTable table(
+      {"scenario", "class", "procs", "phases", "accesses", "B", "io_bytes",
+       "file_bytes"});
+  table.add_row({plan->name, std::string(zoo::scenario_class_name(plan->cls)),
+                 std::to_string(plan->process_count()),
+                 std::to_string(plan->phases),
+                 std::to_string(plan->io_op_count()),
+                 std::to_string(plan->total_blocks()),
+                 std::to_string(plan->total_io_bytes()),
+                 std::to_string(plan->file_size)});
+  std::fputs(opt.csv ? table.to_csv().c_str() : table.to_string().c_str(),
+             stdout);
+  return 0;
+}
+
+/// One simulated run of a registry workload; returns its table row.
+std::optional<std::vector<std::string>> simulate_row(
+    const Options& opt, const std::string& registry_name,
+    const std::string& display_class, std::uint32_t process_count,
+    const workload::Params& params) {
+  Result<workload::WorkloadPtr> wl =
+      workload::make_workload(registry_name, params);
+  if (!wl.ok()) {
+    std::fprintf(stderr, "bpsio_zoo: %s: %s\n", registry_name.c_str(),
+                 wl.error().to_string().c_str());
+    return std::nullopt;
+  }
+  core::Testbed testbed(testbed_config(opt, process_count));
+  testbed.drop_caches();
+  const workload::RunResult run = (*wl)->run(testbed.env());
+  const metrics::MetricSample sample =
+      metrics::measure_run(run.collector, testbed.bytes_moved(),
+                           run.exec_time);
+  return std::vector<std::string>{
+      (*wl)->name(),
+      display_class,
+      std::to_string(run.process_count),
+      std::to_string(sample.access_count),
+      std::to_string(sample.app_blocks),
+      fmt_double(sample.io_time_s, 6),
+      fmt_double(sample.bps, 3),
+      fmt_double(sample.iops, 3),
+      fmt_double(sample.bandwidth_bps, 3),
+      fmt_double(sample.arpt_s, 9),
+      fmt_double(sample.exec_time_s, 6)};
+}
+
+const std::vector<std::string>& comparison_columns() {
+  static const std::vector<std::string> columns = {
+      "scenario", "class",  "procs", "records", "B",      "T_s",
+      "bps",      "iops",   "bw_Bps", "arpt_s", "exec_s"};
+  return columns;
+}
+
+int run_sim(const Options& opt) {
+  std::vector<std::string> names(opt.args.begin() + 1, opt.args.end());
+  if (names.empty()) {
+    for (const zoo::ScenarioInfo& info : zoo::scenarios()) {
+      names.push_back(info.name);
+    }
+  }
+  TextTable table(comparison_columns());
+  for (const std::string& name : names) {
+    if (!zoo::is_scenario(name)) {
+      std::fprintf(stderr, "bpsio_zoo: unknown scenario '%s'\n", name.c_str());
+      return 2;
+    }
+    // The plan gives the class label and process count; the run itself goes
+    // through the string-keyed registry like any external caller.
+    const auto plan = zoo::build_plan(name, zoo_params(opt));
+    if (!plan.ok()) {
+      std::fprintf(stderr, "bpsio_zoo: %s\n", plan.error().to_string().c_str());
+      return 2;
+    }
+    const auto row = simulate_row(
+        opt, "zoo." + name, std::string(zoo::scenario_class_name(plan->cls)),
+        plan->process_count(), registry_params(opt));
+    if (!row) return 2;
+    table.add_row(*row);
+  }
+  std::fputs(opt.csv ? table.to_csv().c_str() : table.to_string().c_str(),
+             stdout);
+  return 0;
+}
+
+int run_import(const Options& opt) {
+  if (opt.args.size() != 2) {
+    std::fprintf(stderr, "bpsio_zoo: import needs exactly one log file\n");
+    return 2;
+  }
+  zoo::DarshanOptions dopts;
+  dopts.block_size = opt.block_size;
+  const auto records = zoo::load_darshan(opt.args[1], dopts);
+  if (!records.ok()) {
+    std::fprintf(stderr, "bpsio_zoo: %s\n",
+                 records.error().to_string().c_str());
+    return 2;
+  }
+  std::uint64_t blocks = 0;
+  std::int64_t lo = 0, hi = 0;
+  std::vector<bool> seen;
+  std::size_t pids = 0;
+  for (const trace::IoRecord& r : *records) {
+    blocks += r.blocks;
+    if (r.pid >= seen.size()) seen.resize(r.pid + 1);
+    if (!seen[r.pid]) {
+      seen[r.pid] = true;
+      ++pids;
+    }
+    if (lo == 0 && hi == 0) {
+      lo = r.start_ns;
+      hi = r.end_ns;
+    }
+    lo = std::min(lo, r.start_ns);
+    hi = std::max(hi, r.end_ns);
+  }
+  TextTable table({"records", "processes", "B", "span_s"});
+  table.add_row({std::to_string(records->size()), std::to_string(pids),
+                 std::to_string(blocks),
+                 fmt_double(static_cast<double>(hi - lo) / 1e9, 6)});
+  std::fputs(opt.csv ? table.to_csv().c_str() : table.to_string().c_str(),
+             stdout);
+  if (!opt.out.empty()) {
+    const auto written = trace::save_binary(opt.out, *records);
+    if (!written.ok()) {
+      std::fprintf(stderr, "bpsio_zoo: %s\n",
+                   written.error().to_string().c_str());
+      return 2;
+    }
+    std::printf("wrote %s (%zu bytes)\n", opt.out.c_str(), *written);
+  }
+  return 0;
+}
+
+int run_replay(const Options& opt) {
+  if (opt.args.size() != 2) {
+    std::fprintf(stderr, "bpsio_zoo: replay needs exactly one trace/log\n");
+    return 2;
+  }
+  workload::Params params;
+  params.set("trace", opt.args[1]);
+  TextTable table(comparison_columns());
+  const auto row = simulate_row(opt, "replay", "replay",
+                                /*process_count=*/0, params);
+  if (!row) return 2;
+  table.add_row(*row);
+  std::fputs(opt.csv ? table.to_csv().c_str() : table.to_string().c_str(),
+             stdout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bpsio
+
+int main(int argc, char** argv) {
+  bpsio::Options opt;
+  bpsio::cli::ArgParser parser = bpsio::make_parser(opt);
+  switch (parser.parse(argc, argv, opt.args)) {
+    case bpsio::cli::ArgParser::Outcome::ok:
+      break;
+    case bpsio::cli::ArgParser::Outcome::help:
+      return 0;
+    case bpsio::cli::ArgParser::Outcome::error:
+      return 2;
+  }
+  if (opt.args.empty()) {
+    std::fputs(parser.usage().c_str(), stderr);
+    return 2;
+  }
+  const std::string& command = opt.args[0];
+  if (command == "list") return bpsio::run_list(opt);
+  if (command == "sim") return bpsio::run_sim(opt);
+  if (command == "plan") return bpsio::run_plan(opt);
+  if (command == "import") return bpsio::run_import(opt);
+  if (command == "replay") return bpsio::run_replay(opt);
+  std::fprintf(stderr, "bpsio_zoo: unknown command '%s'\n%s", command.c_str(),
+               parser.usage().c_str());
+  return 2;
+}

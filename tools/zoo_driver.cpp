@@ -1,0 +1,229 @@
+// zoo_driver — executes a zoo scenario's plan with REAL POSIX I/O, for
+// tracing under libbpsio_capture.so.
+//
+//   zoo_driver <scenario> --dir=DIR [--scale=F] [--processes=N] [--seed=N]
+//              [--think-scale=F] [--prepare-only] [--skip-prepare]
+//
+// The driver compiles the scenario to the same ZooPlan the simulator runs,
+// then forks one child per plan process; child p opens DIR/zoo.<name>.<p>
+// and issues every read/write op of plan.ops[p] with pread()/pwrite() at
+// the plan's exact offsets and (block-aligned) sizes. Compute ops become
+// nanosleep()s of the scaled think time — pass --think-scale=0 to elide
+// them (B is unaffected; only wall-clock time changes).
+//
+// Preparation (creating and sizing each backing file with ftruncate) does
+// no read()/write(), so it is invisible to the capture interposer and the
+// whole run can happen under LD_PRELOAD in one invocation. The B that
+// bpsio_report computes from the resulting traces equals the plan's
+// total_blocks() — the property the zoo-smoke CI job asserts against
+// `bpsio_zoo sim --csv`.
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cli.hpp"
+#include "workload/zoo/zoo.hpp"
+
+namespace {
+
+using bpsio::workload::AppOp;
+namespace zoo = bpsio::workload::zoo;
+
+struct Options {
+  std::vector<std::string> args;
+  std::string dir;
+  double scale = 1.0;
+  long long processes = 0;
+  long long seed = 42;
+  double think_scale = 1.0;
+  bool prepare_only = false;
+  bool skip_prepare = false;
+};
+
+std::string data_path(const Options& opt, const zoo::ZooPlan& plan,
+                      std::size_t p) {
+  return opt.dir + "/zoo." + plan.name + "." + std::to_string(p);
+}
+
+/// Create and size every backing file. ftruncate only — no captured I/O.
+int prepare(const Options& opt, const zoo::ZooPlan& plan) {
+  for (std::size_t p = 0; p < plan.ops.size(); ++p) {
+    const std::string path = data_path(opt, plan, p);
+    const int fd = ::open(path.c_str(), O_CREAT | O_RDWR, 0644);
+    if (fd < 0) {
+      std::fprintf(stderr, "zoo_driver: open %s: %s\n", path.c_str(),
+                   std::strerror(errno));
+      return 1;
+    }
+    if (::ftruncate(fd, static_cast<off_t>(plan.file_size)) != 0) {
+      std::fprintf(stderr, "zoo_driver: ftruncate %s: %s\n", path.c_str(),
+                   std::strerror(errno));
+      ::close(fd);
+      return 1;
+    }
+    if (::close(fd) != 0) {
+      std::fprintf(stderr, "zoo_driver: close %s: %s\n", path.c_str(),
+                   std::strerror(errno));
+      return 1;
+    }
+  }
+  return 0;
+}
+
+/// Child body: replay plan.ops[p] against the process's backing file.
+int run_child(const Options& opt, const zoo::ZooPlan& plan, std::size_t p) {
+  const std::string path = data_path(opt, plan, p);
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    std::fprintf(stderr, "zoo_driver: open %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    return 1;
+  }
+  std::size_t buf_size = 0;
+  for (const AppOp& op : plan.ops[p]) {
+    if (op.kind == AppOp::Kind::read || op.kind == AppOp::Kind::write) {
+      buf_size = std::max(buf_size, static_cast<std::size_t>(op.size));
+    }
+  }
+  std::vector<char> buf(buf_size, 'z');
+  for (const AppOp& op : plan.ops[p]) {
+    switch (op.kind) {
+      case AppOp::Kind::read: {
+        // One pread per plan op: the capture interposer records the
+        // requested size, so op count and B match the plan exactly.
+        const ssize_t got = ::pread(fd, buf.data(), op.size,
+                                    static_cast<off_t>(op.offset));
+        if (got < 0) {
+          std::fprintf(stderr, "zoo_driver: pread %s: %s\n", path.c_str(),
+                       std::strerror(errno));
+          ::close(fd);
+          return 1;
+        }
+        break;
+      }
+      case AppOp::Kind::write: {
+        const ssize_t put = ::pwrite(fd, buf.data(), op.size,
+                                     static_cast<off_t>(op.offset));
+        if (put != static_cast<ssize_t>(op.size)) {
+          std::fprintf(stderr, "zoo_driver: pwrite %s: %s\n", path.c_str(),
+                       std::strerror(errno));
+          ::close(fd);
+          return 1;
+        }
+        break;
+      }
+      case AppOp::Kind::compute: {
+        if (op.compute.ns() > 0) {
+          struct timespec ts;
+          ts.tv_sec = static_cast<time_t>(op.compute.ns() / 1'000'000'000);
+          ts.tv_nsec = static_cast<long>(op.compute.ns() % 1'000'000'000);
+          ::nanosleep(&ts, nullptr);
+        }
+        break;
+      }
+      default:
+        std::fprintf(stderr, "zoo_driver: plan op kind not executable\n");
+        ::close(fd);
+        return 1;
+    }
+  }
+  return ::close(fd) == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  bpsio::cli::ArgParser parser(
+      "zoo_driver",
+      "Execute a zoo scenario's plan with real pread/pwrite I/O (run under "
+      "libbpsio_capture.so to trace it).");
+  parser.positionals("<scenario>");
+  parser.add_string("--dir", &opt.dir, "DIR", "directory for backing files");
+  parser.add_positive_double("--scale", &opt.scale, "F",
+                             "scenario volume multiplier (default 1.0)");
+  parser.add_int("--processes", &opt.processes, 0, 1 << 20, "N",
+                 "override scenario process count (0 = preset)");
+  parser.add_int("--seed", &opt.seed, 0, INT64_MAX, "N",
+                 "scenario shuffle seed (default 42)");
+  parser.add_value("--think-scale", "F",
+                   "scale compute gaps; 0 skips the sleeps (default 1.0)",
+                   [&opt](const std::string& v) {
+                     char* end = nullptr;
+                     const double parsed = std::strtod(v.c_str(), &end);
+                     if (end == nullptr || *end != '\0' || parsed < 0) {
+                       return false;
+                     }
+                     opt.think_scale = parsed;
+                     return true;
+                   });
+  parser.add_flag("--prepare-only", &opt.prepare_only,
+                  "create/size backing files, then exit");
+  parser.add_flag("--skip-prepare", &opt.skip_prepare,
+                  "assume backing files exist (prior --prepare-only run)");
+  switch (parser.parse(argc, argv, opt.args)) {
+    case bpsio::cli::ArgParser::Outcome::ok:
+      break;
+    case bpsio::cli::ArgParser::Outcome::help:
+      return 0;
+    case bpsio::cli::ArgParser::Outcome::error:
+      return 2;
+  }
+  if (opt.args.size() != 1 || opt.dir.empty()) {
+    std::fputs(parser.usage().c_str(), stderr);
+    return 2;
+  }
+
+  zoo::ZooParams params;
+  params.scale = opt.scale;
+  params.processes = static_cast<std::uint32_t>(opt.processes);
+  params.seed = static_cast<std::uint64_t>(opt.seed);
+  params.think_scale = opt.think_scale;
+  const auto plan = zoo::build_plan(opt.args[0], params);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "zoo_driver: %s\n", plan.error().to_string().c_str());
+    return 2;
+  }
+
+  if (!opt.skip_prepare) {
+    if (const int rc = prepare(opt, *plan); rc != 0) return rc;
+  }
+  if (opt.prepare_only) return 0;
+
+  std::vector<pid_t> children;
+  for (std::size_t p = 0; p < plan->ops.size(); ++p) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::fprintf(stderr, "zoo_driver: fork: %s\n", std::strerror(errno));
+      return 1;
+    }
+    if (pid == 0) std::exit(run_child(opt, *plan, p));
+    children.push_back(pid);
+  }
+  int failures = 0;
+  for (const pid_t pid : children) {
+    int status = 0;
+    if (::waitpid(pid, &status, 0) != pid || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      ++failures;
+    }
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "zoo_driver: %d child(ren) failed\n", failures);
+    return 1;
+  }
+  std::printf("zoo_driver: %s ok — %zu process(es), %llu accesses, B=%llu\n",
+              plan->name.c_str(), plan->ops.size(),
+              static_cast<unsigned long long>(plan->io_op_count()),
+              static_cast<unsigned long long>(plan->total_blocks()));
+  return 0;
+}
